@@ -1,0 +1,71 @@
+"""Experiment A3 -- ablation: sparse vs dense vector clocks vs 2D.
+
+Section 1's Θ(n)-per-location critique describes the textbook *dense*
+vector-clock implementation; practical detectors use sparse tricks that
+soften (but cannot remove) the asymptotics.  This ablation runs the
+same read-shared pipeline under
+
+* the 2D detector (Θ(1) per location, O(1) clock work per event),
+* sparse dict clocks (entries only for related threads),
+* dense numpy clocks (full-width copies on every fork/join),
+
+reporting total shadow entries, metadata and the dense implementation's
+copied-element counter, whose superlinear growth in the task count is
+the concrete form of the paper's scalability warning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import DETECTOR_FACTORIES
+from repro.bench.tables import print_table
+from repro.forkjoin.pipeline import run_pipeline
+from repro.workloads.pipelines import read_shared_pipeline
+
+NAMES = ("lattice2d", "vectorclock", "vectorclock-dense")
+SWEEP = [8, 32, 128]
+
+
+def run_one(name, n_items):
+    items, stages = read_shared_pipeline(n_items, 4)
+    det = DETECTOR_FACTORIES[name]()
+    ex = run_pipeline(items, stages, observers=[det])
+    assert det.races == []
+    return det, ex
+
+
+def test_clock_ablation_table():
+    rows = []
+    copied = []
+    tasks = []
+    for n_items in SWEEP:
+        row = {}
+        for name in NAMES:
+            det, ex = run_one(name, n_items)
+            row.setdefault("tasks", ex.task_count)
+            row[f"{name} shadow"] = det.shadow_total_entries()
+            row[f"{name} metadata"] = det.metadata_entries()
+            if name == "vectorclock-dense":
+                row["dense copies"] = det.elements_copied
+                copied.append(det.elements_copied)
+                tasks.append(ex.task_count)
+        rows.append(row)
+    print_table(rows, title="A3: clock representation ablation "
+                            "(read-shared pipeline)")
+    # Dense copy work grows superlinearly in the task count: 4x the
+    # tasks must cost clearly more than 4x the copies.
+    t_ratio = tasks[-1] / tasks[0]
+    c_ratio = copied[-1] / copied[0]
+    assert c_ratio > 2 * t_ratio, (t_ratio, c_ratio)
+    # And the 2D detector's totals stay the smallest at the top scale.
+    last = rows[-1]
+    assert last["lattice2d shadow"] == min(
+        last[f"{n} shadow"] for n in NAMES
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_bench_clock_variants(benchmark, name):
+    det, _ = benchmark(run_one, name, 32)
+    assert det.shadow_total_entries() > 0

@@ -1,0 +1,82 @@
+"""Experiment A1 -- ablation: union-find path compression & linking.
+
+Theorem 3's near-linear bound rests on the union-find implementation
+(Tarjan [19, 20]).  This ablation disables path compression and/or
+union-by-rank on the adversarial workload for naive linking: a
+single-stage read-shared pipeline.  Each item's task joins the previous
+item's (a *fold chain* -- with naive linking the tree degenerates to a
+path of depth n), and every task's race check queries the very first
+writer of the shared config cell, forcing a find on the deepest
+element.  Either path compression or by-rank linking restores the
+amortised bound; with both off, hops per find blow up linearly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.tables import print_table
+from repro.detectors.lattice2d import Lattice2DDetector
+from repro.forkjoin.pipeline import run_pipeline
+from repro.workloads.pipelines import read_shared_pipeline
+
+VARIANTS = {
+    "compress+rank": dict(path_compression=True, link_by_rank=True),
+    "compress only": dict(path_compression=True, link_by_rank=False),
+    "rank only": dict(path_compression=False, link_by_rank=True),
+    "neither": dict(path_compression=False, link_by_rank=False),
+}
+
+ITEMS, STAGES = 300, 1
+
+
+def run_variant(opts):
+    items, stages = read_shared_pipeline(ITEMS, STAGES)
+    det = Lattice2DDetector(**opts)
+    ex = run_pipeline(items, stages, observers=[det])
+    return det, ex
+
+
+def test_ablation_table():
+    rows = []
+    hops = {}
+    for name, opts in VARIANTS.items():
+        run_variant(opts)  # warm-up
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            det, ex = run_variant(opts)
+            best = min(best, time.perf_counter() - start)
+        uf = det.engine.unionfind
+        hops[name] = uf.hop_count / max(1, uf.find_count)
+        rows.append(
+            {
+                "variant": name,
+                "ms": round(1e3 * best, 2),
+                "finds": uf.find_count,
+                "hops/find": round(hops[name], 2),
+                "races": len(det.races),
+            }
+        )
+    print_table(
+        rows,
+        title="A1: union-find ablation (fold-chain pipeline, "
+        f"{ITEMS} items)",
+    )
+    # All variants stay correct...
+    assert all(r["races"] == 0 for r in rows)
+    # ...but with both optimisations off, the fold chain degenerates:
+    # an order of magnitude more pointer chasing per find.
+    assert hops["neither"] > 10 * hops["compress+rank"]
+    # Either optimisation alone is enough to stay amortised-flat.
+    assert hops["compress only"] < 5
+    assert hops["rank only"] < 5
+
+
+@pytest.mark.parametrize("name", sorted(VARIANTS))
+def test_bench_variant(benchmark, name):
+    opts = VARIANTS[name]
+    det, _ = benchmark(run_variant, opts)
+    assert det.races == []

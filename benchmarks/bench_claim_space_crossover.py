@@ -1,0 +1,98 @@
+"""Experiment C1 -- the Θ(n) vs Θ(1) space claim, shared-table regime.
+
+Section 1: "state of the art race detection techniques that handle
+arbitrary parallelism suffer from scalability issues: their memory
+usage is Θ(n) per monitored memory location ... As n gets larger the
+analyzer can quickly run out of memory."
+
+The regime that statement describes is a *fixed* set of shared
+locations touched by a *growing* number of tasks.  Here a constant
+table of L locations is initialised once and then only read by every
+pipeline cell (race-free), while the task count n sweeps 9 -> 1025:
+
+* the 2D detector's shadow stays at 2L entries total, forever;
+* the vector-clock detector's shadow grows like L x n;
+* FastTrack's read-shared vectors grow the same way.
+
+The printed table reports total shadow entries over the table and the
+mean entries per location; shape assertions pin the flat-vs-linear gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import DETECTOR_FACTORIES
+from repro.bench.tables import print_table
+from repro.forkjoin.pipeline import run_pipeline
+from repro.forkjoin.program import read as _read, write as _write
+
+TABLE_SIZE = 16
+SWEEP = [(4, 2), (16, 4), (64, 4), (128, 8)]  # (items, stages)
+NAMES = ("lattice2d", "fasttrack", "vectorclock")
+
+
+def shared_table_workload(n_items: int, n_stages: int):
+    """Every cell reads ``k`` cells of a fixed shared table.
+
+    Cell (0, 0) initialises the whole table first; it is ordered before
+    everything else in the pipeline grid, so the workload is race-free.
+    """
+
+    def make_stage(i: int):
+        def stage(item, j):
+            if i == 0 and j == 0:
+                for k in range(TABLE_SIZE):
+                    yield _write(("table", k))
+            for k in range(3):
+                yield _read(("table", (i * 7 + j * 3 + k) % TABLE_SIZE))
+
+        stage.__name__ = f"table_stage{i}"
+        return stage
+
+    return list(range(n_items)), [make_stage(i) for i in range(n_stages)]
+
+
+def run_with(name, n_items, n_stages):
+    items, stages = shared_table_workload(n_items, n_stages)
+    det = DETECTOR_FACTORIES[name]()
+    ex = run_pipeline(items, stages, observers=[det])
+    assert det.races == [], f"{name} false positive"
+    return det, ex
+
+
+def test_shared_table_space_table():
+    rows = []
+    totals = {name: [] for name in NAMES}
+    for n_items, n_stages in SWEEP:
+        row = {}
+        for name in NAMES:
+            det, ex = run_with(name, n_items, n_stages)
+            row.setdefault("tasks", ex.task_count)
+            total = det.shadow_total_entries()
+            row[f"{name} shadow"] = total
+            row[f"{name}/loc"] = round(total / TABLE_SIZE, 1)
+            totals[name].append(total)
+        rows.append(row)
+    print_table(
+        rows,
+        title=f"C1: shadow entries over a fixed {TABLE_SIZE}-location "
+        "shared table (race-free readers)",
+    )
+    # The 2D detector's table shadow never exceeds 2 entries/location.
+    assert all(t <= 2 * TABLE_SIZE for t in totals["lattice2d"])
+    # The vector-clock shadow scales with the task count: two orders of
+    # magnitude more tasks => >= 50x more shadow.
+    assert totals["vectorclock"][-1] >= 50 * totals["vectorclock"][0]
+    # FastTrack's read-shared inflation puts it in the same regime.
+    assert totals["fasttrack"][-1] >= 25 * totals["fasttrack"][0]
+    # End-state gap: the paper's motivation in one number.
+    gap = totals["vectorclock"][-1] / totals["lattice2d"][-1]
+    print(f"\nend-state shadow gap (vectorclock / lattice2d): {gap:.0f}x")
+    assert gap > 50
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_bench_shared_table_run(benchmark, name):
+    det, _ = benchmark(run_with, name, 32, 4)
+    assert det.shadow_total_entries() > 0

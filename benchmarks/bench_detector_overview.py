@@ -1,0 +1,99 @@
+"""Overview table: every detector on every applicable workload.
+
+Not tied to a single figure -- this is the summary comparison a systems
+paper would print as "Table 1": per (workload, detector), races found,
+peak shadow per location, metadata entries and per-op time, with the
+interpreter-only baseline for overhead.  Shape assertions encode the
+qualitative matrix the paper implies:
+
+* the Θ(1) detectors (lattice2d, spbags, espbags) never exceed 2 shadow
+  entries per location on their applicable workloads;
+* vectorclock's shadow dominates everyone's on the read-shared
+  workload;
+* all detectors agree on the race verdict per workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import DETECTOR_FACTORIES, measure
+from repro.bench.tables import print_table
+from repro.forkjoin.pipeline import PipelineSpec, pipeline_body
+from repro.workloads.pipelines import clean_pipeline, read_shared_pipeline
+from repro.workloads.spworkloads import divide_and_conquer
+from repro.workloads.synthetic import SyntheticConfig, random_program
+
+# workload name -> (body factory, applicable detectors, races expected)
+def _pipeline(builder, n, m):
+    items, stages = builder(n, m)
+    return pipeline_body(PipelineSpec(tuple(items), tuple(stages)))
+
+
+GENERIC = ["lattice2d", "vectorclock", "fasttrack", "naive"]
+SP_ONLY = ["spbags", "offsetspan"]
+
+WORKLOADS = {
+    "pipeline-32x4": (
+        lambda: _pipeline(clean_pipeline, 32, 4), GENERIC, False,
+    ),
+    "read-shared-64x4": (
+        lambda: _pipeline(read_shared_pipeline, 64, 4), GENERIC, False,
+    ),
+    "dnc-depth5": (
+        lambda: divide_and_conquer(5), GENERIC + SP_ONLY, False,
+    ),
+    "synthetic-racy": (
+        lambda: random_program(
+            SyntheticConfig(seed=5, max_tasks=24, ops_per_task=6,
+                            n_locations=3)
+        ),
+        GENERIC,
+        True,
+    ),
+}
+
+
+def test_overview_table():
+    rows = []
+    for wname, (factory, detectors, racy) in WORKLOADS.items():
+        base = measure(factory())
+        verdicts = set()
+        for dname in detectors:
+            det = DETECTOR_FACTORIES[dname]()
+            stats = measure(
+                factory(), detector=det, base_seconds=base.wall_seconds
+            )
+            verdicts.add(stats.races > 0)
+            rows.append(
+                {
+                    "workload": wname,
+                    "detector": dname,
+                    "races": stats.races,
+                    "shadow/loc": stats.shadow_peak_per_loc,
+                    "metadata": stats.metadata_entries,
+                    "us/op": round(1e6 * stats.seconds_per_op, 2),
+                    "overhead": round(stats.overhead or 0, 2),
+                }
+            )
+            if dname in ("lattice2d", "spbags", "espbags"):
+                assert stats.shadow_peak_per_loc <= 2, (wname, dname)
+        assert verdicts == {racy}, f"verdict split on {wname}"
+    print_table(rows, title="Detector overview (Table-1 style)")
+
+    # vectorclock pays the most shadow on the read-shared workload.
+    rs = [r for r in rows if r["workload"] == "read-shared-64x4"]
+    vc = next(r for r in rs if r["detector"] == "vectorclock")
+    assert vc["shadow/loc"] == max(r["shadow/loc"] for r in rs)
+
+
+@pytest.mark.parametrize("dname", GENERIC)
+def test_bench_overview_pipeline(benchmark, dname):
+    factory = WORKLOADS["pipeline-32x4"][0]
+
+    def once():
+        det = DETECTOR_FACTORIES[dname]()
+        return measure(factory(), detector=det)
+
+    stats = benchmark(once)
+    assert stats.races == 0

@@ -1,0 +1,117 @@
+"""Experiment F1 -- Figure 1: spawn-sync and async-finish, one SP graph.
+
+The paper's Figure 1 shows a spawn-sync program and an async-finish
+program with *exactly the same* series-parallel task graph.  We build
+both with the respective sugars, reconstruct the operation-level task
+graphs, and check they are order-isomorphic (same reachability relation
+under the label correspondence A/B/C/D) and series-parallel.
+
+The timed portion measures the interpreter + 2D detector on each
+dialect.
+"""
+
+from __future__ import annotations
+
+from repro.detectors import Lattice2DDetector
+from repro.forkjoin import build_task_graph, read, run, write
+from repro.forkjoin.async_finish import x10
+from repro.forkjoin.spawn_sync import cilk
+from repro.lattice.series_parallel import is_series_parallel
+
+LABELS = ["A", "B", "C", "D"]
+
+
+def spawn_sync_program():
+    @cilk
+    def a_task(ctx):
+        yield read("r", label="A")
+
+    @cilk
+    def c_task(ctx):
+        yield read("s", label="C")
+
+    @cilk
+    def main(ctx):
+        yield from ctx.spawn(a_task)
+        yield read("r", label="B")
+        yield from ctx.sync()
+        yield from ctx.spawn(c_task)
+        yield write("w", label="D")
+        yield from ctx.sync()
+
+    return main
+
+
+def async_finish_program():
+    def a_task(ctx):
+        yield read("r", label="A")
+
+    def c_task(ctx):
+        yield read("s", label="C")
+
+    @x10
+    def main(ctx):
+        def first():
+            yield from ctx.async_(a_task)
+            yield read("r", label="B")
+
+        def second():
+            yield from ctx.async_(c_task)
+            yield write("w", label="D")
+
+        yield from ctx.finish(first)
+        yield from ctx.finish(second)
+
+    return main
+
+
+def _label_order(body):
+    ex = run(body, record_events=True)
+    tg = build_task_graph(ex.events)
+    by_label = {op.label: i for i, op in tg.ops.items() if op.label}
+    rel = {
+        (x, y)
+        for x in LABELS
+        for y in LABELS
+        if x != y and tg.poset.leq(by_label[x], by_label[y])
+    }
+    return tg, rel
+
+
+def test_same_task_graph_shape():
+    tg1, rel1 = _label_order(spawn_sync_program())
+    tg2, rel2 = _label_order(async_finish_program())
+    # Identical ordering among the four operations...
+    assert rel1 == rel2 == {
+        ("A", "C"), ("A", "D"), ("B", "C"), ("B", "D"),
+    }
+    # ...and both graphs are series-parallel, as Figure 1 depicts.
+    assert is_series_parallel(tg1.graph.transitive_reduction())
+    assert is_series_parallel(tg2.graph.transitive_reduction())
+
+
+def test_no_races_in_either_dialect():
+    for body in (spawn_sync_program(), async_finish_program()):
+        det = Lattice2DDetector()
+        run(body, observers=[det])
+        assert det.races == []
+
+
+def test_bench_spawn_sync_monitored(benchmark):
+    def once():
+        det = Lattice2DDetector()
+        run(spawn_sync_program(), observers=[det])
+        return det
+
+    det = benchmark(once)
+    assert det.races == []
+
+
+def test_bench_async_finish_monitored(benchmark):
+    def once():
+        det = Lattice2DDetector()
+        run(async_finish_program(), observers=[det])
+        return det
+
+    det = benchmark(once)
+    assert det.races == []

@@ -1,0 +1,73 @@
+"""Experiment F2 -- Figure 2: the 2D (non-SP) program with the A-D race.
+
+Every applicable detector must flag exactly the A-D race (one report,
+on the write labelled D) and nothing else; the task graph must be a 2D
+lattice that is not series-parallel.  The timed portion measures the
+full monitored execution per detector.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import DETECTOR_FACTORIES
+from repro.detectors import exact_races
+from repro.forkjoin import build_task_graph, fork, join, read, run, step, write
+from repro.lattice.realizer import is_two_dimensional
+from repro.lattice.series_parallel import is_series_parallel
+
+
+def figure2_body():
+    def task_a(self):
+        yield read("l", label="A")
+
+    def task_c(self, a):
+        yield join(a)
+        yield step(label="C")
+
+    def main(self):
+        a = yield fork(task_a)
+        yield read("l", label="B")
+        c = yield fork(task_c, a)
+        yield write("l", label="D")
+        yield join(c)
+
+    return main
+
+
+GENERIC = ("lattice2d", "vectorclock", "fasttrack", "naive")
+
+
+def test_oracle_finds_exactly_one_race():
+    ex = run(figure2_body(), record_events=True)
+    pairs = exact_races(ex.events)
+    assert len(pairs) == 1
+    assert pairs[0].loc == "l"
+
+
+@pytest.mark.parametrize("name", GENERIC)
+def test_each_detector_flags_d(name):
+    det = DETECTOR_FACTORIES[name]()
+    run(figure2_body(), observers=[det])
+    assert len(det.races) == 1, name
+    assert det.races[0].label == "D"
+
+
+def test_graph_is_2d_but_not_sp():
+    ex = run(figure2_body(), record_events=True)
+    tg = build_task_graph(ex.events)
+    assert tg.poset.is_lattice() and is_two_dimensional(tg.poset)
+    assert not is_series_parallel(tg.graph.transitive_reduction())
+
+
+@pytest.mark.parametrize("name", GENERIC)
+def test_bench_detectors_on_figure2(benchmark, name):
+    body = figure2_body()
+
+    def once():
+        det = DETECTOR_FACTORIES[name]()
+        run(body, observers=[det])
+        return det
+
+    det = benchmark(once)
+    assert len(det.races) == 1

@@ -1,0 +1,54 @@
+"""Experiment F3 -- Figure 3: the planar monotone diagram.
+
+Rebuild the nine-vertex lattice's diagram from its order alone
+(realizer search -> dominance drawing) and machine-check the figure's
+properties: monotone (every arc advances downward) and planar (arcs
+meet only at endpoints).  Timed portions: realizer computation and
+diagram construction, plus the same on larger grids to show they stay
+cheap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lattice.dominance import Diagram
+from repro.lattice.generators import figure3_diagram, figure3_lattice, grid_diagram
+from repro.lattice.poset import Poset
+from repro.lattice.realizer import is_realizer_of, realizer_of
+
+
+def test_figure3_diagram_is_planar_and_monotone():
+    d = figure3_diagram()
+    d.check_planar()  # raises on a crossing
+    for s, t in d.graph.arcs():
+        assert d.screen(s)[1] < d.screen(t)[1]  # strictly downward
+
+
+def test_figure3_realizer_realizes_the_order():
+    poset = Poset(figure3_lattice())
+    l1, l2 = realizer_of(poset)
+    assert is_realizer_of(poset, l1, l2)
+
+
+def test_grid_diagrams_planar():
+    for side in (3, 6, 10):
+        grid_diagram(side, side).check_planar()
+
+
+def test_bench_realizer_of_figure3(benchmark):
+    poset = Poset(figure3_lattice())
+    l1, l2 = benchmark(realizer_of, poset)
+    assert is_realizer_of(poset, l1, l2)
+
+
+def test_bench_diagram_from_poset_figure3(benchmark):
+    poset = Poset(figure3_lattice())
+    d = benchmark(Diagram.from_poset, poset)
+    assert d.is_planar()
+
+
+@pytest.mark.parametrize("side", [4, 8, 16])
+def test_bench_grid_diagram_construction(benchmark, side):
+    d = benchmark(grid_diagram, side, side)
+    assert d.graph.vertex_count == side * side

@@ -1,0 +1,50 @@
+"""Experiment F4 -- Figure 4: the non-separating traversal.
+
+Regenerates Figure 4's caption verbatim from the diagram, checks the
+last-arc forest (solid arcs in the figure), and times traversal
+construction on grids up to 10^4 vertices (linear by Euler's formula --
+Theorem 3's traversal term).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.traversal import check_wellformed
+from repro.events import Arc, format_traversal
+from repro.lattice.generators import figure3_diagram, grid_diagram
+from repro.lattice.nonseparating import nonseparating_traversal
+
+FIGURE4 = (
+    "(1, 1)(1, 2)(2, 2)(2, 3)(3, 3)(3, 6)(2, 5)(1, 4)(4, 4)(4, 5)(5, 5)"
+    "(5, 6)(6, 6)(6, 9)(5, 8)(4, 7)(7, 7)(7, 8)(8, 8)(8, 9)(9, 9)"
+)
+
+
+def test_caption_verbatim():
+    assert format_traversal(nonseparating_traversal(figure3_diagram())) == FIGURE4
+
+
+def test_last_arc_forest_at_cursor_55():
+    """At the cursor (5,5), the last-arc forest is the trees {(3,6)},
+    {(2,5)} and {(1,4)} -- the black solid arcs of Figure 4."""
+    items = nonseparating_traversal(figure3_diagram())
+    cursor = items.index(next(x for x in items if repr(x) == "(5)"))
+    prefix_last = {
+        (a.src, a.dst)
+        for a in items[:cursor]
+        if isinstance(a, Arc) and a.last
+    }
+    assert prefix_last == {(3, 6), (2, 5), (1, 4)}
+
+
+@pytest.mark.parametrize("side", [10, 32, 100])
+def test_bench_traversal_scales_linearly(benchmark, side):
+    diagram = grid_diagram(side, side)
+    items = benchmark(nonseparating_traversal, diagram)
+    # |T| = |V| + |E|
+    assert len(items) == diagram.graph.vertex_count + diagram.graph.arc_count
+
+
+def test_traversal_wellformed_on_large_grid():
+    check_wellformed(nonseparating_traversal(grid_diagram(40, 40)))

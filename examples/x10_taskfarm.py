@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Async-finish task farm with escaped asyncs, under ESP-bags and 2D.
+
+An X10/Habanero-style task farm: a coordinator asyncs one worker per
+request inside a ``finish``; workers may themselves async follow-up
+tasks ("escaped asyncs") that the *outer* finish is responsible for --
+the terminally-strict pattern that distinguishes async-finish from
+Cilk's spawn-sync.
+
+The buggy variant aggregates into a shared counter from inside the
+block, concurrent with the workers' updates.
+
+Run:  python examples/x10_taskfarm.py
+"""
+
+from repro import read, run, write, x10
+from repro.detectors import ESPBagsDetector, Lattice2DDetector
+
+
+def make_farm(n_requests: int, buggy: bool):
+    def follow_up(ctx, req):
+        # An escaped async: created by the worker, joined by whatever
+        # finish encloses the worker's creation.
+        yield write(("audit-log", req))
+
+    def worker(ctx, req):
+        yield read(("request", req))
+        yield from ctx.async_(follow_up, req)
+        yield write(("response", req), label=f"respond@req{req}")
+
+    @x10
+    def coordinator(ctx):
+        for req in range(n_requests):
+            yield write(("request", req))
+
+        def block():
+            for req in range(n_requests):
+                yield from ctx.async_(worker, req)
+            if buggy:
+                # BUG: reading a response while its worker may still be
+                # writing it -- concurrent inside the finish block.
+                yield read(("response", 0), label="premature-read")
+
+        yield from ctx.finish(block)
+        # After the finish everything (including escaped follow-ups) is
+        # joined: aggregating here is safe.
+        for req in range(n_requests):
+            yield read(("response", req))
+            yield read(("audit-log", req))
+        yield write(("stats",))
+
+    return coordinator
+
+
+def monitor(n: int, buggy: bool):
+    detectors = [ESPBagsDetector(), Lattice2DDetector()]
+    ex = run(make_farm(n, buggy), observers=detectors)
+    return ex, detectors
+
+
+if __name__ == "__main__":
+    print("== clean task farm (8 requests) ==")
+    ex, (esp, l2) = monitor(8, buggy=False)
+    print(f"tasks: {ex.task_count} (coordinator + workers + follow-ups)")
+    print(f"  espbags   races={len(esp.races)}  "
+          f"shadow/loc={esp.shadow_peak_per_location()}")
+    print(f"  lattice2d races={len(l2.races)}  "
+          f"shadow/loc={l2.shadow_peak_per_location()}")
+    print("  (escaped follow-up asyncs are joined by the outer finish, "
+          "so the audit-log reads are safe)")
+
+    print("\n== buggy task farm (premature stats read) ==")
+    ex, (esp, l2) = monitor(4, buggy=True)
+    print(f"  espbags   races={len(esp.races)}")
+    print(f"  lattice2d races={len(l2.races)}")
+    if l2.races:
+        print(f"\nfirst 2D report:\n  {l2.races[0]}")

@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) fail.  ``pip install
+-e . --no-use-pep517 --no-build-isolation`` uses this shim instead; all
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

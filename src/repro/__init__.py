@@ -1,0 +1,90 @@
+"""repro -- Race Detection in Two Dimensions (SPAA 2015), in Python.
+
+A from-scratch reproduction of Dimitrov, Vechev & Sarkar's online race
+detector for programs whose task graphs are two-dimensional lattices:
+Theta(1) space per monitored location and per thread, near-constant
+amortised time per operation -- strictly more general than the
+series-parallel detectors (SP-bags and friends) while keeping their
+space bounds.
+
+Quickstart::
+
+    from repro import RaceDetector2D, run, fork, join, read, write
+
+    def child(self):
+        yield write("x")
+
+    def main(self):
+        c = yield fork(child)
+        yield write("x")        # unordered with the child's write
+        yield join(c)
+
+    detector = RaceDetector2D()
+    run(main, observers=[detector])
+    assert detector.races      # the race is flagged online
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` -- suprema algorithms + the detector (the paper);
+* :mod:`repro.lattice` -- posets, realizers, diagrams, traversals;
+* :mod:`repro.forkjoin` -- the structured language + interpreter, plus
+  spawn-sync / async-finish / pipeline sugars;
+* :mod:`repro.detectors` -- baselines (vector clocks, FastTrack,
+  SP-bags, ESP-bags, naive) and the exact oracle;
+* :mod:`repro.workloads`, :mod:`repro.bench` -- benchmark machinery;
+* :mod:`repro.viz`, :mod:`repro.cli` -- diagrams and the command line.
+"""
+
+from repro.core.detector import RaceDetector2D, detect_races
+from repro.core.reports import AccessKind, RaceReport
+from repro.core.suprema import SupremaWalker
+from repro.core.delayed import DelayedSupremaWalker
+from repro.errors import ReproError, StructureError
+from repro.forkjoin import (
+    Execution,
+    TaskHandle,
+    build_task_graph,
+    fork,
+    join,
+    join_left,
+    read,
+    replay_events,
+    run,
+    step,
+    synthesize_events,
+    write,
+)
+from repro.forkjoin.async_finish import x10
+from repro.forkjoin.futures import futures
+from repro.forkjoin.pipeline import run_pipeline
+from repro.forkjoin.spawn_sync import cilk
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "RaceDetector2D",
+    "detect_races",
+    "AccessKind",
+    "RaceReport",
+    "SupremaWalker",
+    "DelayedSupremaWalker",
+    "ReproError",
+    "StructureError",
+    "Execution",
+    "TaskHandle",
+    "build_task_graph",
+    "fork",
+    "join",
+    "join_left",
+    "read",
+    "run",
+    "step",
+    "write",
+    "cilk",
+    "x10",
+    "futures",
+    "run_pipeline",
+    "replay_events",
+    "synthesize_events",
+]

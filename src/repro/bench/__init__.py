@@ -1,0 +1,14 @@
+"""Benchmark support: per-detector statistics, harness, table printing."""
+
+from repro.bench.metrics import DetectorStats
+from repro.bench.harness import measure, compare_detectors, DETECTOR_FACTORIES
+from repro.bench.tables import format_table, print_table
+
+__all__ = [
+    "DetectorStats",
+    "measure",
+    "compare_detectors",
+    "DETECTOR_FACTORIES",
+    "format_table",
+    "print_table",
+]

@@ -1,0 +1,111 @@
+"""Run workloads under detectors and collect comparable statistics.
+
+The harness owns the one honest way to compare detectors: run the *same*
+program body under each detector (and once with no observer at all for
+the interpreter baseline), then report space and time side by side.
+Program bodies must be replayable -- running them twice must produce the
+same event stream -- which all :mod:`repro.workloads` builders guarantee
+by owning their RNG state.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.metrics import DetectorStats
+from repro.detectors.base import Detector
+from repro.detectors.espbags import ESPBagsDetector
+from repro.detectors.fasttrack import FastTrackDetector
+from repro.detectors.lattice2d import Lattice2DDetector
+from repro.detectors.naive import NaiveDetector
+from repro.detectors.offsetspan import OffsetSpanDetector
+from repro.detectors.spbags import SPBagsDetector
+from repro.detectors.vector_clock import VectorClockDetector
+from repro.detectors.vector_clock_dense import DenseVectorClockDetector
+from repro.forkjoin.interpreter import run
+
+__all__ = ["DETECTOR_FACTORIES", "measure", "compare_detectors"]
+
+#: name -> zero-argument factory, for CLI and benchmark parametrisation
+DETECTOR_FACTORIES: Dict[str, Callable[[], Detector]] = {
+    "lattice2d": Lattice2DDetector,
+    "vectorclock": VectorClockDetector,
+    "vectorclock-dense": DenseVectorClockDetector,
+    "fasttrack": FastTrackDetector,
+    "spbags": SPBagsDetector,
+    "espbags": ESPBagsDetector,
+    "offsetspan": OffsetSpanDetector,
+    "naive": NaiveDetector,
+}
+
+
+def measure(
+    body: Callable,
+    *args: Any,
+    detector: Optional[Detector] = None,
+    base_seconds: Optional[float] = None,
+) -> DetectorStats:
+    """Run ``body`` once under ``detector`` and collect statistics.
+
+    Pass ``detector=None`` for the interpreter-only baseline.
+    """
+    observers = [detector] if detector is not None else []
+    start = time.perf_counter()
+    ex = run(body, *args, observers=observers)
+    elapsed = time.perf_counter() - start
+    if detector is None:
+        return DetectorStats(
+            detector="none",
+            tasks=ex.task_count,
+            ops=ex.op_count,
+            races=0,
+            shadow_peak_per_loc=0,
+            shadow_total=0,
+            metadata_entries=0,
+            locations=0,
+            wall_seconds=elapsed,
+            base_seconds=elapsed,
+        )
+    return DetectorStats(
+        detector=detector.name,
+        tasks=ex.task_count,
+        ops=ex.op_count,
+        races=len(detector.races),
+        shadow_peak_per_loc=detector.shadow_peak_per_location(),
+        shadow_total=detector.shadow_total_entries(),
+        metadata_entries=detector.metadata_entries(),
+        locations=len(getattr(detector, "shadow", ())),
+        wall_seconds=elapsed,
+        base_seconds=base_seconds,
+    )
+
+
+def compare_detectors(
+    body: Callable,
+    *args: Any,
+    detectors: Optional[Sequence[str]] = None,
+    include_baseline: bool = True,
+) -> List[DetectorStats]:
+    """Run the same program under several detectors.
+
+    ``detectors`` is a list of names from :data:`DETECTOR_FACTORIES`
+    (defaults to the structure-generic trio lattice2d / vectorclock /
+    fasttrack).  When ``include_baseline`` is set the interpreter-only
+    run is measured first and used to compute overheads.
+    """
+    names = list(
+        detectors
+        if detectors is not None
+        else ("lattice2d", "vectorclock", "fasttrack")
+    )
+    base: Optional[float] = None
+    out: List[DetectorStats] = []
+    if include_baseline:
+        stats = measure(body, *args, detector=None)
+        base = stats.wall_seconds
+        out.append(stats)
+    for name in names:
+        det = DETECTOR_FACTORIES[name]()
+        out.append(measure(body, *args, detector=det, base_seconds=base))
+    return out

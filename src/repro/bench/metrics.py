@@ -1,0 +1,58 @@
+"""Measured statistics of one detector run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["DetectorStats"]
+
+
+@dataclass
+class DetectorStats:
+    """What one (workload, detector) run measured.
+
+    Space figures are in conceptual word entries (see
+    :mod:`repro.core.shadow` for why not bytes).
+    """
+
+    detector: str
+    tasks: int
+    ops: int
+    races: int
+    shadow_peak_per_loc: int
+    shadow_total: int
+    metadata_entries: int
+    locations: int
+    wall_seconds: float
+    #: interpreter-only baseline for the same workload, when measured
+    base_seconds: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def seconds_per_op(self) -> float:
+        return self.wall_seconds / self.ops if self.ops else 0.0
+
+    @property
+    def overhead(self) -> Optional[float]:
+        """Slowdown versus the no-detector run (None when unmeasured)."""
+        if self.base_seconds is None or self.base_seconds == 0:
+            return None
+        return self.wall_seconds / self.base_seconds
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for table rendering."""
+        out = {
+            "detector": self.detector,
+            "tasks": self.tasks,
+            "ops": self.ops,
+            "races": self.races,
+            "shadow/loc(peak)": self.shadow_peak_per_loc,
+            "shadow(total)": self.shadow_total,
+            "metadata": self.metadata_entries,
+            "us/op": round(1e6 * self.seconds_per_op, 3),
+        }
+        if self.overhead is not None:
+            out["overhead"] = round(self.overhead, 2)
+        out.update(self.extra)
+        return out

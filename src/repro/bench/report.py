@@ -1,0 +1,162 @@
+"""One-shot experiment report: regenerate the headline tables.
+
+``python -m repro.bench.report [OUT.md]`` re-runs the central space and
+time experiments (the ones EXPERIMENTS.md quotes) on the current build
+and renders them as markdown.  It is intentionally a subset of the full
+benchmark suite -- the quick, deterministic tables a reader wants when
+checking the claims on their own machine; run ``pytest benchmarks/ -s``
+for everything.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import DETECTOR_FACTORIES
+from repro.detectors import Lattice2DDetector
+from repro.forkjoin.pipeline import run_pipeline
+from repro.lattice.generators import grid_diagram
+from repro.lattice.nonseparating import nonseparating_traversal
+from repro.workloads.pipelines import clean_pipeline, read_shared_pipeline
+
+__all__ = ["build_report", "main"]
+
+
+def _md_table(rows: Sequence[Dict[str, object]]) -> str:
+    cols: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in cols:
+                cols.append(key)
+    lines = [
+        "| " + " | ".join(str(c) for c in cols) + " |",
+        "|" + "|".join("---" for _ in cols) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(str(row.get(c, "")) for c in cols) + " |"
+        )
+    return "\n".join(lines)
+
+
+def _theorem5_space() -> List[Dict[str, object]]:
+    rows = []
+    for n_items, n_stages in [(4, 2), (16, 4), (64, 4), (128, 8)]:
+        items, stages = read_shared_pipeline(n_items, n_stages)
+        row: Dict[str, object] = {}
+        for name in ("lattice2d", "vectorclock", "fasttrack"):
+            det = DETECTOR_FACTORIES[name]()
+            ex = run_pipeline(items, stages, observers=[det])
+            assert det.races == []
+            row.setdefault("tasks", ex.task_count)
+            row[f"{name} shadow/loc"] = det.shadow_peak_per_location()
+        rows.append(row)
+    return rows
+
+
+def _theorem3_time() -> List[Dict[str, object]]:
+    import random
+
+    from repro.core.suprema import SupremaWalker
+
+    rows = []
+    for side in (10, 32, 100):
+        items = nonseparating_traversal(grid_diagram(side, side))
+        rng = random.Random(7)
+
+        def once() -> int:
+            walker = SupremaWalker(check_preconditions=False)
+            visited: List[object] = []
+            ops = 0
+            for item in items:
+                walker.feed(item)
+                from repro.events import Loop
+
+                if isinstance(item, Loop):
+                    if visited:
+                        for _ in range(2):
+                            walker.sup(rng.choice(visited), item.vertex)
+                            ops += 1
+                    visited.append(item.vertex)
+            return ops + len(items)
+
+        once()  # warm
+        best = float("inf")
+        ops = 0
+        for _ in range(3):
+            start = time.perf_counter()
+            ops = once()
+            best = min(best, time.perf_counter() - start)
+        rows.append(
+            {
+                "n (vertices)": side * side,
+                "m+n (ops)": ops,
+                "total ms": round(1e3 * best, 2),
+                "us/op": round(1e6 * best / ops, 3),
+            }
+        )
+    return rows
+
+
+def _detector_throughput() -> List[Dict[str, object]]:
+    rows = []
+    items, stages = clean_pipeline(64, 4)
+    for name in ("lattice2d", "vectorclock", "fasttrack", "naive"):
+        det = DETECTOR_FACTORIES[name]()
+        start = time.perf_counter()
+        ex = run_pipeline(items, stages, observers=[det])
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "detector": name,
+                "races": len(det.races),
+                "shadow/loc": det.shadow_peak_per_location(),
+                "us/op": round(1e6 * elapsed / ex.op_count, 2),
+            }
+        )
+    return rows
+
+
+def build_report() -> str:
+    """Render the quick-check report as a markdown string."""
+    parts = [
+        "# Regenerated headline tables",
+        "",
+        "Produced by `python -m repro.bench.report` on this machine; "
+        "compare against EXPERIMENTS.md (shapes should match, absolute "
+        "times are machine-dependent).",
+        "",
+        "## Theorem 5 — peak shadow entries per location "
+        "(race-free read-shared pipeline)",
+        "",
+        _md_table(_theorem5_space()),
+        "",
+        "## Theorem 3 — suprema walk scaling (grids, 2 queries/vertex)",
+        "",
+        _md_table(_theorem3_time()),
+        "",
+        "## Detector throughput (clean 64×4 pipeline)",
+        "",
+        _md_table(_detector_throughput()),
+        "",
+    ]
+    return "\n".join(parts)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: print the report or write it to the given path."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    text = build_report()
+    if args:
+        with open(args[0], "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args[0]}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

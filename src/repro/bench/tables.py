@@ -1,0 +1,46 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark files print the same kind of rows the paper's figures and
+theorems describe (who uses how much space, who scales how); keeping the
+renderer tiny and dependency-free means the tables show up verbatim in
+``pytest -s`` output and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]], title: str = ""
+) -> str:
+    """Render dict rows as an aligned text table (insertion-ordered keys)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Dict[str, object]], title: str = "") -> None:
+    """Print :func:`format_table` output (flush for pytest -s capture)."""
+    print("\n" + format_table(rows, title), flush=True)

@@ -1,0 +1,217 @@
+"""Command-line interface: run monitored programs, compare detectors.
+
+Usage examples::
+
+    repro-race demo                       # the paper's Figure 2 program
+    repro-race run prog.py --entry main --detector lattice2d
+    repro-race run prog.py --compare      # all applicable detectors
+    repro-race run prog.py --dot out.dot  # export the task graph
+
+A program file is ordinary Python defining a task body (generator
+function) named by ``--entry`` (default ``main``); see
+:mod:`repro.forkjoin.program` for the effect vocabulary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from typing import Callable, List, Optional
+
+from repro.bench.harness import DETECTOR_FACTORIES, compare_detectors
+from repro.bench.tables import format_table
+from repro.errors import ReproError
+from repro.forkjoin.interpreter import run
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-race",
+        description=(
+            "Online race detection for structured fork-join programs "
+            "(2D-lattice task graphs), after Dimitrov, Vechev & Sarkar, "
+            "SPAA 2015."
+        ),
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro-race {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a program file under a detector")
+    p_run.add_argument("file", help="Python file defining the task body")
+    p_run.add_argument(
+        "--entry", default="main", help="body function name (default: main)"
+    )
+    p_run.add_argument(
+        "--detector",
+        default="lattice2d",
+        choices=sorted(DETECTOR_FACTORIES),
+        help="which detector to attach",
+    )
+    p_run.add_argument(
+        "--compare",
+        action="store_true",
+        help="run under lattice2d, vectorclock and fasttrack; print a table",
+    )
+    p_run.add_argument(
+        "--dot", metavar="PATH", help="write the task graph as Graphviz DOT"
+    )
+    p_run.add_argument(
+        "--max-races", type=int, default=20, help="reports to print"
+    )
+
+    p_rec = sub.add_parser(
+        "record", help="run a program file and save its event trace"
+    )
+    p_rec.add_argument("file", help="Python file defining the task body")
+    p_rec.add_argument("--entry", default="main")
+    p_rec.add_argument(
+        "-o", "--output", required=True, metavar="TRACE",
+        help="trace file to write (JSON lines)",
+    )
+
+    p_rep = sub.add_parser(
+        "replay", help="replay a recorded trace under a detector"
+    )
+    p_rep.add_argument("trace", help="trace file from `record`")
+    p_rep.add_argument(
+        "--detector",
+        default="lattice2d",
+        choices=sorted(DETECTOR_FACTORIES),
+    )
+    p_rep.add_argument("--max-races", type=int, default=20)
+
+    p_tl = sub.add_parser(
+        "timeline",
+        help="run a program and print its task-line evolution "
+        "(Figure 10-style)",
+    )
+    p_tl.add_argument("file", help="Python file defining the task body")
+    p_tl.add_argument("--entry", default="main")
+
+    sub.add_parser("demo", help="run the paper's Figure 2 example")
+    sub.add_parser("detectors", help="list available detectors")
+    return parser
+
+
+def _load_body(path: str, entry: str) -> Callable:
+    spec = importlib.util.spec_from_file_location("monitored_program", path)
+    if spec is None or spec.loader is None:
+        raise ReproError(f"cannot load {path}")
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except OSError as exc:
+        raise ReproError(f"cannot load {path}: {exc}") from exc
+    body = getattr(module, entry, None)
+    if body is None:
+        raise ReproError(f"{path} does not define {entry!r}")
+    return body
+
+
+def _figure2_body():
+    from repro.forkjoin.program import fork, join, read, step, write
+
+    def task_a(self):
+        yield read("l", label="A")
+
+    def task_c(self, a):
+        yield join(a)
+        yield step(label="C")
+
+    def main(self):
+        a = yield fork(task_a)
+        yield read("l", label="B")
+        c = yield fork(task_c, a)
+        yield write("l", label="D")
+        yield join(c)
+
+    return main
+
+
+def _run_single(body: Callable, detector_name: str, max_races: int,
+                dot_path: Optional[str]) -> int:
+    detector = DETECTOR_FACTORIES[detector_name]()
+    ex = run(body, observers=[detector], record_events=dot_path is not None)
+    print(
+        f"{detector.name}: {ex.task_count} tasks, {ex.op_count} operations, "
+        f"{len(detector.races)} race(s)"
+    )
+    for report in detector.races[:max_races]:
+        print(f"  {report}")
+    if len(detector.races) > max_races:
+        print(f"  ... and {len(detector.races) - max_races} more")
+    if dot_path is not None:
+        from repro.forkjoin.taskgraph import build_task_graph
+        from repro.viz.dot import task_graph_to_dot
+
+        assert ex.events is not None
+        with open(dot_path, "w", encoding="utf-8") as handle:
+            handle.write(task_graph_to_dot(build_task_graph(ex.events)))
+        print(f"task graph written to {dot_path}")
+    return 1 if detector.races else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "detectors":
+            for name in sorted(DETECTOR_FACTORIES):
+                print(name)
+            return 0
+        if args.command == "demo":
+            print("Figure 2 of the paper: race between A and D expected.\n")
+            return _run_single(_figure2_body(), "lattice2d", 20, None)
+        if args.command == "record":
+            from repro.trace import dump_events
+
+            body = _load_body(args.file, args.entry)
+            ex = run(body, record_events=True)
+            assert ex.events is not None
+            count = dump_events(ex.events, args.output)
+            print(
+                f"recorded {count} events ({ex.task_count} tasks) "
+                f"to {args.output}"
+            )
+            return 0
+        if args.command == "replay":
+            from repro.forkjoin.replay import replay_events
+            from repro.trace import load_events
+
+            detector = DETECTOR_FACTORIES[args.detector]()
+            events = load_events(args.trace)
+            ex2 = replay_events(events, observers=[detector])
+            print(
+                f"{detector.name}: replayed {ex2.op_count} events, "
+                f"{len(detector.races)} race(s)"
+            )
+            for report in detector.races[: args.max_races]:
+                print(f"  {report}")
+            return 1 if detector.races else 0
+        if args.command == "timeline":
+            from repro.viz.timeline import LineTracker, render_timeline
+
+            body = _load_body(args.file, args.entry)
+            tracker = LineTracker()
+            run(body, observers=[tracker])
+            print(render_timeline(tracker))
+            return 0
+        body = _load_body(args.file, args.entry)
+        if args.compare:
+            stats = compare_detectors(body)
+            print(format_table([s.row() for s in stats], title=args.file))
+            return 1 if any(s.races for s in stats) else 0
+        return _run_single(body, args.detector, args.max_races, args.dot)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

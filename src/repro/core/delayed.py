@@ -1,0 +1,44 @@
+"""Relaxed suprema along *delayed* non-separating traversals (Figure 8).
+
+A true non-separating traversal may have to visit an arc ``(s, t)`` before
+the execution could possibly know that ``t`` exists (Section 4, condition
+(4)).  Delayed traversals move such arcs to just before their target's
+loop and leave a *stop-arc* ``(s, ×)`` at the original position.
+
+The algorithm is the one from Figure 5 with a single extra rule:
+
+    on a stop-arc ``(s, ×)``, mark ``s`` as **unvisited**.
+
+From that point on the root ``s`` is observationally equivalent to the
+not-yet-determined supremum it stands for, which is exactly what the
+relaxed query semantics (6)-(7) requires (Theorem 4):
+
+* ``Sup(x, t) = t  ⟺  x ⊑ t``;
+* ``Sup(Sup(x, y), t) = t  ⟺  Sup(x, t) = t and Sup(y, t) = t``.
+
+Answers different from ``t`` need *not* be true suprema -- they are
+placeholders that compare like the supremum in all later queries, which
+is all the race detector of Figure 6 ever does with them.
+"""
+
+from __future__ import annotations
+
+from repro.core.suprema import SupremaWalker
+from repro.events import StopArc
+
+__all__ = ["DelayedSupremaWalker"]
+
+
+class DelayedSupremaWalker(SupremaWalker):
+    """:class:`SupremaWalker` extended with stop-arc handling (Figure 8).
+
+    Also tolerates *repeated* loops on the same vertex, which is how the
+    thread-compressed traversals of Section 4 (transformation (8)) appear:
+    each program step of a thread re-visits that thread's vertex.
+    """
+
+    def _on_stop_arc(self, item: StopArc) -> None:
+        # Walk lines 7-8: the vertex starts impersonating the supremum that
+        # its delayed last-arc will eventually reveal.
+        self._uf.add(item.src)
+        self._visited[item.src] = False

@@ -1,0 +1,75 @@
+"""Race reports produced by the detectors.
+
+A dynamic race detector flags the *current* operation when it conflicts
+with some earlier, unordered operation.  Detectors that summarise access
+history (this paper's suprema, SP-bags' bags, FastTrack's epochs) cannot
+always name the exact earlier access -- the stored representative may even
+be an operation on a different location (Section 2.3: ``sup K`` need not
+access the same memory as ``K``).  Reports therefore carry the
+*representative* of the conflicting history rather than a concrete prior
+access, plus whatever labels the monitored program attached.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+__all__ = ["AccessKind", "RaceReport"]
+
+
+class AccessKind(enum.Enum):
+    """Kind of a memory access."""
+
+    READ = "read"
+    WRITE = "write"
+
+    def conflicts_with(self, other: "AccessKind") -> bool:
+        """Two accesses conflict unless both are reads."""
+        return self is AccessKind.WRITE or other is AccessKind.WRITE
+
+
+@dataclass(frozen=True, slots=True)
+class RaceReport:
+    """One detected race.
+
+    Attributes
+    ----------
+    loc:
+        The memory location the race is on.
+    task:
+        The task performing the current (flagged) access.
+    kind:
+        Kind of the current access.
+    prior_kind:
+        Kind of the conflicting history (``READ`` when the current write
+        races with earlier reads, ``WRITE`` otherwise).
+    prior_repr:
+        The representative of the conflicting history -- for the 2D
+        detector the stored supremum thread; for vector clocks the thread
+        owning the unordered clock entry.  ``None`` when the detector
+        cannot name one.
+    op_index:
+        Global index of the flagged operation in the event stream, when
+        driven by the interpreter (else -1).
+    label:
+        Source label of the flagged operation, when the program supplied
+        one.
+    """
+
+    loc: Hashable
+    task: int
+    kind: AccessKind
+    prior_kind: AccessKind
+    prior_repr: Optional[Hashable] = None
+    op_index: int = -1
+    label: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" at {self.label}" if self.label else ""
+        return (
+            f"race on {self.loc!r}: task {self.task} {self.kind.value}s{where}, "
+            f"unordered with prior {self.prior_kind.value} history "
+            f"(representative {self.prior_repr!r})"
+        )

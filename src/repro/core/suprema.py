@@ -1,0 +1,151 @@
+"""Finding suprema in two-dimensional lattices (Figure 5, Theorems 1-3).
+
+The algorithm consumes a *non-separating traversal* of a planar monotone
+diagram and answers queries ``Sup(x, t)`` while the traversal is at vertex
+``t``.  It maintains the **last-arc forest** of the current prefix in a
+labeled union-find structure: the vertices of each tree live in one set,
+labeled by the tree's root.  By Theorem 1,
+
+    ``sup{x, t} = t``  if the root of ``x``'s tree was already visited,
+    ``sup{x, t} = r``  (the root itself) otherwise.
+
+Usage is either callback-style, mirroring the paper's ``Walk(T, Q)``::
+
+    walker = SupremaWalker()
+    walker.walk(items, on_visit=lambda t, w: ...w.sup(x, t)...)
+
+or incremental, for online settings::
+
+    walker = SupremaWalker()
+    for item in items:
+        walker.feed(item)
+        if walker.current is not None:
+            walker.sup(x, walker.current)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Optional
+
+from repro.core.unionfind import UnionFind
+from repro.errors import QueryPreconditionError, TraversalError
+from repro.events import Arc, Loop, StopArc, TraversalItem
+
+__all__ = ["SupremaWalker"]
+
+
+class SupremaWalker:
+    """Online engine answering ``Sup(x, t)`` along a non-separating traversal.
+
+    Parameters
+    ----------
+    check_preconditions:
+        When true (the default), :meth:`sup` verifies precondition (1) of
+        Section 3 -- ``x`` must belong to the closure of the traversal
+        prefix ending in ``t``, and ``t`` must be the currently visited
+        vertex -- raising :class:`QueryPreconditionError` otherwise.
+        Benchmarks switch this off; tests keep it on.
+    path_compression / link_by_rank:
+        Forwarded to the underlying union-find (ablation knobs).
+    """
+
+    def __init__(
+        self,
+        *,
+        check_preconditions: bool = True,
+        path_compression: bool = True,
+        link_by_rank: bool = True,
+    ) -> None:
+        self._uf = UnionFind(
+            path_compression=path_compression, link_by_rank=link_by_rank
+        )
+        self._visited: Dict[Hashable, bool] = {}
+        self._check = check_preconditions
+        #: vertex whose loop was fed most recently (the traversal "cursor")
+        self.current: Optional[Hashable] = None
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def unionfind(self) -> UnionFind:
+        """The labeled union-find maintaining the last-arc forest."""
+        return self._uf
+
+    def is_visited(self, x: Hashable) -> bool:
+        """Whether ``x`` is currently marked visited."""
+        return self._visited.get(x, False)
+
+    def is_known(self, x: Hashable) -> bool:
+        """Whether ``x`` belongs to the closure of the current prefix.
+
+        The closure of the prefix ending in ``(t, t)`` equals the vertex
+        set of the last-arc forest together with the visited vertices, so
+        membership in the union-find universe is the right test.
+        """
+        return x in self._uf
+
+    # -- traversal consumption ----------------------------------------------
+
+    def feed(self, item: TraversalItem) -> None:
+        """Advance the traversal by one item (arc or loop)."""
+        if isinstance(item, Loop):
+            v = item.vertex
+            self._uf.add(v)
+            self._visited[v] = True
+            self.current = v
+        elif isinstance(item, Arc):
+            if item.last:
+                # Walk lines 5-6: attach s's tree below t.
+                self._uf.add(item.src)
+                self._uf.add(item.dst)
+                self._uf.union(item.dst, item.src)
+        elif isinstance(item, StopArc):
+            self._on_stop_arc(item)
+        else:  # pragma: no cover - defensive
+            raise TraversalError(f"not a traversal item: {item!r}")
+
+    def _on_stop_arc(self, item: StopArc) -> None:
+        raise TraversalError(
+            "stop-arc in a non-delayed traversal; use DelayedSupremaWalker"
+        )
+
+    def walk(
+        self,
+        items: Iterable[TraversalItem],
+        on_visit: Optional[Callable[[Hashable, "SupremaWalker"], None]] = None,
+    ) -> None:
+        """Consume a whole traversal, invoking ``on_visit(t, self)`` at
+        every vertex visit -- the paper's query set ``Q(t)`` as a callback.
+        """
+        for item in items:
+            self.feed(item)
+            if on_visit is not None and isinstance(item, Loop):
+                on_visit(item.vertex, self)
+
+    # -- queries --------------------------------------------------------------
+
+    def sup(self, x: Hashable, t: Hashable) -> Hashable:
+        """Answer the query ``Sup(x, t)`` (Figure 5 right).
+
+        Returns ``t`` when ``sup{x, t} = t`` (i.e. ``x ⊑ t``); otherwise
+        returns the root of ``x``'s tree in the last-arc forest, which by
+        Theorem 1 is the true supremum.
+        """
+        if self._check:
+            if t != self.current:
+                raise QueryPreconditionError(
+                    f"query Sup({x!r}, {t!r}) while traversal is at "
+                    f"{self.current!r}"
+                )
+            if not self.is_known(x):
+                raise QueryPreconditionError(
+                    f"{x!r} is outside the closure of the current prefix"
+                )
+        r = self._uf.find(x)
+        if self._visited.get(r, False):
+            return t
+        return r
+
+    def ordered_before(self, x: Hashable, t: Hashable) -> bool:
+        """Convenience: ``x ⊑ t``, i.e. ``Sup(x, t) = t``."""
+        return self.sup(x, t) == t

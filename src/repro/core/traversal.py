@@ -1,0 +1,280 @@
+"""Traversals of lattice diagrams: construction helpers and validity checks.
+
+A traversal (Section 3) is a permutation of ``E ∪ {(x, x) | x ∈ V}`` --
+arcs interleaved with one loop per vertex -- and the algorithms only work
+on *non-separating* traversals (Definition 1: topological + depth-first +
+left-to-right) or their *delayed* variants (Definition 3).
+
+This module provides:
+
+* :func:`annotate_last_arcs` -- mark each vertex's last (right-most) arc,
+  the only arcs Walk acts on;
+* :func:`delay_traversal` -- the ``T -> T'`` transform of Definition 3,
+  moving every arc that violates executability (condition (4)) to just
+  before its target's loop and leaving a stop-arc behind;
+* structural checkers used by the test-suite to certify that generated
+  traversals really are (delayed) non-separating.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import TraversalError
+from repro.events import Arc, Loop, StopArc, TraversalItem
+
+__all__ = [
+    "annotate_last_arcs",
+    "last_arc_map",
+    "delay_traversal",
+    "check_wellformed",
+    "check_topological",
+    "check_delayed_wellformed",
+    "loop_positions",
+    "threads_of_delayed",
+]
+
+
+def loop_positions(items: Sequence[TraversalItem]) -> Dict[Hashable, int]:
+    """Map each vertex to the index of its loop; error on duplicates."""
+    pos: Dict[Hashable, int] = {}
+    for i, item in enumerate(items):
+        if isinstance(item, Loop):
+            if item.vertex in pos:
+                raise TraversalError(f"vertex {item.vertex!r} visited twice")
+            pos[item.vertex] = i
+    return pos
+
+
+def last_arc_map(items: Sequence[TraversalItem]) -> Dict[Hashable, int]:
+    """Map each vertex with outgoing arcs to the index of its last arc.
+
+    The last arc of ``x`` is the *last visited* arc exiting ``x``, which in
+    a non-separating traversal of a planar diagram coincides with the
+    right-most arc exiting ``x`` (footnote 2 of the paper).
+    """
+    last: Dict[Hashable, int] = {}
+    for i, item in enumerate(items):
+        if isinstance(item, Arc):
+            last[item.src] = i
+    return last
+
+
+def annotate_last_arcs(items: Iterable[TraversalItem]) -> List[TraversalItem]:
+    """Return a copy of ``items`` with ``Arc.last`` flags recomputed."""
+    seq = list(items)
+    last = last_arc_map(seq)
+    out: List[TraversalItem] = []
+    for i, item in enumerate(seq):
+        if isinstance(item, Arc):
+            out.append(Arc(item.src, item.dst, last=(last[item.src] == i)))
+        else:
+            out.append(item)
+    return out
+
+
+def delay_traversal(
+    items: Sequence[TraversalItem],
+    reaches: Callable[[Hashable, Hashable], bool],
+) -> List[TraversalItem]:
+    """Apply the ``T -> T'`` transform of Definition 3.
+
+    An arc ``(s, t)`` must be delayed when some vertex ``x`` with
+    ``x ⊏ t`` is visited only after the arc (condition (4)): the arc's
+    presence could not have been known at its original position in any
+    execution.  Each delayed arc moves to just before ``(t, t)`` (delayed
+    arcs of one target keep their relative order) and a stop-arc
+    ``(s, ×)`` marks its original place.
+
+    ``reaches(x, t)`` must decide reachability in the underlying digraph.
+    In planar monotone diagrams every delayed arc is a last-arc; this is
+    asserted because the stop-arc semantics of Figure 8 relies on it.
+    """
+    seq = annotate_last_arcs(items)
+    loops = loop_positions(seq)
+    n = len(seq)
+
+    # suffix_vertices[i] = vertices whose loop occurs at index >= i.
+    delayed_for: Dict[Hashable, List[Arc]] = {}
+    delayed_idx: Set[int] = set()
+    # For every arc, check condition (4): exists x with loop after the arc
+    # and x ⊏ t.  A linear scan per arc is O(n^2) worst case but this
+    # transform is only used on explicit (test-sized) lattices; the online
+    # interpreter emits delayed traversals directly.
+    loops_sorted = sorted(loops.items(), key=lambda kv: kv[1])
+    for i, item in enumerate(seq):
+        if not isinstance(item, Arc):
+            continue
+        t = item.dst
+        must_delay = False
+        for x, p in loops_sorted:
+            if p <= i:
+                continue
+            if p >= loops[t]:
+                break
+            if x != t and reaches(x, t):
+                must_delay = True
+                break
+        if must_delay:
+            if not item.last:
+                raise TraversalError(
+                    f"delayed arc {item!r} is not a last-arc; the stop-arc "
+                    "semantics of Figure 8 would be unsound"
+                )
+            delayed_for.setdefault(t, []).append(item)
+            delayed_idx.add(i)
+
+    out: List[TraversalItem] = []
+    for i, item in enumerate(seq):
+        if i in delayed_idx:
+            assert isinstance(item, Arc)
+            out.append(StopArc(item.src))
+        elif isinstance(item, Loop):
+            t = item.vertex
+            pending = delayed_for.get(t)
+            if pending:
+                # The paper's T -> T' sketch inserts the delayed arcs
+                # before the surviving incoming arcs of t (so the final
+                # non-delayed arc (s_n, t) stays adjacent to (t, t)).
+                k = len(out)
+                while k and isinstance(out[k - 1], Arc) and out[k - 1].dst == t:
+                    k -= 1
+                out[k:k] = pending
+            out.append(item)
+        else:
+            out.append(item)
+    # Every delayed arc occurs twice: once as its stop-arc marker and once
+    # in delayed position, so |T'| = |T| + number of delayed arcs.
+    assert len(out) == n + len(delayed_idx)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Checkers
+# ---------------------------------------------------------------------------
+
+
+def _arcs(items: Sequence[TraversalItem]) -> List[Tuple[int, Arc]]:
+    return [(i, it) for i, it in enumerate(items) if isinstance(it, Arc)]
+
+
+def check_wellformed(items: Sequence[TraversalItem]) -> None:
+    """Check the permutation structure of a (non-delayed) traversal.
+
+    * every vertex has exactly one loop;
+    * no stop-arcs;
+    * every arc appears exactly once;
+    * for every arc ``(s, t)``: ``loop(s) < (s, t) < loop(t)`` (incoming
+    arcs before the loop, outgoing after -- the order the paper fixes for
+    topological traversals);
+    * for every vertex, exactly its final outgoing arc carries ``last``.
+
+    Raises :class:`TraversalError` on the first violation.
+    """
+    loops = loop_positions(items)
+    seen: Set[Tuple[Hashable, Hashable]] = set()
+    for i, item in enumerate(items):
+        if isinstance(item, StopArc):
+            raise TraversalError("stop-arc in a non-delayed traversal")
+        if not isinstance(item, Arc):
+            continue
+        key = (item.src, item.dst)
+        if key in seen:
+            raise TraversalError(f"arc {item!r} visited twice")
+        seen.add(key)
+        if item.src not in loops or item.dst not in loops:
+            raise TraversalError(f"arc {item!r} touches an unvisited vertex")
+        if not loops[item.src] < i < loops[item.dst]:
+            raise TraversalError(
+                f"arc {item!r} at {i} not between its endpoint loops "
+                f"({loops[item.src]}, {loops[item.dst]})"
+            )
+    last = last_arc_map(items)
+    for i, item in _arcs(items):
+        if item.last != (last[item.src] == i):
+            raise TraversalError(f"wrong last flag on {item!r} at {i}")
+
+
+def check_topological(
+    items: Sequence[TraversalItem],
+    reaches: Callable[[Hashable, Hashable], bool],
+) -> None:
+    """Check the traversal visits vertices in topological order.
+
+    Sufficient given :func:`check_wellformed`: if loops respect the order
+    and arcs sit between their endpoint loops, the full condition
+    ``(a, x) <= (y, b)`` whenever ``x ⊑ y`` follows.
+    """
+    order = [it.vertex for it in items if isinstance(it, Loop)]
+    for i, x in enumerate(order):
+        for y in order[i + 1 :]:
+            if reaches(y, x):
+                raise TraversalError(
+                    f"{y!r} visited after {x!r} but {y!r} reaches {x!r}"
+                )
+
+
+def check_delayed_wellformed(items: Sequence[TraversalItem]) -> None:
+    """Structural checks for a *delayed* traversal (Definition 3).
+
+    * every vertex has exactly one loop;
+    * every arc ``(s, t)`` satisfies ``loop(s) < (s, t) < loop(t)``;
+    * every stop-arc ``(s, ×)`` follows ``loop(s)`` and is matched by a
+      later delayed arc exiting ``s``;
+    * at most one stop-arc per vertex (a vertex has one last-arc).
+    """
+    loops = loop_positions(items)
+    stop_pos: Dict[Hashable, int] = {}
+    for i, item in enumerate(items):
+        if isinstance(item, StopArc):
+            if item.src in stop_pos:
+                raise TraversalError(f"two stop-arcs for {item.src!r}")
+            if item.src not in loops or loops[item.src] > i:
+                raise TraversalError(f"stop-arc for unvisited {item.src!r}")
+            stop_pos[item.src] = i
+        elif isinstance(item, Arc):
+            if not loops[item.src] < i < loops[item.dst]:
+                raise TraversalError(
+                    f"arc {item!r} at {i} not between its endpoint loops"
+                )
+    for s, i in stop_pos.items():
+        matched = any(
+            isinstance(it, Arc) and it.src == s and j > i
+            for j, it in enumerate(items)
+        )
+        if not matched:
+            raise TraversalError(f"stop-arc for {s!r} has no delayed arc")
+
+
+def threads_of_delayed(items: Sequence[TraversalItem]) -> List[List[Hashable]]:
+    """Decompose vertices into threads (Section 4).
+
+    A thread is the vertex set of a maximal path of *non-delayed*
+    last-arcs.  For the delayed traversal of Figure 7 this yields
+    ``{2} {3} {5} {6} {1,4,7,8,9}``.
+
+    An arc is delayed exactly when a stop-arc for its source occurs
+    earlier in the sequence (stop-arcs mark delayed arcs' old positions).
+    """
+    stopped: Set[Hashable] = set()
+    succ: Dict[Hashable, Hashable] = {}
+    has_pred: Set[Hashable] = set()
+    for item in items:
+        if isinstance(item, StopArc):
+            stopped.add(item.src)
+        elif isinstance(item, Arc) and item.last and item.src not in stopped:
+            succ[item.src] = item.dst
+            has_pred.add(item.dst)
+    threads: List[List[Hashable]] = []
+    for item in items:
+        if not isinstance(item, Loop):
+            continue
+        v = item.vertex
+        if v in has_pred:
+            continue  # interior of some thread
+        chain = [v]
+        while v in succ:
+            v = succ[v]
+            chain.append(v)
+        threads.append(chain)
+    return threads

@@ -1,0 +1,108 @@
+"""Exact offline race oracle -- ground truth for every detector.
+
+Reconstructs the operation-level task graph of a recorded execution and
+enumerates *all* racing pairs by brute force: two accesses race iff they
+touch the same location, at least one writes, and neither reaches the
+other.  Quadratic in the number of accesses per location; strictly a
+verification tool.
+
+The soundness / precision contracts the paper states for online
+detectors (Section 2.3) are expressed here as checkable predicates:
+
+* **sound**: the detector flags at least one race iff the oracle finds
+  at least one racing pair;
+* **precise up to the first race**: the first detector report must
+  correspond to a real racing pair -- specifically, the flagged
+  operation really is the second access of some racing pair on that
+  location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence, Set, Tuple
+
+from repro.core.reports import AccessKind, RaceReport
+from repro.events import Event
+from repro.forkjoin.taskgraph import TaskGraph, build_task_graph
+
+__all__ = [
+    "RacingPair",
+    "exact_races",
+    "oracle_race_pairs",
+    "detector_is_sound",
+    "first_report_is_precise",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RacingPair:
+    """A pair of unordered conflicting accesses (oracle output).
+
+    ``first``/``second`` are op-vertex ids in stream order.
+    """
+
+    loc: Hashable
+    first: int
+    first_kind: AccessKind
+    second: int
+    second_kind: AccessKind
+
+
+def exact_races(events: Sequence[Event]) -> List[RacingPair]:
+    """All racing pairs of a recorded execution, in stream order."""
+    tg = build_task_graph(events)
+    return exact_races_of_graph(tg)
+
+
+def exact_races_of_graph(tg: TaskGraph) -> List[RacingPair]:
+    """All racing pairs of an already-built task graph."""
+    by_loc = {}
+    for v, loc, kind in tg.accesses():
+        by_loc.setdefault(loc, []).append((v, kind))
+    out: List[RacingPair] = []
+    poset = tg.poset
+    for loc, accs in by_loc.items():
+        for i in range(len(accs)):
+            v1, k1 = accs[i]
+            for j in range(i + 1, len(accs)):
+                v2, k2 = accs[j]
+                if not k1.conflicts_with(k2):
+                    continue
+                if not poset.comparable(v1, v2):
+                    out.append(RacingPair(loc, v1, k1, v2, k2))
+    out.sort(key=lambda r: (r.second, r.first))
+    return out
+
+
+def oracle_race_pairs(events: Sequence[Event]) -> Set[Tuple[Hashable, int, int]]:
+    """Racing pairs as a set of ``(loc, first_op, second_op)`` keys."""
+    return {(r.loc, r.first, r.second) for r in exact_races(events)}
+
+
+def detector_is_sound(
+    reports: Sequence[RaceReport], pairs: Sequence[RacingPair]
+) -> bool:
+    """Detector flags something iff a race exists (the paper's guarantee)."""
+    return bool(reports) == bool(pairs)
+
+
+def first_report_is_precise(
+    reports: Sequence[RaceReport], pairs: Sequence[RacingPair]
+) -> bool:
+    """The first report names a real race (precision up to first race).
+
+    Every detector in this repository increments its ``op_index`` once
+    per interpreter event, so a report carrying ``op_index = k`` flags
+    the event at stream position ``k - 1`` -- which is also the oracle's
+    vertex id.  The first report is precise iff some oracle pair has
+    exactly that operation as its *second* access (same location).
+    Vacuously true when neither side found anything.
+    """
+    if not reports:
+        return not pairs
+    if not pairs:
+        return False
+    first = reports[0]
+    flagged = first.op_index - 1
+    return any(p.loc == first.loc and p.second == flagged for p in pairs)

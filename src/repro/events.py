@@ -1,0 +1,191 @@
+"""Event and traversal-item model shared by the whole library.
+
+Two closely related vocabularies appear in the paper:
+
+* **Program events** — what a monitored execution emits: a task forks
+  another, performs a memory access, joins a task, or halts.  The serial
+  fork-first interpreter (:mod:`repro.forkjoin.interpreter`) produces a
+  stream of these, and every detector in :mod:`repro.detectors` consumes
+  the same stream.
+
+* **Traversal items** — the alphabet of (delayed) non-separating
+  traversals from Sections 3-4: arcs ``(s, t)``, loops ``(x, x)``
+  standing for vertex visits, and stop-arcs ``(s, x)`` marking the
+  original position of a delayed arc.  The core suprema algorithms
+  (:mod:`repro.core.suprema`, :mod:`repro.core.delayed`) consume
+  sequences of these.
+
+Section 5 of the paper connects the two: ``x forks y`` emits the arc
+``(x, y)``, ``x steps`` emits the loop ``(x, x)``, ``x joins y`` emits the
+(delayed last-) arc ``(y, x)``, and ``x halts`` emits the stop-arc
+``(x, ×)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Union
+
+__all__ = [
+    "TaskId",
+    "Location",
+    "ForkEvent",
+    "StepEvent",
+    "ReadEvent",
+    "WriteEvent",
+    "JoinEvent",
+    "HaltEvent",
+    "Event",
+    "Arc",
+    "Loop",
+    "StopArc",
+    "TraversalItem",
+    "iter_vertices",
+    "format_traversal",
+]
+
+#: Tasks (threads) are identified by small dense integers assigned by the
+#: interpreter; lattice vertices may be arbitrary hashables.
+TaskId = int
+
+#: A monitored memory location.  Any hashable is accepted -- strings for
+#: named variables, ``(array, index)`` tuples for element accesses, etc.
+Location = Hashable
+
+
+# ---------------------------------------------------------------------------
+# Program events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ForkEvent:
+    """Task ``parent`` forked task ``child`` (child goes to its left)."""
+
+    parent: TaskId
+    child: TaskId
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class StepEvent:
+    """Task ``task`` performed a local computation step (no memory access)."""
+
+    task: TaskId
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class ReadEvent:
+    """Task ``task`` read from memory location ``loc``."""
+
+    task: TaskId
+    loc: Location = None
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class WriteEvent:
+    """Task ``task`` wrote to memory location ``loc``."""
+
+    task: TaskId
+    loc: Location = None
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class JoinEvent:
+    """Task ``joiner`` joined (and removed) its left neighbour ``joined``."""
+
+    joiner: TaskId
+    joined: TaskId
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class HaltEvent:
+    """Task ``task`` terminated (its final transition)."""
+
+    task: TaskId
+    label: str = ""
+
+
+Event = Union[ForkEvent, StepEvent, ReadEvent, WriteEvent, JoinEvent, HaltEvent]
+
+
+# ---------------------------------------------------------------------------
+# Traversal items
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Arc:
+    """A directed arc ``(src, dst)`` of the lattice diagram.
+
+    ``last`` marks *last-arcs*: the right-most (equivalently the last
+    visited) arc exiting ``src``.  Last-arcs are the only arcs that mutate
+    the union-find state in the Walk routine (Figures 5 and 8).
+    """
+
+    src: Hashable
+    dst: Hashable
+    last: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "!" if self.last else ""
+        return f"({self.src}->{self.dst}{mark})"
+
+
+@dataclass(frozen=True, slots=True)
+class Loop:
+    """The loop ``(v, v)`` representing the visit of vertex ``v``."""
+
+    vertex: Hashable
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.vertex})"
+
+
+@dataclass(frozen=True, slots=True)
+class StopArc:
+    """The marker ``(src, ×)`` left at the original place of a delayed arc.
+
+    Visiting a stop-arc un-marks ``src`` so that, with respect to the
+    relaxed query semantics (6)-(7), ``src`` becomes observationally
+    equivalent to the not-yet-visited supremum it stands for (Section 4).
+    """
+
+    src: Hashable
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.src}->x)"
+
+
+TraversalItem = Union[Arc, Loop, StopArc]
+
+
+def iter_vertices(items: Iterable[TraversalItem]) -> Iterator[Hashable]:
+    """Yield the vertices of a traversal in visit (loop) order."""
+    for item in items:
+        if isinstance(item, Loop):
+            yield item.vertex
+
+
+def format_traversal(items: Iterable[TraversalItem]) -> str:
+    """Render a traversal the way the paper prints them.
+
+    Loops become ``(v, v)``, arcs ``(s, t)`` and stop-arcs ``(s, ×)`` --
+    e.g. the caption of Figure 4 renders as
+    ``(1, 1)(1, 2)(2, 2)...``.
+    """
+    parts = []
+    for item in items:
+        if isinstance(item, Loop):
+            parts.append(f"({item.vertex}, {item.vertex})")
+        elif isinstance(item, Arc):
+            parts.append(f"({item.src}, {item.dst})")
+        elif isinstance(item, StopArc):
+            parts.append(f"({item.src}, \N{MULTIPLICATION SIGN})")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a traversal item: {item!r}")
+    return "".join(parts)

@@ -1,0 +1,54 @@
+"""Structured fork-join programs and their serial fork-first execution.
+
+Section 5 of the paper restricts fork-join so that the produced task
+graphs are exactly the two-dimensional lattices:
+
+* all live tasks form a line ``L . x . R`` (:mod:`repro.forkjoin.line`);
+* ``fork`` inserts the child immediately left of the parent;
+* a task may ``join`` only its immediate left neighbour, removing it.
+
+Programs are written as generator functions yielding effects
+(:mod:`repro.forkjoin.program`), executed serially fork-first by
+:mod:`repro.forkjoin.interpreter`, which streams events to race
+detectors and can reconstruct the full operation-level task graph
+(:mod:`repro.forkjoin.taskgraph`).
+
+Classical structured-parallel constructs are provided as sugar on top:
+Cilk-style spawn-sync (:mod:`repro.forkjoin.spawn_sync`), X10-style
+async-finish (:mod:`repro.forkjoin.async_finish`) and Cilk-P style
+linear pipelines (:mod:`repro.forkjoin.pipeline`).
+"""
+
+from repro.forkjoin.program import (
+    TaskHandle,
+    fork,
+    join,
+    join_left,
+    read,
+    write,
+    step,
+)
+from repro.forkjoin.interpreter import Execution, run
+from repro.forkjoin.replay import replay_events
+from repro.forkjoin.schedules import is_serial_fork_first, random_schedule
+from repro.forkjoin.synthesis import SynthesizedExecution, synthesize_events
+from repro.forkjoin.taskgraph import TaskGraph, build_task_graph
+
+__all__ = [
+    "TaskHandle",
+    "fork",
+    "join",
+    "join_left",
+    "read",
+    "write",
+    "step",
+    "Execution",
+    "run",
+    "replay_events",
+    "random_schedule",
+    "is_serial_fork_first",
+    "SynthesizedExecution",
+    "synthesize_events",
+    "TaskGraph",
+    "build_task_graph",
+]

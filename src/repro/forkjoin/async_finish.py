@@ -1,0 +1,122 @@
+"""X10/Habanero-style async-finish as sugar over structured fork-join.
+
+``async`` activates a task; ``finish { block }`` waits for every task
+transitively created inside the block -- including *escaped* asyncs
+launched by descendants -- before continuing (Section 2.1).
+
+The translation exploits a line invariant: every task created during a
+finish block's dynamic extent lives (if still unjoined) contiguously to
+the left of the finish's owner, because forks insert immediately left
+and joins only remove.  So the owner simply counts the block's
+outstanding tasks on a shared *finish frame* and pops its left neighbour
+that many times -- each pop is a legal ``join_left``.  An async created
+by a descendant registers with the innermost finish frame inherited at
+its own fork point, which is exactly X10's escape semantics.
+
+Usage::
+
+    @x10
+    def main(ctx):
+        def block():
+            yield from ctx.async_(producer, queue)
+            yield from ctx.async_(consumer, queue)
+            yield read("config")
+        yield from ctx.finish(block)
+
+The whole program body runs inside an implicit top-level finish, as in
+X10's ``main``.  Since async-finish is a sub-discipline of bracketed
+fork-join, the resulting task graphs are series-parallel.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Iterator
+
+from repro.forkjoin.program import (
+    Body,
+    TaskHandle,
+    annotate as _annotate,
+    fork as _fork,
+    join_left as _join_left,
+)
+
+__all__ = ["FinishFrame", "X10Task", "x10"]
+
+
+class FinishFrame:
+    """Counts outstanding tasks registered to one ``finish`` scope."""
+
+    __slots__ = ("pending",)
+
+    def __init__(self) -> None:
+        self.pending = 0
+
+
+class X10Task:
+    """Per-task async-finish context.
+
+    ``_frame`` is the innermost enclosing finish frame -- inherited from
+    the forking task at creation, then shadowed by the task's own
+    ``finish`` blocks.
+    """
+
+    __slots__ = ("handle", "_frame")
+
+    def __init__(self, handle: TaskHandle, frame: FinishFrame) -> None:
+        self.handle = handle
+        self._frame = frame
+
+    def async_(self, fn: Callable, *args: Any) -> Iterator:
+        """``async fn(...)``: activate a task governed by the innermost
+        enclosing finish.  Returns the child's handle via ``yield from``."""
+        frame = self._frame
+        frame.pending += 1
+
+        @functools.wraps(fn)
+        def child_body(handle: TaskHandle, *a: Any):
+            ctx = X10Task(handle, frame)
+            result = yield from fn(ctx, *a)
+            return result
+
+        child = yield _fork(child_body, *args, name=getattr(fn, "__name__", ""))
+        yield _annotate("async", child.tid)
+        return child
+
+    def finish(self, block: Callable[[], Iterator]) -> Iterator:
+        """``finish { block }``: run the block, then join every task it
+        (transitively) created, by repeatedly joining the left neighbour."""
+        outer = self._frame
+        frame = FinishFrame()
+        self._frame = frame
+        yield _annotate("finish_start")
+        try:
+            result = yield from block()
+        finally:
+            self._frame = outer
+        while frame.pending:
+            yield _join_left()
+            frame.pending -= 1
+        yield _annotate("finish_end")
+        return result
+
+
+def x10(fn: Callable) -> Body:
+    """Decorator turning an async-finish generator into a fork-join body.
+
+    The body runs inside an implicit top-level finish.
+    """
+
+    @functools.wraps(fn)
+    def body(handle: TaskHandle, *args: Any):
+        root_frame = FinishFrame()
+        ctx = X10Task(handle, root_frame)
+        yield _annotate("finish_start")
+        result = yield from fn(ctx, *args)
+        while root_frame.pending:
+            yield _join_left()
+            root_frame.pending -= 1
+        yield _annotate("finish_end")
+        return result
+
+    return body

@@ -1,0 +1,124 @@
+"""One-shot futures over structured fork-join.
+
+Section 2.2 of the paper motivates fork and join as primitives "general
+enough [to] naturally capture a variety of other constructs such as
+futures".  In this restricted setting a future is a task created with
+``ctx.future(body, ...)`` and consumed exactly once with
+``ctx.force(handle)``, which yields the body's return value.
+
+The structural restriction carries over: forcing must target the current
+immediate left neighbour.  That admits precisely the 2D-lattice shapes
+-- e.g. Figure 2 is the future pattern "main creates future ``a``;
+*another* task ``c`` forces it" -- while rejecting exchanges that would
+require crossing the task line.  To make common linear patterns
+ergonomic, :meth:`FutureTask.force` also accepts any *unforced* future
+whose still-pending predecessors in the line all belong to the forcing
+task; those are forced (and their values cached) along the way, since
+each becomes the left neighbour in turn.
+
+Usage::
+
+    @futures
+    def main(ctx):
+        a = yield from ctx.future(expensive, 1)
+        b = yield from ctx.future(expensive, 2)
+        total = (yield from ctx.force(b)) + (yield from ctx.force(a))
+        return total
+
+Unforced futures at the end of a task body are drained automatically
+(their values discarded), keeping the task graph single-sink.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, Iterator, List
+
+from repro.errors import StructureError
+from repro.forkjoin.program import (
+    Body,
+    TaskHandle,
+    fork as _fork,
+    join as _join,
+)
+
+__all__ = ["FutureTask", "futures"]
+
+
+class FutureTask:
+    """Per-task future context: create with ``future``, consume with
+    ``force``.
+
+    Tracks this task's outstanding futures as a stack (they sit to the
+    task's left in creation order) and caches values of futures forced
+    early while reaching a deeper one.
+    """
+
+    __slots__ = ("handle", "_pending", "_cache")
+
+    def __init__(self, handle: TaskHandle) -> None:
+        self.handle = handle
+        self._pending: List[TaskHandle] = []
+        self._cache: Dict[int, Any] = {}
+
+    def future(self, body: Callable, *args: Any) -> Iterator:
+        """Create a future running ``body(ctx, *args)``; yields its handle.
+
+        ``body`` may be a plain fork-join generator or another
+        :func:`futures`-decorated function.
+        """
+        wrapped = body if getattr(body, "_repro_futures", False) else futures(body)
+        h = yield _fork(wrapped, *args, name=getattr(body, "__name__", ""))
+        self._pending.append(h)
+        return h
+
+    def force(self, handle: TaskHandle) -> Iterator:
+        """Force a future created by *this* task; yields its value.
+
+        Futures created after ``handle`` (and not yet forced) are
+        forced first -- they are the intervening left neighbours --
+        and their values are cached for later ``force`` calls.
+        """
+        if handle.tid in self._cache:
+            return self._cache.pop(handle.tid)
+        if handle not in self._pending:
+            raise StructureError(
+                f"{handle} is not an outstanding future of task "
+                f"{self.handle.tid}"
+            )
+        while self._pending:
+            top = self._pending.pop()
+            value = yield _join(top)
+            if top == handle:
+                return value
+            self._cache[top.tid] = value
+        raise AssertionError("unreachable: handle was in _pending")
+
+    @property
+    def outstanding(self) -> int:
+        """Futures created but not yet forced."""
+        return len(self._pending)
+
+    def drain(self) -> Iterator:
+        """Force all outstanding futures, discarding their values."""
+        while self._pending:
+            yield _join(self._pending.pop())
+        self._cache.clear()
+
+
+def futures(fn: Callable) -> Body:
+    """Decorator giving a task body a :class:`FutureTask` context.
+
+    The wrapped body drains unforced futures on exit, mirroring the
+    implicit sync of spawn-sync.
+    """
+
+    @functools.wraps(fn)
+    def body(handle: TaskHandle, *args: Any):
+        ctx = FutureTask(handle)
+        result = yield from fn(ctx, *args)
+        yield from ctx.drain()
+        return result
+
+    body._repro_futures = True  # type: ignore[attr-defined]
+    return body

@@ -1,0 +1,253 @@
+"""Serial fork-first execution of structured fork-join programs.
+
+Section 5: "to traverse the diagram from left to right, we can simply
+execute the program serially, fork-first".  The interpreter does exactly
+that -- when a task forks, the child (and transitively everything it
+forks) runs to completion before the parent resumes.  Because forked
+tasks sit immediately left of their parents and joins consume left
+neighbours, this serial order *is* a left-to-right depth-first traversal
+of the task graph, and the emitted event stream is its delayed
+non-separating traversal (thread-compressed per transformation (8)):
+
+=====================  ==========================
+program transition      emitted traversal item
+=====================  ==========================
+``x`` forks ``y``       arc ``(x, y)``
+``x`` steps             loop ``(x, x)``
+``x`` joins ``y``       last-arc ``(y, x)``
+``x`` halts             stop-arc ``(x, ×)``
+=====================  ==========================
+
+Observers (race detectors, tracers) receive the stream via the protocol
+``on_root/on_fork/on_read/on_write/on_step/on_join/on_halt``.
+
+The scheduler keeps an explicit stack of suspended generators, so fork
+depth is bounded by memory, not the interpreter recursion limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import ProgramError, StructureError
+from repro.events import (
+    Event,
+    ForkEvent,
+    HaltEvent,
+    JoinEvent,
+    ReadEvent,
+    StepEvent,
+    WriteEvent,
+)
+from repro.forkjoin.line import TaskLine
+from repro.forkjoin.program import (
+    AnnotateEffect,
+    Body,
+    ForkEffect,
+    JoinEffect,
+    JoinLeftEffect,
+    ReadEffect,
+    StepEffect,
+    TaskHandle,
+    WriteEffect,
+)
+
+__all__ = ["Execution", "run"]
+
+
+@dataclass
+class Execution:
+    """The outcome of one serial fork-first run.
+
+    Attributes
+    ----------
+    task_count: total number of tasks created (threads, in the paper's
+        thread-compression sense).
+    op_count: total number of emitted transitions.
+    result: the value returned by the root task body.
+    events: the full event stream when ``record_events=True``
+        (otherwise ``None``); feeds task-graph reconstruction.
+    """
+
+    task_count: int = 0
+    op_count: int = 0
+    result: Any = None
+    events: Optional[List[Event]] = None
+
+
+def run(
+    body: Body,
+    *args: Any,
+    observers: Sequence[Any] = (),
+    record_events: bool = False,
+    require_all_joined: bool = True,
+    max_ops: Optional[int] = None,
+) -> Execution:
+    """Execute a structured fork-join program serially, fork-first.
+
+    Parameters
+    ----------
+    body:
+        The root task body -- a generator function ``body(self, *args)``
+        yielding effects from :mod:`repro.forkjoin.program`.
+    observers:
+        Objects receiving the event stream (typically race detectors).
+    record_events:
+        Keep the full event list on the returned :class:`Execution`
+        (needed for task-graph reconstruction; off by default to keep
+        big benchmark runs at O(tasks) memory).
+    require_all_joined:
+        When true (default), the program must join every forked task
+        before the root halts -- this is what guarantees a single-sink
+        task graph, hence a 2D *lattice*.  Violation raises
+        :class:`StructureError`.
+    max_ops:
+        Optional budget on emitted transitions; exceeding it raises
+        :class:`ProgramError`.  A guard for monitoring possibly
+        non-terminating programs.
+
+    Raises
+    ------
+    StructureError
+        On any violation of the Figure 9 discipline (joining a task
+        that is not the immediate left neighbour, leaking unjoined
+        tasks...).
+    ProgramError
+        When a body is not a generator function or yields a non-effect.
+    """
+    events: Optional[List[Event]] = [] if record_events else None
+    exec_out = Execution(events=events)
+
+    def emit(ev: Event) -> None:
+        exec_out.op_count += 1
+        if max_ops is not None and exec_out.op_count > max_ops:
+            raise ProgramError(
+                f"operation budget of {max_ops} exceeded; the monitored "
+                "program may not terminate"
+            )
+        if events is not None:
+            events.append(ev)
+
+    root_handle = TaskHandle(0, getattr(body, "__name__", "root"))
+    root_gen = body(root_handle, *args)
+    if not _is_generator(root_gen):
+        raise ProgramError(
+            f"task body {body!r} must be a generator function (use yield)"
+        )
+    for ob in observers:
+        ob.on_root(0)
+
+    line = TaskLine(0)
+    halted = set()
+    handles = {0: root_handle}
+    results: dict = {}
+    next_tid = 1
+    exec_out.task_count = 1
+
+    def do_join(joiner: int, target: int, label: str) -> None:
+        if target not in halted:
+            # Unreachable under serial fork-first for *valid* joins;
+            # reached when the program names a running task (e.g. an
+            # ancestor), which the line check reports precisely.
+            line.join(joiner, target)  # raises StructureError
+            raise StructureError(  # pragma: no cover - line.join raised
+                f"task {joiner} joins running task {target}"
+            )
+        line.join(joiner, target)
+        emit(JoinEvent(joiner, target, label))
+        for ob in observers:
+            ob.on_join(joiner, target)
+
+    # Each frame: [generator, handle, value_to_send].
+    stack: List[List[Any]] = [[root_gen, root_handle, None]]
+
+    while stack:
+        frame = stack[-1]
+        gen, handle, send_value = frame
+        frame[2] = None
+        try:
+            eff = gen.send(send_value)
+        except StopIteration as fin:
+            # The task halts: stop-arc (x, ×).
+            t = handle.tid
+            halted.add(t)
+            results[t] = fin.value
+            emit(HaltEvent(t))
+            for ob in observers:
+                ob.on_halt(t)
+            stack.pop()
+            if not stack:
+                exec_out.result = fin.value
+                if require_all_joined and len(line) != 1:
+                    leaked = [x for x in line.snapshot() if x != t]
+                    raise StructureError(
+                        f"program ended with unjoined tasks {leaked}; "
+                        "join them or pass require_all_joined=False"
+                    )
+            else:
+                # Fork-first: the parent resumes only now, receiving the
+                # child's handle as the value of its `yield fork(...)`.
+                stack[-1][2] = handle
+            continue
+
+        t = handle.tid
+        if isinstance(eff, ForkEffect):
+            child_tid = next_tid
+            next_tid += 1
+            exec_out.task_count += 1
+            child_handle = TaskHandle(child_tid, eff.name)
+            handles[child_tid] = child_handle
+            line.fork(t, child_tid)
+            emit(ForkEvent(t, child_tid, eff.label))
+            for ob in observers:
+                ob.on_fork(t, child_tid)
+            child_gen = eff.body(child_handle, *eff.args)
+            if not _is_generator(child_gen):
+                raise ProgramError(
+                    f"task body {eff.body!r} must be a generator function"
+                )
+            stack.append([child_gen, child_handle, None])
+        elif isinstance(eff, JoinEffect):
+            target = eff.handle.tid
+            do_join(t, target, eff.label)
+            # A join doubles as a future force: the joined task's return
+            # value becomes the value of the `yield join(...)`.
+            frame[2] = results.pop(target, None)
+        elif isinstance(eff, JoinLeftEffect):
+            target = line.left_neighbor(t)
+            if target is None:
+                raise StructureError(
+                    f"task {t} has no left neighbour to join"
+                )
+            do_join(t, target, eff.label)
+            frame[2] = handles[target]
+        elif isinstance(eff, ReadEffect):
+            emit(ReadEvent(t, eff.loc, eff.label))
+            for ob in observers:
+                ob.on_read(t, eff.loc, eff.label)
+        elif isinstance(eff, WriteEffect):
+            emit(WriteEvent(t, eff.loc, eff.label))
+            for ob in observers:
+                ob.on_write(t, eff.loc, eff.label)
+        elif isinstance(eff, StepEffect):
+            emit(StepEvent(t, eff.label))
+            for ob in observers:
+                ob.on_step(t)
+        elif isinstance(eff, AnnotateEffect):
+            # Observer-only marker: no operation count, no event record.
+            for ob in observers:
+                handler = getattr(ob, "on_annotation", None)
+                if handler is not None:
+                    handler(t, eff.tag, eff.data)
+        else:
+            raise ProgramError(
+                f"task {t} yielded {eff!r}, which is not an effect; "
+                "use fork/join/read/write/step from repro.forkjoin"
+            )
+
+    return exec_out
+
+
+def _is_generator(obj: Any) -> bool:
+    return hasattr(obj, "send") and hasattr(obj, "throw")

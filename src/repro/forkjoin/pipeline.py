@@ -1,0 +1,157 @@
+"""Linear pipeline parallelism over structured fork-join (Section 5).
+
+A linear pipeline feeds items ``x_1 .. x_n`` through stages
+``S_1 .. S_m``; ``S_i(x_j)`` may depend on any ``S_k(x_l)`` with
+``k < i`` or ``l < j``, so the task graph embeds in a two-dimensional
+grid -- a 2D lattice.  The paper observes that Cilk-P's on-the-fly
+pipelines (Lee et al. [15]) are expressible in its restricted fork-join;
+this module is that translation:
+
+* each (item, stage) cell runs in its own task segment ``T[j][i]``;
+* after its stage work, ``T[j][i]`` forks the item's continuation
+  ``T[j][i+1]`` (stage order within the item) and halts;
+* before its stage work, a **serial** stage's segment (for ``j > 0``)
+  joins its left neighbours -- the previous item's segment at the same
+  stage, plus that item's unjoined segments from any *parallel* stages
+  immediately preceding it (the absorbed joins add only orderings that
+  are already implied transitively, so parallel stages stay parallel);
+* a driver task forks each item's first segment in order and finally
+  drains every remaining unjoined segment.
+
+Cilk-P distinguishes **serial** stages (iteration ``j`` waits for
+iteration ``j-1`` at that stage -- the default here) from **parallel**
+stages (no cross-item ordering).  Pass the parallel stages' indices in
+``PipelineSpec.parallel``.  The resulting happened-before relation is
+exactly
+
+    ``(i, j) <= (i', j')``  iff  ``i <= i'`` and (``j == j'`` or
+    (``j < j'`` and some serial stage ``s`` has ``i <= s <= i'``)),
+
+which the tests check verbatim.  By Theorem 6 the task graph is a 2D
+lattice either way, so the detector monitors both kinds online.
+
+``stages`` are generator functions ``stage(item, j)`` yielding
+read/write/step effects; ``j`` is the item index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, FrozenSet, Iterator, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.forkjoin.interpreter import Execution, run
+from repro.forkjoin.program import (
+    TaskHandle,
+    fork as _fork,
+    join_left as _join_left,
+)
+
+__all__ = ["PipelineSpec", "pipeline_body", "run_pipeline"]
+
+#: A pipeline stage: generator function ``stage(item, item_index)``.
+Stage = Callable[[Any, int], Iterator]
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A linear pipeline: items, ordered stages, and which are parallel.
+
+    ``parallel`` holds the indices of stages with *no* cross-item
+    serialisation (Cilk-P parallel stages); all other stages are serial.
+    """
+
+    items: Tuple[Any, ...]
+    stages: Tuple[Stage, ...]
+    parallel: FrozenSet[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise WorkloadError("pipeline needs at least one stage")
+        bad = [i for i in self.parallel
+               if not 0 <= i < len(self.stages)]
+        if bad:
+            raise WorkloadError(f"parallel stage indices out of range: {bad}")
+
+    def joins_before(self, i: int) -> int:
+        """Left-neighbour joins a serial stage-``i`` segment performs
+        (for items after the first): the previous item's segment at
+        stage ``i`` plus its leftovers from the maximal run of parallel
+        stages immediately before ``i``."""
+        count = 1
+        k = i - 1
+        while k >= 0 and k in self.parallel:
+            count += 1
+            k -= 1
+        return count
+
+
+class _RunState:
+    """Per-execution bookkeeping: segments forked but not yet joined."""
+
+    __slots__ = ("outstanding",)
+
+    def __init__(self) -> None:
+        self.outstanding = 0
+
+
+def _segment(
+    self: TaskHandle, spec: PipelineSpec, state: _RunState, j: int, i: int
+):
+    """Task body of cell (item ``j``, stage ``i``)."""
+    if j > 0 and i not in spec.parallel:
+        # Stage-serialisation: wait for item j-1 to clear this stage,
+        # absorbing its unjoined parallel-stage segments on the way
+        # (each is the immediate left neighbour in turn).
+        for _ in range(spec.joins_before(i)):
+            yield _join_left(label=f"stage{i}@item{j}")
+            state.outstanding -= 1
+    yield from spec.stages[i](spec.items[j], j)
+    if i + 1 < len(spec.stages):
+        state.outstanding += 1
+        yield _fork(_segment, spec, state, j, i + 1,
+                    name=f"item{j}.stage{i+1}")
+
+
+def pipeline_body(spec: PipelineSpec):
+    """The driver task body for a :class:`PipelineSpec`.
+
+    Suitable for :func:`repro.forkjoin.run` directly; use
+    :func:`run_pipeline` for the one-call version.
+    """
+
+    def driver(self: TaskHandle):
+        state = _RunState()
+        for j in range(len(spec.items)):
+            state.outstanding += 1
+            yield _fork(_segment, spec, state, j, 0,
+                        name=f"item{j}.stage0")
+        # Drain everything still unjoined: the last item's segments and
+        # any parallel-stage leftovers with no serial stage after them.
+        while state.outstanding:
+            yield _join_left(label="drain")
+            state.outstanding -= 1
+
+    return driver
+
+
+def run_pipeline(
+    items: Sequence[Any],
+    stages: Sequence[Stage],
+    *,
+    parallel: Sequence[int] = (),
+    observers: Sequence[Any] = (),
+    record_events: bool = False,
+) -> Execution:
+    """Build and execute a linear pipeline program.
+
+    Creates ``len(items) * len(stages) + 1`` tasks.  ``parallel`` names
+    the stage indices without cross-item serialisation.  See the module
+    docstring for the task-graph shape.
+    """
+    spec = PipelineSpec(tuple(items), tuple(stages), frozenset(parallel))
+    return run(
+        pipeline_body(spec),
+        observers=observers,
+        record_events=record_events,
+    )

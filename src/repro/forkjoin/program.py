@@ -1,0 +1,179 @@
+"""Writing structured fork-join programs as effect generators.
+
+A *task body* is a Python generator function.  Its first parameter is
+the task's :class:`TaskHandle`; further parameters are whatever the
+forking site passed.  The body performs operations by ``yield``-ing
+effect values built with the helpers below::
+
+    def worker(self, data):
+        yield read(data)
+        yield write("out")
+
+    def main(self):
+        w = yield fork(worker, "in")     # child handle comes back
+        yield read("out")                 # races with worker's write!
+        yield join(w)
+
+Effects:
+
+``fork(body, *args)``
+    Activate a new task to run ``body(handle, *args)``; the new task is
+    placed immediately left of the forker (Figure 9).  The ``yield``
+    evaluates to the child's :class:`TaskHandle`.  Execution is serial
+    fork-first: the child (and, recursively, everything it forks) runs
+    to completion before the forker resumes -- this is the execution
+    order that makes the emitted traversal delayed non-separating.
+
+``join(handle)``
+    Suspend until the task terminates.  The structured restriction
+    requires ``handle`` to be the forker's immediate left neighbour in
+    the task line; anything else raises
+    :class:`~repro.errors.StructureError`.  The ``yield`` evaluates to
+    the joined task's return value, so ``fork``/``join`` double as
+    future-create/future-force (the paper: fork and join "naturally
+    capture a variety of other constructs such as futures").
+
+``read(loc)`` / ``write(loc)``
+    A monitored memory access.  ``loc`` is any hashable.
+
+``step()``
+    A local computation step (no memory access); useful to model cost.
+
+All effect helpers accept a ``label=`` keyword recorded in race reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Tuple
+
+__all__ = [
+    "TaskHandle",
+    "ForkEffect",
+    "JoinEffect",
+    "JoinLeftEffect",
+    "ReadEffect",
+    "WriteEffect",
+    "StepEffect",
+    "AnnotateEffect",
+    "fork",
+    "join",
+    "join_left",
+    "read",
+    "write",
+    "step",
+    "annotate",
+    "Body",
+]
+
+#: A task body: generator function taking (handle, *args).
+Body = Callable[..., Any]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskHandle:
+    """Identifies a running or finished task.
+
+    ``tid`` is the dense integer id assigned at fork time (creation
+    order, root = 0); ``name`` defaults to the body function's name.
+    """
+
+    tid: int
+    name: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<task {self.tid}:{self.name}>" if self.name else f"<task {self.tid}>"
+
+
+@dataclass(frozen=True, slots=True)
+class ForkEffect:
+    body: Body
+    args: Tuple[Any, ...] = ()
+    label: str = ""
+    name: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class JoinEffect:
+    handle: TaskHandle
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class JoinLeftEffect:
+    """Join whatever task is currently the immediate left neighbour.
+
+    This is the paper's join in its purest form (a task may *only* join
+    its left neighbour, so naming it is redundant).  The ``yield``
+    evaluates to the joined task's :class:`TaskHandle`.  Used by the
+    async-finish and pipeline sugars, where the joining task cannot know
+    the target's identity statically.
+    """
+
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class ReadEffect:
+    loc: Hashable
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class WriteEffect:
+    loc: Hashable
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class StepEffect:
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class AnnotateEffect:
+    """A zero-cost marker forwarded to observers, not an operation.
+
+    Creates no task-graph vertex and no traversal item; observers that
+    implement ``on_annotation(task, tag, data)`` receive it (used by the
+    async-finish sugar to expose finish-scope boundaries to the
+    ESP-bags baseline, which is scope-based rather than join-based).
+    """
+
+    tag: str
+    data: Any = None
+
+
+def fork(body: Body, *args: Any, label: str = "", name: str = "") -> ForkEffect:
+    """Fork a child running ``body(child_handle, *args)``."""
+    return ForkEffect(body, args, label, name or getattr(body, "__name__", ""))
+
+
+def join(handle: TaskHandle, *, label: str = "") -> JoinEffect:
+    """Join the given task (must be the immediate left neighbour)."""
+    return JoinEffect(handle, label)
+
+
+def join_left(*, label: str = "") -> JoinLeftEffect:
+    """Join the current immediate left neighbour, whoever it is."""
+    return JoinLeftEffect(label)
+
+
+def read(loc: Hashable, *, label: str = "") -> ReadEffect:
+    """Read the monitored location ``loc``."""
+    return ReadEffect(loc, label)
+
+
+def write(loc: Hashable, *, label: str = "") -> WriteEffect:
+    """Write the monitored location ``loc``."""
+    return WriteEffect(loc, label)
+
+
+def step(*, label: str = "") -> StepEffect:
+    """A local computation step."""
+    return StepEffect(label)
+
+
+def annotate(tag: str, data: Any = None) -> AnnotateEffect:
+    """Emit an observer-only marker (no operation, no graph vertex)."""
+    return AnnotateEffect(tag, data)

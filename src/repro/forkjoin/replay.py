@@ -1,0 +1,113 @@
+"""Replaying recorded event streams through observers, with validation.
+
+A recorded (or synthesized -- :mod:`repro.forkjoin.synthesis`) event
+stream can be re-driven through any detector without re-running the
+program.  The replayer enforces the same structural rules as the live
+interpreter: dense task ids in creation order, the task-line discipline
+(forks insert left, joins take the immediate left neighbour), no
+operations on halted tasks, and -- optionally -- no leaked tasks at the
+end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ProgramError, StructureError
+from repro.events import (
+    Event,
+    ForkEvent,
+    HaltEvent,
+    JoinEvent,
+    ReadEvent,
+    StepEvent,
+    WriteEvent,
+)
+from repro.forkjoin.interpreter import Execution
+from repro.forkjoin.line import TaskLine
+
+__all__ = ["replay_events"]
+
+
+def replay_events(
+    events: Iterable[Event],
+    observers: Sequence[Any] = (),
+    *,
+    require_all_joined: bool = True,
+) -> Execution:
+    """Drive ``events`` through ``observers``, validating the discipline.
+
+    Returns an :class:`~repro.forkjoin.interpreter.Execution` whose
+    counters describe the replayed stream.  Raises
+    :class:`StructureError` or :class:`ProgramError` when the stream
+    could not have come from a structured fork-join execution.
+    """
+    out = Execution(task_count=1)
+    line = TaskLine(0)
+    halted: set = set()
+    next_tid = 1
+    for ob in observers:
+        ob.on_root(0)
+
+    def check_running(t: int) -> None:
+        if t in halted:
+            raise StructureError(f"event on halted task {t}")
+        if t not in line:
+            raise StructureError(f"event on unknown task {t}")
+
+    for ev in events:
+        out.op_count += 1
+        if isinstance(ev, ForkEvent):
+            check_running(ev.parent)
+            if ev.child != next_tid:
+                raise StructureError(
+                    f"fork assigns id {ev.child}, expected dense id "
+                    f"{next_tid}"
+                )
+            next_tid += 1
+            out.task_count += 1
+            line.fork(ev.parent, ev.child)
+            for ob in observers:
+                ob.on_fork(ev.parent, ev.child)
+        elif isinstance(ev, JoinEvent):
+            check_running(ev.joiner)
+            if ev.joined not in halted:
+                raise StructureError(
+                    f"join of running task {ev.joined}"
+                )
+            line.join(ev.joiner, ev.joined)  # left-neighbour check
+            for ob in observers:
+                ob.on_join(ev.joiner, ev.joined)
+        elif isinstance(ev, HaltEvent):
+            check_running(ev.task)
+            halted.add(ev.task)
+            for ob in observers:
+                ob.on_halt(ev.task)
+        elif isinstance(ev, ReadEvent):
+            check_running(ev.task)
+            for ob in observers:
+                ob.on_read(ev.task, ev.loc, ev.label)
+        elif isinstance(ev, WriteEvent):
+            check_running(ev.task)
+            for ob in observers:
+                ob.on_write(ev.task, ev.loc, ev.label)
+        elif isinstance(ev, StepEvent):
+            check_running(ev.task)
+            for ob in observers:
+                ob.on_step(ev.task)
+        else:
+            raise ProgramError(f"not an event: {ev!r}")
+
+    if require_all_joined:
+        # A complete execution halts every task and joins all but the
+        # final one (the line's sole survivor, which must be halted).
+        remaining = line.snapshot()
+        if len(remaining) != 1:
+            raise StructureError(
+                f"stream ended with unjoined tasks {remaining[:-1]}"
+            )
+        if remaining[0] not in halted:
+            raise StructureError(
+                f"stream ended with running task {remaining[0]}"
+            )
+    return out

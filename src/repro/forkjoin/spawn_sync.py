@@ -1,0 +1,95 @@
+"""Cilk-style spawn-sync as sugar over structured fork-join.
+
+Section 5 (construction (11)): spawn-sync is the *bracketed* discipline
+in which a task may only join its own descendants -- ``sync`` joins all
+of the task's outstanding children, most recent first.  Because forked
+children pile up immediately left of their parent like a stack, and each
+child (having synced implicitly before halting) leaves nothing behind,
+LIFO joining always targets the immediate left neighbour, so the
+structural restriction is satisfied by construction and the produced
+task graphs are exactly the series-parallel ones.
+
+Write Cilk tasks as generator functions decorated with :func:`cilk`;
+the first parameter is a :class:`CilkTask` context::
+
+    @cilk
+    def fib(ctx, n):
+        if n < 2:
+            yield write(("fib", n))
+            return n
+        x = yield from ctx.spawn(fib, n - 1)
+        y = yield from ctx.spawn(fib, n - 2)
+        yield from ctx.sync()
+        return 0  # values flow through memory, as in real Cilk
+
+    run(fib, 10, observers=[detector])
+
+``ctx.spawn`` returns the child's handle; an implicit ``sync`` runs at
+the end of every task body (Cilk semantics: "each task has an implicit
+sync at its end").
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Iterator, List
+
+from repro.forkjoin.program import (
+    Body,
+    TaskHandle,
+    fork as _fork,
+    join as _join,
+)
+
+__all__ = ["CilkTask", "cilk"]
+
+
+class CilkTask:
+    """Per-task spawn-sync context.
+
+    Tracks the task's outstanding (spawned, not yet synced) children so
+    ``sync`` can join them LIFO.  Use with ``yield from``.
+    """
+
+    __slots__ = ("handle", "_children")
+
+    def __init__(self, handle: TaskHandle) -> None:
+        self.handle = handle
+        self._children: List[TaskHandle] = []
+
+    def spawn(self, body: Callable, *args: Any) -> Iterator:
+        """``spawn body(...)``: fork a child and remember it for sync.
+
+        ``body`` must itself be a :func:`cilk`-decorated task.  Returns
+        (via ``yield from``) the child's handle.
+        """
+        child = yield _fork(body, *args, name=getattr(body, "__name__", ""))
+        self._children.append(child)
+        return child
+
+    def sync(self) -> Iterator:
+        """``sync``: join all outstanding children, most recent first."""
+        while self._children:
+            yield _join(self._children.pop())
+
+    @property
+    def outstanding(self) -> int:
+        """Number of spawned children not yet synced."""
+        return len(self._children)
+
+
+def cilk(fn: Callable) -> Body:
+    """Decorator turning a spawn-sync generator into a fork-join body.
+
+    The wrapped body creates the :class:`CilkTask` context and appends
+    the implicit terminal ``sync``.
+    """
+
+    @functools.wraps(fn)
+    def body(handle: TaskHandle, *args: Any):
+        ctx = CilkTask(handle)
+        result = yield from fn(ctx, *args)
+        yield from ctx.sync()
+        return result
+
+    return body

@@ -1,0 +1,186 @@
+"""Synthesizing structured fork-join executions from 2D lattices.
+
+Theorem 6 says the Figure 9 rules generate only 2D-lattice task graphs;
+the paper adds that "an extension of the rules with forking and joining
+any number of tasks would capture **all possible** 2D lattices".  This
+module realises that converse constructively: given any planar monotone
+diagram, it synthesizes a valid structured fork-join **event stream**
+whose task graph is order-isomorphic to the input lattice.
+
+Construction (all pieces are the paper's own):
+
+1. compute the non-separating traversal and its delayed variant;
+2. decompose the vertices into threads -- maximal paths of non-delayed
+   last-arcs (Section 4);
+3. walk the delayed traversal, emitting
+
+   * ``fork``  at every non-delayed cross-thread arc (exactly one per
+     non-root thread, entering its first vertex),
+   * ``join``  at every delayed arc (they always run thread-last vertex
+     -> join vertex),
+   * ``halt``  at every stop-arc (the thread's last transition),
+   * a ``step`` -- or the caller-supplied read/write accesses -- at
+     every vertex visit.
+
+Because the walk order *is* a delayed non-separating traversal, the
+synthesized stream replays serially fork-first and passes the full line
+discipline (checked by :func:`repro.forkjoin.replay.replay_events`).
+Combined with per-vertex access annotations this turns the *online*
+detector loose on arbitrary annotated 2D lattices -- no program needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.reports import AccessKind
+from repro.core.traversal import delay_traversal, threads_of_delayed
+from repro.errors import GraphError
+from repro.events import (
+    Arc,
+    Event,
+    ForkEvent,
+    HaltEvent,
+    JoinEvent,
+    Loop,
+    ReadEvent,
+    StepEvent,
+    StopArc,
+    WriteEvent,
+)
+from repro.lattice.dominance import Diagram
+from repro.lattice.nonseparating import nonseparating_traversal
+from repro.lattice.poset import Poset
+
+__all__ = ["SynthesizedExecution", "synthesize_events"]
+
+#: optional per-vertex accesses, as in the offline detector
+AccessMap = Mapping[Hashable, Sequence[Tuple[Hashable, AccessKind]]]
+
+
+class SynthesizedExecution:
+    """The synthesized stream plus the vertex <-> event correspondence.
+
+    ``step_event_of[v]`` is the stream index of the event representing
+    input vertex ``v`` (its step, or its first access when annotated);
+    ``thread_of[v]`` is the task id executing it.
+    """
+
+    def __init__(
+        self,
+        events: List[Event],
+        step_event_of: Dict[Hashable, int],
+        thread_of: Dict[Hashable, int],
+    ) -> None:
+        self.events = events
+        self.step_event_of = step_event_of
+        self.thread_of = thread_of
+
+    @property
+    def task_count(self) -> int:
+        return 1 + sum(isinstance(e, ForkEvent) for e in self.events)
+
+
+def synthesize_events(
+    diagram: Diagram,
+    accesses: Optional[AccessMap] = None,
+) -> SynthesizedExecution:
+    """Synthesize a fork-join execution realising ``diagram``'s lattice.
+
+    The diagram must be single-source and single-sink (a bounded
+    lattice); otherwise no fork-join execution can realise it and
+    :class:`GraphError` is raised.
+    """
+    graph = diagram.graph
+    if len(graph.sources()) != 1 or len(graph.sinks()) != 1:
+        raise GraphError(
+            "synthesis needs a single-source, single-sink diagram"
+        )
+    accesses = accesses or {}
+    poset = Poset(graph)
+    delayed = delay_traversal(nonseparating_traversal(diagram), poset.leq)
+
+    thread_index: Dict[Hashable, int] = {}
+    for k, chain in enumerate(threads_of_delayed(delayed)):
+        for v in chain:
+            thread_index[v] = k
+
+    # Thread indices are traversal-discovery order; task ids must be
+    # dense in *fork* order.  The root thread (containing the source)
+    # gets id 0; the rest are assigned when their fork arc is walked.
+    tid_of: Dict[int, int] = {}
+    next_tid = 1
+    events: List[Event] = []
+    step_event_of: Dict[Hashable, int] = {}
+    thread_of: Dict[Hashable, int] = {}
+    stopped: set = set()  # vertices whose stop-arc has passed
+
+    source = graph.sources()[0]
+    sink = graph.sinks()[0]
+    if thread_index[source] != thread_index[sink]:
+        # The initial task is always rightmost in the line, so nobody
+        # can join it: the source's thread must run through to the sink.
+        # This holds for every diagram traversed right-boundary-last
+        # (the source's chain of non-delayed last-arcs is the diagram's
+        # right boundary, which ends at the sink).
+        raise GraphError(
+            "source and sink fall into different threads; the diagram "
+            "is not realisable as a fork-join execution"
+        )
+    tid_of[thread_index[source]] = 0
+
+    # Delayed (join) arcs precede the fork arc of their target's thread
+    # in the traversal (the paper's T -> T' placement), but the fork
+    # must assign the task id first -- buffer joins until the visit.
+    pending_joins: Dict[Hashable, List[int]] = {}
+
+    for item in delayed:
+        if isinstance(item, Loop):
+            v = item.vertex
+            t = tid_of[thread_index[v]]
+            thread_of[v] = t
+            # Delayed arcs arrive in the diagram's left-to-right order;
+            # the line discipline consumes neighbours right-to-left
+            # (nearest first), so join in reverse.
+            for joined_thread in reversed(pending_joins.pop(v, ())):
+                events.append(JoinEvent(t, tid_of[joined_thread]))
+            step_event_of[v] = len(events)
+            vertex_accesses = accesses.get(v, ())
+            if vertex_accesses:
+                for loc, kind in vertex_accesses:
+                    if kind is AccessKind.READ:
+                        events.append(ReadEvent(t, loc, label=str(v)))
+                    else:
+                        events.append(WriteEvent(t, loc, label=str(v)))
+            else:
+                events.append(StepEvent(t, label=str(v)))
+        elif isinstance(item, StopArc):
+            stopped.add(item.src)
+            events.append(HaltEvent(tid_of[thread_index[item.src]]))
+        elif isinstance(item, Arc):
+            ks, kv = thread_index[item.src], thread_index[item.dst]
+            if ks == kv:
+                continue  # intra-thread step chaining: no event
+            if item.src in stopped:
+                # A delayed last-arc: thread(dst) joins thread(src),
+                # emitted at dst's visit (after dst's thread exists).
+                pending_joins.setdefault(item.dst, []).append(ks)
+            else:
+                # The unique non-delayed cross-thread arc into the
+                # child's first vertex: a fork.
+                if kv in tid_of:
+                    raise GraphError(
+                        f"thread of {item.dst!r} forked twice; the "
+                        "diagram is not a lattice cover digraph"
+                    )
+                tid_of[kv] = next_tid
+                next_tid += 1
+                events.append(ForkEvent(tid_of[ks], tid_of[kv]))
+        else:  # pragma: no cover - defensive
+            raise GraphError(f"unexpected traversal item {item!r}")
+
+    # The sink's thread never halts via a stop-arc (it has no delayed
+    # last-arc); it is the execution's final, root-side task.
+    sink_thread = tid_of[thread_index[graph.sinks()[0]]]
+    events.append(HaltEvent(sink_thread))
+    return SynthesizedExecution(events, step_event_of, thread_of)

@@ -1,0 +1,139 @@
+"""Reconstructing the operation-level task graph of an execution.
+
+The interpreter's event stream is thread-compressed; this module expands
+it back to the paper's task graphs, where every transition (fork, join,
+memory access, step, halt) is a vertex and arcs are the immediate
+happened-before dependencies:
+
+* consecutive transitions of one task are chained;
+* ``fork`` adds an arc from the fork vertex to the child's first vertex;
+* ``join`` adds an arc from the joined task's halt vertex to the join
+  vertex.
+
+Theorem 6 states these graphs are two-dimensional lattices; the tests
+reconstruct graphs of random programs and check exactly that, and the
+exact race oracle (:mod:`repro.detectors.oracle`) evaluates races on the
+reconstruction by brute force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.reports import AccessKind
+from repro.errors import ProgramError
+from repro.events import (
+    Event,
+    ForkEvent,
+    HaltEvent,
+    JoinEvent,
+    ReadEvent,
+    StepEvent,
+    WriteEvent,
+)
+from repro.lattice.digraph import Digraph
+from repro.lattice.poset import Poset
+
+__all__ = ["OpVertex", "TaskGraph", "build_task_graph"]
+
+
+@dataclass(frozen=True, slots=True)
+class OpVertex:
+    """Metadata of one task-graph vertex (one executed transition)."""
+
+    index: int
+    task: int
+    kind: str  # "fork" | "join" | "read" | "write" | "step" | "halt"
+    loc: Hashable = None
+    label: str = ""
+
+
+class TaskGraph:
+    """An operation-level task graph plus its access metadata.
+
+    Vertices are the event indices (0-based positions in the recorded
+    stream); :attr:`ops` maps each to its :class:`OpVertex`.
+    """
+
+    def __init__(self, graph: Digraph, ops: Dict[int, OpVertex]) -> None:
+        self.graph = graph
+        self.ops = ops
+        self._poset: Optional[Poset] = None
+
+    @property
+    def poset(self) -> Poset:
+        """Reachability oracle over the operations (built lazily)."""
+        if self._poset is None:
+            self._poset = Poset(self.graph)
+        return self._poset
+
+    def accesses(self) -> List[Tuple[int, Hashable, AccessKind]]:
+        """All memory accesses as ``(vertex, loc, kind)`` in program order."""
+        out = []
+        for i in sorted(self.ops):
+            op = self.ops[i]
+            if op.kind == "read":
+                out.append((i, op.loc, AccessKind.READ))
+            elif op.kind == "write":
+                out.append((i, op.loc, AccessKind.WRITE))
+        return out
+
+    def ordered(self, x: int, y: int) -> bool:
+        """Happened-before: is ``x`` ordered before ``y``?"""
+        return self.poset.leq(x, y)
+
+    def threads(self) -> Dict[int, List[int]]:
+        """Vertices of each task, in execution order."""
+        out: Dict[int, List[int]] = {}
+        for i in sorted(self.ops):
+            out.setdefault(self.ops[i].task, []).append(i)
+        return out
+
+
+def build_task_graph(events: Sequence[Event]) -> TaskGraph:
+    """Expand a recorded event stream into the operation-level task graph.
+
+    The stream must come from ``run(..., record_events=True)``.
+    """
+    g = Digraph()
+    ops: Dict[int, OpVertex] = {}
+    last_vertex: Dict[int, Optional[int]] = {0: None}
+    fork_vertex_for: Dict[int, int] = {}
+    halt_vertex: Dict[int, int] = {}
+
+    def new_vertex(i: int, task: int, kind: str, loc=None, label="") -> int:
+        ops[i] = OpVertex(i, task, kind, loc, label)
+        g.add_vertex(i)
+        prev = last_vertex.get(task)
+        if prev is not None:
+            g.add_arc(prev, i)
+        elif task in fork_vertex_for:
+            g.add_arc(fork_vertex_for[task], i)
+        last_vertex[task] = i
+        return i
+
+    for i, ev in enumerate(events):
+        if isinstance(ev, ForkEvent):
+            v = new_vertex(i, ev.parent, "fork", label=ev.label)
+            fork_vertex_for[ev.child] = v
+            last_vertex.setdefault(ev.child, None)
+        elif isinstance(ev, JoinEvent):
+            v = new_vertex(i, ev.joiner, "join", label=ev.label)
+            hv = halt_vertex.get(ev.joined)
+            if hv is None:
+                raise ProgramError(
+                    f"join of task {ev.joined} before its halt event"
+                )
+            g.add_arc(hv, v)
+        elif isinstance(ev, ReadEvent):
+            new_vertex(i, ev.task, "read", ev.loc, ev.label)
+        elif isinstance(ev, WriteEvent):
+            new_vertex(i, ev.task, "write", ev.loc, ev.label)
+        elif isinstance(ev, StepEvent):
+            new_vertex(i, ev.task, "step", label=ev.label)
+        elif isinstance(ev, HaltEvent):
+            halt_vertex[ev.task] = new_vertex(i, ev.task, "halt", label=ev.label)
+        else:  # pragma: no cover - defensive
+            raise ProgramError(f"unknown event {ev!r}")
+    return TaskGraph(g, ops)

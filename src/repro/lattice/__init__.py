@@ -1,0 +1,43 @@
+"""Lattice substrate: digraphs, posets, realizers, diagrams, traversals.
+
+This subpackage implements everything Section 3 assumes as given:
+
+* :mod:`repro.lattice.digraph` -- a minimal ordered-adjacency DAG (S6);
+* :mod:`repro.lattice.poset` -- brute-force order oracles: reachability,
+  suprema, infima, closures (S6);
+* :mod:`repro.lattice.realizer` -- Dushnik-Miller dimension-2 machinery:
+  realizers, conjugate orders, transitive orientation (S7);
+* :mod:`repro.lattice.dominance` -- planar monotone diagrams via
+  dominance drawings (S8);
+* :mod:`repro.lattice.nonseparating` -- non-separating traversals from
+  diagrams (S9);
+* :mod:`repro.lattice.generators` / :mod:`repro.lattice.series_parallel`
+  -- graph families for tests and benchmarks (S10).
+"""
+
+from repro.lattice.digraph import Digraph
+from repro.lattice.poset import Poset
+from repro.lattice.realizer import (
+    poset_from_realizer,
+    realizer_of,
+    is_two_dimensional,
+)
+from repro.lattice.completion import macneille_completion, random_2d_lattice
+from repro.lattice.dominance import Diagram
+from repro.lattice.nonseparating import (
+    delayed_nonseparating_traversal,
+    nonseparating_traversal,
+)
+
+__all__ = [
+    "Digraph",
+    "Poset",
+    "Diagram",
+    "poset_from_realizer",
+    "realizer_of",
+    "is_two_dimensional",
+    "nonseparating_traversal",
+    "delayed_nonseparating_traversal",
+    "macneille_completion",
+    "random_2d_lattice",
+]

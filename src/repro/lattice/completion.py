@@ -1,0 +1,139 @@
+"""Dedekind-MacNeille completion: embedding posets into lattices.
+
+The paper's algorithms operate on two-dimensional *lattices*; arbitrary
+2D posets (e.g. the raw intersection of two random linear orders) need
+not have pairwise suprema.  The Dedekind-MacNeille completion is the
+smallest lattice a poset order-embeds into, and -- crucially for us --
+it **preserves order dimension** (a realizer of the poset extends to
+one of the completion), so completing a random 2D poset yields a random
+2D lattice.  This makes a far more diverse lattice generator than the
+structured families (grids, staircases, SP graphs), which the
+property-based tests exploit.
+
+Construction (the classic cut construction):
+
+* a *cut* is a pair ``(A, B)`` with ``A = lower(B)`` and
+  ``B = upper(A)`` (each the set of lower/upper bounds of the other);
+* cuts ordered by inclusion of their ``A`` components form the
+  completion; ``x`` embeds as ``(down(x), up(x))``;
+* we enumerate cuts as the closures ``lower(upper(S))`` reachable from
+  element down-sets, computed over bitmask rows -- fine for the
+  generator/test sizes this is meant for (tens of vertices).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.lattice.digraph import Digraph
+from repro.lattice.poset import Poset
+
+__all__ = ["macneille_completion", "random_2d_lattice"]
+
+
+def macneille_completion(
+    poset: Poset,
+) -> Tuple[Poset, Dict[Hashable, int]]:
+    """The Dedekind-MacNeille completion of ``poset``.
+
+    Returns ``(completion, embedding)`` where the completion's vertices
+    are dense integers (cut ids, topologically ordered) and
+    ``embedding`` maps each original element to its cut.  The
+    completion is a bounded lattice; the embedding preserves order and
+    all existing suprema/infima.
+    """
+    n = len(poset)
+    vs = poset.vertices()
+    index = {v: i for i, v in enumerate(vs)}
+    full = (1 << n) - 1
+
+    up = [0] * n
+    down = [0] * n
+    for i, v in enumerate(vs):
+        for w in poset.up_set(v):
+            up[i] |= 1 << index[w]
+        for w in poset.down_set(v):
+            down[i] |= 1 << index[w]
+
+    def upper(mask: int) -> int:
+        out = full
+        m = mask
+        i = 0
+        while m:
+            if m & 1:
+                out &= up[i]
+            m >>= 1
+            i += 1
+        return out
+
+    def lower(mask: int) -> int:
+        out = full
+        m = mask
+        i = 0
+        while m:
+            if m & 1:
+                out &= down[i]
+            m >>= 1
+            i += 1
+        return out
+
+    def close(mask: int) -> int:
+        return lower(upper(mask))
+
+    # Generate all cuts: start from bottom (closure of the empty set)
+    # and close under "add one element and re-close".  Every cut is the
+    # closure of some subset, and closures form a closure system, so
+    # this exhaustive fixed-point enumeration finds all of them.
+    cuts = {close(0), full}
+    frontier = [close(0), full]
+    while frontier:
+        cur = frontier.pop()
+        for i in range(n):
+            if not (cur >> i) & 1:
+                nxt = close(cur | (1 << i))
+                if nxt not in cuts:
+                    cuts.add(nxt)
+                    frontier.append(nxt)
+
+    ordered = sorted(cuts, key=lambda m: (bin(m).count("1"), m))
+    cut_id = {m: k for k, m in enumerate(ordered)}
+
+    # Cover relations by inclusion: a O(|cuts|^2) scan suffices here.
+    g = Digraph()
+    for k in range(len(ordered)):
+        g.add_vertex(k)
+    for a_id, a in enumerate(ordered):
+        for b_id, b in enumerate(ordered):
+            if a != b and a & b == a:
+                # a < b; keep only covers (no c strictly between).
+                if not any(
+                    c != a and c != b and a & c == a and c & b == c
+                    for c in ordered
+                ):
+                    g.add_arc(a_id, b_id)
+
+    embedding = {v: cut_id[close(1 << index[v])] for v in vs}
+    return Poset(g), embedding
+
+
+def random_2d_lattice(
+    n: int, rng: random.Random, max_size: Optional[int] = None
+) -> Digraph:
+    """A random bounded 2D lattice via completion of a random 2D poset.
+
+    Draws the intersection of the identity order and a random
+    permutation on ``n`` elements and completes it.  The completion can
+    be larger than ``n``; ``max_size`` (default ``4 * n + 2``) rejects
+    and redraws oversized results so test-time stays bounded.
+    """
+    from repro.lattice.realizer import poset_from_realizer
+
+    limit = max_size if max_size is not None else 4 * n + 2
+    while True:
+        l2 = list(range(n))
+        rng.shuffle(l2)
+        base = Poset(poset_from_realizer(list(range(n)), l2))
+        completion, _ = macneille_completion(base)
+        if len(completion) <= limit:
+            return completion.graph

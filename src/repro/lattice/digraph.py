@@ -1,0 +1,205 @@
+"""A minimal directed-graph container with *ordered* adjacency.
+
+Arc order matters here: the planar diagrams of Section 3 come with a
+left-to-right order on the arcs entering and leaving each vertex, and the
+non-separating traversal follows that order.  Successor and predecessor
+lists therefore preserve insertion order, and callers building diagrams
+insert arcs left-to-right.
+
+The class is deliberately small -- exactly what the algorithms need --
+rather than a general graph library; ``networkx`` is used in the tests as
+an independent referee, never inside the library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import GraphError
+
+__all__ = ["Digraph"]
+
+Vertex = Hashable
+
+
+class Digraph:
+    """A simple digraph with insertion-ordered adjacency lists.
+
+    Parallel arcs and self-loops are rejected: the paper's task graphs
+    are simple DAGs (loops in traversals are *notation* for vertex
+    visits, not graph arcs).
+    """
+
+    __slots__ = ("_succ", "_pred")
+
+    def __init__(
+        self, arcs: Optional[Iterable[Tuple[Vertex, Vertex]]] = None
+    ) -> None:
+        self._succ: Dict[Vertex, List[Vertex]] = {}
+        self._pred: Dict[Vertex, List[Vertex]] = {}
+        if arcs is not None:
+            for s, t in arcs:
+                self.add_arc(s, t)
+
+    # -- construction -------------------------------------------------------
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex (idempotent)."""
+        if v not in self._succ:
+            self._succ[v] = []
+            self._pred[v] = []
+
+    def add_arc(self, s: Vertex, t: Vertex) -> None:
+        """Add the arc ``(s, t)``; endpoints are created as needed."""
+        if s == t:
+            raise GraphError(f"self-loop on {s!r}")
+        self.add_vertex(s)
+        self.add_vertex(t)
+        if t in self._succ[s]:
+            raise GraphError(f"duplicate arc ({s!r}, {t!r})")
+        self._succ[s].append(t)
+        self._pred[t].append(s)
+
+    # -- inspection ---------------------------------------------------------
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self._succ)
+
+    @property
+    def arc_count(self) -> int:
+        return sum(len(ss) for ss in self._succ.values())
+
+    def vertices(self) -> Iterator[Vertex]:
+        """All vertices, in insertion order."""
+        return iter(self._succ)
+
+    def arcs(self) -> Iterator[Tuple[Vertex, Vertex]]:
+        """All arcs ``(s, t)``, grouped by source in adjacency order."""
+        for s, ts in self._succ.items():
+            for t in ts:
+                yield (s, t)
+
+    def succs(self, v: Vertex) -> List[Vertex]:
+        """Successors of ``v`` in insertion (left-to-right) order."""
+        return list(self._succ[v])
+
+    def preds(self, v: Vertex) -> List[Vertex]:
+        """Predecessors of ``v`` in insertion (left-to-right) order."""
+        return list(self._pred[v])
+
+    def out_degree(self, v: Vertex) -> int:
+        """Number of outgoing arcs of ``v``."""
+        return len(self._succ[v])
+
+    def in_degree(self, v: Vertex) -> int:
+        """Number of incoming arcs of ``v``."""
+        return len(self._pred[v])
+
+    def has_arc(self, s: Vertex, t: Vertex) -> bool:
+        """Whether the arc ``(s, t)`` is present."""
+        return s in self._succ and t in self._succ[s]
+
+    def sources(self) -> List[Vertex]:
+        """Vertices with no incoming arcs."""
+        return [v for v in self._succ if not self._pred[v]]
+
+    def sinks(self) -> List[Vertex]:
+        """Vertices with no outgoing arcs."""
+        return [v for v, ss in self._succ.items() if not ss]
+
+    # -- algorithms ---------------------------------------------------------
+
+    def topological_order(self) -> List[Vertex]:
+        """Kahn's algorithm; raises :class:`GraphError` on cycles.
+
+        Ties are broken by insertion order, so the result is
+        deterministic.
+        """
+        indeg = {v: len(ps) for v, ps in self._pred.items()}
+        ready = [v for v in self._succ if indeg[v] == 0]
+        out: List[Vertex] = []
+        # A FIFO over `ready` keeps insertion-order determinism.
+        head = 0
+        while head < len(ready):
+            v = ready[head]
+            head += 1
+            out.append(v)
+            for t in self._succ[v]:
+                indeg[t] -= 1
+                if indeg[t] == 0:
+                    ready.append(t)
+        if len(out) != len(self._succ):
+            raise GraphError("digraph has a cycle")
+        return out
+
+    def is_acyclic(self) -> bool:
+        """Whether the digraph has no directed cycle."""
+        try:
+            self.topological_order()
+        except GraphError:
+            return False
+        return True
+
+    def reachable_from(self, v: Vertex) -> set:
+        """All vertices reachable from ``v`` (including ``v``)."""
+        seen = {v}
+        stack = [v]
+        while stack:
+            x = stack.pop()
+            for t in self._succ[x]:
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        return seen
+
+    def transitive_reduction(self) -> "Digraph":
+        """The covering (Hasse) digraph of this DAG's reachability order.
+
+        Keeps arc ``(s, t)`` only when no longer path ``s -> ... -> t``
+        exists.  Adjacency order of surviving arcs is preserved.
+        """
+        order = self.topological_order()
+        index = {v: i for i, v in enumerate(order)}
+        # descendants[i] = bitmask of topo indices reachable from order[i]
+        n = len(order)
+        desc = [0] * n
+        for i in range(n - 1, -1, -1):
+            v = order[i]
+            mask = 1 << i
+            for t in self._succ[v]:
+                mask |= desc[index[t]]
+            desc[i] = mask
+        red = Digraph()
+        for v in self._succ:
+            red.add_vertex(v)
+        for s in self._succ:
+            ts = self._succ[s]
+            for t in ts:
+                # (s, t) is redundant iff some other successor reaches t.
+                j = index[t]
+                if not any(
+                    u != t and (desc[index[u]] >> j) & 1 for u in ts
+                ):
+                    red.add_arc(s, t)
+        return red
+
+    def copy(self) -> "Digraph":
+        """An independent copy (same vertices, arcs and adjacency order)."""
+        g = Digraph()
+        for v in self._succ:
+            g.add_vertex(v)
+        for s, t in self.arcs():
+            g.add_arc(s, t)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Digraph({self.vertex_count} vertices, {self.arc_count} arcs)"
+        )

@@ -1,0 +1,230 @@
+"""Planar monotone diagrams via dominance drawings.
+
+Baker, Fishburn and Roberts [1] (Remark 3 of the paper): an order has
+dimension at most 2 **iff** it has a planar monotonic diagram.  The
+constructive direction is the classic *dominance drawing*: given a
+realizer ``(L1, L2)``, place every vertex at integer coordinates
+
+    ``(a, b) = (position in L1, position in L2)``
+
+so that ``x ⊑ y`` iff ``a_x <= a_y`` and ``b_x <= b_y``.  Rotating 45°
+(screen ``x = b - a``, screen ``y = a + b``) turns coordinate dominance
+into "every directed path advances downwards" -- the monotone drawing of
+Figure 3.  Left-to-right arc order around a vertex (what the
+non-separating traversal follows) is the angular order of the straight
+arc segments in this rotated picture.
+
+:class:`Diagram` bundles a cover digraph with such coordinates and
+exposes exactly what :mod:`repro.lattice.nonseparating` needs:
+``succs_left_to_right`` / ``preds_left_to_right``.  A quadratic
+segment-intersection check (:meth:`Diagram.check_planar`) certifies
+planarity in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.lattice.digraph import Digraph
+from repro.lattice.poset import Poset
+from repro.lattice.realizer import poset_from_realizer, realizer_of
+
+__all__ = ["Diagram"]
+
+Vertex = Hashable
+
+
+def _cross(ox: int, oy: int, ax: int, ay: int, bx: int, by: int) -> int:
+    """Cross product of (a - o) x (b - o)."""
+    return (ax - ox) * (by - oy) - (ay - oy) * (bx - ox)
+
+
+class Diagram:
+    """A planar monotone diagram: cover digraph + dominance coordinates.
+
+    Construct via :meth:`from_realizer` or :meth:`from_poset`; the raw
+    constructor accepts explicit dominance coordinates (one integer pair
+    per vertex, all first components distinct, all second components
+    distinct) and validates monotonicity of the arcs.
+    """
+
+    def __init__(self, graph: Digraph, coords: Dict[Vertex, Tuple[int, int]]):
+        self.graph = graph
+        self.coords = dict(coords)
+        for v in graph.vertices():
+            if v not in self.coords:
+                raise GraphError(f"no coordinates for vertex {v!r}")
+        for s, t in graph.arcs():
+            sa, sb = self.coords[s]
+            ta, tb = self.coords[t]
+            if not (sa < ta and sb < tb):
+                raise GraphError(
+                    f"arc ({s!r}, {t!r}) is not monotone under the given "
+                    "dominance coordinates"
+                )
+        self._l2r_succ: Dict[Vertex, List[Vertex]] = {}
+        self._l2r_pred: Dict[Vertex, List[Vertex]] = {}
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_realizer(
+        cls, l1: Sequence[Vertex], l2: Sequence[Vertex]
+    ) -> "Diagram":
+        """Dominance drawing of the intersection order of ``(L1, L2)``."""
+        graph = poset_from_realizer(l1, l2)
+        pos1 = {v: i for i, v in enumerate(l1)}
+        pos2 = {v: i for i, v in enumerate(l2)}
+        return cls(graph, {v: (pos1[v], pos2[v]) for v in l1})
+
+    @classmethod
+    def from_poset(cls, poset: Poset) -> "Diagram":
+        """Diagram of a dimension-<=2 poset (realizer computed first).
+
+        Raises :class:`NotATwoDimensionalLattice` when dimension > 2.
+        The cover digraph of the *given* poset is reused so vertex
+        identity is preserved.
+        """
+        l1, l2 = realizer_of(poset)
+        graph = poset.graph.transitive_reduction()
+        pos1 = {v: i for i, v in enumerate(l1)}
+        pos2 = {v: i for i, v in enumerate(l2)}
+        return cls(graph, {v: (pos1[v], pos2[v]) for v in l1})
+
+    # -- geometry -------------------------------------------------------------
+
+    def screen(self, v: Vertex) -> Tuple[int, int]:
+        """Rotated drawing coordinates ``(x, y)``; down = larger ``y``."""
+        a, b = self.coords[v]
+        return (b - a, a + b)
+
+    def _angular(self, v: Vertex, neighbours: List[Vertex], down: bool) -> List[Vertex]:
+        """Sort arcs at ``v`` by angle, leftmost first.
+
+        For outgoing arcs (``down=True``) all directions have positive
+        ``dy``; leftmost = smallest ``dx/dy``, compared exactly with a
+        cross product.  Incoming arcs are sorted by the reverse direction.
+        """
+        vx, vy = self.screen(v)
+
+        def direction(u: Vertex) -> Tuple[int, int]:
+            ux, uy = self.screen(u)
+            dx, dy = ux - vx, uy - vy
+            if not down:
+                dx, dy = -dx, -dy
+            assert dy > 0, "diagram is not monotone"
+            return dx, dy
+
+        import functools
+
+        def cmp(u1: Vertex, u2: Vertex) -> int:
+            d1x, d1y = direction(u1)
+            d2x, d2y = direction(u2)
+            c = d1x * d2y - d1y * d2x
+            return -1 if c < 0 else (1 if c > 0 else 0)
+
+        return sorted(neighbours, key=functools.cmp_to_key(cmp))
+
+    def succs_left_to_right(self, v: Vertex) -> List[Vertex]:
+        """Successors of ``v``, leftmost arc first."""
+        cached = self._l2r_succ.get(v)
+        if cached is None:
+            cached = self._angular(v, self.graph.succs(v), down=True)
+            self._l2r_succ[v] = cached
+        return cached
+
+    def preds_left_to_right(self, v: Vertex) -> List[Vertex]:
+        """Predecessors of ``v``, leftmost arc first.
+
+        Incoming arcs at ``v`` arrive from above; "leftmost" means the
+        arc whose upward direction points furthest left.
+        """
+        cached = self._l2r_pred.get(v)
+        if cached is None:
+            preds = self._angular(v, self.graph.preds(v), down=False)
+            # Upward directions sorted leftmost-first point *left* when
+            # the incoming arc attaches on the left side, so reverse to
+            # get the left-to-right order of arc attachment points.
+            self._l2r_pred[v] = preds[::-1]
+            cached = self._l2r_pred[v]
+        return cached
+
+    def leftmost_path_from(self, v: Vertex) -> List[Vertex]:
+        """Follow leftmost outgoing arcs until a sink (proof of Lemma 1)."""
+        path = [v]
+        while self.graph.out_degree(v):
+            v = self.succs_left_to_right(v)[0]
+            path.append(v)
+        return path
+
+    def rightmost_path_from(self, v: Vertex) -> List[Vertex]:
+        """Follow rightmost outgoing arcs (these are the last-arcs)."""
+        path = [v]
+        while self.graph.out_degree(v):
+            v = self.succs_left_to_right(v)[-1]
+            path.append(v)
+        return path
+
+    # -- validation -----------------------------------------------------------
+
+    def check_planar(self) -> None:
+        """Verify no two arc segments intersect except at shared endpoints.
+
+        Quadratic in the number of arcs -- a test/debug utility, not used
+        on the hot path.  Raises :class:`GraphError` on a crossing.
+        """
+        segs = [
+            (s, t, self.screen(s), self.screen(t))
+            for s, t in self.graph.arcs()
+        ]
+        for i in range(len(segs)):
+            s1, t1, p1, q1 = segs[i]
+            for j in range(i + 1, len(segs)):
+                s2, t2, p2, q2 = segs[j]
+                if {s1, t1} & {s2, t2}:
+                    continue  # sharing an endpoint is allowed
+                if _segments_intersect(p1, q1, p2, q2):
+                    raise GraphError(
+                        f"arcs ({s1!r},{t1!r}) and ({s2!r},{t2!r}) cross"
+                    )
+
+    def is_planar(self) -> bool:
+        """Boolean form of :meth:`check_planar`."""
+        try:
+            self.check_planar()
+        except GraphError:
+            return False
+        return True
+
+
+def _on_segment(p: Tuple[int, int], q: Tuple[int, int], r: Tuple[int, int]) -> bool:
+    """Whether collinear point ``q`` lies on segment ``pr``."""
+    return (
+        min(p[0], r[0]) <= q[0] <= max(p[0], r[0])
+        and min(p[1], r[1]) <= q[1] <= max(p[1], r[1])
+    )
+
+
+def _segments_intersect(
+    p1: Tuple[int, int],
+    q1: Tuple[int, int],
+    p2: Tuple[int, int],
+    q2: Tuple[int, int],
+) -> bool:
+    """Exact integer segment-intersection test (proper or improper)."""
+    d1 = _cross(p2[0], p2[1], q2[0], q2[1], p1[0], p1[1])
+    d2 = _cross(p2[0], p2[1], q2[0], q2[1], q1[0], q1[1])
+    d3 = _cross(p1[0], p1[1], q1[0], q1[1], p2[0], p2[1])
+    d4 = _cross(p1[0], p1[1], q1[0], q1[1], q2[0], q2[1])
+    if ((d1 > 0) != (d2 > 0)) and ((d3 > 0) != (d4 > 0)) and d1 and d2 and d3 and d4:
+        return True
+    if d1 == 0 and _on_segment(p2, p1, q2):
+        return True
+    if d2 == 0 and _on_segment(p2, q1, q2):
+        return True
+    if d3 == 0 and _on_segment(p1, p2, q1):
+        return True
+    if d4 == 0 and _on_segment(p1, q2, q1):
+        return True
+    return False

@@ -1,0 +1,248 @@
+"""Generators for lattices, grids and witness posets.
+
+These supply the test-suite and the benchmarks with:
+
+* deterministic families with known structure -- chains, diamonds,
+  grids (the task graph of a linear pipeline, Section 5), staircase
+  sublattices of grids;
+* randomised families -- staircase lattices and two-dimensional posets
+  drawn from random realizers;
+* *negative* witnesses -- the Boolean lattice ``B_3`` (a lattice of
+  order dimension 3) and the standard examples ``S_n`` (dimension ``n``),
+  which the dimension-2 machinery must reject.
+
+Random generation takes an explicit :class:`random.Random` so every test
+and benchmark is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import product
+from typing import List, Tuple
+
+from repro.errors import WorkloadError
+from repro.lattice.digraph import Digraph
+from repro.lattice.dominance import Diagram
+from repro.lattice.poset import Poset
+
+__all__ = [
+    "chain",
+    "diamond",
+    "grid_digraph",
+    "grid_diagram",
+    "staircase_digraph",
+    "random_staircase",
+    "random_two_dim_poset",
+    "boolean_lattice",
+    "standard_example",
+    "figure3_lattice",
+    "figure2_lattice",
+]
+
+
+def chain(n: int) -> Digraph:
+    """A chain ``0 -> 1 -> ... -> n-1`` (the trivial lattice)."""
+    if n < 1:
+        raise WorkloadError("chain needs at least one vertex")
+    g = Digraph()
+    g.add_vertex(0)
+    for i in range(n - 1):
+        g.add_arc(i, i + 1)
+    return g
+
+
+def diamond() -> Digraph:
+    """The four-element diamond: one source, two parallel, one sink."""
+    return Digraph([(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+def grid_digraph(rows: int, cols: int) -> Digraph:
+    """Cover digraph of the product of two chains.
+
+    Vertices are ``(i, j)`` pairs; arcs step down (``i+1``) or right
+    (``j+1``).  This is the task-graph shape of a linear pipeline with
+    ``rows`` items and ``cols`` stages (Section 5).
+    """
+    if rows < 1 or cols < 1:
+        raise WorkloadError("grid needs positive dimensions")
+    g = Digraph()
+    g.add_vertex((0, 0))
+    for i, j in product(range(rows), range(cols)):
+        if i + 1 < rows:
+            g.add_arc((i, j), (i + 1, j))
+        if j + 1 < cols:
+            g.add_arc((i, j), (i, j + 1))
+    return g
+
+
+def grid_diagram(rows: int, cols: int) -> Diagram:
+    """The grid with its canonical dominance coordinates.
+
+    Positions in the two lexicographic linear extensions (row-major and
+    column-major) realize the grid order directly, so no realizer search
+    is needed -- important for large benchmark grids.
+    """
+    g = grid_digraph(rows, cols)
+    coords = {
+        (i, j): (i * cols + j, j * rows + i)
+        for i, j in product(range(rows), range(cols))
+    }
+    return Diagram(g, coords)
+
+
+def staircase_digraph(lo: List[int], hi: List[int]) -> Digraph:
+    """Cover digraph of a staircase sublattice of a grid.
+
+    Row ``i`` contains columns ``lo[i]..hi[i]``; both bound sequences
+    must be non-decreasing with ``lo[i] <= hi[i]`` and consecutive rows
+    overlapping (``lo[i+1] <= hi[i]``), which makes the region closed
+    under componentwise meet and join -- a genuine sublattice.  A global
+    source/sink is guaranteed by the monotone bounds.
+    """
+    rows = len(lo)
+    if rows != len(hi) or rows == 0:
+        raise WorkloadError("lo and hi must be equal-length, non-empty")
+    for i in range(rows):
+        if lo[i] > hi[i]:
+            raise WorkloadError(f"row {i}: lo > hi")
+        if i + 1 < rows and (lo[i + 1] < lo[i] or hi[i + 1] < hi[i]):
+            raise WorkloadError("bounds must be non-decreasing")
+        if i + 1 < rows and lo[i + 1] > hi[i]:
+            raise WorkloadError(f"rows {i},{i+1} do not overlap")
+    cells = {
+        (i, j) for i in range(rows) for j in range(lo[i], hi[i] + 1)
+    }
+    full = Digraph()
+    for c in sorted(cells):
+        full.add_vertex(c)
+    for (i, j) in sorted(cells):
+        for (x, y) in sorted(cells):
+            if (x, y) != (i, j) and x >= i and y >= j:
+                full.add_arc((i, j), (x, y))
+    return full.transitive_reduction()
+
+
+def random_staircase(
+    rows: int, width: int, rng: random.Random
+) -> Digraph:
+    """A random staircase sublattice with ``rows`` rows, columns < ``width``."""
+    lo = [0] * rows
+    hi = [0] * rows
+    cur_lo = 0
+    cur_hi = rng.randrange(width)
+    for i in range(rows):
+        cur_hi = min(width - 1, cur_hi + rng.randrange(0, 3))
+        cur_lo = min(cur_hi, max(cur_lo, cur_lo + rng.randrange(0, 2)))
+        if cur_lo > (hi[i - 1] if i else cur_hi):
+            cur_lo = hi[i - 1] if i else cur_hi
+        lo[i], hi[i] = cur_lo, cur_hi
+    return staircase_digraph(lo, hi)
+
+
+def random_two_dim_poset(n: int, rng: random.Random) -> Digraph:
+    """A random 2D *poset* (not necessarily a lattice) of ``n`` elements.
+
+    Drawn as the intersection of the identity order with a uniformly
+    random permutation -- the Dushnik-Miller construction itself.
+    """
+    from repro.lattice.realizer import poset_from_realizer
+
+    l1 = list(range(n))
+    l2 = list(range(n))
+    rng.shuffle(l2)
+    return poset_from_realizer(l1, l2)
+
+
+def boolean_lattice(k: int) -> Digraph:
+    """The Boolean lattice ``B_k`` (subsets of ``{0..k-1}``).
+
+    ``B_3`` is the canonical lattice of order dimension 3 -- used as a
+    negative witness for the dimension-2 machinery.  Vertices are
+    frozensets.
+    """
+    g = Digraph()
+    subsets = [
+        frozenset(c)
+        for r in range(k + 1)
+        for c in _combinations(range(k), r)
+    ]
+    for s in subsets:
+        g.add_vertex(s)
+    for s in subsets:
+        for e in range(k):
+            if e not in s:
+                g.add_arc(s, s | {e})
+    return g
+
+
+def _combinations(pool, r):
+    from itertools import combinations
+
+    return combinations(pool, r)
+
+
+def standard_example(n: int) -> Digraph:
+    """Dushnik-Miller standard example ``S_n`` (order dimension ``n``).
+
+    Minimal elements ``('a', i)`` and maximal elements ``('b', j)`` with
+    ``('a', i) < ('b', j)`` iff ``i != j``.  Not a lattice; dimension
+    ``n`` for ``n >= 2``.
+    """
+    if n < 2:
+        raise WorkloadError("standard example needs n >= 2")
+    g = Digraph()
+    for i in range(n):
+        g.add_vertex(("a", i))
+        g.add_vertex(("b", i))
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                g.add_arc(("a", i), ("b", j))
+    return g
+
+
+def figure3_lattice() -> Digraph:
+    """The nine-vertex lattice of Figures 3, 4 and 7 of the paper."""
+    return Digraph(
+        [
+            (1, 2), (2, 3), (3, 6), (2, 5), (1, 4), (4, 5),
+            (5, 6), (6, 9), (5, 8), (4, 7), (7, 8), (8, 9),
+        ]
+    )
+
+
+def figure2_lattice() -> Digraph:
+    """The task graph of the fork-join program in Figure 2.
+
+    Vertices (top to bottom in the figure): ``r`` is the initial fork,
+    ``A``/``B`` the two reads, ``C``/``D`` the later operations, and
+    ``w`` the final join.  ``A ∥ D`` (the race) while ``B ⊏ D``.
+    """
+    return Digraph(
+        [
+            ("r", "A"), ("r", "B"),
+            ("A", "C"), ("B", "C"), ("B", "D"),
+            ("C", "w"), ("D", "w"),
+        ]
+    )
+
+
+def figure3_diagram() -> Diagram:
+    """Figure 3's lattice with the paper's left-to-right orientation.
+
+    The orientation is pinned so that the non-separating traversal equals
+    the caption of Figure 4 verbatim.
+    """
+    from repro.lattice.realizer import realizer_of
+
+    poset = Poset(figure3_lattice())
+    l1, l2 = realizer_of(poset)
+    d = Diagram.from_realizer(l1, l2)
+    # Pick the mirror orientation whose traversal starts (1,1)(1,2)...
+    if d.succs_left_to_right(1) != [2, 4]:
+        d = Diagram.from_realizer(l2, l1)
+    return d
+
+
+__all__.append("figure3_diagram")

@@ -1,0 +1,88 @@
+"""Constructing (delayed) non-separating traversals from diagrams.
+
+Definition 1: a non-separating traversal visits arcs and vertices of a
+planar monotone diagram in an order that is simultaneously topological,
+depth-first and left-to-right.  Concretely (and exactly reproducing the
+traversal of Figure 4):
+
+* start at the unique source and visit it;
+* at a visited vertex, emit its outgoing arcs leftmost-first;
+* immediately after emitting the final incoming arc of a vertex, visit
+  that vertex and recurse into it (depth-first);
+* when an arc's target still has unvisited incoming arcs, keep going --
+  the target is visited later, from the emitter of its last incoming arc.
+
+The implementation is iterative (explicit stack) so million-vertex
+benchmark lattices do not hit the interpreter recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Optional
+
+from repro.core.traversal import delay_traversal
+from repro.errors import GraphError, TraversalError
+from repro.events import Arc, Loop, TraversalItem
+from repro.lattice.dominance import Diagram
+from repro.lattice.poset import Poset
+
+__all__ = ["nonseparating_traversal", "delayed_nonseparating_traversal"]
+
+
+def nonseparating_traversal(diagram: Diagram) -> List[TraversalItem]:
+    """Compute the non-separating traversal of a planar monotone diagram.
+
+    Lattice diagrams have a single source; diagrams of tree-shaped
+    semilattices (Remark 2) may have several, which are traversed
+    leftmost-first.  Last-arc flags are set inline: the last arc of
+    ``v`` is its rightmost outgoing arc.  Raises
+    :class:`TraversalError` if some vertex is never reached.
+    """
+    graph = diagram.graph
+    sources = graph.sources()
+    if not sources:
+        raise GraphError("diagram has no source (cyclic or empty)")
+    sources.sort(key=lambda v: diagram.screen(v)[0])
+    remaining = {v: graph.in_degree(v) for v in graph.vertices()}
+    items: List[TraversalItem] = []
+    visited = 0
+    for root in sources:
+        items.append(Loop(root))
+        visited += 1
+        # Stack of (vertex, ordered successor list, next index).
+        stack: List[List] = [[root, diagram.succs_left_to_right(root), 0]]
+        while stack:
+            frame = stack[-1]
+            v, succs, i = frame
+            if i >= len(succs):
+                stack.pop()
+                continue
+            frame[2] += 1
+            u = succs[i]
+            items.append(Arc(v, u, last=(i == len(succs) - 1)))
+            remaining[u] -= 1
+            if remaining[u] == 0:
+                items.append(Loop(u))
+                visited += 1
+                stack.append([u, diagram.succs_left_to_right(u), 0])
+    if visited != graph.vertex_count:
+        raise TraversalError(
+            "traversal did not reach every vertex; the diagram is "
+            "disconnected or not source-complete"
+        )
+    return items
+
+
+def delayed_nonseparating_traversal(
+    diagram: Diagram,
+    reaches: Optional[Callable[[Hashable, Hashable], bool]] = None,
+) -> List[TraversalItem]:
+    """The delayed variant (Definition 3) of the diagram's traversal.
+
+    ``reaches(x, t)`` defaults to an oracle built from the diagram's own
+    digraph; pass one explicitly to reuse a precomputed
+    :class:`~repro.lattice.poset.Poset`.
+    """
+    if reaches is None:
+        reaches = Poset(diagram.graph).leq
+    return delay_traversal(nonseparating_traversal(diagram), reaches)

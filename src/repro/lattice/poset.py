@@ -1,0 +1,216 @@
+"""Brute-force poset oracles: reachability, suprema, infima, closures.
+
+A :class:`Poset` wraps a DAG and answers order-theoretic queries by
+explicit computation over bitmask-encoded up-sets and down-sets.  It is
+the *reference implementation* against which the constant-space
+algorithms of :mod:`repro.core` are validated -- correctness first, no
+cleverness.  Bitmasks (Python big ints) keep the O(n^2/64)-ish costs
+acceptable up to a few thousand vertices, which is ample for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.lattice.digraph import Digraph
+
+__all__ = ["Poset"]
+
+Vertex = Hashable
+
+
+class Poset:
+    """The reachability order of a DAG, with sup/inf/closure oracles.
+
+    ``x <= y`` means ``y`` is reachable from ``x`` (the paper's
+    ``x ⊑ y``).  All queries are answered from precomputed up-set and
+    down-set bitmasks indexed by topological position.
+    """
+
+    def __init__(self, graph: Digraph) -> None:
+        self.graph = graph
+        self._order: List[Vertex] = graph.topological_order()
+        self._index: Dict[Vertex, int] = {
+            v: i for i, v in enumerate(self._order)
+        }
+        n = len(self._order)
+        # up[i]: bitmask of vertices reachable from order[i] (incl. itself)
+        up = [0] * n
+        for i in range(n - 1, -1, -1):
+            mask = 1 << i
+            for t in graph.succs(self._order[i]):
+                mask |= up[self._index[t]]
+            up[i] = mask
+        # down[i]: bitmask of vertices that reach order[i] (incl. itself)
+        down = [0] * n
+        for i in range(n):
+            mask = 1 << i
+            for s in graph.preds(self._order[i]):
+                mask |= down[self._index[s]]
+            down[i] = mask
+        self._up = up
+        self._down = down
+
+    # -- basic order queries --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._index
+
+    def vertices(self) -> List[Vertex]:
+        """Vertices in topological order."""
+        return list(self._order)
+
+    def index(self, v: Vertex) -> int:
+        """Topological position of ``v``."""
+        return self._index[v]
+
+    def leq(self, x: Vertex, y: Vertex) -> bool:
+        """``x ⊑ y``: ``y`` reachable from ``x`` (reflexive)."""
+        return bool(self._up[self._index[x]] >> self._index[y] & 1)
+
+    def lt(self, x: Vertex, y: Vertex) -> bool:
+        """Strict order ``x ⊏ y``."""
+        return x != y and self.leq(x, y)
+
+    def comparable(self, x: Vertex, y: Vertex) -> bool:
+        """Whether ``x`` and ``y`` lie on a common directed path."""
+        return self.leq(x, y) or self.leq(y, x)
+
+    def up_set(self, x: Vertex) -> FrozenSet[Vertex]:
+        """``{y : x ⊑ y}``."""
+        return self._unmask(self._up[self._index[x]])
+
+    def down_set(self, x: Vertex) -> FrozenSet[Vertex]:
+        """``{y : y ⊑ x}``."""
+        return self._unmask(self._down[self._index[x]])
+
+    def _unmask(self, mask: int) -> FrozenSet[Vertex]:
+        out = []
+        i = 0
+        while mask:
+            if mask & 1:
+                out.append(self._order[i])
+            mask >>= 1
+            i += 1
+        return frozenset(out)
+
+    # -- suprema / infima -------------------------------------------------------
+
+    def _sup_mask(self, mask_bounds: int) -> Optional[int]:
+        """Index of the least element of the given upper-bound mask.
+
+        Returns ``None`` when the mask is empty or has no minimum.
+        """
+        if not mask_bounds:
+            return None
+        lowest = (mask_bounds & -mask_bounds).bit_length() - 1
+        # lowest is the topologically-first upper bound; it is the least
+        # element iff every other bound lies above it.
+        if mask_bounds & ~self._up[lowest]:
+            return None
+        return lowest
+
+    def sup(self, x: Vertex, y: Vertex) -> Optional[Vertex]:
+        """``sup{x, y}`` or ``None`` when it does not exist."""
+        return self.sup_of_set((x, y))
+
+    def sup_of_set(self, xs: Iterable[Vertex]) -> Optional[Vertex]:
+        """Least upper bound of a set (``None`` when absent).
+
+        The supremum of the empty set is the poset's minimum, when one
+        exists -- the unit of the join operation.
+        """
+        bounds = (1 << len(self._order)) - 1
+        for x in xs:
+            bounds &= self._up[self._index[x]]
+        i = self._sup_mask(bounds)
+        return None if i is None else self._order[i]
+
+    def inf(self, x: Vertex, y: Vertex) -> Optional[Vertex]:
+        """``inf{x, y}`` or ``None`` when it does not exist."""
+        return self.inf_of_set((x, y))
+
+    def inf_of_set(self, xs: Iterable[Vertex]) -> Optional[Vertex]:
+        """Greatest lower bound of a set (``None`` when absent)."""
+        bounds = (1 << len(self._order)) - 1
+        for x in xs:
+            bounds &= self._down[self._index[x]]
+        if not bounds:
+            return None
+        highest = bounds.bit_length() - 1
+        if bounds & ~self._down[highest]:
+            return None
+        return self._order[highest]
+
+    def is_lattice(self) -> bool:
+        """Every pair has a supremum and an infimum (O(n^2) pair scan)."""
+        n = len(self._order)
+        for i in range(n):
+            for j in range(i + 1, n):
+                both_up = self._up[i] & self._up[j]
+                if self._sup_mask(both_up) is None:
+                    return False
+                both_down = self._down[i] & self._down[j]
+                if not both_down:
+                    return False
+                highest = both_down.bit_length() - 1
+                if both_down & ~self._down[highest]:
+                    return False
+        return True
+
+    def closure(self, xs: Iterable[Vertex]) -> FrozenSet[Vertex]:
+        """Smallest superset of ``xs`` closed under pairwise sup and inf.
+
+        This is the "closure" of Section 3 used in the precondition of
+        ``Sup`` queries.  Fixed-point iteration; fine at oracle scale.
+        """
+        cur = set(xs)
+        for x in cur:
+            if x not in self._index:
+                raise GraphError(f"{x!r} not in poset")
+        changed = True
+        while changed:
+            changed = False
+            items = list(cur)
+            for a in range(len(items)):
+                for b in range(a + 1, len(items)):
+                    for z in (
+                        self.sup(items[a], items[b]),
+                        self.inf(items[a], items[b]),
+                    ):
+                        if z is not None and z not in cur:
+                            cur.add(z)
+                            changed = True
+        return frozenset(cur)
+
+    # -- structure ------------------------------------------------------------
+
+    def bottom(self) -> Optional[Vertex]:
+        """The minimum element, if unique."""
+        srcs = self.graph.sources()
+        return srcs[0] if len(srcs) == 1 else None
+
+    def top(self) -> Optional[Vertex]:
+        """The maximum element, if unique."""
+        snks = self.graph.sinks()
+        return snks[0] if len(snks) == 1 else None
+
+    def covers(self) -> List[Tuple[Vertex, Vertex]]:
+        """The covering pairs (arcs of the transitive reduction)."""
+        return list(self.graph.transitive_reduction().arcs())
+
+    def incomparable_pairs(self) -> List[Tuple[Vertex, Vertex]]:
+        """All unordered incomparable pairs ``(x, y)``, topo-ordered."""
+        out = []
+        n = len(self._order)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if not (self._up[i] >> j & 1) and not (
+                    self._up[j] >> i & 1
+                ):
+                    out.append((self._order[i], self._order[j]))
+        return out

@@ -1,0 +1,234 @@
+"""Dushnik-Miller machinery: realizers, conjugates, dimension-2 tests.
+
+The original definition of two-dimensional orders (Dushnik and Miller
+[10], Remark 3 of the paper) is: ``P`` is 2D iff it is the intersection
+of two linear orders ``L1 ∩ L2`` -- a *realizer*.  Baker, Fishburn and
+Roberts [1] proved this equivalent to having a planar monotone diagram,
+which is the form Section 3 consumes.
+
+This module provides both directions:
+
+* :func:`poset_from_realizer` -- build the (cover digraph of the) poset
+  ``x ⊑ y  iff  x ≤_{L1} y and x ≤_{L2} y``;
+* :func:`realizer_of` -- recover a realizer from a poset of dimension at
+  most 2, via a transitive orientation of the incomparability graph
+  (Golumbic's implication-class algorithm).  Raises
+  :class:`NotATwoDimensionalLattice` when the dimension exceeds 2.
+
+The recovered realizer doubles as a *dominance drawing*: using position
+in ``L1`` and ``L2`` as coordinates yields the planar monotone diagram
+(see :mod:`repro.lattice.dominance`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GraphError, NotATwoDimensionalLattice
+from repro.lattice.digraph import Digraph
+from repro.lattice.poset import Poset
+
+__all__ = [
+    "poset_from_realizer",
+    "realizer_of",
+    "is_two_dimensional",
+    "transitive_orientation",
+    "is_realizer_of",
+]
+
+Vertex = Hashable
+
+
+def poset_from_realizer(
+    l1: Sequence[Vertex], l2: Sequence[Vertex]
+) -> Digraph:
+    """Cover digraph of the intersection order of two linear orders.
+
+    ``x ⊑ y`` iff ``x`` precedes ``y`` in both sequences.  The result is
+    the transitive reduction (Hasse diagram); its reachability equals the
+    intersection order.  Both sequences must enumerate the same elements.
+    """
+    if set(l1) != set(l2) or len(set(l1)) != len(l1) or len(l1) != len(l2):
+        raise GraphError("realizer sequences must be permutations of "
+                         "the same elements")
+    pos2 = {v: i for i, v in enumerate(l2)}
+    full = Digraph()
+    for v in l1:
+        full.add_vertex(v)
+    # Arcs of the full intersection order; reduction prunes to covers.
+    for i, x in enumerate(l1):
+        px = pos2[x]
+        for y in l1[i + 1 :]:
+            if pos2[y] > px:
+                full.add_arc(x, y)
+    return full.transitive_reduction()
+
+
+def is_realizer_of(
+    poset: Poset, l1: Sequence[Vertex], l2: Sequence[Vertex]
+) -> bool:
+    """Check that ``L1 ∩ L2`` equals the poset's order exactly."""
+    if set(l1) != set(poset.vertices()) or set(l2) != set(poset.vertices()):
+        return False
+    pos1 = {v: i for i, v in enumerate(l1)}
+    pos2 = {v: i for i, v in enumerate(l2)}
+    vs = poset.vertices()
+    for i, x in enumerate(vs):
+        for y in vs[i + 1 :]:
+            meets = pos1[x] < pos1[y] and pos2[x] < pos2[y]
+            joins = pos1[y] < pos1[x] and pos2[y] < pos2[x]
+            if poset.lt(x, y) != meets or poset.lt(y, x) != joins:
+                return False
+    return True
+
+
+def transitive_orientation(
+    vertices: Sequence[Vertex], edges: Set[frozenset]
+) -> Optional[Dict[Tuple[Vertex, Vertex], bool]]:
+    """Transitively orient an undirected graph, or return ``None``.
+
+    Implements Golumbic's G-decomposition: repeatedly seed an unoriented
+    edge, close its implication class under the forcing relation
+
+        ``(x, y)`` forces ``(x, c)`` when ``xc`` is an edge but ``yc``
+        is not (and symmetrically ``(c, y)`` when ``cy`` is an edge but
+        ``cx`` is not),
+
+    remove the class and recurse on the rest.  A class containing both
+    ``(a, b)`` and ``(b, a)`` certifies the graph is not a comparability
+    graph.  The caller re-verifies transitivity of the result, so this
+    routine may be trusted "optimistically".
+
+    Returns a dict containing each edge once, as its chosen direction
+    ``(a, b) -> True``.
+    """
+    index = {v: i for i, v in enumerate(vertices)}
+
+    def ordered_pair(e: frozenset) -> Tuple[Vertex, Vertex]:
+        a, b = e
+        return (a, b) if index[a] < index[b] else (b, a)
+
+    # Deterministic processing order: sets of frozensets iterate in
+    # hash order (randomised per process), which would make the chosen
+    # orientation -- hence realizers, diagrams and traversal directions
+    # -- vary between runs.  Sort once by vertex position instead.
+    edge_list = sorted(edges, key=lambda e: tuple(map(index.get, ordered_pair(e))))
+
+    adj: Dict[Vertex, List[Vertex]] = {v: [] for v in vertices}
+    for e in edge_list:
+        a, b = ordered_pair(e)
+        adj[a].append(b)
+        adj[b].append(a)
+
+    remaining: Set[frozenset] = set(edge_list)
+    oriented: Dict[Tuple[Vertex, Vertex], bool] = {}
+
+    for seed in edge_list:
+        if seed not in remaining:
+            continue
+        a, b = ordered_pair(seed)
+        # BFS the implication class of (a, b) within the remaining graph.
+        klass: Dict[frozenset, Tuple[Vertex, Vertex]] = {seed: (a, b)}
+        queue = [(a, b)]
+        while queue:
+            x, y = queue.pop()
+            for c in adj[x]:
+                if c == y:
+                    continue
+                exy = frozenset((x, c))
+                if exy not in remaining:
+                    continue
+                if frozenset((y, c)) in remaining:
+                    continue
+                want = (x, c)
+                have = klass.get(exy)
+                if have is None:
+                    klass[exy] = want
+                    queue.append(want)
+                elif have != want:
+                    return None  # class forces both directions
+            for c in adj[y]:
+                if c == x:
+                    continue
+                exy = frozenset((y, c))
+                if exy not in remaining:
+                    continue
+                if frozenset((x, c)) in remaining:
+                    continue
+                want = (c, y)
+                have = klass.get(exy)
+                if have is None:
+                    klass[exy] = want
+                    queue.append(want)
+                elif have != want:
+                    return None
+        for e, d in klass.items():
+            oriented[d] = True
+            remaining.discard(e)
+    return oriented
+
+
+def _check_orientation_transitive(
+    oriented: Dict[Tuple[Vertex, Vertex], bool]
+) -> bool:
+    succ: Dict[Vertex, List[Vertex]] = {}
+    for (a, b) in oriented:
+        succ.setdefault(a, []).append(b)
+    for (a, b) in oriented:
+        for c in succ.get(b, ()):
+            if c != a and (a, c) not in oriented:
+                return False
+    return True
+
+
+def realizer_of(poset: Poset) -> Tuple[List[Vertex], List[Vertex]]:
+    """Compute a realizer ``(L1, L2)`` of a poset of dimension <= 2.
+
+    ``L1`` is a linear extension of ``P ∪ Q`` and ``L2`` of ``P ∪ Q^{-1}``
+    for a conjugate order ``Q`` (a transitive orientation of the
+    incomparability graph); their intersection is exactly ``P``.  The
+    result is verified before being returned.
+
+    Raises :class:`NotATwoDimensionalLattice` when no realizer exists.
+    """
+    vs = poset.vertices()
+    inc = {frozenset(p) for p in poset.incomparable_pairs()}
+    oriented = transitive_orientation(vs, inc)
+    if oriented is None or not _check_orientation_transitive(oriented):
+        raise NotATwoDimensionalLattice(
+            "incomparability graph has no transitive orientation: "
+            "order dimension exceeds 2"
+        )
+
+    def linear_extension(reverse_q: bool) -> List[Vertex]:
+        g = Digraph()
+        for v in vs:
+            g.add_vertex(v)
+        for i, x in enumerate(vs):
+            for y in vs[i + 1 :]:
+                if poset.lt(x, y):
+                    g.add_arc(x, y)
+                elif poset.lt(y, x):
+                    g.add_arc(y, x)
+        for (a, b) in oriented:
+            if reverse_q:
+                a, b = b, a
+            g.add_arc(a, b)
+        return g.topological_order()
+
+    l1 = linear_extension(False)
+    l2 = linear_extension(True)
+    if not is_realizer_of(poset, l1, l2):  # pragma: no cover - safety net
+        raise NotATwoDimensionalLattice(
+            "constructed extensions do not realize the order"
+        )
+    return l1, l2
+
+
+def is_two_dimensional(poset: Poset) -> bool:
+    """Whether the poset has order dimension at most 2."""
+    try:
+        realizer_of(poset)
+    except NotATwoDimensionalLattice:
+        return False
+    return True

@@ -1,0 +1,217 @@
+"""Series-parallel graphs: construction, recognition, decomposition.
+
+Section 2.1 of the paper: an SP graph is a single-source single-sink DAG
+that is either a base arc, a series composition ``S(G1, G2)`` (sink of
+``G1`` glued to source of ``G2``) or a parallel composition ``P(G1, G2)``
+(sources glued, sinks glued).  Spawn-sync and async-finish programs
+produce exactly these task graphs, and SP-bags-style detectors are
+restricted to them.
+
+Every SP graph is a two-dimensional lattice (planar st-graph), so SP
+families double as positive inputs for the 2D machinery, and the SP
+decomposition tree drives the SP-bags baseline tests.
+
+The decomposition trees here are tiny algebraic values::
+
+    leaf()                       # a single arc
+    series(t1, t2, ...)         # S-node
+    parallel(t1, t2, ...)       # P-node
+
+``sp_digraph`` materialises a *simple* DAG (parallel compositions of
+bare arcs are subdivided with fresh vertices so no parallel arcs occur).
+``is_series_parallel`` recognises SP DAGs by reducing them with the
+classic series/parallel contractions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import GraphError, WorkloadError
+from repro.lattice.digraph import Digraph
+
+__all__ = [
+    "SPLeaf",
+    "SPSeries",
+    "SPParallel",
+    "SPTree",
+    "leaf",
+    "series",
+    "parallel",
+    "sp_digraph",
+    "random_sp_tree",
+    "is_series_parallel",
+]
+
+
+@dataclass(frozen=True)
+class SPLeaf:
+    """A base arc."""
+
+
+@dataclass(frozen=True)
+class SPSeries:
+    """Series composition of two or more SP graphs."""
+
+    children: Tuple["SPTree", ...]
+
+
+@dataclass(frozen=True)
+class SPParallel:
+    """Parallel composition of two or more SP graphs."""
+
+    children: Tuple["SPTree", ...]
+
+
+SPTree = Union[SPLeaf, SPSeries, SPParallel]
+
+
+def leaf() -> SPLeaf:
+    return SPLeaf()
+
+
+def series(*children: SPTree) -> SPSeries:
+    if len(children) < 2:
+        raise WorkloadError("series composition needs >= 2 children")
+    return SPSeries(tuple(children))
+
+
+def parallel(*children: SPTree) -> SPParallel:
+    if len(children) < 2:
+        raise WorkloadError("parallel composition needs >= 2 children")
+    return SPParallel(tuple(children))
+
+
+def leaf_count(tree: SPTree) -> int:
+    """Number of base arcs in the decomposition tree."""
+    if isinstance(tree, SPLeaf):
+        return 1
+    return sum(leaf_count(c) for c in tree.children)
+
+
+__all__.append("leaf_count")
+
+
+def sp_digraph(tree: SPTree) -> Digraph:
+    """Materialise an SP decomposition tree as a simple DAG.
+
+    Vertices are consecutive integers; the source is ``0``.  A parallel
+    child that would contribute a bare source->sink arc is subdivided
+    with a fresh middle vertex so the result has no parallel arcs.
+    """
+    g = Digraph()
+    counter = [0]
+
+    def fresh() -> int:
+        counter[0] += 1
+        return counter[0]
+
+    def build(t: SPTree, s: int, k: int, subdivide: bool) -> None:
+        if isinstance(t, SPLeaf):
+            if subdivide:
+                mid = fresh()
+                g.add_arc(s, mid)
+                g.add_arc(mid, k)
+            else:
+                g.add_arc(s, k)
+        elif isinstance(t, SPSeries):
+            cur = s
+            for i, c in enumerate(t.children):
+                nxt = k if i == len(t.children) - 1 else fresh()
+                build(c, cur, nxt, subdivide=False)
+                cur = nxt
+        elif isinstance(t, SPParallel):
+            for c in t.children:
+                build(c, s, k, subdivide=True)
+        else:  # pragma: no cover - defensive
+            raise GraphError(f"not an SP tree node: {t!r}")
+
+    source = 0
+    g.add_vertex(source)
+    sink = fresh()
+    build(tree, source, sink, subdivide=False)
+    return g
+
+
+def random_sp_tree(
+    n_leaves: int, rng: random.Random, p_parallel: float = 0.5
+) -> SPTree:
+    """A uniform-ish random SP decomposition tree with ``n_leaves`` arcs."""
+    if n_leaves < 1:
+        raise WorkloadError("need at least one leaf")
+    if n_leaves == 1:
+        return leaf()
+    split = rng.randint(1, n_leaves - 1)
+    a = random_sp_tree(split, rng, p_parallel)
+    b = random_sp_tree(n_leaves - split, rng, p_parallel)
+    if rng.random() < p_parallel:
+        return parallel(a, b)
+    return series(a, b)
+
+
+def is_series_parallel(graph: Digraph) -> bool:
+    """Recognise two-terminal SP DAGs by series/parallel reduction.
+
+    Repeatedly (a) merges parallel arcs and (b) contracts interior
+    vertices with in-degree 1 and out-degree 1.  The graph is SP iff the
+    process terminates with the single arc source->sink.  Runs on a
+    multigraph copy; the input is untouched.
+    """
+    sources = graph.sources()
+    sinks = graph.sinks()
+    if len(sources) != 1 or len(sinks) != 1:
+        return False
+    s0, t0 = sources[0], sinks[0]
+    if graph.vertex_count == 1:
+        return True
+
+    # Multigraph as arc multiplicity counters.
+    succ: Dict[object, Dict[object, int]] = {
+        v: {} for v in graph.vertices()
+    }
+    pred: Dict[object, Dict[object, int]] = {
+        v: {} for v in graph.vertices()
+    }
+    for a, b in graph.arcs():
+        succ[a][b] = succ[a].get(b, 0) + 1
+        pred[b][a] = pred[b].get(a, 0) + 1
+
+    # Parallel reduction: collapse multiplicities to 1 (recorded lazily).
+    def simplify(v) -> None:
+        for u in succ[v]:
+            succ[v][u] = 1
+            pred[u][v] = 1
+
+    for v in list(succ):
+        simplify(v)
+
+    # Series reduction worklist.
+    work = [
+        v
+        for v in succ
+        if v not in (s0, t0) and len(succ[v]) == 1 and len(pred[v]) == 1
+    ]
+    while work:
+        v = work.pop()
+        if v not in succ or v in (s0, t0):
+            continue
+        if len(succ[v]) != 1 or len(pred[v]) != 1:
+            continue
+        (a,) = pred[v]
+        (b,) = succ[v]
+        if a == b:
+            return False  # would create a self-loop; not a DAG anyway
+        del succ[v], pred[v]
+        del succ[a][v], pred[b][v]
+        succ[a][b] = 1  # parallel reduction folded in
+        pred[b][a] = 1
+        for u in (a, b):
+            if (
+                u not in (s0, t0)
+                and len(succ[u]) == 1
+                and len(pred[u]) == 1
+            ):
+                work.append(u)
+    return len(succ) == 2 and succ.get(s0, {}).get(t0) == 1

@@ -1,0 +1,141 @@
+"""Recording event streams to disk and replaying them later.
+
+A *trace* is a JSON-lines file, one event per line, with a header line
+carrying format metadata.  Traces decouple monitoring from execution:
+record an execution once, then replay it through any detector (or a
+newer detector version) without re-running the program --
+
+::
+
+    repro-race record prog.py -o run.jsonl
+    repro-race replay run.jsonl --detector vectorclock
+
+Locations are serialised with a small tagged encoding that round-trips
+the location shapes the library uses (strings, ints, and nested tuples
+thereof); anything else is stringified with a warning tag and will
+still replay consistently, just under its string name.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, Iterable, Iterator, List, Union
+
+from repro.errors import ProgramError
+from repro.events import (
+    Event,
+    ForkEvent,
+    HaltEvent,
+    JoinEvent,
+    ReadEvent,
+    StepEvent,
+    WriteEvent,
+)
+
+__all__ = ["dump_events", "load_events", "dumps_event", "loads_event"]
+
+FORMAT = "repro-trace"
+VERSION = 1
+
+
+# -- location encoding --------------------------------------------------------
+
+
+def _enc_loc(loc: Any) -> Any:
+    if loc is None or isinstance(loc, (str, int, float, bool)):
+        return loc
+    if isinstance(loc, tuple):
+        return {"t": [_enc_loc(x) for x in loc]}
+    return {"s": str(loc)}
+
+
+def _dec_loc(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if "t" in obj:
+            return tuple(_dec_loc(x) for x in obj["t"])
+        if "s" in obj:
+            return obj["s"]
+        raise ProgramError(f"bad location encoding: {obj!r}")
+    return obj
+
+
+# -- event encoding -----------------------------------------------------------
+
+
+def dumps_event(ev: Event) -> str:
+    """One event as a compact JSON line (no trailing newline)."""
+    if isinstance(ev, ForkEvent):
+        obj: dict = {"k": "fork", "p": ev.parent, "c": ev.child}
+    elif isinstance(ev, JoinEvent):
+        obj = {"k": "join", "j": ev.joiner, "d": ev.joined}
+    elif isinstance(ev, HaltEvent):
+        obj = {"k": "halt", "t": ev.task}
+    elif isinstance(ev, StepEvent):
+        obj = {"k": "step", "t": ev.task}
+    elif isinstance(ev, ReadEvent):
+        obj = {"k": "read", "t": ev.task, "l": _enc_loc(ev.loc)}
+    elif isinstance(ev, WriteEvent):
+        obj = {"k": "write", "t": ev.task, "l": _enc_loc(ev.loc)}
+    else:
+        raise ProgramError(f"not an event: {ev!r}")
+    if ev.label:
+        obj["b"] = ev.label
+    return json.dumps(obj, separators=(",", ":"))
+
+
+def loads_event(line: str) -> Event:
+    """Parse one JSON line back into an event."""
+    obj = json.loads(line)
+    kind = obj.get("k")
+    label = obj.get("b", "")
+    if kind == "fork":
+        return ForkEvent(obj["p"], obj["c"], label)
+    if kind == "join":
+        return JoinEvent(obj["j"], obj["d"], label)
+    if kind == "halt":
+        return HaltEvent(obj["t"], label)
+    if kind == "step":
+        return StepEvent(obj["t"], label)
+    if kind == "read":
+        return ReadEvent(obj["t"], _dec_loc(obj.get("l")), label)
+    if kind == "write":
+        return WriteEvent(obj["t"], _dec_loc(obj.get("l")), label)
+    raise ProgramError(f"unknown event kind {kind!r}")
+
+
+# -- file io --------------------------------------------------------------------
+
+
+def dump_events(events: Iterable[Event], fp: Union[str, IO[str]]) -> int:
+    """Write a trace file; returns the number of events written."""
+    if isinstance(fp, str):
+        with open(fp, "w", encoding="utf-8") as handle:
+            return dump_events(events, handle)
+    header = {"format": FORMAT, "version": VERSION}
+    fp.write(json.dumps(header, separators=(",", ":")) + "\n")
+    count = 0
+    for ev in events:
+        fp.write(dumps_event(ev) + "\n")
+        count += 1
+    return count
+
+
+def load_events(fp: Union[str, IO[str]]) -> List[Event]:
+    """Read a trace file back into an event list."""
+    if isinstance(fp, str):
+        with open(fp, "r", encoding="utf-8") as handle:
+            return load_events(handle)
+    lines = iter(fp)
+    try:
+        header = json.loads(next(lines))
+    except StopIteration:
+        raise ProgramError("empty trace file") from None
+    if header.get("format") != FORMAT:
+        raise ProgramError(
+            f"not a {FORMAT} file (header: {header!r})"
+        )
+    if header.get("version") != VERSION:
+        raise ProgramError(
+            f"unsupported trace version {header.get('version')!r}"
+        )
+    return [loads_event(line) for line in lines if line.strip()]

@@ -1,0 +1,15 @@
+"""Visualisation helpers: ASCII diagrams and Graphviz export."""
+
+from repro.viz.ascii import render_diagram, render_task_line, render_traversal
+from repro.viz.dot import digraph_to_dot, task_graph_to_dot
+from repro.viz.timeline import LineTracker, render_timeline
+
+__all__ = [
+    "render_diagram",
+    "render_task_line",
+    "render_traversal",
+    "digraph_to_dot",
+    "task_graph_to_dot",
+    "LineTracker",
+    "render_timeline",
+]

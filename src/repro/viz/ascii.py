@@ -1,0 +1,80 @@
+"""ASCII rendering of diagrams, traversals and task lines.
+
+Good enough to eyeball a lattice in a terminal or paste into a bug
+report; not a layout engine.  Vertices are placed by their rotated
+dominance coordinates (down = later), scaled into a character grid.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence
+
+from repro.events import Arc, Loop, StopArc, TraversalItem
+from repro.lattice.dominance import Diagram
+
+__all__ = ["render_diagram", "render_task_line", "render_traversal"]
+
+
+def render_diagram(diagram: Diagram, width: int = 60) -> str:
+    """Draw vertices layer by layer, ordered left-to-right within layers.
+
+    Layers are the distinct screen depths (``y`` of the rotated
+    dominance drawing); within a layer, vertices are sorted by screen
+    ``x``.  Arcs are listed per vertex below the picture.
+    """
+    screen = {v: diagram.screen(v) for v in diagram.graph.vertices()}
+    ys = sorted({y for (_, y) in screen.values()})
+    xs = sorted({x for (x, _) in screen.values()})
+    if not xs:
+        return "(empty diagram)"
+    xmin, xmax = xs[0], xs[-1]
+    span = max(1, xmax - xmin)
+    lines: List[str] = []
+    for y in ys:
+        layer = sorted(
+            (v for v, (vx, vy) in screen.items() if vy == y),
+            key=lambda v: screen[v][0],
+        )
+        row = [" "] * (width + 8)
+        for v in layer:
+            x = screen[v][0]
+            col = int((x - xmin) / span * width)
+            label = str(v)
+            for k, ch in enumerate(label):
+                if col + k < len(row):
+                    row[col + k] = ch
+        lines.append("".join(row).rstrip())
+    lines.append("")
+    for v in diagram.graph.vertices():
+        succs = diagram.succs_left_to_right(v)
+        if succs:
+            lines.append(f"{v} -> {', '.join(map(str, succs))}")
+    return "\n".join(lines)
+
+
+def render_task_line(line: Sequence[int], current: int = -1) -> str:
+    """Render a task line ``L . x . R`` with the running task bracketed."""
+    parts = [
+        f"[{t}]" if t == current else str(t) for t in line
+    ]
+    return " . ".join(parts) if parts else "(empty line)"
+
+
+def render_traversal(
+    items: Sequence[TraversalItem], per_line: int = 8
+) -> str:
+    """Wrap a traversal into lines of ``per_line`` items, paper-style."""
+    chunks: List[str] = []
+    for item in items:
+        if isinstance(item, Loop):
+            chunks.append(f"({item.vertex},{item.vertex})")
+        elif isinstance(item, Arc):
+            mark = "!" if item.last else ""
+            chunks.append(f"({item.src},{item.dst}){mark}")
+        elif isinstance(item, StopArc):
+            chunks.append(f"({item.src},\N{MULTIPLICATION SIGN})")
+    lines = [
+        " ".join(chunks[i : i + per_line])
+        for i in range(0, len(chunks), per_line)
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Workload generators for tests and benchmarks.
+
+* :mod:`repro.workloads.synthetic` -- random structured fork-join
+  programs (the library's stand-in for "real parallel tasks to
+  monitor"; see the substitution note in DESIGN.md);
+* :mod:`repro.workloads.pipelines` -- linear-pipeline workloads with
+  configurable stages, per-item buffers, shared state and seeded races;
+* :mod:`repro.workloads.spworkloads` -- spawn-sync (divide-and-conquer,
+  map-reduce) workloads for the SP-only baselines;
+* :mod:`repro.workloads.access_patterns` -- memory-location pattern
+  helpers shared by the generators.
+"""
+
+from repro.workloads.synthetic import SyntheticConfig, random_program, race_free_program
+from repro.workloads.pipelines import (
+    clean_pipeline,
+    racy_pipeline,
+    shared_counter_pipeline,
+)
+from repro.workloads.spworkloads import (
+    divide_and_conquer,
+    racy_divide_and_conquer,
+    map_reduce,
+)
+from repro.workloads.racegen import (
+    INJECTED_LOC,
+    conflicting_pair_program,
+    with_injected_race,
+)
+from repro.workloads.wavefront import (
+    blocked_wavefront,
+    wavefront,
+    wavefront_with_bug,
+)
+
+__all__ = [
+    "INJECTED_LOC",
+    "conflicting_pair_program",
+    "with_injected_race",
+    "wavefront",
+    "wavefront_with_bug",
+    "blocked_wavefront",
+    "SyntheticConfig",
+    "random_program",
+    "race_free_program",
+    "clean_pipeline",
+    "racy_pipeline",
+    "shared_counter_pipeline",
+    "divide_and_conquer",
+    "racy_divide_and_conquer",
+    "map_reduce",
+]

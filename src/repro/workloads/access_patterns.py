@@ -1,0 +1,61 @@
+"""Memory-location patterns used by the workload generators.
+
+A *pattern* is a callable ``pattern(task, op, rng) -> location`` that
+decides which location an access touches.  Patterns control how much
+sharing (and therefore how many potential races) a workload exhibits:
+
+* :func:`private` -- every task touches only its own locations; always
+  race-free regardless of structure;
+* :func:`striped` -- locations partitioned round-robin over a fixed pool;
+  races depend on which tasks share a stripe and how they synchronise;
+* :func:`uniform_shared` -- every access picks uniformly from a shared
+  pool; races are likely wherever structure permits;
+* :func:`hot_spot` -- a biased mix of one hot location and a cold pool.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable
+
+__all__ = ["Pattern", "private", "striped", "uniform_shared", "hot_spot"]
+
+Pattern = Callable[[int, int, random.Random], Hashable]
+
+
+def private() -> Pattern:
+    """Each task uses its own location family ``("prv", task, slot)``."""
+
+    def pattern(task: int, op: int, rng: random.Random) -> Hashable:
+        return ("prv", task, op % 4)
+
+    return pattern
+
+
+def striped(n_locations: int) -> Pattern:
+    """Tasks hash onto a fixed pool of ``n_locations`` stripes."""
+
+    def pattern(task: int, op: int, rng: random.Random) -> Hashable:
+        return ("stripe", (task * 31 + op) % n_locations)
+
+    return pattern
+
+
+def uniform_shared(n_locations: int) -> Pattern:
+    """Every access draws uniformly from a shared pool."""
+
+    def pattern(task: int, op: int, rng: random.Random) -> Hashable:
+        return ("shared", rng.randrange(n_locations))
+
+    return pattern
+
+
+def hot_spot(n_locations: int, hot_probability: float = 0.5) -> Pattern:
+    """A single hot location plus a uniform cold pool."""
+
+    def pattern(task: int, op: int, rng: random.Random) -> Hashable:
+        if rng.random() < hot_probability:
+            return ("hot", 0)
+        return ("cold", rng.randrange(n_locations))
+
+    return pattern

@@ -1,0 +1,149 @@
+"""Linear-pipeline workloads (the paper's motivating 2D application).
+
+Builders return ``(items, stages)`` pairs for
+:func:`repro.forkjoin.pipeline.run_pipeline`.  Three canonical shapes:
+
+* :func:`clean_pipeline` -- each stage reads the previous stage's
+  per-item buffer and writes its own; a shared accumulator is touched
+  only at a single (serialised) stage.  Race-free.
+* :func:`racy_pipeline` -- additionally, one configurable *early* stage
+  writes a shared location that a *later* stage reads; stage ``i`` of
+  item ``j+1`` runs concurrently with stage ``i+1`` of item ``j``, so
+  this races.
+* :func:`shared_counter_pipeline` -- every stage bumps one global
+  counter (read+write).  Accesses from different stages of different
+  items are unordered: heavily racy, and the worst case for vector-clock
+  shadow growth (every task ends up in the location's read vector).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Sequence, Tuple
+
+from repro.forkjoin.program import read as _read, step as _step, write as _write
+
+__all__ = [
+    "clean_pipeline",
+    "racy_pipeline",
+    "shared_counter_pipeline",
+    "read_shared_pipeline",
+]
+
+Stage = Callable[[Any, int], Iterator]
+Workload = Tuple[List[Any], List[Stage]]
+
+
+def _buffer(stage: int, item_index: int) -> Tuple[str, int, int]:
+    return ("buf", stage, item_index)
+
+
+def clean_pipeline(
+    n_items: int, n_stages: int, work_per_stage: int = 1
+) -> Workload:
+    """A race-free pipeline: per-item buffers plus a serialised reducer.
+
+    Stage ``i`` reads ``buf[i-1][j]`` and writes ``buf[i][j]``; the last
+    stage also folds into a single shared accumulator, which is safe
+    because a serial stage is totally ordered across items.
+    """
+    last = n_stages - 1
+
+    def make_stage(i: int) -> Stage:
+        def stage(item: Any, j: int) -> Iterator:
+            if i > 0:
+                yield _read(_buffer(i - 1, j))
+            for _ in range(work_per_stage):
+                yield _step()
+            yield _write(_buffer(i, j))
+            if i == last:
+                yield _read(("acc",))
+                yield _write(("acc",))
+
+        stage.__name__ = f"stage{i}"
+        return stage
+
+    return list(range(n_items)), [make_stage(i) for i in range(n_stages)]
+
+
+def racy_pipeline(
+    n_items: int,
+    n_stages: int,
+    writer_stage: int = 0,
+    reader_stage: int = -1,
+    work_per_stage: int = 1,
+) -> Workload:
+    """A clean pipeline plus one cross-stage shared cell.
+
+    ``writer_stage`` writes ``("leak",)`` and ``reader_stage`` reads it.
+    With ``writer_stage < reader_stage`` (in stage order) the write of
+    item ``j+1`` is unordered with the read of item ``j`` -- a genuine
+    race on every adjacent item pair.
+    """
+    if reader_stage < 0:
+        reader_stage += n_stages
+    items, stages = clean_pipeline(n_items, n_stages, work_per_stage)
+
+    def wrap(i: int, inner: Stage) -> Stage:
+        def stage(item: Any, j: int) -> Iterator:
+            if i == writer_stage:
+                yield _write(("leak",), label=f"leak-write@stage{i}")
+            result = yield from inner(item, j)
+            if i == reader_stage:
+                yield _read(("leak",), label=f"leak-read@stage{i}")
+            return result
+
+        stage.__name__ = f"racy_stage{i}"
+        return stage
+
+    return items, [wrap(i, s) for i, s in enumerate(stages)]
+
+
+def shared_counter_pipeline(n_items: int, n_stages: int) -> Workload:
+    """Every cell increments one global counter -- maximal read sharing.
+
+    This is the adversarial case for epoch-based detectors: the counter
+    location becomes read-shared across *all* tasks, inflating
+    FastTrack's read vector to Θ(n) while the 2D detector stays at two
+    entries.
+    """
+
+    def make_stage(i: int) -> Stage:
+        def stage(item: Any, j: int) -> Iterator:
+            if i > 0:
+                yield _read(_buffer(i - 1, j))
+            yield _read(("counter",))
+            yield _write(("counter",))
+            yield _write(_buffer(i, j))
+
+        stage.__name__ = f"counter_stage{i}"
+        return stage
+
+    return list(range(n_items)), [make_stage(i) for i in range(n_stages)]
+
+
+def read_shared_pipeline(n_items: int, n_stages: int) -> Workload:
+    """Race-free pipeline in which every cell reads one config location.
+
+    The very first cell (stage 0 of item 0) writes ``("config",)``,
+    which is ordered before every other cell in the grid, so all the
+    subsequent reads are safe -- yet pairwise *concurrent* with each
+    other.  This is the paper's headline space scenario: a vector-clock
+    detector accumulates one read entry per task on the config location
+    (Θ(n) per location), FastTrack inflates its read epoch to a full
+    vector, while the 2D detector's ``R[config]`` stays a single vertex
+    name.
+    """
+
+    def make_stage(i: int) -> Stage:
+        def stage(item: Any, j: int) -> Iterator:
+            if i == 0 and j == 0:
+                yield _write(("config",), label="init-config")
+            if i > 0:
+                yield _read(_buffer(i - 1, j))
+            yield _read(("config",))
+            yield _write(_buffer(i, j))
+
+        stage.__name__ = f"shared_read_stage{i}"
+        return stage
+
+    return list(range(n_items)), [make_stage(i) for i in range(n_stages)]

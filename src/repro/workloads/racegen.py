@@ -1,0 +1,81 @@
+"""Controlled race injection.
+
+Benchmarks and soundness tests need workloads whose race status is
+*known by construction*: exactly one injected racing pair on a fresh
+location, everything else untouched.  :func:`with_injected_race` wraps
+any root body so that, at the very end of the execution, the root forks
+two sibling tasks that both write one fresh location and only then
+joins them -- the writes are unordered by construction, so the wrapped
+program races iff the original did, plus exactly the injected pair.
+
+:func:`conflicting_pair_program` is the minimal two-task racer used for
+microbenchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterator
+
+from repro.forkjoin.program import (
+    Body,
+    TaskHandle,
+    fork as _fork,
+    join as _join,
+    write as _write,
+)
+
+__all__ = ["with_injected_race", "conflicting_pair_program", "INJECTED_LOC"]
+
+#: the location every injected race is on
+INJECTED_LOC = ("__injected_race__",)
+
+
+def _racer(self: TaskHandle, tag: str) -> Iterator:
+    yield _write(INJECTED_LOC, label=f"injected-{tag}")
+
+
+def with_injected_race(body: Body) -> Body:
+    """Wrap ``body`` so the execution additionally contains exactly one
+    guaranteed racing pair (two unordered sibling writes to
+    :data:`INJECTED_LOC`), appended after the original body completes.
+
+    The injected location is fresh, so the original program's verdicts
+    are unaffected; a sound detector must now always report something.
+    """
+
+    def wrapped(self: TaskHandle, *args: Any):
+        result = yield from body(self, *args)
+        first = yield _fork(_racer, "first")
+        # Fork-first: `first` has already run and halted; fork the
+        # second racer, whose write is unordered with the first's.
+        second = yield _fork(_racer, "second")
+        yield _join(second)
+        yield _join(first)
+        return result
+
+    wrapped.__name__ = f"{getattr(body, '__name__', 'body')}+race"
+    return wrapped
+
+
+def conflicting_pair_program(
+    loc: Hashable = INJECTED_LOC, *, ordered: bool = False
+) -> Body:
+    """The minimal program with one write-write pair on ``loc``.
+
+    ``ordered=True`` joins the child before the root's write (no race);
+    ``ordered=False`` writes while the child is merely halted (race).
+    """
+
+    def child(self: TaskHandle):
+        yield _write(loc, label="child-write")
+
+    def main(self: TaskHandle):
+        c = yield _fork(child)
+        if ordered:
+            yield _join(c)
+            yield _write(loc, label="root-write")
+        else:
+            yield _write(loc, label="root-write")
+            yield _join(c)
+
+    return main

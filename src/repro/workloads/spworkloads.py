@@ -1,0 +1,98 @@
+"""Spawn-sync (series-parallel) workloads for the SP-only baselines.
+
+These exercise the bracketed sub-discipline of Section 5's construction
+(11): every task joins exactly its own spawned children, so the task
+graphs are series-parallel and SP-bags applies.  The same programs also
+run under the 2D detector, which must agree (experiment C3).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+from repro.forkjoin.program import read as _read, write as _write
+from repro.forkjoin.spawn_sync import cilk
+
+__all__ = [
+    "divide_and_conquer",
+    "racy_divide_and_conquer",
+    "map_reduce",
+]
+
+
+def divide_and_conquer(depth: int, fanout: int = 2):
+    """Race-free parallel divide-and-conquer (mergesort-shaped).
+
+    Each node spawns ``fanout`` children over disjoint key ranges,
+    syncs, then combines the children's outputs into its own -- reads of
+    child cells happen strictly after the sync, so everything is
+    ordered.  Creates ``(fanout^(depth+1) - 1) / (fanout - 1)`` tasks.
+    """
+
+    @cilk
+    def node(ctx, path: Tuple[int, ...] = ()):
+        if len(path) >= depth:
+            yield _write(("cell", path))
+            return
+        for k in range(fanout):
+            yield from ctx.spawn(node, path + (k,))
+        yield from ctx.sync()
+        for k in range(fanout):
+            yield _read(("cell", path + (k,)))
+        yield _write(("cell", path))
+
+    return node
+
+
+def racy_divide_and_conquer(depth: int, fanout: int = 2):
+    """Divide-and-conquer with the sync moved *after* the combine.
+
+    The parent reads its children's cells before syncing -- the classic
+    forgotten-sync bug.  Every such read races with the corresponding
+    child write.
+    """
+
+    @cilk
+    def node(ctx, path: Tuple[int, ...] = ()):
+        if len(path) >= depth:
+            yield _write(("cell", path))
+            return
+        for k in range(fanout):
+            yield from ctx.spawn(node, path + (k,))
+        for k in range(fanout):  # BUG: reads before sync
+            yield _read(("cell", path + (k,)), label=f"early-read{k}")
+        yield from ctx.sync()
+        yield _write(("cell", path))
+
+    return node
+
+
+def map_reduce(n_workers: int, items_per_worker: int = 4):
+    """Flat map-reduce: spawn workers over disjoint slices, then reduce.
+
+    Workers read a shared immutable input descriptor (read-shared
+    location) and write private output slots; the parent reduces after
+    the sync.  Race-free; the read sharing stresses vector-clock space.
+    """
+
+    def worker_loc(w: int, i: int) -> Hashable:
+        return ("out", w, i)
+
+    @cilk
+    def worker(ctx, w: int):
+        for i in range(items_per_worker):
+            yield _read(("input",))
+            yield _write(worker_loc(w, i))
+
+    @cilk
+    def driver(ctx):
+        yield _write(("input",), label="publish-input")
+        for w in range(n_workers):
+            yield from ctx.spawn(worker, w)
+        yield from ctx.sync()
+        for w in range(n_workers):
+            for i in range(items_per_worker):
+                yield _read(worker_loc(w, i))
+        yield _write(("result",))
+
+    return driver

@@ -1,0 +1,152 @@
+"""Random structured fork-join programs.
+
+The paper's detector needs a stream of fork/join/access events from a
+structured program; since no real parallel corpus is available offline,
+these generators produce arbitrarily large *valid* programs under the
+Figure 9 discipline, exercising the full generality of 2D lattices
+(tasks may leave forked-but-unjoined children behind for their joiner to
+consume -- the construct that takes task graphs beyond series-parallel).
+
+Validity is maintained with a *credit* argument: a task may ``join_left``
+only while it has credit, where credit counts the tasks currently to its
+left that belong to it -- children it forked plus leftovers absorbed
+from tasks it joined.  A task may halt with positive credit (leaving
+leftovers) only when its joiner can absorb them; the root always drains
+its credit so the execution ends fully joined (single-sink task graph).
+
+All randomness flows through one seeded :class:`random.Random`, so a
+``SyntheticConfig`` is a complete, reproducible description of a
+workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional
+
+from repro.forkjoin.program import (
+    fork as _fork,
+    join_left as _join_left,
+    read as _read,
+    write as _write,
+)
+from repro.workloads.access_patterns import Pattern, uniform_shared
+
+__all__ = ["SyntheticConfig", "random_program", "race_free_program"]
+
+
+@dataclass
+class SyntheticConfig:
+    """Parameters of a random structured fork-join program.
+
+    Attributes
+    ----------
+    seed: RNG seed; same config => same program => same event stream.
+    max_tasks: hard cap on created tasks (the generator stops forking
+        once reached).
+    max_depth: cap on fork nesting depth.
+    ops_per_task: accesses/forks/joins attempted per task body.
+    fork_probability: chance an action slot tries to fork.
+    join_probability: chance an action slot joins (when credit > 0).
+    write_ratio: fraction of memory accesses that are writes.
+    leftover_probability: chance a non-root task halts without joining
+        its remaining credit (producing non-SP shapes).
+    n_locations: size of the shared location pool.
+    pattern: access pattern; defaults to a uniform shared pool.
+    """
+
+    seed: int = 0
+    max_tasks: int = 64
+    max_depth: int = 8
+    ops_per_task: int = 6
+    fork_probability: float = 0.3
+    join_probability: float = 0.2
+    write_ratio: float = 0.4
+    leftover_probability: float = 0.3
+    n_locations: int = 16
+    pattern: Optional[Pattern] = None
+
+
+class _State:
+    """Mutable per-run bookkeeping shared by all task bodies."""
+
+    __slots__ = ("rng", "tasks_created", "leftovers")
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.tasks_created = 1  # the root
+        self.leftovers: Dict[int, int] = {}
+
+
+def _task_body(self, cfg: SyntheticConfig, state: _State, depth: int):
+    rng = state.rng
+    pattern = cfg.pattern or uniform_shared(cfg.n_locations)
+    credit = 0
+    for op in range(cfg.ops_per_task):
+        roll = rng.random()
+        if (
+            roll < cfg.fork_probability
+            and state.tasks_created < cfg.max_tasks
+            and depth < cfg.max_depth
+        ):
+            state.tasks_created += 1
+            yield _fork(_task_body, cfg, state, depth + 1)
+            credit += 1
+        elif roll < cfg.fork_probability + cfg.join_probability and credit:
+            joined = yield _join_left()
+            credit += state.leftovers.pop(joined.tid, 0) - 1
+        else:
+            loc = pattern(self.tid, op, rng)
+            if rng.random() < cfg.write_ratio:
+                yield _write(loc)
+            else:
+                yield _read(loc)
+    is_root = depth == 0
+    leave = (
+        not is_root
+        and credit > 0
+        and rng.random() < cfg.leftover_probability
+    )
+    if leave:
+        state.leftovers[self.tid] = credit
+    else:
+        while credit:
+            joined = yield _join_left()
+            credit += state.leftovers.pop(joined.tid, 0) - 1
+
+
+def random_program(cfg: SyntheticConfig):
+    """A fresh root body for the configured random program.
+
+    Each returned body owns its own RNG state, so running it twice (or
+    under different detectors) replays the identical event stream.
+    """
+
+    def root(self):
+        state = _State(cfg.seed)
+        result = yield from _task_body(self, cfg, state, 0)
+        return result
+
+    root.__name__ = f"synthetic_{cfg.seed}"
+    return root
+
+
+def race_free_program(cfg: SyntheticConfig):
+    """Like :func:`random_program` but provably race-free.
+
+    Every task accesses only its private locations (the structure --
+    forks, joins, leftovers -- is still random), so any detector report
+    on these programs is a false positive.
+    """
+    from repro.workloads.access_patterns import private
+
+    safe = SyntheticConfig(**{**cfg.__dict__, "pattern": private()})
+
+    def root(self):
+        state = _State(safe.seed)
+        result = yield from _task_body(self, safe, state, 0)
+        return result
+
+    root.__name__ = f"racefree_{cfg.seed}"
+    return root

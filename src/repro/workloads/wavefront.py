@@ -1,0 +1,129 @@
+"""Wavefront (stencil) workloads over the pipeline construction.
+
+Wavefront dynamic programming -- Smith-Waterman alignment, longest
+common subsequence, 2D stencil sweeps -- fills a matrix where cell
+``(i, j)`` depends on ``(i-1, j)`` and ``(i, j-1)``: exactly the grid
+order of a linear pipeline with rows as items and columns as stages.
+These builders produce monitored kernels with configurable neighbour
+reads:
+
+* :func:`wavefront` -- a correct kernel reading the up/left/diagonal
+  neighbours (all covered by the wavefront order);
+* :func:`wavefront_with_bug` -- additionally reads a neighbour *outside*
+  the dependence cone (default: the anti-diagonal ``(i-1, j+1)``), a
+  real race on every interior cell;
+* :func:`blocked_wavefront` -- a tiled variant: each task computes a
+  ``bh x bw`` block, cutting task count while keeping the dependence
+  structure (what a real runtime would do for granularity).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.forkjoin.program import read as _read, step as _step, write as _write
+
+__all__ = ["wavefront", "wavefront_with_bug", "blocked_wavefront"]
+
+Stage = Callable[[Any, int], Iterator]
+Workload = Tuple[List[Any], List[Stage]]
+
+
+def _cell(i: int, j: int) -> Tuple[str, int, int]:
+    return ("cell", i, j)
+
+
+def wavefront(rows: int, cols: int, work: int = 0) -> Workload:
+    """A correct wavefront kernel: reads up / left / diagonal, writes self.
+
+    ``work`` adds that many local steps per cell to model compute cost.
+    """
+    if rows < 1 or cols < 1:
+        raise WorkloadError("wavefront needs positive dimensions")
+
+    def make_stage(j: int) -> Stage:
+        def stage(row: Any, i: int) -> Iterator:
+            if i > 0:
+                yield _read(_cell(i - 1, j))
+            if j > 0:
+                yield _read(_cell(i, j - 1))
+                if i > 0:
+                    yield _read(_cell(i - 1, j - 1))
+            for _ in range(work):
+                yield _step()
+            yield _write(_cell(i, j))
+
+        stage.__name__ = f"wave_col{j}"
+        return stage
+
+    return list(range(rows)), [make_stage(j) for j in range(cols)]
+
+
+def wavefront_with_bug(
+    rows: int,
+    cols: int,
+    bad_offset: Tuple[int, int] = (-1, 1),
+) -> Workload:
+    """A wavefront kernel that also reads ``(i + di, j + dj)``.
+
+    The default ``(-1, +1)`` is the classic anti-diagonal off-by-one:
+    that cell is concurrent with ``(i, j)`` on the wavefront, so every
+    interior cell races.  Racing offsets are exactly the *incomparable*
+    ones (``di`` and ``dj`` of opposite signs): past-cone reads
+    (``di, dj <= 0``) are ordered dependencies, and future-cone reads
+    (``di, dj >= 0``) read a cell whose write is ordered *after* them --
+    an initialisation bug, but not a happens-before race.
+    """
+    di, dj = bad_offset
+    if di * dj >= 0:
+        raise WorkloadError(
+            f"offset {bad_offset} is comparable with (0, 0) in the grid "
+            "order -- it cannot race"
+        )
+    items, stages = wavefront(rows, cols)
+
+    def wrap(j: int, inner: Stage) -> Stage:
+        def stage(row: Any, i: int) -> Iterator:
+            ni, nj = i + di, j + dj
+            if 0 <= ni < rows and 0 <= nj < cols and (ni, nj) != (i, j):
+                yield _read(
+                    _cell(ni, nj), label=f"bad-read({ni},{nj})@({i},{j})"
+                )
+            yield from inner(row, i)
+
+        stage.__name__ = f"buggy_col{j}"
+        return stage
+
+    return items, [wrap(j, s) for j, s in enumerate(stages)]
+
+
+def blocked_wavefront(
+    rows: int, cols: int, bh: int, bw: int
+) -> Workload:
+    """A tiled wavefront: one task per ``bh x bw`` block of cells.
+
+    Block ``(I, J)`` reads the boundary cells of blocks ``(I-1, J)`` and
+    ``(I, J-1)`` and writes its own cells -- the block grid has the same
+    2D dependence structure with ``(rows/bh) * (cols/bw)`` tasks.
+    """
+    if rows % bh or cols % bw:
+        raise WorkloadError("block size must divide the matrix size")
+    brows, bcols = rows // bh, cols // bw
+
+    def make_stage(J: int) -> Stage:
+        def stage(row: Any, I: int) -> Iterator:
+            if I > 0:  # bottom boundary row of the block above
+                for j in range(J * bw, (J + 1) * bw):
+                    yield _read(_cell(I * bh - 1, j))
+            if J > 0:  # right boundary column of the block on the left
+                for i in range(I * bh, (I + 1) * bh):
+                    yield _read(_cell(i, J * bw - 1))
+            for i in range(I * bh, (I + 1) * bh):
+                for j in range(J * bw, (J + 1) * bw):
+                    yield _write(_cell(i, j))
+
+        stage.__name__ = f"block_col{J}"
+        return stage
+
+    return list(range(brows)), [make_stage(J) for J in range(bcols)]

@@ -1,0 +1,103 @@
+"""Shared fixtures and hypothesis strategies for the test-suite.
+
+Set ``HYPOTHESIS_PROFILE=thorough`` for a soak run with 5x the examples
+(used before releases; the default profile keeps CI fast).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+
+settings.register_profile("default", settings())
+settings.register_profile(
+    "thorough",
+    settings(max_examples=500, deadline=None),
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+from repro.lattice.digraph import Digraph
+from repro.lattice.generators import (
+    figure2_lattice,
+    figure3_diagram,
+    figure3_lattice,
+    grid_digraph,
+    random_staircase,
+)
+from repro.lattice.poset import Poset
+from repro.lattice.series_parallel import random_sp_tree, sp_digraph
+
+
+@pytest.fixture
+def fig3_graph() -> Digraph:
+    return figure3_lattice()
+
+
+@pytest.fixture
+def fig3_poset(fig3_graph) -> Poset:
+    return Poset(fig3_graph)
+
+
+@pytest.fixture
+def fig3_diagram():
+    return figure3_diagram()
+
+
+@pytest.fixture
+def fig2_graph() -> Digraph:
+    return figure2_lattice()
+
+
+# -- hypothesis strategies ----------------------------------------------------
+
+
+@st.composite
+def staircase_lattices(draw, max_rows: int = 7, max_width: int = 6) -> Digraph:
+    """Random staircase sublattices of grids (always 2D lattices)."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    rows = draw(st.integers(1, max_rows))
+    width = draw(st.integers(1, max_width))
+    return random_staircase(rows, width, random.Random(seed))
+
+
+@st.composite
+def sp_digraphs(draw, max_leaves: int = 10) -> Digraph:
+    """Random series-parallel DAGs (2D lattices, SP-recognisable)."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    leaves = draw(st.integers(1, max_leaves))
+    return sp_digraph(random_sp_tree(leaves, random.Random(seed)))
+
+
+@st.composite
+def grid_digraphs(draw, max_side: int = 6) -> Digraph:
+    rows = draw(st.integers(1, max_side))
+    cols = draw(st.integers(1, max_side))
+    return grid_digraph(rows, cols)
+
+
+@st.composite
+def completed_lattices(draw, max_base: int = 7) -> Digraph:
+    """Random 2D lattices via Dedekind-MacNeille completion of random
+    2D posets -- the most shape-diverse family in the pool."""
+    from repro.lattice.completion import random_2d_lattice
+
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(1, max_base))
+    return random_2d_lattice(n, random.Random(seed))
+
+
+@st.composite
+def two_dim_lattices(draw) -> Digraph:
+    """A mixed pool of 2D lattices from all generator families."""
+    which = draw(st.integers(0, 3))
+    if which == 0:
+        return draw(staircase_lattices())
+    if which == 1:
+        return draw(sp_digraphs())
+    if which == 2:
+        return draw(grid_digraphs(max_side=4))
+    return draw(completed_lattices())

@@ -1,0 +1,115 @@
+"""Tests for the delayed/relaxed algorithm (Figure 8, Theorem 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.delayed import DelayedSupremaWalker
+from repro.events import Arc, Loop, StopArc
+from repro.lattice.dominance import Diagram
+from repro.lattice.generators import figure3_diagram
+from repro.lattice.nonseparating import delayed_nonseparating_traversal
+from repro.lattice.poset import Poset
+
+from tests.conftest import two_dim_lattices
+
+
+def check_relaxed_conditions(graph):
+    """Machine-check conditions (6) and (7) of Section 4.
+
+    Along the delayed traversal, at every vertex ``t``:
+
+    * (6) ``Sup(x, t) = t  iff  x ⊑ t`` for every previously visited x;
+    * (7) for previously visited pairs (x, y) with y visited after x,
+      the *stored* answer ``r = Sup(x, y)`` (as the race detector would
+      store it) satisfies ``Sup(r, t) = t iff Sup(x, t) = t and
+      Sup(y, t) = t``.
+    """
+    poset = Poset(graph)
+    diagram = Diagram.from_poset(poset)
+    traversal = delayed_nonseparating_traversal(diagram, poset.leq)
+    walker = DelayedSupremaWalker()
+    visited = []
+    stored = []  # (x, y, Sup(x, y) at y's visit)
+    failures = []
+
+    def on_visit(t, w):
+        for x in visited:
+            if (w.sup(x, t) == t) != poset.leq(x, t):
+                failures.append(("(6)", x, t))
+        for x, y, r in stored:
+            lhs = w.sup(r, t) == t
+            rhs = (w.sup(x, t) == t) and poset.leq(y, t)
+            if lhs != rhs:
+                failures.append(("(7)", x, y, r, t))
+        for x in visited:
+            stored.append((x, t, w.sup(x, t)))
+        visited.append(t)
+
+    walker.walk(traversal, on_visit)
+    assert not failures, failures[:5]
+
+
+class TestPaperBehaviour:
+    def test_relaxed_answer_may_differ_from_supremum(self):
+        """Section 4's example: executing Figure 2 in order A B C D,
+        Sup(A, B) is allowed to return A instead of the true sup C."""
+        # Thread-compressed Figure 2 stream: main=0, a=1, c=2.
+        w = DelayedSupremaWalker(check_preconditions=False)
+        w.feed(Loop(0))          # main starts
+        w.feed(Arc(0, 1))        # fork a
+        w.feed(Loop(1))          # A (read)
+        w.feed(StopArc(1))       # a halts
+        w.feed(Loop(0))          # B (read by main)
+        # Query Sup(a, main) right now: a's history is NOT ordered before
+        # main's current op; the placeholder answer is task a itself.
+        assert w.sup(1, 0) == 1
+
+    def test_stop_arc_unmarks(self):
+        w = DelayedSupremaWalker(check_preconditions=False)
+        w.feed(Loop(1))
+        assert w.is_visited(1)
+        w.feed(StopArc(1))
+        assert not w.is_visited(1)
+
+    def test_delayed_union_corrects_placeholder(self):
+        """After the delayed last-arc is finally visited, the placeholder
+        root's set merges into the true supremum's set."""
+        w = DelayedSupremaWalker(check_preconditions=False)
+        w.feed(Loop(1))
+        w.feed(StopArc(1))
+        w.feed(Loop(2))
+        w.feed(Arc(1, 2, last=True))  # the delayed arc arrives
+        assert w.unionfind.find(1) == 2
+        assert w.sup(1, 2) == 2
+
+    def test_figure7_conditions(self, fig3_graph):
+        check_relaxed_conditions(fig3_graph)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("rows,cols", [(1, 4), (2, 3), (3, 3), (4, 4)])
+    def test_grids(self, rows, cols):
+        from repro.lattice.generators import grid_digraph
+
+        check_relaxed_conditions(grid_digraph(rows, cols))
+
+    def test_figure2(self, fig2_graph):
+        check_relaxed_conditions(fig2_graph)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=two_dim_lattices())
+    def test_random_lattices(self, graph):
+        check_relaxed_conditions(graph)
+
+    def test_repeated_loops_allowed(self):
+        """Thread-compressed traversals revisit the same vertex; the
+        delayed walker must accept that (Section 4, transformation (8))."""
+        w = DelayedSupremaWalker(check_preconditions=False)
+        w.feed(Loop(0))
+        w.feed(Loop(0))
+        w.feed(Arc(0, 1))
+        w.feed(Loop(1))
+        w.feed(Loop(1))
+        assert w.sup(0, 1) == 1

@@ -1,0 +1,265 @@
+"""Unit tests for the flagship 2D race detector (Figure 6 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import RaceDetector2D
+from repro.core.reports import AccessKind
+from repro.errors import DetectorError
+
+
+def fresh():
+    d = RaceDetector2D()
+    root = d.spawn_root()
+    return d, root
+
+
+class TestBasicRaces:
+    def test_write_write_race(self):
+        d, main = fresh()
+        c = d.on_fork(main)
+        d.on_write(c, "x")
+        d.on_halt(c)
+        d.on_write(main, "x")
+        assert len(d.races) == 1
+        r = d.races[0]
+        assert r.kind is AccessKind.WRITE
+        assert r.prior_kind is AccessKind.WRITE
+        assert r.loc == "x"
+        d.on_join(main, c)
+
+    def test_read_write_race(self):
+        d, main = fresh()
+        c = d.on_fork(main)
+        d.on_read(c, "x")
+        d.on_halt(c)
+        d.on_write(main, "x")
+        assert len(d.races) == 1
+        assert d.races[0].prior_kind is AccessKind.READ
+        d.on_join(main, c)
+
+    def test_write_read_race(self):
+        d, main = fresh()
+        c = d.on_fork(main)
+        d.on_write(c, "x")
+        d.on_halt(c)
+        d.on_read(main, "x")
+        assert len(d.races) == 1
+        assert d.races[0].kind is AccessKind.READ
+        assert d.races[0].prior_kind is AccessKind.WRITE
+        d.on_join(main, c)
+
+    def test_read_read_is_not_a_race(self):
+        d, main = fresh()
+        c = d.on_fork(main)
+        d.on_read(c, "x")
+        d.on_halt(c)
+        d.on_read(main, "x")
+        assert d.races == []
+        d.on_join(main, c)
+
+    def test_join_orders_accesses(self):
+        d, main = fresh()
+        c = d.on_fork(main)
+        d.on_write(c, "x")
+        d.on_halt(c)
+        d.on_join(main, c)
+        d.on_write(main, "x")
+        assert d.races == []
+
+    def test_same_task_never_races_with_itself(self):
+        d, main = fresh()
+        d.on_write(main, "x")
+        d.on_read(main, "x")
+        d.on_write(main, "x")
+        assert d.races == []
+
+    def test_transitive_join_ordering(self):
+        """a joined by c, c joined by main: a's write ordered before main."""
+        d, main = fresh()
+        a = d.on_fork(main)
+        d.on_write(a, "x")
+        d.on_halt(a)
+        c = d.on_fork(main)
+        d.on_join(c, a)
+        d.on_step(c)
+        d.on_halt(c)
+        d.on_join(main, c)
+        d.on_write(main, "x")
+        assert d.races == []
+
+    def test_figure2_scenario(self):
+        """A and B read, D writes; A races with D, B does not."""
+        d, main = fresh()
+        a = d.on_fork(main)
+        d.on_read(a, "l", label="A")
+        d.on_halt(a)
+        d.on_read(main, "l", label="B")
+        c = d.on_fork(main)
+        d.on_join(c, a)
+        d.on_step(c)
+        d.on_halt(c)
+        d.on_write(main, "l", label="D")
+        d.on_join(main, c)
+        assert len(d.races) == 1
+        assert d.races[0].label == "D"
+
+    def test_sibling_tasks_race(self):
+        d, main = fresh()
+        a = d.on_fork(main)
+        d.on_write(a, "x")
+        d.on_halt(a)
+        b = d.on_fork(main)
+        d.on_write(b, "x")
+        d.on_halt(b)
+        assert len(d.races) == 1
+        d.on_join(main, b)
+        d.on_join(main, a)
+
+    def test_race_detected_against_unjoined_grandchild(self):
+        """A halted-but-unjoined task's history stays concurrent."""
+        d, main = fresh()
+        a = d.on_fork(main)
+        g = d.on_fork(a)  # grandchild, left unjoined by a
+        d.on_write(g, "x")
+        d.on_halt(g)
+        d.on_step(a)
+        d.on_halt(a)
+        d.on_join(main, a)
+        d.on_write(main, "x")  # still races with g (never joined)
+        assert len(d.races) == 1
+        d.on_join(main, g)
+        d.on_write(main, "x")  # now ordered
+        assert len(d.races) == 1
+
+
+class TestMultipleLocations:
+    def test_locations_are_independent(self):
+        d, main = fresh()
+        c = d.on_fork(main)
+        d.on_write(c, "x")
+        d.on_write(c, "y")
+        d.on_halt(c)
+        d.on_write(main, "x")
+        assert len(d.races) == 1
+        d.on_read(main, "z")
+        assert len(d.races) == 1
+        d.on_join(main, c)
+
+    def test_shadow_space_is_constant(self):
+        d, main = fresh()
+        tasks = []
+        for _ in range(50):
+            c = d.on_fork(main)
+            d.on_read(c, "shared")
+            d.on_write(c, ("private", c))
+            d.on_halt(c)
+            tasks.append(c)
+        for c in reversed(tasks):
+            d.on_join(main, c)
+        # 50 concurrent readers of "shared": still <= 2 entries per cell.
+        assert d.space_per_location() <= 2
+        assert d.shadow.max_entries_per_loc() <= 2
+
+
+class TestLifecycleErrors:
+    def test_join_running_thread_rejected(self):
+        d, main = fresh()
+        c = d.on_fork(main)
+        with pytest.raises(DetectorError, match="running"):
+            d.on_join(main, c)
+
+    def test_double_join_rejected(self):
+        d, main = fresh()
+        c = d.on_fork(main)
+        d.on_halt(c)
+        d.on_join(main, c)
+        with pytest.raises(DetectorError, match="twice"):
+            d.on_join(main, c)
+
+    def test_ops_after_halt_rejected(self):
+        d, main = fresh()
+        c = d.on_fork(main)
+        d.on_halt(c)
+        with pytest.raises(DetectorError, match="halted"):
+            d.on_write(c, "x")
+
+    def test_unknown_thread_rejected(self):
+        d, _ = fresh()
+        with pytest.raises(DetectorError, match="unknown"):
+            d.on_read(99, "x")
+
+    def test_fork_id_mismatch_detected(self):
+        d, main = fresh()
+        with pytest.raises(DetectorError, match="mismatch"):
+            d.on_fork(main, child=17)
+
+    def test_root_id_mismatch_detected(self):
+        d = RaceDetector2D()
+        with pytest.raises(DetectorError, match="mismatch"):
+            d.on_root(3)
+
+
+class TestFigure6Erratum:
+    def test_literal_mode_flags_concurrent_reads(self):
+        """Figure 6 as printed compares a read against R, which flags
+        read-read pairs; the prose semantics does not."""
+        def drive(detector):
+            main = detector.spawn_root()
+            c = detector.on_fork(main)
+            detector.on_read(c, "x")
+            detector.on_halt(c)
+            detector.on_read(main, "x")
+            detector.on_join(main, c)
+            return detector.races
+
+        literal = RaceDetector2D(paper_figure6_literal=True)
+        prose = RaceDetector2D()
+        assert len(drive(literal)) == 1
+        assert len(drive(prose)) == 0
+
+    def test_literal_mode_misses_write_read(self):
+        """The printed On-Read never consults W: a prior concurrent
+        write goes unflagged on a read (why the prose reading is the
+        right one)."""
+        literal = RaceDetector2D(paper_figure6_literal=True)
+        main = literal.spawn_root()
+        c = literal.on_fork(main)
+        literal.on_write(c, "x")
+        literal.on_halt(c)
+        literal.on_read(main, "x")
+        assert literal.races == []
+
+
+class TestAccounting:
+    def test_space_per_thread_constant(self):
+        d, main = fresh()
+        assert d.space_per_thread() == 6
+        for _ in range(10):
+            c = d.on_fork(main)
+            d.on_halt(c)
+        assert d.space_per_thread() == 6
+        assert d.thread_count == 11
+
+    def test_op_index_advances(self):
+        d, main = fresh()
+        c = d.on_fork(main)
+        d.on_write(c, "x")
+        assert d.op_index == 2
+
+    def test_races_carry_op_index_and_label(self):
+        d, main = fresh()
+        c = d.on_fork(main)
+        d.on_write(c, "x")
+        d.on_halt(c)
+        d.on_write(main, "x", label="here")
+        assert d.races[0].label == "here"
+        assert d.races[0].op_index == d.op_index
+
+    def test_unionfind_counters_exposed(self):
+        d, main = fresh()
+        c = d.on_fork(main)
+        d.on_halt(c)
+        d.on_join(main, c)
+        assert d.unionfind.union_count == 1

@@ -1,0 +1,38 @@
+"""Tests for race reports and access kinds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reports import AccessKind, RaceReport
+
+
+class TestAccessKind:
+    def test_conflict_matrix(self):
+        R, W = AccessKind.READ, AccessKind.WRITE
+        assert not R.conflicts_with(R)
+        assert R.conflicts_with(W)
+        assert W.conflicts_with(R)
+        assert W.conflicts_with(W)
+
+
+class TestRaceReport:
+    def test_str_mentions_location_and_tasks(self):
+        rep = RaceReport(
+            loc="x",
+            task=3,
+            kind=AccessKind.WRITE,
+            prior_kind=AccessKind.READ,
+            prior_repr=1,
+            label="loop body",
+        )
+        text = str(rep)
+        assert "'x'" in text and "task 3" in text and "loop body" in text
+
+    def test_frozen(self):
+        rep = RaceReport(
+            loc="x", task=0, kind=AccessKind.READ,
+            prior_kind=AccessKind.WRITE,
+        )
+        with pytest.raises(AttributeError):
+            rep.task = 5  # type: ignore[misc]

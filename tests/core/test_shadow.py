@@ -1,0 +1,59 @@
+"""Tests for the shadow-memory accounting container."""
+
+from __future__ import annotations
+
+from repro.core.shadow import ShadowMap
+
+
+def list_cell_entries(cell):
+    return len(cell)
+
+
+class TestShadowMap:
+    def test_put_get(self):
+        sm = ShadowMap(list_cell_entries)
+        sm.put("x", [1])
+        assert sm.get("x") == [1]
+        assert sm.get("y") is None
+        assert "x" in sm and "y" not in sm
+        assert len(sm) == 1
+
+    def test_total_and_max_entries(self):
+        sm = ShadowMap(list_cell_entries)
+        sm.put("x", [1])
+        sm.put("y", [1, 2, 3])
+        assert sm.total_entries() == 4
+        assert sm.max_entries_per_loc() == 3
+        assert sm.mean_entries_per_loc() == 2.0
+
+    def test_empty_stats(self):
+        sm = ShadowMap(list_cell_entries)
+        assert sm.total_entries() == 0
+        assert sm.max_entries_per_loc() == 0
+        assert sm.mean_entries_per_loc() == 0.0
+
+    def test_peak_tracks_history_not_current(self):
+        sm = ShadowMap(list_cell_entries)
+        cell = [1, 2, 3, 4]
+        sm.put("x", cell)
+        assert sm.peak_entries_per_loc == 4
+        cell.clear()
+        sm.touch("x")
+        assert sm.max_entries_per_loc() == 0
+        assert sm.peak_entries_per_loc == 4  # peak is sticky
+
+    def test_touch_after_inplace_growth(self):
+        sm = ShadowMap(list_cell_entries)
+        cell = [1]
+        sm.put("x", cell)
+        cell.append(2)
+        sm.touch("x")
+        assert sm.total_entries() == 2
+        assert sm.peak_entries_per_loc == 2
+
+    def test_iteration(self):
+        sm = ShadowMap(list_cell_entries)
+        sm.put("a", [1])
+        sm.put("b", [2])
+        assert sorted(sm) == ["a", "b"]
+        assert dict(sm.items()) == {"a": [1], "b": [2]}

@@ -1,0 +1,176 @@
+"""Tests for the offline suprema algorithm (Figure 5, Theorems 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.suprema import SupremaWalker
+from repro.errors import QueryPreconditionError, TraversalError
+from repro.events import Arc, Loop, StopArc
+from repro.lattice.dominance import Diagram
+from repro.lattice.generators import figure3_diagram, grid_diagram
+from repro.lattice.nonseparating import nonseparating_traversal
+from repro.lattice.poset import Poset
+
+from tests.conftest import two_dim_lattices
+
+
+def walk_and_query_all(graph):
+    """Run Figure 5 on a lattice; compare every valid query to the oracle.
+
+    At each visited vertex ``t``, query ``Sup(x, t)`` for every
+    previously visited ``x`` (all of which are in the closure of the
+    prefix) and assert the answer equals the true supremum -- Theorem 1
+    guarantees the *exact* supremum offline, not just the relaxed
+    semantics.
+    """
+    poset = Poset(graph)
+    diagram = Diagram.from_poset(poset)
+    traversal = nonseparating_traversal(diagram)
+    walker = SupremaWalker()
+    visited = []
+    failures = []
+
+    def on_visit(t, w):
+        for x in visited:
+            got = w.sup(x, t)
+            true = poset.sup(x, t)
+            if got != true:
+                failures.append((x, t, got, true))
+        visited.append(t)
+
+    walker.walk(traversal, on_visit)
+    assert not failures, failures[:5]
+    assert len(visited) == len(poset)
+
+
+class TestPaperExamples:
+    def test_theorem1_worked_examples(self, fig3_diagram):
+        """Section 3: at t=5, sup{3,5}=6 (unvisited root) and sup{1,5}=5."""
+        walker = SupremaWalker()
+        answers = {}
+
+        def on_visit(t, w):
+            if t == 5:
+                answers["3,5"] = w.sup(3, 5)
+                answers["1,5"] = w.sup(1, 5)
+                answers["6,5"] = w.sup(6, 5)
+
+        walker.walk(nonseparating_traversal(fig3_diagram), on_visit)
+        assert answers == {"3,5": 6, "1,5": 5, "6,5": 6}
+
+    def test_query_validity_example(self, fig3_diagram):
+        """Section 3: after the prefix ending in (5,5), Sup(6,5) is valid
+        (6 is in the closure) while Sup(7,5) is not."""
+        walker = SupremaWalker()
+        seen = {}
+
+        def on_visit(t, w):
+            if t == 5:
+                seen["6 known"] = w.is_known(6)
+                seen["7 known"] = w.is_known(7)
+                with pytest.raises(QueryPreconditionError):
+                    w.sup(7, 5)
+
+        walker.walk(nonseparating_traversal(fig3_diagram), on_visit)
+        assert seen == {"6 known": True, "7 known": False}
+
+    def test_figure3_exhaustive(self, fig3_graph):
+        walk_and_query_all(fig3_graph)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("rows,cols", [(1, 1), (1, 5), (3, 3), (4, 6)])
+    def test_grids_exhaustive(self, rows, cols):
+        walk_and_query_all(grid_diagram(rows, cols).graph)
+
+    def test_diamond(self):
+        from repro.lattice.generators import diamond
+
+        walk_and_query_all(diamond())
+
+    def test_chain(self):
+        from repro.lattice.generators import chain
+
+        walk_and_query_all(chain(6))
+
+    @settings(max_examples=80, deadline=None)
+    @given(graph=two_dim_lattices())
+    def test_random_lattices_exhaustive(self, graph):
+        walk_and_query_all(graph)
+
+
+class TestRemark2TreeCase:
+    def test_tree_suprema_root_always_after_t(self):
+        """Remark 2: on a (reversed) tree, the root of x's tree is never
+        visited before t, so Sup always answers the root itself."""
+        # An in-tree (directed towards its root 0 at the bottom): that is
+        # a semilattice where sup = lowest common "descendant".
+        arcs = [(1, 0), (2, 0), (3, 1), (4, 1), (5, 2), (6, 2)]
+        from repro.lattice.digraph import Digraph
+
+        g = Digraph(arcs)
+        poset = Poset(g)
+        diagram = Diagram.from_poset(poset)
+        traversal = nonseparating_traversal(diagram)
+        walker = SupremaWalker()
+        visited = []
+
+        def on_visit(t, w):
+            for x in visited:
+                got = w.sup(x, t)
+                assert got == poset.sup(x, t)
+            visited.append(t)
+
+        walker.walk(traversal, on_visit)
+
+
+class TestWalkerMechanics:
+    def test_rejects_stop_arcs(self):
+        walker = SupremaWalker()
+        walker.feed(Loop(1))
+        with pytest.raises(TraversalError, match="DelayedSupremaWalker"):
+            walker.feed(StopArc(1))
+
+    def test_query_requires_current_vertex(self):
+        walker = SupremaWalker()
+        walker.feed(Loop(1))
+        walker.feed(Loop(2))
+        with pytest.raises(QueryPreconditionError, match="traversal is at"):
+            walker.sup(1, 1)  # t must equal the cursor (2)
+
+    def test_checks_can_be_disabled(self):
+        walker = SupremaWalker(check_preconditions=False)
+        walker.feed(Loop(1))
+        walker.feed(Loop(2))
+        assert walker.sup(1, 1) == 1  # nonsense query, but allowed
+
+    def test_non_last_arcs_do_not_union(self):
+        walker = SupremaWalker()
+        walker.feed(Loop(1))
+        walker.feed(Arc(1, 2, last=False))
+        assert not walker.unionfind.same_set(1, 2)
+
+    def test_last_arc_unions_under_target_label(self):
+        walker = SupremaWalker()
+        walker.feed(Loop(1))
+        walker.feed(Arc(1, 2, last=True))
+        assert walker.unionfind.find(1) == 2
+
+    def test_ordered_before(self, fig3_diagram):
+        walker = SupremaWalker()
+        results = {}
+
+        def on_visit(t, w):
+            if t == 5:
+                results["1<=5"] = w.ordered_before(1, 5)
+                results["3<=5"] = w.ordered_before(3, 5)
+
+        walker.walk(nonseparating_traversal(fig3_diagram), on_visit)
+        assert results == {"1<=5": True, "3<=5": False}
+
+    def test_feed_rejects_garbage(self):
+        walker = SupremaWalker()
+        with pytest.raises(TraversalError):
+            walker.feed("not an item")  # type: ignore[arg-type]

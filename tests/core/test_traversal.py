@@ -1,0 +1,180 @@
+"""Tests for traversal construction helpers and validity checkers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.traversal import (
+    annotate_last_arcs,
+    check_delayed_wellformed,
+    check_topological,
+    check_wellformed,
+    delay_traversal,
+    last_arc_map,
+    loop_positions,
+    threads_of_delayed,
+)
+from repro.errors import TraversalError
+from repro.events import Arc, Loop, StopArc, format_traversal
+from repro.lattice.dominance import Diagram
+from repro.lattice.generators import figure3_diagram
+from repro.lattice.nonseparating import (
+    delayed_nonseparating_traversal,
+    nonseparating_traversal,
+)
+from repro.lattice.poset import Poset
+
+from tests.conftest import two_dim_lattices
+
+
+class TestHelpers:
+    def test_loop_positions(self):
+        items = [Loop("a"), Arc("a", "b"), Loop("b")]
+        assert loop_positions(items) == {"a": 0, "b": 2}
+
+    def test_loop_positions_rejects_duplicates(self):
+        with pytest.raises(TraversalError, match="visited twice"):
+            loop_positions([Loop("a"), Loop("a")])
+
+    def test_last_arc_map_takes_final_occurrence(self):
+        items = [Loop(1), Arc(1, 2), Loop(2), Arc(1, 3), Loop(3)]
+        assert last_arc_map(items) == {1: 3}
+
+    def test_annotate_last_arcs(self):
+        items = [Loop(1), Arc(1, 2), Loop(2), Arc(1, 3), Loop(3)]
+        out = annotate_last_arcs(items)
+        assert out[1] == Arc(1, 2, last=False)
+        assert out[3] == Arc(1, 3, last=True)
+
+
+class TestCheckers:
+    def test_wellformed_accepts_figure4(self):
+        check_wellformed(nonseparating_traversal(figure3_diagram()))
+
+    def test_wellformed_rejects_stop_arcs(self):
+        with pytest.raises(TraversalError, match="stop-arc"):
+            check_wellformed([Loop(1), StopArc(1)])
+
+    def test_wellformed_rejects_duplicate_arcs(self):
+        items = [Loop(1), Arc(1, 2), Arc(1, 2, last=True), Loop(2)]
+        with pytest.raises(TraversalError, match="twice"):
+            check_wellformed(items)
+
+    def test_wellformed_rejects_arc_before_source_loop(self):
+        items = [Arc(1, 2, last=True), Loop(1), Loop(2)]
+        with pytest.raises(TraversalError):
+            check_wellformed(items)
+
+    def test_wellformed_rejects_wrong_last_flag(self):
+        items = [Loop(1), Arc(1, 2), Loop(2)]  # (1,2) should be last
+        with pytest.raises(TraversalError, match="last flag"):
+            check_wellformed(items)
+
+    def test_topological_rejects_inverted_order(self, fig3_poset):
+        items = [Loop(2), Loop(1)]
+        with pytest.raises(TraversalError, match="visited after"):
+            check_topological(items, fig3_poset.leq)
+
+    def test_delayed_wellformed_accepts_figure7(self, fig3_poset):
+        items = delayed_nonseparating_traversal(
+            figure3_diagram(), fig3_poset.leq
+        )
+        check_delayed_wellformed(items)
+
+    def test_delayed_rejects_stop_arc_without_delayed_arc(self):
+        items = [Loop(1), StopArc(1), Loop(2)]
+        with pytest.raises(TraversalError, match="no delayed arc"):
+            check_delayed_wellformed(items)
+
+    def test_delayed_rejects_double_stop_arc(self):
+        items = [
+            Loop(1), StopArc(1), StopArc(1), Loop(2),
+            Arc(1, 2, last=True),
+        ]
+        with pytest.raises(TraversalError, match="two stop-arcs"):
+            check_delayed_wellformed(items)
+
+
+class TestDelayTransform:
+    def test_figure7_verbatim(self, fig3_poset):
+        """The delayed traversal prefix must match Figure 7's caption."""
+        items = delayed_nonseparating_traversal(
+            figure3_diagram(), fig3_poset.leq
+        )
+        text = format_traversal(items)
+        assert text.startswith(
+            "(1, 1)(1, 2)(2, 2)(2, 3)(3, 3)"
+            "(3, \N{MULTIPLICATION SIGN})(2, \N{MULTIPLICATION SIGN})"
+            "(1, 4)(4, 4)(2, 5)(4, 5)(5, 5)"
+        )
+
+    def test_delay_count(self, fig3_poset):
+        base = nonseparating_traversal(figure3_diagram())
+        delayed = delay_traversal(base, fig3_poset.leq)
+        stop_arcs = [x for x in delayed if isinstance(x, StopArc)]
+        # Figure 7: arcs (2,5), (3,6), (5,8) and (6,9) are delayed.
+        assert len(delayed) == len(base) + len(stop_arcs)
+        assert {s.src for s in stop_arcs} == {2, 3, 5, 6}
+
+    def test_chain_needs_no_delays(self):
+        from repro.lattice.generators import chain
+
+        g = chain(5)
+        p = Poset(g)
+        d = Diagram(g, {i: (i, i) for i in range(5)})
+        base = nonseparating_traversal(d)
+        assert delay_traversal(base, p.leq) == annotate_last_arcs(base)
+
+    def test_figure7_threads(self, fig3_poset):
+        items = delayed_nonseparating_traversal(
+            figure3_diagram(), fig3_poset.leq
+        )
+        threads = {tuple(t) for t in threads_of_delayed(items)}
+        # Section 4: "the threads in Figure 7 are {2},{3},{5},{6} and
+        # {1,4,7,8,9}".
+        assert threads == {(2,), (3,), (5,), (6,), (1, 4, 7, 8, 9)}
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=two_dim_lattices())
+    def test_delayed_wellformed_on_random_lattices(self, graph):
+        poset = Poset(graph)
+        diagram = Diagram.from_poset(poset)
+        base = nonseparating_traversal(diagram)
+        check_wellformed(base)
+        check_topological(base, poset.leq)
+        delayed = delay_traversal(base, poset.leq)
+        check_delayed_wellformed(delayed)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=two_dim_lattices())
+    def test_threads_partition_vertices(self, graph):
+        poset = Poset(graph)
+        diagram = Diagram.from_poset(poset)
+        delayed = delayed_nonseparating_traversal(diagram, poset.leq)
+        threads = threads_of_delayed(delayed)
+        flat = [v for t in threads for v in t]
+        assert sorted(flat, key=poset.index) == poset.vertices()
+        assert len(set(flat)) == len(flat)
+
+
+class TestDelayTransformErrors:
+    def test_delayed_non_last_arc_rejected(self):
+        """The stop-arc semantics of Figure 8 is only sound when delayed
+        arcs are last-arcs; the transform asserts it (in planar monotone
+        diagrams this always holds -- this input is artificial)."""
+        items = [
+            Loop("a"),
+            Arc("a", "b"),          # non-last (a->c follows)
+            Loop("x"),              # x with x ⊑ b visited after the arc
+            Arc("x", "b"),
+            Loop("b"),
+            Arc("a", "c"),
+            Loop("c"),
+        ]
+
+        def reaches(u, v):
+            return (u, v) in {("x", "b"), ("a", "b"), ("a", "c")}
+
+        with pytest.raises(TraversalError, match="not a last-arc"):
+            delay_traversal(items, reaches)

@@ -1,0 +1,163 @@
+"""Unit and property tests for the labeled union-find."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.unionfind import IntUnionFind, UnionFind
+
+
+class TestIntUnionFind:
+    def test_singletons(self):
+        uf = IntUnionFind(3)
+        assert len(uf) == 3
+        assert [uf.find(i) for i in range(3)] == [0, 1, 2]
+
+    def test_make_appends_ids(self):
+        uf = IntUnionFind()
+        assert uf.make() == 0
+        assert uf.make() == 1
+        assert len(uf) == 2
+
+    def test_union_keeps_t_side_label(self):
+        uf = IntUnionFind(4)
+        # Paper convention: Union(t, s) labels the merged set by t's set.
+        assert uf.union(2, 3) == 2
+        assert uf.find(3) == 2
+        assert uf.union(1, 2) == 1
+        assert uf.find(3) == 1
+        assert uf.find(2) == 1
+
+    def test_union_label_follows_previous_merges(self):
+        uf = IntUnionFind(4)
+        uf.union(0, 1)  # label 0
+        # 1's set is labeled 0; union with 1 on the t side keeps label 0.
+        assert uf.union(1, 2) == 0
+        assert uf.find(2) == 0
+
+    def test_self_union_is_noop(self):
+        uf = IntUnionFind(2)
+        assert uf.union(1, 1) == 1
+        assert uf.find(1) == 1
+
+    def test_same_set(self):
+        uf = IntUnionFind(4)
+        uf.union(0, 1)
+        assert uf.same_set(0, 1)
+        assert not uf.same_set(0, 2)
+
+    def test_sets_partition(self):
+        uf = IntUnionFind(5)
+        uf.union(0, 1)
+        uf.union(3, 4)
+        sets = uf.sets()
+        assert sets == {0: [0, 1], 2: [2], 3: [3, 4]}
+
+    def test_counters(self):
+        uf = IntUnionFind(3)
+        uf.find(0)
+        uf.union(0, 1)
+        uf.find(1)
+        assert uf.find_count == 2
+        assert uf.union_count == 1
+
+    def test_no_path_compression_still_correct(self):
+        uf = IntUnionFind(10, path_compression=False)
+        for i in range(9):
+            uf.union(i + 1, i)
+        assert all(uf.find(i) == 9 for i in range(10))
+
+    def test_no_rank_linking_still_correct(self):
+        uf = IntUnionFind(10, link_by_rank=False)
+        for i in range(9):
+            uf.union(i + 1, i)
+        assert all(uf.find(i) == 9 for i in range(10))
+
+    def test_path_compression_reduces_hops(self):
+        def hops(compress: bool) -> int:
+            uf = IntUnionFind(
+                200, path_compression=compress, link_by_rank=False
+            )
+            for i in range(199):
+                uf.union(i + 1, i)
+            for _ in range(5):
+                for i in range(200):
+                    uf.find(i)
+            return uf.hop_count
+
+        assert hops(True) < hops(False)
+
+
+class TestGenericUnionFind:
+    def test_hashable_elements(self):
+        uf = UnionFind()
+        uf.union("b", "a")
+        assert uf.find("a") == "b"
+        assert uf.find("c") == "c"  # unseen elements are interned lazily
+
+    def test_contains(self):
+        uf = UnionFind()
+        uf.add((1, 2))
+        assert (1, 2) in uf
+        assert (3, 4) not in uf
+
+    def test_sets(self):
+        uf = UnionFind()
+        uf.union("x", "y")
+        uf.add("z")
+        assert uf.sets() == {"x": ["x", "y"], "z": ["z"]}
+
+    def test_same_set(self):
+        uf = UnionFind()
+        uf.union(10, 20)
+        assert uf.same_set(10, 20)
+        assert not uf.same_set(10, 30)
+
+    def test_stats_exposed(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.stats.union_count == 1
+
+
+class _ModelPartition:
+    """Reference model: explicit sets with explicit labels."""
+
+    def __init__(self, n: int) -> None:
+        self.sets = {i: {i} for i in range(n)}
+        self.label_of = {i: i for i in range(n)}  # element -> set label
+
+    def find(self, x: int) -> int:
+        return self.label_of[x]
+
+    def union(self, t: int, s: int) -> int:
+        lt, ls = self.label_of[t], self.label_of[s]
+        if lt == ls:
+            return lt
+        merged = self.sets.pop(lt) | self.sets.pop(ls)
+        self.sets[lt] = merged
+        for e in merged:
+            self.label_of[e] = lt
+        return lt
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    n=st.integers(2, 30),
+    ops=st.lists(st.tuples(st.integers(0, 10**9), st.integers(0, 10**9)),
+                 max_size=60),
+    compress=st.booleans(),
+    by_rank=st.booleans(),
+)
+def test_matches_reference_model(n, ops, compress, by_rank):
+    """Any op sequence: labels match a brute-force partition model."""
+    uf = IntUnionFind(n, path_compression=compress, link_by_rank=by_rank)
+    model = _ModelPartition(n)
+    for a, b in ops:
+        t, s = a % n, b % n
+        assert uf.union(t, s) == model.union(t, s)
+    for x in range(n):
+        assert uf.find(x) == model.find(x)

@@ -1,0 +1,195 @@
+"""The central correctness experiment: all detectors vs the exact oracle.
+
+For randomly generated programs we check, per detector:
+
+* **soundness** -- the detector reports a race iff the oracle finds a
+  racing pair (the guarantee of Section 2.3);
+* **precision up to the first race** -- the first report flags an
+  operation that really is the second access of an oracle pair.
+
+The generic detectors (lattice2d, vectorclock, fasttrack, naive) are
+checked on fully general 2D programs; SP-bags only on spawn-sync
+programs; ESP-bags only on async-finish programs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import (
+    ESPBagsDetector,
+    FastTrackDetector,
+    Lattice2DDetector,
+    NaiveDetector,
+    SPBagsDetector,
+    VectorClockDetector,
+    detector_is_sound,
+    exact_races,
+    first_report_is_precise,
+)
+from repro.forkjoin import run, read, write
+from repro.forkjoin.async_finish import x10
+from repro.forkjoin.spawn_sync import cilk
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    race_free_program,
+    random_program,
+)
+
+GENERIC = [
+    Lattice2DDetector,
+    VectorClockDetector,
+    FastTrackDetector,
+    NaiveDetector,
+]
+
+
+def check_detectors(body, detector_factories):
+    detectors = [factory() for factory in detector_factories]
+    ex = run(body, observers=detectors, record_events=True)
+    pairs = exact_races(ex.events)
+    for det in detectors:
+        assert detector_is_sound(det.races, pairs), (
+            f"{det.name}: races={len(det.races)}, oracle={len(pairs)}"
+        )
+        assert first_report_is_precise(det.races, pairs), (
+            f"{det.name}: first report {det.races[0]} not an oracle race"
+        )
+    return detectors, pairs
+
+
+class TestGenericDetectorsOnRandomPrograms:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_shared_pool_programs(self, seed):
+        cfg = SyntheticConfig(
+            seed=seed, max_tasks=16, ops_per_task=6, n_locations=4
+        )
+        check_detectors(random_program(cfg), GENERIC)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_race_free_programs_stay_silent(self, seed):
+        cfg = SyntheticConfig(seed=seed, max_tasks=14, ops_per_task=5)
+        detectors, pairs = check_detectors(
+            race_free_program(cfg), GENERIC
+        )
+        assert not pairs
+        for det in detectors:
+            assert det.races == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_hot_spot_programs(self, seed):
+        from repro.workloads.access_patterns import hot_spot
+
+        cfg = SyntheticConfig(
+            seed=seed, max_tasks=12, ops_per_task=5,
+            pattern=hot_spot(4),
+        )
+        check_detectors(random_program(cfg), GENERIC)
+
+
+class TestSPBagsOnSpawnSync:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        depth=st.integers(1, 3),
+    )
+    def test_divide_and_conquer(self, seed, depth):
+        from repro.workloads.spworkloads import divide_and_conquer
+
+        check_detectors(
+            divide_and_conquer(depth), GENERIC + [SPBagsDetector]
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(depth=st.integers(1, 3), fanout=st.integers(2, 3))
+    def test_racy_divide_and_conquer(self, depth, fanout):
+        from repro.workloads.spworkloads import racy_divide_and_conquer
+
+        detectors, pairs = check_detectors(
+            racy_divide_and_conquer(depth, fanout),
+            GENERIC + [SPBagsDetector],
+        )
+        assert pairs  # the forgotten sync really races
+
+    def test_map_reduce(self):
+        from repro.workloads.spworkloads import map_reduce
+
+        detectors, pairs = check_detectors(
+            map_reduce(6), GENERIC + [SPBagsDetector]
+        )
+        assert not pairs
+
+
+class TestESPBagsOnAsyncFinish:
+    def _program(self, racy: bool):
+        def worker(ctx):
+            yield write(("slot", ctx.handle.tid))
+            yield read("config")
+
+        @x10
+        def main(ctx):
+            yield write("config")
+
+            def block():
+                for _ in range(3):
+                    yield from ctx.async_(worker)
+                if racy:
+                    yield write("config", label="mid-block")
+
+            yield from ctx.finish(block)
+            yield read(("slot", 1))
+
+        return main
+
+    def test_race_free(self):
+        detectors, pairs = check_detectors(
+            self._program(racy=False), GENERIC + [ESPBagsDetector]
+        )
+        assert not pairs
+
+    def test_racy(self):
+        detectors, pairs = check_detectors(
+            self._program(racy=True), GENERIC + [ESPBagsDetector]
+        )
+        assert pairs
+
+    def test_escaped_async(self):
+        def escapee(ctx):
+            yield write("escaped")
+
+        def spawner(ctx):
+            yield from ctx.async_(escapee)
+            yield read(("own", ctx.handle.tid))
+
+        @x10
+        def main(ctx):
+            def block():
+                yield from ctx.async_(spawner)
+                yield read("escaped", label="racy-read")
+
+            yield from ctx.finish(block)
+            yield read("escaped")  # ordered: after the finish
+
+        detectors, pairs = check_detectors(
+            main, GENERIC + [ESPBagsDetector]
+        )
+        assert len(pairs) == 1
+
+
+class TestPipelineAgreement:
+    @pytest.mark.parametrize("racy", [False, True])
+    def test_pipelines(self, racy):
+        from repro.forkjoin.pipeline import pipeline_body, PipelineSpec
+        from repro.workloads.pipelines import clean_pipeline, racy_pipeline
+
+        items, stages = (
+            racy_pipeline(4, 3) if racy else clean_pipeline(4, 3)
+        )
+        body = pipeline_body(PipelineSpec(tuple(items), tuple(stages)))
+        detectors, pairs = check_detectors(body, GENERIC)
+        assert bool(pairs) == racy

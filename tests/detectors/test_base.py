@@ -1,0 +1,55 @@
+"""Tests for the detector interface plumbing and trivial observers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors.base import Detector, EventTracer, NullObserver
+from repro.forkjoin import fork, join, read, run, write
+
+
+def tiny_program(self):
+    c = yield fork(child_body)
+    yield read("x")
+    yield join(c)
+
+
+def child_body(self):
+    yield write("x")
+
+
+class TestNullObserver:
+    def test_accepts_full_stream(self):
+        run(tiny_program, observers=[NullObserver()])
+
+
+class TestEventTracer:
+    def test_trace_shape(self):
+        tracer = EventTracer()
+        run(tiny_program, observers=[tracer])
+        assert tracer.trace[0] == "root 0"
+        assert tracer.trace[-1] == "halt 0"
+        assert any(t.startswith("fork") for t in tracer.trace)
+
+
+class TestFactoryRegistry:
+    def test_all_factories_build_working_detectors(self):
+        from repro.bench.harness import DETECTOR_FACTORIES
+
+        for name, factory in DETECTOR_FACTORIES.items():
+            det = factory()
+            assert det.name == name
+            assert isinstance(det, Detector)
+            assert det.races == []
+
+    def test_generic_detectors_run_the_stream(self):
+        from repro.bench.harness import DETECTOR_FACTORIES
+
+        for name in ("lattice2d", "vectorclock", "fasttrack", "naive"):
+            det = DETECTOR_FACTORIES[name]()
+            run(tiny_program, observers=[det])
+            assert det.found_race(), name
+            assert det.race_count == len(det.races)
+            assert det.shadow_peak_per_location() >= 1
+            assert det.shadow_total_entries() >= 1
+            assert det.metadata_entries() >= 0

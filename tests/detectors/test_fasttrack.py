@@ -1,0 +1,108 @@
+"""Unit tests for the FastTrack epoch-optimised detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reports import AccessKind
+from repro.detectors.fasttrack import FastTrackDetector
+
+
+def fresh():
+    d = FastTrackDetector()
+    d.on_root(0)
+    return d
+
+
+class TestEpochOptimisation:
+    def test_exclusive_location_stays_constant_space(self):
+        """Totally-ordered accesses keep one write epoch + one read epoch."""
+        d = fresh()
+        for _ in range(30):
+            d.on_write(0, "x")
+            d.on_read(0, "x")
+        assert d.shadow_peak_per_location() <= 2
+        assert d.races == []
+
+    def test_read_share_inflates_to_vector(self):
+        d = fresh()
+        d.on_write(0, "cfg")  # publish
+        kids = []
+        for i in range(1, 6):
+            d.on_fork(0, i)
+            d.on_read(i, "cfg")
+            d.on_halt(i)
+            kids.append(i)
+        assert d.races == []
+        # concurrent readers force the read-vector representation
+        assert d.shadow_peak_per_location() >= 5
+        for i in reversed(kids):
+            d.on_join(0, i)
+
+    def test_write_collapses_read_vector(self):
+        d = fresh()
+        d.on_write(0, "cfg")
+        kids = []
+        for i in range(1, 4):
+            d.on_fork(0, i)
+            d.on_read(i, "cfg")
+            d.on_halt(i)
+            kids.append(i)
+        for i in reversed(kids):
+            d.on_join(0, i)
+        d.on_write(0, "cfg")  # ordered after all reads: no race
+        assert d.races == []
+        cell = d.shadow.get("cfg")
+        assert cell.read_vector is None  # collapsed back
+
+    def test_same_epoch_read_fast_path(self):
+        d = fresh()
+        d.on_read(0, "x")
+        entries_before = d.shadow_total_entries()
+        d.on_read(0, "x")  # same epoch: nothing changes
+        assert d.shadow_total_entries() == entries_before
+
+
+class TestRaces:
+    def test_write_write(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_write(1, "x")
+        d.on_halt(1)
+        d.on_write(0, "x")
+        assert len(d.races) == 1
+        assert d.races[0].prior_kind is AccessKind.WRITE
+
+    def test_read_from_vector_race(self):
+        """A write racing with one of several vector-tracked readers."""
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_fork(1, 2)
+        d.on_read(2, "x")
+        d.on_halt(2)
+        d.on_read(1, "x")  # 1 || 2: inflate to vector
+        d.on_halt(1)
+        d.on_join(0, 1)  # joins 1 but NOT 2
+        d.on_write(0, "x")  # still races with 2's read
+        assert len(d.races) == 1
+        assert d.races[0].prior_kind is AccessKind.READ
+        assert d.races[0].prior_repr == 2
+        d.on_join(0, 2)
+
+    def test_write_read_epoch_race(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_read(1, "x")
+        d.on_halt(1)
+        d.on_write(0, "x")
+        assert len(d.races) == 1
+
+    def test_ordered_program_is_silent(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_write(1, "x")
+        d.on_halt(1)
+        d.on_join(0, 1)
+        d.on_read(0, "x")
+        d.on_write(0, "x")
+        assert d.races == []

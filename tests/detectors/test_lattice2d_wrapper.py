@@ -1,0 +1,71 @@
+"""Focused tests for the Lattice2DDetector harness wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import RaceDetector2D
+from repro.detectors import Lattice2DDetector
+from repro.detectors.base import Detector
+from repro.forkjoin import fork, join, read, run, write
+
+
+def program(self):
+    c = yield fork(child)
+    yield read("x")
+    yield join(c)
+
+
+def child(self):
+    yield write("x")
+
+
+class TestWrapper:
+    def test_is_a_detector(self):
+        assert isinstance(Lattice2DDetector(), Detector)
+
+    def test_shares_race_list_with_engine(self):
+        det = Lattice2DDetector()
+        run(program, observers=[det])
+        assert det.races is det.engine.races
+        assert det.race_count == 1
+
+    def test_engine_kwargs_forwarded(self):
+        det = Lattice2DDetector(paper_figure6_literal=True)
+        assert det.engine._literal
+        det2 = Lattice2DDetector(path_compression=False)
+        assert not det2.engine.unionfind.path_compression
+
+    def test_shadow_property_delegates(self):
+        det = Lattice2DDetector()
+        run(program, observers=[det])
+        assert det.shadow is det.engine.shadow
+        assert len(det.shadow) == 1
+
+    def test_accounting_delegates(self):
+        det = Lattice2DDetector()
+        run(program, observers=[det])
+        assert det.shadow_peak_per_location() == \
+            det.engine.shadow.peak_entries_per_loc
+        assert det.metadata_entries() == 6 * det.engine.thread_count
+
+    def test_step_events_forwarded(self):
+        from repro.forkjoin import step
+
+        def stepper(self):
+            yield step()
+            yield step()
+
+        det = Lattice2DDetector()
+        run(stepper, observers=[det])
+        assert det.engine.op_index == 3  # 2 steps + halt
+
+    def test_engine_usable_standalone(self):
+        """The engine is the public API; the wrapper adds only plumbing."""
+        eng = RaceDetector2D()
+        root = eng.spawn_root()
+        c = eng.on_fork(root)
+        eng.on_write(c, "x")
+        eng.on_halt(c)
+        eng.on_write(root, "x")
+        assert len(eng.races) == 1

@@ -1,0 +1,67 @@
+"""Unit tests for the naive set-tracking detector."""
+
+from __future__ import annotations
+
+from repro.core.reports import AccessKind
+from repro.detectors.naive import NaiveDetector
+
+
+def fresh():
+    d = NaiveDetector()
+    d.on_root(0)
+    return d
+
+
+class TestRaces:
+    def test_parallel_writes(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_write(1, "x")
+        d.on_halt(1)
+        d.on_write(0, "x")
+        assert len(d.races) == 1
+
+    def test_join_orders(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_write(1, "x")
+        d.on_halt(1)
+        d.on_join(0, 1)
+        d.on_write(0, "x")
+        assert d.races == []
+
+    def test_one_report_per_access(self):
+        """Three parallel prior writes: the fourth flags once."""
+        d = fresh()
+        kids = []
+        for i in range(1, 4):
+            d.on_fork(0, i)
+            d.on_write(i, "x")
+            d.on_halt(i)
+            kids.append(i)
+        before = len(d.races)  # siblings raced among themselves
+        d.on_write(0, "x")
+        assert len(d.races) == before + 1
+
+    def test_read_read_silent(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_read(1, "x")
+        d.on_halt(1)
+        d.on_read(0, "x")
+        assert d.races == []
+
+
+class TestSpaceBehaviour:
+    def test_shadow_grows_with_accesses(self):
+        """The O(|R ∪ W|) blow-up the paper's reduction eliminates."""
+        d = fresh()
+        for _ in range(25):
+            d.on_read(0, "x")
+        assert d.shadow_peak_per_location() >= 25
+
+    def test_metadata_is_whole_dag(self):
+        d = fresh()
+        for _ in range(10):
+            d.on_step(0)
+        assert d.metadata_entries() >= 10

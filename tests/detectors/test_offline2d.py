@@ -1,0 +1,150 @@
+"""Tests for offline race detection on annotated 2D lattices.
+
+Key property: offline, Theorem 1 gives *exact* suprema, so the detector
+flags exactly the accesses that race with some earlier conflicting
+access -- checked against a brute-force pairwise oracle on random
+lattices with random annotations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reports import AccessKind
+from repro.detectors.offline2d import detect_races_on_lattice, visit_order
+from repro.errors import NotATwoDimensionalLattice
+from repro.lattice.digraph import Digraph
+from repro.lattice.generators import (
+    boolean_lattice,
+    figure2_lattice,
+    grid_diagram,
+    grid_digraph,
+)
+from repro.lattice.poset import Poset
+
+from tests.conftest import two_dim_lattices
+
+
+def brute_force_flagged(graph, accesses):
+    """All (vertex, loc) whose access races with an earlier one.
+
+    "Earlier" means earlier in the detector's own visit order; within
+    one vertex, annotations in list order.  Two accesses of the *same*
+    vertex never race (they are ordered by program order).
+    """
+    poset = Poset(graph)
+    order = {v: i for i, v in enumerate(visit_order(graph))}
+    flat: List[Tuple[Hashable, Hashable, AccessKind]] = []
+    for v in sorted(accesses, key=lambda v: order[v]):
+        for loc, kind in accesses[v]:
+            flat.append((v, loc, kind))
+    flagged = set()
+    for j in range(len(flat)):
+        v2, loc2, k2 = flat[j]
+        for i in range(j):
+            v1, loc1, k1 = flat[i]
+            if loc1 != loc2 or v1 == v2:
+                continue
+            if not k1.conflicts_with(k2):
+                continue
+            if not poset.comparable(v1, v2):
+                flagged.add((v2, loc2))
+    return flagged
+
+
+def random_accesses(graph, rng, n_locations=3, p=0.7):
+    accesses: Dict[Hashable, List[Tuple[Hashable, AccessKind]]] = {}
+    for v in graph.vertices():
+        if rng.random() < p:
+            k = AccessKind.WRITE if rng.random() < 0.5 else AccessKind.READ
+            accesses.setdefault(v, []).append(
+                (rng.randrange(n_locations), k)
+            )
+    return accesses
+
+
+class TestFigure2:
+    def test_docstring_example(self):
+        accesses = {
+            "A": [("l", AccessKind.READ)],
+            "B": [("l", AccessKind.READ)],
+            "D": [("l", AccessKind.WRITE)],
+        }
+        reports = detect_races_on_lattice(figure2_lattice(), accesses)
+        # Exactly the A-D race, flagged at whichever endpoint the
+        # traversal visits second (orientation-dependent).  The prior
+        # representative is a supremum and need not access the location
+        # itself (Section 2.3: sup{A, B} = C in Figure 2).
+        assert len(reports) == 1
+        assert reports[0].loc == "l"
+        assert reports[0].vertex in {"A", "D"}
+        assert reports[0].kind.conflicts_with(reports[0].prior_kind)
+
+    def test_visit_order_is_a_linear_extension(self):
+        graph = figure2_lattice()
+        poset = Poset(graph)
+        order = visit_order(graph)
+        pos = {v: i for i, v in enumerate(order)}
+        for x in order:
+            for y in order:
+                if poset.lt(x, y):
+                    assert pos[x] < pos[y]
+
+    def test_race_free_annotation(self):
+        accesses = {
+            "B": [("l", AccessKind.READ)],
+            "D": [("l", AccessKind.WRITE)],  # B ⊑ D: ordered
+        }
+        assert detect_races_on_lattice(figure2_lattice(), accesses) == []
+
+
+class TestExactness:
+    @settings(max_examples=60, deadline=None)
+    @given(graph=two_dim_lattices(), seed=st.integers(0, 2**32 - 1))
+    def test_flags_exactly_the_racing_accesses(self, graph, seed):
+        rng = random.Random(seed)
+        accesses = random_accesses(graph, rng)
+        reports = detect_races_on_lattice(graph, accesses)
+        got = {(r.vertex, r.loc) for r in reports}
+        assert got == brute_force_flagged(graph, accesses)
+
+    def test_multiple_accesses_per_vertex(self):
+        g = grid_digraph(2, 2)
+        accesses = {
+            (0, 1): [("x", AccessKind.WRITE), ("y", AccessKind.READ)],
+            (1, 0): [("x", AccessKind.WRITE), ("y", AccessKind.WRITE)],
+        }
+        reports = detect_races_on_lattice(g, accesses)
+        assert {(r.vertex, r.loc) for r in reports} == {
+            ((1, 0), "x"), ((1, 0), "y"),
+        }
+
+    def test_same_vertex_accesses_never_race(self):
+        g = grid_digraph(1, 2)
+        accesses = {
+            (0, 0): [("x", AccessKind.WRITE), ("x", AccessKind.WRITE)],
+        }
+        assert detect_races_on_lattice(g, accesses) == []
+
+
+class TestInputs:
+    def test_prebuilt_diagram_fast_path(self):
+        d = grid_diagram(3, 3)
+        accesses = {
+            (0, 1): [("x", AccessKind.WRITE)],
+            (1, 0): [("x", AccessKind.WRITE)],
+        }
+        reports = detect_races_on_lattice(d.graph, accesses, diagram=d)
+        assert len(reports) == 1
+
+    def test_non_2d_input_rejected(self):
+        with pytest.raises(NotATwoDimensionalLattice):
+            detect_races_on_lattice(boolean_lattice(3), {})
+
+    def test_unannotated_graph_is_silent(self):
+        assert detect_races_on_lattice(grid_digraph(3, 3), {}) == []

@@ -1,0 +1,170 @@
+"""Unit and agreement tests for the offset-span labeling baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import (
+    Lattice2DDetector,
+    OffsetSpanDetector,
+    SPBagsDetector,
+    detector_is_sound,
+    exact_races,
+)
+from repro.detectors.offsetspan import _ordered
+from repro.errors import DetectorError
+from repro.forkjoin import read, run, write
+from repro.forkjoin.spawn_sync import cilk
+
+
+class TestLabelOrdering:
+    def test_identical_labels_ordered(self):
+        assert _ordered(((0, 1),), ((0, 1),))
+
+    def test_prefix_precedes_extension(self):
+        assert _ordered(((0, 1),), ((0, 1), (0, 2)))
+        assert not _ordered(((0, 1), (0, 2)), ((0, 1),))
+
+    def test_team_mates_concurrent(self):
+        a = ((0, 1), (0, 2))
+        b = ((0, 1), (1, 2))
+        assert not _ordered(a, b) and not _ordered(b, a)
+
+    def test_phase_bump_orders(self):
+        child = ((0, 1), (0, 2))
+        after_join = ((0, 1), (3, 2))
+        assert _ordered(child, after_join)
+        assert not _ordered(after_join, child)
+
+    def test_cross_episode_ordering(self):
+        episode1_child = ((0, 1), (0, 2))
+        episode2_child = ((0, 1), (3, 2), (0, 2))
+        assert _ordered(episode1_child, episode2_child)
+
+
+class TestDetection:
+    def test_spawned_child_races_with_parent(self):
+        @cilk
+        def child(ctx):
+            yield write("x", label="child")
+
+        @cilk
+        def main(ctx):
+            yield from ctx.spawn(child)
+            yield write("x", label="parent")
+            yield from ctx.sync()
+
+        det = OffsetSpanDetector()
+        run(main, observers=[det])
+        assert len(det.races) == 1
+        assert det.races[0].label == "parent"
+
+    def test_sync_orders(self):
+        @cilk
+        def child(ctx):
+            yield write("x")
+
+        @cilk
+        def main(ctx):
+            yield from ctx.spawn(child)
+            yield from ctx.sync()
+            yield read("x")
+            yield write("x")
+
+        det = OffsetSpanDetector()
+        run(main, observers=[det])
+        assert det.races == []
+
+    def test_label_depth_tracks_nesting(self):
+        @cilk
+        def nest(ctx, depth):
+            if depth:
+                yield from ctx.spawn(nest, depth - 1)
+                yield from ctx.sync()
+            yield write(("leaf", depth))
+
+        det = OffsetSpanDetector()
+        run(nest, 6, observers=[det])
+        assert det.peak_label_len >= 7  # one pair per nesting level
+
+    def test_shadow_grows_with_depth_not_thread_count(self):
+        """Wide-and-shallow: many threads, constant-ish labels."""
+        @cilk
+        def worker(ctx, i):
+            yield read("cfg")
+
+        @cilk
+        def wide(ctx):
+            yield write("cfg")
+            for i in range(20):
+                yield from ctx.spawn(worker, i)
+            yield from ctx.sync()
+
+        det = OffsetSpanDetector()
+        run(wide, observers=[det])
+        assert det.races == []
+        # Incremental spawns nest the parent continuation, so depth is
+        # O(outstanding spawns) here -- still far below a vector clock's
+        # entry-per-thread, and it collapses after the sync.
+        assert det.shadow_peak_per_location() < 3 * 21
+
+    def test_non_lifo_join_rejected(self):
+        from repro.forkjoin import fork, join
+
+        def leaf(self):
+            yield write("x")
+
+        def main(self):
+            a = yield fork(leaf)
+            b = yield fork(leaf)
+            yield join(b)
+            yield join(a)
+            # LIFO is fine; now break it with a leftover-style join:
+
+        det = OffsetSpanDetector()
+        run(main, observers=[det])  # LIFO: accepted
+
+        def bad(self):
+            a = yield fork(leaf)
+            g = yield fork(inner, a)
+            yield join(g)
+
+        def inner(self, a):
+            yield join(a)  # joins a task it never spawned
+
+        det2 = OffsetSpanDetector()
+        with pytest.raises(DetectorError, match="spawn-sync"):
+            run(bad, observers=[det2])
+
+
+class TestAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), depth=st.integers(1, 3))
+    def test_agrees_with_oracle_on_dnc(self, seed, depth):
+        from repro.workloads.spworkloads import divide_and_conquer
+
+        det = OffsetSpanDetector()
+        ex = run(divide_and_conquer(depth), observers=[det],
+                 record_events=True)
+        pairs = exact_races(ex.events)
+        assert detector_is_sound(det.races, pairs)
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_racy_dnc_flagged_like_spbags(self, depth):
+        from repro.workloads.spworkloads import racy_divide_and_conquer
+
+        os_det = OffsetSpanDetector()
+        sp_det = SPBagsDetector()
+        l2_det = Lattice2DDetector()
+        run(racy_divide_and_conquer(depth),
+            observers=[os_det, sp_det, l2_det])
+        assert bool(os_det.races) == bool(sp_det.races) == bool(l2_det.races)
+
+    def test_map_reduce_clean(self):
+        from repro.workloads.spworkloads import map_reduce
+
+        det = OffsetSpanDetector()
+        run(map_reduce(8), observers=[det])
+        assert det.races == []

@@ -1,0 +1,99 @@
+"""Unit tests for the exact offline oracle."""
+
+from __future__ import annotations
+
+from repro.core.reports import AccessKind, RaceReport
+from repro.detectors.oracle import (
+    detector_is_sound,
+    exact_races,
+    first_report_is_precise,
+    oracle_race_pairs,
+)
+from repro.forkjoin import fork, join, read, run, write
+
+
+def figure2_events():
+    def task_a(self):
+        yield read("l", label="A")
+
+    def task_c(self, a):
+        yield join(a)
+        yield read("other")
+
+    def main(self):
+        a = yield fork(task_a)
+        yield read("l", label="B")
+        c = yield fork(task_c, a)
+        yield write("l", label="D")
+        yield join(c)
+
+    return run(main, record_events=True).events
+
+
+class TestExactRaces:
+    def test_figure2_single_pair(self):
+        pairs = exact_races(figure2_events())
+        assert len(pairs) == 1
+        p = pairs[0]
+        assert p.loc == "l"
+        assert p.first_kind is AccessKind.READ
+        assert p.second_kind is AccessKind.WRITE
+
+    def test_race_free_program_empty(self):
+        def main(self):
+            yield write("x")
+            yield read("x")
+
+        assert exact_races(run(main, record_events=True).events) == []
+
+    def test_pairs_ordered_by_second_access(self):
+        def w(self, tag):
+            yield write("x", label=tag)
+
+        def main(self):
+            a = yield fork(w, "a")
+            b = yield fork(w, "b")
+            yield write("x")
+            yield join(b)
+            yield join(a)
+
+        pairs = exact_races(run(main, record_events=True).events)
+        seconds = [p.second for p in pairs]
+        assert seconds == sorted(seconds)
+        assert len(pairs) == 3  # a-b, a-main, b-main
+
+    def test_oracle_race_pairs_keys(self):
+        keys = oracle_race_pairs(figure2_events())
+        assert len(keys) == 1
+        (loc, first, second), = keys
+        assert loc == "l" and first < second
+
+
+class TestContracts:
+    def test_soundness_predicate(self):
+        rep = RaceReport(
+            loc="l", task=0, kind=AccessKind.WRITE,
+            prior_kind=AccessKind.READ,
+        )
+        pairs = exact_races(figure2_events())
+        assert detector_is_sound([rep], pairs)
+        assert detector_is_sound([], [])
+        assert not detector_is_sound([], pairs)
+        assert not detector_is_sound([rep], [])
+
+    def test_precision_predicate(self):
+        pairs = exact_races(figure2_events())
+        flagged = pairs[0].second
+        good = RaceReport(
+            loc="l", task=0, kind=AccessKind.WRITE,
+            prior_kind=AccessKind.READ, op_index=flagged + 1,
+        )
+        bad = RaceReport(
+            loc="l", task=0, kind=AccessKind.WRITE,
+            prior_kind=AccessKind.READ, op_index=1,
+        )
+        assert first_report_is_precise([good], pairs)
+        assert not first_report_is_precise([bad], pairs)
+        assert first_report_is_precise([], [])
+        assert not first_report_is_precise([], pairs)
+        assert not first_report_is_precise([good], [])

@@ -1,0 +1,126 @@
+"""Unit tests for the SP-bags baseline (spawn-sync programs only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors import SPBagsDetector, Lattice2DDetector, exact_races
+from repro.forkjoin import read, run, write
+from repro.forkjoin.spawn_sync import cilk
+
+
+def drive(body):
+    det = SPBagsDetector()
+    ex = run(body, observers=[det], record_events=True)
+    return det, ex
+
+
+class TestBagSemantics:
+    def test_returned_child_is_parallel_until_sync(self):
+        @cilk
+        def child(ctx):
+            yield write("x", label="child-write")
+
+        @cilk
+        def main(ctx):
+            yield from ctx.spawn(child)
+            yield write("x", label="parent-write")  # child in P-bag: race
+            yield from ctx.sync()
+            yield write("x")  # after sync: serial, no second race
+
+        det, _ = drive(main)
+        assert len(det.races) == 1
+        assert det.races[0].label == "parent-write"
+
+    def test_sync_moves_p_to_s(self):
+        @cilk
+        def child(ctx):
+            yield write("x")
+
+        @cilk
+        def main(ctx):
+            yield from ctx.spawn(child)
+            yield from ctx.sync()
+            yield read("x")  # ordered
+            yield write("x")
+
+        det, _ = drive(main)
+        assert det.races == []
+
+    def test_siblings_race_through_p_bag(self):
+        @cilk
+        def child(ctx, tag):
+            yield write("x", label=tag)
+
+        @cilk
+        def main(ctx):
+            yield from ctx.spawn(child, "a")
+            yield from ctx.spawn(child, "b")  # races with a's write
+            yield from ctx.sync()
+
+        det, _ = drive(main)
+        assert len(det.races) == 1
+        assert det.races[0].label == "b"
+
+    def test_reader_tracking(self):
+        """A parallel reader is retained so a later writer still trips."""
+        @cilk
+        def reader(ctx):
+            yield read("x")
+
+        @cilk
+        def main(ctx):
+            yield from ctx.spawn(reader)
+            yield read("x")       # serial reader would overwrite...
+            yield write("x", label="bad-write")  # ...but parallel one kept
+            yield from ctx.sync()
+
+        det, _ = drive(main)
+        assert [r.label for r in det.races] == ["bad-write"]
+
+    def test_nested_procedures(self):
+        @cilk
+        def grand(ctx):
+            yield write("deep")
+
+        @cilk
+        def child(ctx):
+            yield from ctx.spawn(grand)
+            yield from ctx.sync()
+            yield write("deep")
+
+        @cilk
+        def main(ctx):
+            yield from ctx.spawn(child)
+            yield from ctx.sync()
+            yield read("deep")
+
+        det, _ = drive(main)
+        assert det.races == []
+
+
+class TestAgreementWithLattice2D:
+    @pytest.mark.parametrize("depth,fanout", [(1, 2), (2, 2), (2, 3), (3, 2)])
+    def test_race_free_divide_and_conquer(self, depth, fanout):
+        from repro.workloads.spworkloads import divide_and_conquer
+
+        sp = SPBagsDetector()
+        l2 = Lattice2DDetector()
+        run(divide_and_conquer(depth, fanout), observers=[sp, l2])
+        assert sp.races == [] and l2.races == []
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_racy_variant_both_flag(self, depth):
+        from repro.workloads.spworkloads import racy_divide_and_conquer
+
+        sp = SPBagsDetector()
+        l2 = Lattice2DDetector()
+        run(racy_divide_and_conquer(depth), observers=[sp, l2])
+        assert sp.races and l2.races
+
+    def test_constant_shadow_space(self):
+        from repro.workloads.spworkloads import map_reduce
+
+        sp = SPBagsDetector()
+        run(map_reduce(12), observers=[sp])
+        assert sp.shadow_peak_per_location() <= 2

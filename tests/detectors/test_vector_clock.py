@@ -1,0 +1,110 @@
+"""Unit tests for the DJIT+-style vector-clock detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reports import AccessKind
+from repro.detectors.vector_clock import VectorClockDetector
+from repro.errors import DetectorError
+
+
+def fresh():
+    d = VectorClockDetector()
+    d.on_root(0)
+    return d
+
+
+class TestClockDiscipline:
+    def test_fork_gives_child_fresh_component(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        assert d._clocks[1] == {0: 1, 1: 1}
+        assert d._clocks[0] == {0: 2}  # parent advanced
+
+    def test_join_absorbs_and_advances(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_write(1, "x")
+        d.on_halt(1)
+        d.on_join(0, 1)
+        assert d._clocks[0][1] >= 1  # absorbed child's component
+        assert 1 not in d._clocks  # joined clock freed
+
+    def test_double_join_rejected(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_halt(1)
+        d.on_join(0, 1)
+        with pytest.raises(DetectorError):
+            d.on_join(0, 1)
+
+    def test_unknown_task_rejected(self):
+        d = fresh()
+        with pytest.raises(DetectorError, match="unknown"):
+            d.on_read(5, "x")
+
+
+class TestRaces:
+    def test_parallel_writes_race(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_write(1, "x")
+        d.on_halt(1)
+        d.on_write(0, "x")
+        assert len(d.races) == 1
+        assert d.races[0].prior_kind is AccessKind.WRITE
+        assert d.races[0].prior_repr == 1
+
+    def test_join_orders(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_write(1, "x")
+        d.on_halt(1)
+        d.on_join(0, 1)
+        d.on_write(0, "x")
+        assert d.races == []
+
+    def test_read_read_not_a_race(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_read(1, "x")
+        d.on_halt(1)
+        d.on_read(0, "x")
+        assert d.races == []
+
+    def test_write_read_race_names_writer(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_write(1, "x")
+        d.on_halt(1)
+        d.on_read(0, "x")
+        assert d.races[0].kind is AccessKind.READ
+        assert d.races[0].prior_repr == 1
+
+
+class TestSpaceGrowth:
+    def test_read_vector_grows_linearly_with_readers(self):
+        """The Θ(n)-per-location behaviour the paper criticises."""
+        d = fresh()
+        d.on_write(0, "cfg")
+        children = []
+        for i in range(1, 21):
+            d.on_fork(0, i)
+            d.on_read(i, "cfg")
+            d.on_halt(i)
+            children.append(i)
+        assert d.races == []
+        assert d.shadow_peak_per_location() >= 20
+        for c in reversed(children):
+            d.on_join(0, c)
+
+    def test_metadata_shrinks_after_joins(self):
+        d = fresh()
+        for i in range(1, 6):
+            d.on_fork(0, i)
+            d.on_halt(i)
+        before = d.metadata_entries()
+        for i in range(5, 0, -1):
+            d.on_join(0, i)
+        assert d.metadata_entries() < before

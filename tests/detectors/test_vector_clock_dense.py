@@ -1,0 +1,114 @@
+"""Tests for the dense numpy vector-clock detector."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reports import AccessKind
+from repro.detectors import (
+    DenseVectorClockDetector,
+    VectorClockDetector,
+    detector_is_sound,
+    exact_races,
+    first_report_is_precise,
+)
+from repro.errors import DetectorError
+from repro.forkjoin import run
+from repro.workloads.synthetic import SyntheticConfig, random_program
+
+
+def fresh():
+    d = DenseVectorClockDetector(initial_capacity=2)
+    d.on_root(0)
+    return d
+
+
+class TestBasics:
+    def test_parallel_writes_race(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_write(1, "x")
+        d.on_halt(1)
+        d.on_write(0, "x")
+        assert len(d.races) == 1
+        assert d.races[0].prior_repr == 1
+
+    def test_join_orders(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_write(1, "x")
+        d.on_halt(1)
+        d.on_join(0, 1)
+        d.on_write(0, "x")
+        assert d.races == []
+
+    def test_capacity_doubles_transparently(self):
+        d = fresh()
+        for i in range(1, 20):
+            d.on_fork(0, i)
+            d.on_read(i, "cfg")
+            d.on_halt(i)
+        assert d._capacity >= 20
+        assert d.races == []  # reads only
+        for i in range(19, 0, -1):
+            d.on_join(0, i)
+        d.on_write(0, "cfg")
+        assert d.races == []  # all joined: ordered
+
+    def test_double_join_rejected(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_halt(1)
+        d.on_join(0, 1)
+        with pytest.raises(DetectorError):
+            d.on_join(0, 1)
+
+    def test_dense_cost_counter(self):
+        d = fresh()
+        for i in range(1, 9):
+            d.on_fork(0, i)
+            d.on_halt(i)
+        # Each fork copies a whole clock vector: quadratic-ish growth.
+        assert d.elements_copied >= 8 * 2
+
+    def test_shadow_is_full_vectors(self):
+        d = fresh()
+        d.on_fork(0, 1)
+        d.on_read(1, "x")
+        # One read already stores a capacity-sized vector.
+        assert d.shadow_peak_per_location() >= 2
+
+
+class TestAgreementWithSparse:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_same_verdicts_as_sparse_and_oracle(self, seed):
+        cfg = SyntheticConfig(seed=seed, max_tasks=14, ops_per_task=5,
+                              n_locations=3)
+        dense = DenseVectorClockDetector()
+        sparse = VectorClockDetector()
+        ex = run(random_program(cfg), observers=[dense, sparse],
+                 record_events=True)
+        pairs = exact_races(ex.events)
+        assert detector_is_sound(dense.races, pairs)
+        assert first_report_is_precise(dense.races, pairs)
+        # Report-for-report identical to the sparse implementation.
+        assert [
+            (r.loc, r.op_index, r.kind, r.prior_kind)
+            for r in dense.races
+        ] == [
+            (r.loc, r.op_index, r.kind, r.prior_kind)
+            for r in sparse.races
+        ]
+
+    def test_dense_metadata_dominates_sparse(self):
+        from repro.forkjoin.pipeline import run_pipeline
+        from repro.workloads.pipelines import clean_pipeline
+
+        items, stages = clean_pipeline(32, 4)
+        dense = DenseVectorClockDetector()
+        sparse = VectorClockDetector()
+        run_pipeline(items, stages, observers=[dense, sparse])
+        assert dense.metadata_entries() > sparse.metadata_entries()

@@ -1,0 +1,171 @@
+"""Tests for the X10 async-finish sugar."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StructureError
+from repro.forkjoin import build_task_graph, read, run, step, write
+from repro.forkjoin.async_finish import x10
+from repro.lattice.poset import Poset
+from repro.lattice.realizer import is_two_dimensional
+from repro.lattice.series_parallel import is_series_parallel
+
+
+def leaf(ctx):
+    yield write(("cell", ctx.handle.tid))
+
+
+class TestBasics:
+    def test_finish_joins_asyncs(self):
+        @x10
+        def main(ctx):
+            def block():
+                yield from ctx.async_(leaf)
+                yield from ctx.async_(leaf)
+                yield step()
+
+            yield from ctx.finish(block)
+            yield read(("cell", 1))
+
+        ex = run(main)
+        assert ex.task_count == 3
+
+    def test_implicit_root_finish(self):
+        @x10
+        def main(ctx):
+            yield from ctx.async_(leaf)
+            # no explicit finish: the implicit one joins it
+
+        ex = run(main)
+        assert ex.task_count == 2
+
+    def test_nested_finishes(self):
+        @x10
+        def main(ctx):
+            def inner():
+                yield from ctx.async_(leaf)
+                yield step()
+
+            def outer():
+                yield from ctx.async_(leaf)
+                yield from ctx.finish(inner)
+                yield from ctx.async_(leaf)
+
+            yield from ctx.finish(outer)
+
+        ex = run(main)
+        assert ex.task_count == 4
+
+    def test_finish_returns_block_value(self):
+        @x10
+        def main(ctx):
+            def block():
+                yield step()
+                return 7
+
+            got = yield from ctx.finish(block)
+            return got
+
+        assert run(main).result == 7
+
+
+class TestEscapedAsyncs:
+    def test_escaped_async_joined_by_outer_finish(self):
+        """An async created by a descendant escapes to the enclosing
+        finish of its creation -- X10's terminally-strict semantics."""
+        spawned = []
+
+        @x10
+        def main(ctx):
+            def block():
+                yield from ctx.async_(spawner)
+                yield step()
+
+            yield from ctx.finish(block)
+            # At this point the escapee must be joined too.
+            yield read(("cell", spawned[0]))
+
+        def spawner(ctx):
+            h = yield from ctx.async_(leaf)  # escapes: spawner has no finish
+            spawned.append(h.tid)
+            yield step()
+
+        ex = run(main)
+        assert ex.task_count == 3
+
+    def test_escaped_asyncs_can_be_non_sp_but_stay_2d(self):
+        """Escapes can leave the SP class (why ESP-bags exists) while
+        Theorem 6 keeps the graph a 2D lattice."""
+        @x10
+        def main(ctx):
+            def block():
+                yield from ctx.async_(spawner)
+                yield write("shared")
+
+            yield from ctx.finish(block)
+            yield read("shared")
+
+        def spawner(ctx):
+            yield from ctx.async_(leaf)
+            yield step()
+
+        ex = run(main, record_events=True)
+        tg = build_task_graph(ex.events)
+        poset = tg.poset
+        assert poset.is_lattice()
+        assert is_two_dimensional(poset)
+
+    def test_non_escaping_is_sp(self):
+        @x10
+        def main(ctx):
+            def block():
+                yield from ctx.async_(leaf)
+                yield from ctx.async_(leaf)
+                yield write("x")
+
+            yield from ctx.finish(block)
+            yield read("x")
+
+        ex = run(main, record_events=True)
+        tg = build_task_graph(ex.events)
+        assert is_series_parallel(tg.graph.transitive_reduction())
+
+
+class TestOrdering:
+    def test_finish_orders_block_work(self):
+        """Accesses after a finish are ordered after all block accesses."""
+        from repro.detectors import Lattice2DDetector
+
+        @x10
+        def main(ctx):
+            def block():
+                yield from ctx.async_(writer)
+
+            yield from ctx.finish(block)
+            yield read("data")  # safely ordered after writer
+
+        def writer(ctx):
+            yield write("data")
+
+        det = Lattice2DDetector()
+        run(main, observers=[det])
+        assert det.races == []
+
+    def test_async_races_inside_block(self):
+        from repro.detectors import Lattice2DDetector
+
+        @x10
+        def main(ctx):
+            def block():
+                yield from ctx.async_(writer)
+                yield read("data")  # concurrent with the async's write
+
+            yield from ctx.finish(block)
+
+        def writer(ctx):
+            yield write("data")
+
+        det = Lattice2DDetector()
+        run(main, observers=[det])
+        assert len(det.races) == 1

@@ -1,0 +1,156 @@
+"""Tests for the futures sugar and join-returns-value plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors import Lattice2DDetector
+from repro.errors import StructureError
+from repro.forkjoin import fork, join, read, run, write
+from repro.forkjoin.futures import futures
+from repro.forkjoin.taskgraph import build_task_graph
+from repro.lattice.series_parallel import is_series_parallel
+
+
+class TestJoinReturnsValue:
+    def test_plain_join_yields_child_result(self):
+        def child(self):
+            yield write("x")
+            return 99
+
+        def main(self):
+            c = yield fork(child)
+            got = yield join(c)
+            return got
+
+        assert run(main).result == 99
+
+    def test_join_of_valueless_child_yields_none(self):
+        def child(self):
+            yield write("x")
+
+        def main(self):
+            c = yield fork(child)
+            got = yield join(c)
+            assert got is None
+
+        run(main)
+
+
+class TestFutures:
+    def test_create_and_force_in_lifo_order(self):
+        @futures
+        def work(ctx, n):
+            yield write(("slot", n))
+            return n * 10
+
+        @futures
+        def main(ctx):
+            a = yield from ctx.future(work, 1)
+            b = yield from ctx.future(work, 2)
+            vb = yield from ctx.force(b)
+            va = yield from ctx.force(a)
+            return va + vb
+
+        assert run(main).result == 30
+
+    def test_force_out_of_order_caches_intermediates(self):
+        @futures
+        def work(ctx, n):
+            yield write(("slot", n))
+            return n
+
+        @futures
+        def main(ctx):
+            a = yield from ctx.future(work, 1)
+            b = yield from ctx.future(work, 2)
+            c = yield from ctx.future(work, 3)
+            va = yield from ctx.force(a)   # forces c, b along the way
+            vc = yield from ctx.force(c)   # served from the cache
+            vb = yield from ctx.force(b)
+            return (va, vb, vc)
+
+        assert run(main).result == (1, 2, 3)
+
+    def test_unforced_futures_drained_at_exit(self):
+        @futures
+        def work(ctx):
+            yield write("w")
+            return "ignored"
+
+        @futures
+        def main(ctx):
+            yield from ctx.future(work)
+            yield from ctx.future(work)
+            # never forced: the decorator drains them
+
+        ex = run(main)
+        assert ex.task_count == 3
+
+    def test_forcing_foreign_future_rejected(self):
+        @futures
+        def work(ctx):
+            yield write("w")
+
+        @futures
+        def main(ctx):
+            fake = yield from ctx.future(work)
+            yield from ctx.force(fake)
+            with pytest.raises(StructureError, match="outstanding"):
+                yield from ctx.force(fake)  # already consumed
+
+        run(main)
+
+    def test_nested_futures(self):
+        @futures
+        def inner(ctx, n):
+            yield write(("inner", n))
+            return n + 1
+
+        @futures
+        def outer(ctx, n):
+            f = yield from ctx.future(inner, n)
+            v = yield from ctx.force(f)
+            return v * 2
+
+        @futures
+        def main(ctx):
+            f = yield from ctx.future(outer, 5)
+            return (yield from ctx.force(f))
+
+        assert run(main).result == 12
+
+    def test_future_race_detected(self):
+        @futures
+        def producer(ctx):
+            yield write("shared", label="producer")
+            return 1
+
+        @futures
+        def main(ctx):
+            f = yield from ctx.future(producer)
+            yield read("shared", label="unforced-read")  # before force!
+            yield from ctx.force(f)
+            yield read("shared")  # after force: safe
+
+        det = Lattice2DDetector()
+        run(main, observers=[det])
+        assert len(det.races) == 1
+        assert det.races[0].label == "unforced-read"
+
+    def test_lifo_futures_graph_is_sp(self):
+        @futures
+        def work(ctx, n):
+            yield write(("slot", n))
+            return n
+
+        @futures
+        def main(ctx):
+            a = yield from ctx.future(work, 1)
+            b = yield from ctx.future(work, 2)
+            yield from ctx.force(b)
+            yield from ctx.force(a)
+
+        ex = run(main, record_events=True)
+        tg = build_task_graph(ex.events)
+        assert is_series_parallel(tg.graph.transitive_reduction())

@@ -1,0 +1,265 @@
+"""Tests for the serial fork-first interpreter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors.base import EventTracer
+from repro.errors import ProgramError, StructureError
+from repro.events import (
+    ForkEvent,
+    HaltEvent,
+    JoinEvent,
+    ReadEvent,
+    StepEvent,
+    WriteEvent,
+)
+from repro.forkjoin import fork, join, join_left, read, run, step, write
+from repro.forkjoin.program import annotate
+
+
+def empty(self):
+    return
+    yield  # pragma: no cover - makes this a generator function
+
+
+class TestBasicExecution:
+    def test_root_only(self):
+        ex = run(empty, record_events=True)
+        assert ex.task_count == 1
+        assert ex.events == [HaltEvent(0)]
+
+    def test_result_propagates(self):
+        def body(self):
+            yield step()
+            return 42
+
+        assert run(body).result == 42
+
+    def test_fork_first_event_order(self):
+        """The child's entire execution precedes the parent's next op."""
+        def child(self):
+            yield write("c")
+
+        def main(self):
+            c = yield fork(child)
+            yield write("m")
+            yield join(c)
+
+        ex = run(main, record_events=True)
+        assert ex.events == [
+            ForkEvent(0, 1),
+            WriteEvent(1, "c"),
+            HaltEvent(1),
+            WriteEvent(0, "m"),
+            JoinEvent(0, 1),
+            HaltEvent(0),
+        ]
+
+    def test_nested_fork_first(self):
+        order = []
+
+        def leaf(self, tag):
+            order.append(tag)
+            yield step()
+
+        def mid(self):
+            yield fork(leaf, "grandchild")
+            order.append("mid")
+            yield step()
+            yield join_left()
+
+        def main(self):
+            yield fork(mid)
+            order.append("main")
+            yield step()
+            yield join_left()
+
+        run(main)
+        assert order == ["grandchild", "mid", "main"]
+
+    def test_handles_carry_names_and_tids(self):
+        def child(self):
+            yield step()
+
+        def main(self):
+            c = yield fork(child)
+            assert c.tid == 1
+            assert c.name == "child"
+            yield join(c)
+
+        ex = run(main)
+        assert ex.task_count == 2
+
+    def test_deep_fork_chain_does_not_recurse(self):
+        """5000-deep fork chains must not hit the recursion limit."""
+        def nest(self, depth):
+            if depth:
+                yield fork(nest, depth - 1)
+                yield join_left()
+
+        ex = run(nest, 5000)
+        assert ex.task_count == 5001
+
+    def test_op_count(self):
+        def main(self):
+            yield step()
+            yield read("x")
+
+        ex = run(main)
+        assert ex.op_count == 3  # step, read, halt
+
+
+class TestJoins:
+    def test_join_left_returns_handle(self):
+        def child(self):
+            yield step()
+
+        def main(self):
+            c = yield fork(child)
+            h = yield join_left()
+            assert h.tid == c.tid and h.name == "child"
+
+        run(main)
+
+    def test_join_wrong_task_raises(self):
+        def a(self):
+            yield step()
+
+        def main(self):
+            ha = yield fork(a)
+            hb = yield fork(a)
+            yield join(ha)  # hb is the left neighbour, not ha
+
+        with pytest.raises(StructureError, match="immediate left"):
+            run(main)
+
+    def test_join_left_with_no_neighbour_raises(self):
+        def main(self):
+            yield join_left()
+
+        with pytest.raises(StructureError, match="no left neighbour"):
+            run(main)
+
+    def test_join_ancestor_raises(self):
+        def child(self, parent_handle):
+            yield join(parent_handle)
+
+        def main(self):
+            yield fork(child, self)
+
+        with pytest.raises(StructureError):
+            run(main)
+
+    def test_unjoined_tasks_detected(self):
+        def child(self):
+            yield step()
+
+        def main(self):
+            yield fork(child)  # never joined
+
+        with pytest.raises(StructureError, match="unjoined"):
+            run(main)
+
+    def test_unjoined_tasks_allowed_when_disabled(self):
+        def child(self):
+            yield step()
+
+        def main(self):
+            yield fork(child)
+
+        ex = run(main, require_all_joined=False)
+        assert ex.task_count == 2
+
+
+class TestProgramErrors:
+    def test_non_generator_body_rejected(self):
+        def not_a_generator(self):
+            return 3
+
+        with pytest.raises(ProgramError, match="generator"):
+            run(not_a_generator)
+
+    def test_non_generator_child_rejected(self):
+        def bad_child(self):
+            return 3
+
+        def main(self):
+            yield fork(bad_child)
+
+        with pytest.raises(ProgramError, match="generator"):
+            run(main)
+
+    def test_garbage_effect_rejected(self):
+        def main(self):
+            yield "what is this"
+
+        with pytest.raises(ProgramError, match="not an effect"):
+            run(main)
+
+    def test_exceptions_propagate(self):
+        def main(self):
+            yield step()
+            raise ValueError("user bug")
+
+        with pytest.raises(ValueError, match="user bug"):
+            run(main)
+
+
+class TestObservers:
+    def test_tracer_sees_every_event(self):
+        def child(self):
+            yield read("x")
+
+        def main(self):
+            c = yield fork(child)
+            yield write("x")
+            yield join(c)
+
+        tracer = EventTracer()
+        run(main, observers=[tracer])
+        assert tracer.trace == [
+            "root 0",
+            "fork 0->1",
+            "read 1 'x'",
+            "halt 1",
+            "write 0 'x'",
+            "join 0<-1",
+            "halt 0",
+        ]
+
+    def test_annotations_reach_observers_only(self):
+        def main(self):
+            yield annotate("marker", 123)
+            yield step()
+
+        tracer = EventTracer()
+        ex = run(main, observers=[tracer], record_events=True)
+        assert "@marker 0 123" in tracer.trace
+        # Annotations are not operations: not counted, not recorded.
+        assert ex.op_count == 2  # step + halt
+        assert all("marker" not in repr(e) for e in ex.events)
+
+    def test_events_not_recorded_by_default(self):
+        ex = run(empty)
+        assert ex.events is None
+
+
+class TestOpBudget:
+    def test_max_ops_guard(self):
+        from repro.forkjoin.program import step as step_eff
+
+        def runaway(self):
+            while True:
+                yield step_eff()
+
+        with pytest.raises(ProgramError, match="budget"):
+            run(runaway, max_ops=100)
+
+    def test_max_ops_allows_terminating_programs(self):
+        def fine(self):
+            for _ in range(5):
+                yield step()
+
+        ex = run(fine, max_ops=100)
+        assert ex.op_count == 6

@@ -1,0 +1,86 @@
+"""Execution-wide invariants of serial fork-first scheduling.
+
+These are the facts the paper's proofs lean on; we check them on every
+snapshot of random executions:
+
+* the running task is always the leftmost *live* task -- everything to
+  its left in the line has halted (hence joins never block);
+* forks insert the child immediately left of the forker;
+* the line ends as the root alone;
+* thread ids are dense in creation order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.forkjoin import run
+from repro.viz.timeline import LineTracker
+from repro.workloads.synthetic import SyntheticConfig, random_program
+
+
+class _InvariantChecker(LineTracker):
+    """Extends the line tracker with halted bookkeeping + assertions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.halted: Set[int] = set()
+        self.started: Set[int] = {0}
+        self.max_tid = 0
+
+    def _snap(self, desc: str, active: int) -> None:
+        super()._snap(desc, active)
+        self.started.add(active)
+        _, line, _ = self.snapshots[-1]
+        # Everything left of the active task has halted -- except a
+        # freshly forked child that has not taken a transition yet
+        # (it runs next, fork-first).
+        idx = line.index(active) if active in line else len(line)
+        for t in line[:idx]:
+            assert t in self.halted or t not in self.started, (
+                f"live started task {t} left of active {active}: {line}"
+            )
+
+    def on_fork(self, parent: int, child: int) -> None:
+        assert child == self.max_tid + 1, "ids not dense"
+        self.max_tid = child
+        super().on_fork(parent, child)
+        _, line, _ = self.snapshots[-1]
+        assert line[line.index(parent) - 1] == child
+
+    def on_halt(self, task: int) -> None:
+        self.halted.add(task)
+        super().on_halt(task)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_line_invariants_on_random_programs(seed):
+    cfg = SyntheticConfig(seed=seed, max_tasks=16, ops_per_task=5)
+    checker = _InvariantChecker()
+    run(random_program(cfg), observers=[checker])
+    assert checker.snapshots[-1][1] == [0]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_line_invariants_on_pipelines(seed):
+    from repro.forkjoin.pipeline import run_pipeline
+    from repro.workloads.pipelines import clean_pipeline
+
+    items, stages = clean_pipeline(1 + seed % 5, 1 + seed % 4)
+    checker = _InvariantChecker()
+    run_pipeline(items, stages, observers=[checker])
+    assert checker.snapshots[-1][1] == [0]
+
+
+def test_line_invariants_on_cilk_and_x10():
+    from repro.workloads.spworkloads import divide_and_conquer, map_reduce
+
+    for body in (divide_and_conquer(3), map_reduce(5)):
+        checker = _InvariantChecker()
+        run(body, observers=[checker])
+        assert checker.snapshots[-1][1] == [0]

@@ -1,0 +1,101 @@
+"""Tests for the task line of Figure 9."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StructureError
+from repro.forkjoin.line import TaskLine
+
+
+class TestFork:
+    def test_child_goes_left_of_parent(self):
+        line = TaskLine(0)
+        line.fork(0, 1)
+        assert line.snapshot() == [1, 0]
+        line.fork(0, 2)
+        assert line.snapshot() == [1, 2, 0]  # newest child nearest
+
+    def test_nested_forks(self):
+        line = TaskLine(0)
+        line.fork(0, 1)
+        line.fork(1, 2)
+        assert line.snapshot() == [2, 1, 0]
+
+    def test_fork_duplicate_rejected(self):
+        line = TaskLine(0)
+        line.fork(0, 1)
+        with pytest.raises(StructureError, match="already"):
+            line.fork(0, 1)
+
+    def test_fork_from_unknown_rejected(self):
+        line = TaskLine(0)
+        with pytest.raises(StructureError, match="not in the line"):
+            line.fork(7, 1)
+
+
+class TestJoin:
+    def test_join_left_neighbour(self):
+        line = TaskLine(0)
+        line.fork(0, 1)
+        line.join(0, 1)
+        assert line.snapshot() == [0]
+
+    def test_join_exposes_next_neighbour(self):
+        line = TaskLine(0)
+        line.fork(0, 1)
+        line.fork(0, 2)
+        line.join(0, 2)
+        assert line.left_neighbor(0) == 1
+        line.join(0, 1)
+        assert line.left_neighbor(0) is None
+
+    def test_join_non_neighbour_rejected(self):
+        """The paper's core restriction: only the immediate left
+        neighbour may be joined."""
+        line = TaskLine(0)
+        line.fork(0, 1)
+        line.fork(0, 2)  # line: 1 2 0
+        with pytest.raises(StructureError, match="immediate left"):
+            line.join(0, 1)
+
+    def test_join_removed_task_rejected(self):
+        line = TaskLine(0)
+        line.fork(0, 1)
+        line.join(0, 1)
+        with pytest.raises(StructureError, match="not in the line"):
+            line.join(0, 1)
+
+    def test_orphan_adoption(self):
+        """Joining a task exposes its leftover children to the joiner --
+        the construct that makes non-SP (2D) graphs expressible."""
+        line = TaskLine(0)
+        line.fork(0, 1)
+        line.fork(1, 2)  # 1's child; line: 2 1 0
+        line.join(0, 1)  # line: 2 0
+        assert line.snapshot() == [2, 0]
+        line.join(0, 2)
+        assert line.snapshot() == [0]
+
+
+class TestQueries:
+    def test_len_and_contains(self):
+        line = TaskLine(0)
+        assert len(line) == 1 and 0 in line and 1 not in line
+        line.fork(0, 1)
+        assert len(line) == 2 and 1 in line
+
+    def test_neighbours(self):
+        line = TaskLine(0)
+        line.fork(0, 1)
+        assert line.right_neighbor(1) == 0
+        assert line.left_neighbor(1) is None
+        assert line.right_neighbor(0) is None
+
+    def test_snapshot_empty_after_structural_ops(self):
+        line = TaskLine(0)
+        for child in range(1, 6):
+            line.fork(0, child)
+        for child in range(5, 0, -1):
+            line.join(0, child)
+        assert line.snapshot() == [0]

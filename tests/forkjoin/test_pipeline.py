@@ -1,0 +1,211 @@
+"""Tests for the linear pipeline construction (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.forkjoin import build_task_graph, read, run, write
+from repro.forkjoin.pipeline import PipelineSpec, pipeline_body, run_pipeline
+from repro.lattice.generators import grid_digraph
+from repro.lattice.poset import Poset
+from repro.lattice.realizer import is_two_dimensional
+
+
+def tag_stage(i, log):
+    def stage(item, j):
+        log.append((i, j))
+        yield write(("cell", i, j))
+
+    stage.__name__ = f"stage{i}"
+    return stage
+
+
+class TestShape:
+    def test_task_count(self):
+        ex = run_pipeline(range(4), [tag_stage(i, []) for i in range(3)])
+        assert ex.task_count == 4 * 3 + 1
+
+    def test_execution_order_is_item_major(self):
+        """Serial fork-first order processes item j completely before
+        item j+1 -- the non-separating traversal of the grid."""
+        log = []
+        stages = [tag_stage(i, log) for i in range(3)]
+        run_pipeline(range(3), stages)
+        assert log == [
+            (0, 0), (1, 0), (2, 0),
+            (0, 1), (1, 1), (2, 1),
+            (0, 2), (1, 2), (2, 2),
+        ]
+
+    def test_empty_stage_list_rejected(self):
+        with pytest.raises(WorkloadError):
+            PipelineSpec((), ())
+
+    def test_single_stage_single_item(self):
+        ex = run_pipeline([0], [tag_stage(0, [])])
+        assert ex.task_count == 2
+
+
+class TestTaskGraphIsGrid:
+    @pytest.mark.parametrize("items,stages", [(2, 2), (3, 2), (2, 4), (4, 3)])
+    def test_cell_order_matches_grid_order(self, items, stages):
+        """Cell (i1, j1) happens-before (i2, j2) in the pipeline's task
+        graph exactly when it does in the items x stages grid."""
+        log = []
+        ex = run_pipeline(
+            range(items),
+            [tag_stage(i, log) for i in range(stages)],
+            record_events=True,
+        )
+        tg = build_task_graph(ex.events)
+        cell_vertex = {}
+        for v, op in tg.ops.items():
+            if op.kind == "write" and op.loc and op.loc[0] == "cell":
+                _, i, j = op.loc
+                cell_vertex[(i, j)] = v
+        grid = Poset(grid_digraph(stages, items))
+        for (i1, j1), v1 in cell_vertex.items():
+            for (i2, j2), v2 in cell_vertex.items():
+                assert tg.poset.leq(v1, v2) == grid.leq((i1, j1), (i2, j2)), (
+                    (i1, j1), (i2, j2)
+                )
+
+    def test_pipeline_graph_is_2d_lattice(self):
+        ex = run_pipeline(
+            range(3), [tag_stage(i, []) for i in range(3)],
+            record_events=True,
+        )
+        tg = build_task_graph(ex.events)
+        assert tg.poset.is_lattice()
+        assert is_two_dimensional(tg.poset)
+
+
+class TestRaces:
+    def test_clean_pipeline_has_no_races(self):
+        from repro.detectors import Lattice2DDetector
+        from repro.workloads.pipelines import clean_pipeline
+
+        items, stages = clean_pipeline(5, 4)
+        det = Lattice2DDetector()
+        run_pipeline(items, stages, observers=[det])
+        assert det.races == []
+
+    def test_racy_pipeline_flagged(self):
+        from repro.detectors import Lattice2DDetector
+        from repro.workloads.pipelines import racy_pipeline
+
+        items, stages = racy_pipeline(4, 3)
+        det = Lattice2DDetector()
+        run_pipeline(items, stages, observers=[det])
+        assert det.races
+
+    def test_read_shared_pipeline_race_free_but_fat_for_vc(self):
+        from repro.detectors import Lattice2DDetector, VectorClockDetector
+        from repro.workloads.pipelines import read_shared_pipeline
+
+        items, stages = read_shared_pipeline(5, 3)
+        d2 = Lattice2DDetector()
+        vc = VectorClockDetector()
+        run_pipeline(items, stages, observers=[d2, vc])
+        assert d2.races == [] and vc.races == []
+        # The space separation the paper is about:
+        assert d2.shadow_peak_per_location() <= 2
+        assert vc.shadow_peak_per_location() >= 5
+
+    def test_stage_serialisation_orders_same_stage_accesses(self):
+        """Stage i of item j is ordered before stage i of item j+1, so a
+        per-stage accumulator is safe."""
+        from repro.detectors import Lattice2DDetector
+
+        def accum(item, j):
+            yield read(("acc",))
+            yield write(("acc",))
+
+        det = Lattice2DDetector()
+        run_pipeline(range(6), [accum], observers=[det])
+        assert det.races == []
+
+
+class TestParallelStages:
+    """Cilk-P parallel stages: no cross-item serialisation at the
+    flagged stages; the happened-before relation must equal
+
+        (i, j) <= (i', j')  iff  i <= i' and (j == j' or
+        (j < j' and some serial stage s has i <= s <= i')).
+    """
+
+    @staticmethod
+    def _relation(n_items, n_stages, parallel):
+        from repro.forkjoin import build_task_graph
+        from repro.forkjoin.program import write
+
+        def stage_fn(i):
+            def stage(item, j):
+                yield write(("cell", i, j))
+
+            stage.__name__ = f"s{i}"
+            return stage
+
+        ex = run_pipeline(
+            range(n_items),
+            [stage_fn(i) for i in range(n_stages)],
+            parallel=parallel,
+            record_events=True,
+        )
+        tg = build_task_graph(ex.events)
+        cell = {
+            op.loc[1:]: v for v, op in tg.ops.items() if op.kind == "write"
+        }
+        return tg, cell, ex
+
+    @pytest.mark.parametrize(
+        "parallel",
+        [[], [1], [0], [2], [0, 1], [1, 2], [0, 2], [0, 1, 2]],
+    )
+    def test_relation_exact(self, parallel):
+        n_items, n_stages = 4, 3
+        tg, cell, _ = self._relation(n_items, n_stages, parallel)
+        serial = [s for s in range(n_stages) if s not in set(parallel)]
+        for (i1, j1), v1 in cell.items():
+            for (i2, j2), v2 in cell.items():
+                expected = (i1 <= i2) and (
+                    j1 == j2
+                    or (j1 < j2 and any(i1 <= s <= i2 for s in serial))
+                )
+                assert tg.poset.leq(v1, v2) == expected, (
+                    parallel, (i1, j1), (i2, j2)
+                )
+
+    def test_parallel_stage_accumulator_races(self):
+        """A shared accumulator at a *parallel* stage races across items
+        (the same accumulator at a serial stage is safe -- tested in
+        TestRaces above)."""
+        from repro.detectors import Lattice2DDetector
+
+        def accum(item, j):
+            yield read(("acc",))
+            yield write(("acc",))
+
+        det = Lattice2DDetector()
+        run_pipeline(range(5), [accum], parallel=[0], observers=[det])
+        assert det.races
+
+    def test_all_parallel_graph_is_still_2d_lattice(self):
+        tg, _, ex = self._relation(3, 3, [0, 1, 2])
+        assert tg.poset.is_lattice()
+        assert is_two_dimensional(tg.poset)
+
+    def test_out_of_range_parallel_rejected(self):
+        with pytest.raises(WorkloadError, match="out of range"):
+            PipelineSpec((1,), (lambda item, j: iter(()),), frozenset({5}))
+
+    def test_joins_before_counts_parallel_runs(self):
+        spec = PipelineSpec(
+            (0,), tuple(lambda item, j: iter(()) for _ in range(5)),
+            frozenset({1, 2, 4}),
+        )
+        assert spec.joins_before(0) == 1
+        assert spec.joins_before(3) == 3  # absorbs stages 2 and 1

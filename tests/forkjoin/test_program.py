@@ -1,0 +1,83 @@
+"""Focused tests for the effect vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.forkjoin.program import (
+    AnnotateEffect,
+    ForkEffect,
+    JoinEffect,
+    JoinLeftEffect,
+    ReadEffect,
+    StepEffect,
+    TaskHandle,
+    WriteEffect,
+    annotate,
+    fork,
+    join,
+    join_left,
+    read,
+    step,
+    write,
+)
+
+
+class TestConstructors:
+    def test_fork_captures_body_and_args(self):
+        def body(self):
+            yield step()
+
+        eff = fork(body, 1, 2, label="here")
+        assert isinstance(eff, ForkEffect)
+        assert eff.body is body
+        assert eff.args == (1, 2)
+        assert eff.label == "here"
+        assert eff.name == "body"
+
+    def test_fork_name_override(self):
+        def body(self):
+            yield step()
+
+        assert fork(body, name="custom").name == "custom"
+
+    def test_join_wraps_handle(self):
+        h = TaskHandle(3, "w")
+        eff = join(h, label="sync-point")
+        assert isinstance(eff, JoinEffect)
+        assert eff.handle is h and eff.label == "sync-point"
+
+    def test_join_left(self):
+        assert isinstance(join_left(), JoinLeftEffect)
+        assert join_left(label="x").label == "x"
+
+    def test_memory_effects(self):
+        assert isinstance(read("loc"), ReadEffect)
+        assert isinstance(write(("a", 1)), WriteEffect)
+        assert read("loc").loc == "loc"
+        assert write("loc", label="w").label == "w"
+
+    def test_step_and_annotate(self):
+        assert isinstance(step(), StepEffect)
+        eff = annotate("tag", {"k": 1})
+        assert isinstance(eff, AnnotateEffect)
+        assert eff.tag == "tag" and eff.data == {"k": 1}
+
+    def test_effects_are_frozen(self):
+        eff = read("x")
+        with pytest.raises(AttributeError):
+            eff.loc = "y"  # type: ignore[misc]
+
+
+class TestTaskHandle:
+    def test_equality_by_value(self):
+        assert TaskHandle(1, "a") == TaskHandle(1, "a")
+        assert TaskHandle(1, "a") != TaskHandle(2, "a")
+
+    def test_repr_readable(self):
+        assert "1" in repr(TaskHandle(1, "worker"))
+        assert "worker" in repr(TaskHandle(1, "worker"))
+        assert repr(TaskHandle(2)) == "<task 2>"
+
+    def test_hashable(self):
+        assert len({TaskHandle(1), TaskHandle(1), TaskHandle(2)}) == 2

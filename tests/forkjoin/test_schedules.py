@@ -1,0 +1,117 @@
+"""Tests for alternative schedules and schedule (in)dependence.
+
+The point being demonstrated (§2.3 of the paper): happens-before
+detectors answer identically along *any* valid schedule, while the 2D
+detector's algorithm is tied to the serial fork-first order -- the
+price of Θ(1) space.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import FastTrackDetector, VectorClockDetector
+from repro.events import ForkEvent, HaltEvent, JoinEvent
+from repro.forkjoin import run
+from repro.forkjoin.schedules import is_serial_fork_first, random_schedule
+from repro.workloads.synthetic import SyntheticConfig, random_program
+
+
+def record(seed, max_tasks=12):
+    cfg = SyntheticConfig(seed=seed, max_tasks=max_tasks, ops_per_task=5)
+    ex = run(random_program(cfg), record_events=True)
+    return ex.events
+
+
+def drive_hb(detector_cls, events):
+    """Drive a happens-before detector directly (no line validation --
+    interleaved schedules are not line-disciplined executions)."""
+    det = detector_cls()
+    det.on_root(0)
+    for ev in events:
+        if isinstance(ev, ForkEvent):
+            det.on_fork(ev.parent, ev.child)
+        elif isinstance(ev, JoinEvent):
+            det.on_join(ev.joiner, ev.joined)
+        elif isinstance(ev, HaltEvent):
+            det.on_halt(ev.task)
+        elif hasattr(ev, "loc"):
+            if type(ev).__name__ == "ReadEvent":
+                det.on_read(ev.task, ev.loc)
+            else:
+                det.on_write(ev.task, ev.loc)
+        else:
+            det.on_step(ev.task)
+    return det
+
+
+class TestRandomSchedule:
+    def test_constraints_preserved(self):
+        events = record(3)
+        rng = random.Random(0)
+        shuffled = random_schedule(events, rng)
+        assert sorted(map(repr, shuffled)) == sorted(map(repr, events))
+        # per-task order
+        def per_task(evts):
+            out = {}
+            for ev in evts:
+                t = (ev.joiner if isinstance(ev, JoinEvent)
+                     else ev.parent if isinstance(ev, ForkEvent)
+                     else ev.task)
+                out.setdefault(t, []).append(repr(ev))
+            return out
+
+        assert per_task(shuffled) == per_task(events)
+        # fork before child's first event
+        seen_fork = set()
+        for ev in shuffled:
+            if isinstance(ev, ForkEvent):
+                seen_fork.add(ev.child)
+            else:
+                t = ev.joiner if isinstance(ev, JoinEvent) else ev.task
+                assert t == 0 or t in seen_fork
+
+    def test_original_stream_is_serial_fork_first(self):
+        assert is_serial_fork_first(record(5))
+
+    def test_shuffles_usually_are_not_serial(self):
+        """With enough tasks, a random interleaving almost never remains
+        fork-first -- the orders the paper's algorithm cannot consume."""
+        events = record(7, max_tasks=14)
+        rng = random.Random(1)
+        hits = sum(
+            is_serial_fork_first(random_schedule(events, rng))
+            for _ in range(20)
+        )
+        assert hits < 20  # at least one genuine interleaving
+
+
+class TestScheduleIndependence:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), shuffle_seed=st.integers(0, 999))
+    def test_vector_clocks_schedule_independent(self, seed, shuffle_seed):
+        """The same races (as location sets) along every schedule."""
+        events = record(seed)
+        serial = drive_hb(VectorClockDetector, events)
+        shuffled_events = random_schedule(
+            events, random.Random(shuffle_seed)
+        )
+        shuffled = drive_hb(VectorClockDetector, shuffled_events)
+        assert bool(serial.races) == bool(shuffled.races)
+        assert {r.loc for r in serial.races} == {
+            r.loc for r in shuffled.races
+        }
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_fasttrack_verdict_schedule_independent(self, seed):
+        events = record(seed)
+        serial = drive_hb(FastTrackDetector, events)
+        shuffled = drive_hb(
+            FastTrackDetector, random_schedule(events, random.Random(9))
+        )
+        assert bool(serial.races) == bool(shuffled.races)

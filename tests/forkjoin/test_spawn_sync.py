@@ -1,0 +1,125 @@
+"""Tests for the Cilk spawn-sync sugar (construction (11))."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.forkjoin import build_task_graph, read, run, write
+from repro.forkjoin.spawn_sync import CilkTask, cilk
+from repro.lattice.series_parallel import is_series_parallel
+
+
+@cilk
+def noop(ctx):
+    return
+    yield  # pragma: no cover
+
+
+class TestBasics:
+    def test_spawn_and_sync(self):
+        @cilk
+        def main(ctx):
+            a = yield from ctx.spawn(noop)
+            b = yield from ctx.spawn(noop)
+            assert ctx.outstanding == 2
+            yield from ctx.sync()
+            assert ctx.outstanding == 0
+            assert a.tid == 1 and b.tid == 2
+
+        ex = run(main)
+        assert ex.task_count == 3
+
+    def test_implicit_sync_at_end(self):
+        """Cilk semantics: the trailing sync happens even if omitted."""
+        @cilk
+        def main(ctx):
+            yield from ctx.spawn(noop)
+            yield from ctx.spawn(noop)
+            # no explicit sync
+
+        ex = run(main)  # would raise StructureError about unjoined tasks
+        assert ex.task_count == 3
+
+    def test_return_value(self):
+        @cilk
+        def main(ctx):
+            yield read("x")
+            return "done"
+
+        assert run(main).result == "done"
+
+    def test_nested_spawns(self):
+        @cilk
+        def inner(ctx):
+            yield from ctx.spawn(noop)
+            yield from ctx.sync()
+
+        @cilk
+        def main(ctx):
+            yield from ctx.spawn(inner)
+            yield from ctx.spawn(inner)
+            yield from ctx.sync()
+
+        ex = run(main)
+        assert ex.task_count == 5
+
+
+class TestTaskGraphs:
+    def test_figure1_program_is_sp(self):
+        """spawn A; B; sync; spawn C; D; sync -- the Figure 1 program."""
+        @cilk
+        def a(ctx):
+            yield read("r")
+
+        @cilk
+        def c(ctx):
+            yield read("s")
+
+        @cilk
+        def main(ctx):
+            yield from ctx.spawn(a)
+            yield read("r")   # B
+            yield from ctx.sync()
+            yield from ctx.spawn(c)
+            yield write("w")  # D
+            yield from ctx.sync()
+
+        ex = run(main, record_events=True)
+        tg = build_task_graph(ex.events)
+        assert is_series_parallel(tg.graph.transitive_reduction())
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        depth=st.integers(1, 3),
+        fanout=st.integers(2, 3),
+    )
+    def test_divide_and_conquer_always_sp(self, seed, depth, fanout):
+        from repro.workloads.spworkloads import divide_and_conquer
+
+        ex = run(divide_and_conquer(depth, fanout), record_events=True)
+        tg = build_task_graph(ex.events)
+        assert is_series_parallel(tg.graph.transitive_reduction())
+
+    def test_fib_shape(self):
+        @cilk
+        def fib(ctx, n):
+            if n < 2:
+                yield write(("fib", ctx.handle.tid))
+                return
+            yield from ctx.spawn(fib, n - 1)
+            yield from ctx.spawn(fib, n - 2)
+            yield from ctx.sync()
+            yield read(("fib", ctx.handle.tid))
+
+        ex = run(fib, 7, record_events=True)
+        tg = build_task_graph(ex.events)
+        assert is_series_parallel(tg.graph.transitive_reduction())
+        # fib call tree: fib(7) makes 2*fib(7)-1 = 41 calls for fib>=1...
+        # simply check the count matches the recursion.
+        def calls(n):
+            return 1 if n < 2 else 1 + calls(n - 1) + calls(n - 2)
+
+        assert ex.task_count == calls(7)

@@ -1,0 +1,147 @@
+"""Tests for execution synthesis -- the converse of Theorem 6.
+
+For any (bounded) 2D lattice we must be able to produce a *valid*
+structured fork-join event stream whose task graph is order-isomorphic
+to the lattice.  Validity is certified by the strict replayer; the
+isomorphism is checked vertex-by-vertex against the reconstruction.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reports import AccessKind
+from repro.detectors import Lattice2DDetector, VectorClockDetector
+from repro.detectors.offline2d import detect_races_on_lattice
+from repro.errors import GraphError
+from repro.forkjoin.replay import replay_events
+from repro.forkjoin.synthesis import synthesize_events
+from repro.forkjoin.taskgraph import build_task_graph
+from repro.lattice.digraph import Digraph
+from repro.lattice.dominance import Diagram
+from repro.lattice.generators import (
+    diamond,
+    figure2_lattice,
+    figure3_lattice,
+    grid_diagram,
+)
+from repro.lattice.poset import Poset
+
+from tests.conftest import completed_lattices, sp_digraphs, staircase_lattices
+
+
+def diagram_of(graph) -> Diagram:
+    return Diagram.from_poset(Poset(graph))
+
+
+def assert_realises(graph):
+    """Synthesize, replay-validate, and check order isomorphism."""
+    poset = Poset(graph)
+    synth = synthesize_events(diagram_of(graph))
+    replay_events(synth.events)  # strict validation
+    tg = build_task_graph(synth.events)
+    vs = list(graph.vertices())
+    for x in vs:
+        for y in vs:
+            if x == y:
+                continue
+            assert poset.leq(x, y) == tg.poset.leq(
+                synth.step_event_of[x], synth.step_event_of[y]
+            ), (x, y)
+    return synth
+
+
+class TestFixedLattices:
+    def test_diamond(self):
+        synth = assert_realises(diamond())
+        assert synth.task_count == 2  # one fork suffices
+
+    def test_figure2(self):
+        assert_realises(figure2_lattice())
+
+    def test_figure3(self):
+        synth = assert_realises(figure3_lattice())
+        # Section 4's thread decomposition: 5 threads.
+        assert synth.task_count == 5
+
+    def test_grids(self):
+        for rows, cols in [(1, 1), (2, 2), (3, 4), (5, 3)]:
+            assert_realises(grid_diagram(rows, cols).graph)
+
+    def test_chain_needs_no_forks(self):
+        from repro.lattice.generators import chain
+
+        synth = assert_realises(chain(6))
+        assert synth.task_count == 1
+
+
+class TestRandomLattices:
+    @settings(max_examples=60, deadline=None)
+    @given(graph=staircase_lattices())
+    def test_staircases(self, graph):
+        assert_realises(graph)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=sp_digraphs())
+    def test_sp_graphs(self, graph):
+        assert_realises(graph)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=completed_lattices())
+    def test_macneille_completed_lattices(self, graph):
+        assert_realises(graph)
+
+
+class TestAnnotatedSynthesis:
+    def test_online_detector_on_synthesized_figure2(self):
+        accesses = {
+            "A": [("l", AccessKind.READ)],
+            "B": [("l", AccessKind.READ)],
+            "D": [("l", AccessKind.WRITE)],
+        }
+        synth = synthesize_events(diagram_of(figure2_lattice()), accesses)
+        det = Lattice2DDetector()
+        replay_events(synth.events, observers=[det])
+        assert len(det.races) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=staircase_lattices(), seed=st.integers(0, 2**32 - 1))
+    def test_online_matches_offline_on_annotated_lattices(self, graph, seed):
+        """End-to-end: annotate a random lattice, run the ONLINE
+        detector on the synthesized execution and the OFFLINE detector
+        on the graph; they must agree on whether races exist, and the
+        vector-clock detector must concur."""
+        rng = random.Random(seed)
+        accesses = {}
+        for v in graph.vertices():
+            if rng.random() < 0.6:
+                kind = (
+                    AccessKind.WRITE
+                    if rng.random() < 0.5
+                    else AccessKind.READ
+                )
+                accesses[v] = [(rng.randrange(3), kind)]
+        offline = detect_races_on_lattice(graph, accesses)
+        synth = synthesize_events(diagram_of(graph), accesses)
+        online = Lattice2DDetector()
+        vc = VectorClockDetector()
+        replay_events(synth.events, observers=[online, vc])
+        assert bool(online.races) == bool(offline) == bool(vc.races)
+
+
+class TestErrors:
+    def test_multi_sink_rejected(self):
+        g = Digraph([(0, 1), (0, 2)])
+        with pytest.raises(GraphError, match="single-source"):
+            synthesize_events(Diagram.from_poset(Poset(g)))
+
+    def test_events_use_dense_ids(self):
+        synth = synthesize_events(diagram_of(figure3_lattice()))
+        from repro.events import ForkEvent
+
+        forked = [e.child for e in synth.events if isinstance(e, ForkEvent)]
+        assert forked == list(range(1, len(forked) + 1))

@@ -1,0 +1,151 @@
+"""Tests for task-graph reconstruction and Theorem 6.
+
+Theorem 6: programs following the Figure 9 rules generate task graphs
+with a two-dimensional lattice structure.  We reconstruct the
+operation-level graph of executions (including random ones) and check
+exactly that: single source, single sink, a lattice, and dimension <= 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.forkjoin import (
+    build_task_graph,
+    fork,
+    join,
+    join_left,
+    read,
+    run,
+    step,
+    write,
+)
+from repro.lattice.poset import Poset
+from repro.lattice.realizer import is_two_dimensional
+from repro.lattice.series_parallel import is_series_parallel
+from repro.workloads.synthetic import SyntheticConfig, random_program
+
+
+def figure2_body():
+    def task_a(self):
+        yield read("l", label="A")
+
+    def task_c(self, a):
+        yield join(a)
+        yield step(label="C")
+
+    def main(self):
+        a = yield fork(task_a)
+        yield read("l", label="B")
+        c = yield fork(task_c, a)
+        yield write("l", label="D")
+        yield join(c)
+
+    return main
+
+
+def assert_is_2d_lattice(tg):
+    assert len(tg.graph.sources()) == 1
+    assert len(tg.graph.sinks()) == 1
+    poset = tg.poset
+    assert poset.is_lattice()
+    assert is_two_dimensional(poset)
+
+
+class TestFigure2:
+    def test_graph_shape(self):
+        ex = run(figure2_body(), record_events=True)
+        tg = build_task_graph(ex.events)
+        assert_is_2d_lattice(tg)
+        assert not is_series_parallel(tg.graph.transitive_reduction())
+
+    def test_orderings_match_paper(self):
+        """A || D (the race), B before D, A before C."""
+        ex = run(figure2_body(), record_events=True)
+        tg = build_task_graph(ex.events)
+        by_label = {op.label: i for i, op in tg.ops.items() if op.label}
+        A, B, C, D = (by_label[k] for k in "ABCD")
+        assert not tg.poset.comparable(A, D)
+        assert tg.poset.lt(B, D)
+        assert tg.poset.lt(A, C)
+        assert tg.poset.lt(B, C)
+
+    def test_threads_group_operations_by_task(self):
+        ex = run(figure2_body(), record_events=True)
+        tg = build_task_graph(ex.events)
+        threads = tg.threads()
+        assert len(threads) == 3
+        assert sum(len(ops) for ops in threads.values()) == len(tg.ops)
+
+    def test_accesses_in_order(self):
+        ex = run(figure2_body(), record_events=True)
+        tg = build_task_graph(ex.events)
+        kinds = [k.value for (_, _, k) in tg.accesses()]
+        assert kinds == ["read", "read", "write"]
+
+
+class TestTheorem6:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_random_programs_yield_2d_lattices(self, seed):
+        cfg = SyntheticConfig(seed=seed, max_tasks=10, ops_per_task=4)
+        ex = run(random_program(cfg), record_events=True)
+        tg = build_task_graph(ex.events)
+        assert_is_2d_lattice(tg)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_no_leftovers_means_series_parallel(self, seed):
+        """With leftover_probability = 0, every task joins its own
+        children before halting -- the bracketed discipline (11), which
+        must produce SP graphs."""
+        cfg = SyntheticConfig(
+            seed=seed, max_tasks=10, ops_per_task=4,
+            leftover_probability=0.0,
+        )
+        ex = run(random_program(cfg), record_events=True)
+        tg = build_task_graph(ex.events)
+        assert is_series_parallel(tg.graph.transitive_reduction())
+
+    def test_leftovers_can_produce_non_sp(self):
+        """At least one seed must exhibit a non-SP (but 2D) task graph,
+        or the generator would not cover the paper's added generality."""
+        found_non_sp = False
+        for seed in range(40):
+            cfg = SyntheticConfig(
+                seed=seed, max_tasks=12, ops_per_task=5,
+                leftover_probability=0.8,
+            )
+            ex = run(random_program(cfg), record_events=True)
+            tg = build_task_graph(ex.events)
+            assert_is_2d_lattice(tg)
+            if not is_series_parallel(tg.graph.transitive_reduction()):
+                found_non_sp = True
+                break
+        assert found_non_sp
+
+
+class TestReconstructionMechanics:
+    def test_empty_child(self):
+        def child(self):
+            return
+            yield
+
+        def main(self):
+            c = yield fork(child)
+            yield join(c)
+
+        ex = run(main, record_events=True)
+        tg = build_task_graph(ex.events)
+        assert_is_2d_lattice(tg)
+        kinds = [tg.ops[i].kind for i in sorted(tg.ops)]
+        assert kinds == ["fork", "halt", "join", "halt"]
+
+    def test_ordered_helper(self):
+        ex = run(figure2_body(), record_events=True)
+        tg = build_task_graph(ex.events)
+        first, *_, last = sorted(tg.ops)
+        assert tg.ordered(first, last)
+        assert not tg.ordered(last, first)

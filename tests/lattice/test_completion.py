@@ -1,0 +1,111 @@
+"""Tests for the Dedekind-MacNeille completion."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.completion import macneille_completion, random_2d_lattice
+from repro.lattice.digraph import Digraph
+from repro.lattice.generators import (
+    boolean_lattice,
+    diamond,
+    random_two_dim_poset,
+    standard_example,
+)
+from repro.lattice.poset import Poset
+from repro.lattice.realizer import is_two_dimensional
+
+
+class TestCompletion:
+    def test_lattice_is_its_own_completion(self):
+        poset = Poset(diamond())
+        completion, emb = macneille_completion(poset)
+        assert len(completion) == len(poset)
+        assert completion.is_lattice()
+
+    def test_antichain_gains_bounds(self):
+        g = Digraph()
+        for i in range(3):
+            g.add_vertex(i)
+        completion, emb = macneille_completion(Poset(g))
+        # three elements + bottom + top
+        assert len(completion) == 5
+        assert completion.is_lattice()
+
+    def test_standard_example_s2(self):
+        """S_2 (the 4-element 'X' poset) completes by adding a mid
+        element?  No: its completion adds bottom and top only when
+        bounds are missing -- just check lattice-ness and embedding."""
+        poset = Poset(standard_example(2))
+        completion, emb = macneille_completion(poset)
+        assert completion.is_lattice()
+        for x in poset.vertices():
+            for y in poset.vertices():
+                assert poset.leq(x, y) == completion.leq(emb[x], emb[y])
+
+    def test_embedding_preserves_order_exactly(self):
+        rng = random.Random(3)
+        base = Poset(random_two_dim_poset(7, rng))
+        completion, emb = macneille_completion(base)
+        for x in base.vertices():
+            for y in base.vertices():
+                assert base.leq(x, y) == completion.leq(emb[x], emb[y])
+
+    def test_completion_is_bounded_lattice(self):
+        rng = random.Random(9)
+        base = Poset(random_two_dim_poset(6, rng))
+        completion, _ = macneille_completion(base)
+        assert completion.is_lattice()
+        assert completion.bottom() is not None
+        assert completion.top() is not None
+
+    def test_existing_suprema_preserved(self):
+        poset = Poset(diamond())
+        completion, emb = macneille_completion(poset)
+        assert completion.sup(emb[1], emb[2]) == emb[3]
+        assert completion.inf(emb[1], emb[2]) == emb[0]
+
+    def test_b3_completion_is_b3(self):
+        poset = Poset(boolean_lattice(3))
+        completion, _ = macneille_completion(poset)
+        assert len(completion) == 8  # already complete
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 8))
+    def test_completion_of_2d_poset_is_2d_lattice(self, seed, n):
+        """The key fact for the generator: completion preserves order
+        dimension, so 2D posets complete to 2D lattices."""
+        rng = random.Random(seed)
+        base = Poset(random_two_dim_poset(n, rng))
+        completion, _ = macneille_completion(base)
+        assert completion.is_lattice()
+        assert is_two_dimensional(completion)
+
+
+class TestRandomLatticeGenerator:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 8))
+    def test_random_2d_lattice(self, seed, n):
+        g = random_2d_lattice(n, random.Random(seed))
+        poset = Poset(g)
+        assert poset.is_lattice()
+        assert is_two_dimensional(poset)
+        assert poset.bottom() is not None and poset.top() is not None
+
+    def test_feeds_the_core_algorithms(self):
+        """Completion-generated lattices work end to end: traversal,
+        suprema, synthesis."""
+        from repro.forkjoin.replay import replay_events
+        from repro.forkjoin.synthesis import synthesize_events
+        from repro.lattice.dominance import Diagram
+
+        g = random_2d_lattice(7, random.Random(123))
+        poset = Poset(g)
+        diagram = Diagram.from_poset(poset)
+        diagram.check_planar()
+        synth = synthesize_events(diagram)
+        replay_events(synth.events)

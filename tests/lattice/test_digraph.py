@@ -1,0 +1,114 @@
+"""Tests for the ordered-adjacency digraph container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.lattice.digraph import Digraph
+
+
+class TestConstruction:
+    def test_add_arc_creates_vertices(self):
+        g = Digraph()
+        g.add_arc("a", "b")
+        assert "a" in g and "b" in g
+        assert g.vertex_count == 2 and g.arc_count == 1
+
+    def test_init_from_arc_list(self):
+        g = Digraph([(1, 2), (2, 3)])
+        assert list(g.arcs()) == [(1, 2), (2, 3)]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            Digraph([(1, 1)])
+
+    def test_duplicate_arc_rejected(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            Digraph([(1, 2), (1, 2)])
+
+    def test_add_vertex_idempotent(self):
+        g = Digraph()
+        g.add_vertex("v")
+        g.add_vertex("v")
+        assert g.vertex_count == 1
+
+    def test_adjacency_preserves_insertion_order(self):
+        g = Digraph([(0, 2), (0, 1), (3, 1)])
+        assert g.succs(0) == [2, 1]
+        assert g.preds(1) == [0, 3]
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = Digraph([(0, 1), (0, 2), (1, 2)])
+        assert g.out_degree(0) == 2
+        assert g.in_degree(2) == 2
+        assert g.has_arc(0, 1) and not g.has_arc(1, 0)
+
+    def test_sources_and_sinks(self):
+        g = Digraph([(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert g.sources() == [0]
+        assert g.sinks() == [3]
+
+    def test_reachable_from(self):
+        g = Digraph([(0, 1), (1, 2), (3, 4)])
+        assert g.reachable_from(0) == {0, 1, 2}
+        assert g.reachable_from(3) == {3, 4}
+
+
+class TestTopologicalOrder:
+    def test_respects_arcs(self):
+        g = Digraph([(2, 1), (1, 0), (2, 0)])
+        order = g.topological_order()
+        assert order.index(2) < order.index(1) < order.index(0)
+
+    def test_cycle_detected(self):
+        g = Digraph([(0, 1), (1, 2), (2, 0)])
+        with pytest.raises(GraphError, match="cycle"):
+            g.topological_order()
+        assert not g.is_acyclic()
+
+    def test_deterministic_tie_breaking(self):
+        g = Digraph()
+        for v in ("b", "a", "c"):
+            g.add_vertex(v)
+        assert g.topological_order() == ["b", "a", "c"]
+
+
+class TestTransitiveReduction:
+    def test_removes_shortcut(self):
+        g = Digraph([(0, 1), (1, 2), (0, 2)])
+        red = g.transitive_reduction()
+        assert sorted(red.arcs()) == [(0, 1), (1, 2)]
+
+    def test_keeps_diamond(self):
+        g = Digraph([(0, 1), (0, 2), (1, 3), (2, 3)])
+        red = g.transitive_reduction()
+        assert sorted(red.arcs()) == [(0, 1), (0, 2), (1, 3), (2, 3)]
+
+    def test_matches_networkx(self):
+        import networkx as nx
+        import random
+
+        rng = random.Random(5)
+        for _ in range(20):
+            n = rng.randint(2, 12)
+            arcs = set()
+            for _ in range(rng.randint(1, 3 * n)):
+                a, b = rng.sample(range(n), 2)
+                if a < b:
+                    arcs.add((a, b))
+            if not arcs:
+                continue
+            g = Digraph(sorted(arcs))
+            ours = set(g.transitive_reduction().arcs())
+            nxg = nx.DiGraph(sorted(arcs))
+            theirs = set(nx.transitive_reduction(nxg).edges())
+            assert ours == theirs
+
+    def test_copy_is_independent(self):
+        g = Digraph([(0, 1)])
+        h = g.copy()
+        h.add_arc(1, 2)
+        assert g.arc_count == 1 and h.arc_count == 2

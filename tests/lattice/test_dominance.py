@@ -1,0 +1,115 @@
+"""Tests for dominance drawings / planar monotone diagrams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import GraphError
+from repro.lattice.digraph import Digraph
+from repro.lattice.dominance import Diagram, _segments_intersect
+from repro.lattice.generators import figure3_diagram, grid_diagram
+from repro.lattice.poset import Poset
+
+from tests.conftest import two_dim_lattices
+
+
+class TestConstruction:
+    def test_from_realizer_builds_cover_graph(self):
+        d = Diagram.from_realizer([0, 1, 2, 3], [0, 2, 1, 3])
+        assert sorted(d.graph.arcs()) == [(0, 1), (0, 2), (1, 3), (2, 3)]
+
+    def test_missing_coordinates_rejected(self):
+        g = Digraph([(0, 1)])
+        with pytest.raises(GraphError, match="no coordinates"):
+            Diagram(g, {0: (0, 0)})
+
+    def test_non_monotone_coordinates_rejected(self):
+        g = Digraph([(0, 1)])
+        with pytest.raises(GraphError, match="monotone"):
+            Diagram(g, {0: (1, 1), 1: (0, 0)})
+
+    def test_from_poset_preserves_vertices(self, fig3_poset):
+        d = Diagram.from_poset(fig3_poset)
+        assert set(d.graph.vertices()) == set(fig3_poset.vertices())
+
+
+class TestGeometry:
+    def test_screen_is_downward_monotone(self, fig3_diagram):
+        for s, t in fig3_diagram.graph.arcs():
+            assert fig3_diagram.screen(s)[1] < fig3_diagram.screen(t)[1]
+
+    def test_figure3_left_to_right_orientation(self, fig3_diagram):
+        """Pinned orientation: at vertex 1, child 2 is left of child 4
+        (the traversal of Figure 4 visits (1,2) before (1,4))."""
+        assert fig3_diagram.succs_left_to_right(1) == [2, 4]
+        assert fig3_diagram.succs_left_to_right(2) == [3, 5]
+        assert fig3_diagram.succs_left_to_right(5) == [6, 8]
+
+    def test_rightmost_path_is_last_arcs(self, fig3_diagram):
+        # Rightmost path from 1: 1 -> 4 -> 7 -> 8 -> 9 (solid arcs of
+        # Figure 4's forest).
+        assert fig3_diagram.rightmost_path_from(1) == [1, 4, 7, 8, 9]
+
+    def test_leftmost_path(self, fig3_diagram):
+        assert fig3_diagram.leftmost_path_from(1) == [1, 2, 3, 6, 9]
+
+    def test_preds_left_to_right_count(self, fig3_diagram):
+        assert set(fig3_diagram.preds_left_to_right(5)) == {2, 4}
+
+
+class TestPlanarity:
+    def test_figure3_planar(self, fig3_diagram):
+        fig3_diagram.check_planar()
+        assert fig3_diagram.is_planar()
+
+    def test_grids_planar(self):
+        assert grid_diagram(4, 5).is_planar()
+
+    @settings(max_examples=50, deadline=None)
+    @given(graph=two_dim_lattices())
+    def test_generated_diagrams_planar(self, graph):
+        """Baker et al.: dimension <= 2 implies a planar monotone
+        diagram -- the dominance drawing must therefore not cross."""
+        d = Diagram.from_poset(Poset(graph))
+        d.check_planar()
+
+    def test_crossing_detected(self):
+        # An artificial non-planar embedding: the screen segments of
+        # arcs 0->3 and 1->2 form an X crossing at (1, 3).
+        g = Digraph([(0, 3), (1, 2)])
+        d = Diagram(
+            g, {0: (0, 0), 3: (2, 4), 1: (-1, 1), 2: (3, 3)}
+        )
+        assert not d.is_planar()
+        with pytest.raises(GraphError, match="cross"):
+            d.check_planar()
+
+
+class TestSegmentIntersection:
+    def test_proper_crossing(self):
+        assert _segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_disjoint(self):
+        assert not _segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_touching_at_midpoint(self):
+        assert _segments_intersect((0, 0), (2, 0), (1, 0), (1, 2))
+
+    def test_collinear_overlap(self):
+        assert _segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not _segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+
+class TestTransitiveArcsInput:
+    def test_from_poset_reduces_transitive_arcs(self):
+        """A digraph with redundant (transitive) arcs still yields a
+        valid cover-diagram: the reduction happens inside from_poset."""
+        from repro.lattice.digraph import Digraph
+
+        g = Digraph([(0, 1), (1, 2), (0, 2)])  # (0,2) is transitive
+        d = Diagram.from_poset(Poset(g))
+        assert sorted(d.graph.arcs()) == [(0, 1), (1, 2)]
+        d.check_planar()

@@ -1,0 +1,111 @@
+"""Tests for the lattice/graph generator families."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.lattice.generators import (
+    boolean_lattice,
+    chain,
+    diamond,
+    figure2_lattice,
+    figure3_lattice,
+    grid_diagram,
+    grid_digraph,
+    random_staircase,
+    random_two_dim_poset,
+    staircase_digraph,
+    standard_example,
+)
+from repro.lattice.poset import Poset
+from repro.lattice.realizer import is_two_dimensional
+
+
+class TestDeterministicFamilies:
+    def test_chain(self):
+        g = chain(4)
+        assert list(g.arcs()) == [(0, 1), (1, 2), (2, 3)]
+        with pytest.raises(WorkloadError):
+            chain(0)
+
+    def test_diamond_is_smallest_nontrivial_lattice(self):
+        p = Poset(diamond())
+        assert p.is_lattice() and len(p) == 4
+
+    def test_grid_counts(self):
+        g = grid_digraph(3, 4)
+        assert g.vertex_count == 12
+        assert g.arc_count == 3 * 3 + 2 * 4  # rows*(cols-1) + (rows-1)*cols
+        with pytest.raises(WorkloadError):
+            grid_digraph(0, 3)
+
+    def test_grid_diagram_coordinates_realize_order(self):
+        d = grid_diagram(3, 3)
+        p = Poset(d.graph)
+        for x in p.vertices():
+            for y in p.vertices():
+                ax, bx = d.coords[x]
+                ay, by = d.coords[y]
+                assert p.leq(x, y) == (ax <= ay and bx <= by)
+
+    def test_figure_lattices(self):
+        assert Poset(figure3_lattice()).is_lattice()
+        assert Poset(figure2_lattice()).is_lattice()
+
+
+class TestStaircases:
+    def test_explicit_staircase(self):
+        g = staircase_digraph([0, 0, 1], [1, 2, 2])
+        p = Poset(g)
+        assert p.is_lattice()
+        assert p.bottom() == (0, 0) and p.top() == (2, 2)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(WorkloadError):
+            staircase_digraph([1], [0])  # lo > hi
+        with pytest.raises(WorkloadError):
+            staircase_digraph([0, 0], [1, 0])  # hi decreasing
+        with pytest.raises(WorkloadError):
+            staircase_digraph([0, 3], [1, 4])  # rows do not overlap
+        with pytest.raises(WorkloadError):
+            staircase_digraph([], [])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        rows=st.integers(1, 6),
+        width=st.integers(1, 5),
+    )
+    def test_random_staircases_are_2d_lattices(self, seed, rows, width):
+        g = random_staircase(rows, width, random.Random(seed))
+        p = Poset(g)
+        assert p.is_lattice()
+        assert is_two_dimensional(p)
+        assert p.bottom() is not None and p.top() is not None
+
+
+class TestRandom2DPosets:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 10))
+    def test_dimension_at_most_2(self, seed, n):
+        g = random_two_dim_poset(n, random.Random(seed))
+        assert is_two_dimensional(Poset(g))
+
+
+class TestWitnesses:
+    def test_boolean_lattice_sizes(self):
+        assert Poset(boolean_lattice(0)).vertices() == [frozenset()]
+        assert len(Poset(boolean_lattice(3))) == 8
+
+    def test_standard_example_structure(self):
+        g = standard_example(3)
+        p = Poset(g)
+        assert not p.leq(("a", 0), ("b", 0))
+        assert p.leq(("a", 0), ("b", 1))
+        with pytest.raises(WorkloadError):
+            standard_example(1)

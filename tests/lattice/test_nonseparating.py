@@ -1,0 +1,112 @@
+"""Tests for non-separating traversal construction (Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.traversal import (
+    check_delayed_wellformed,
+    check_topological,
+    check_wellformed,
+)
+from repro.errors import GraphError, TraversalError
+from repro.events import Arc, Loop, format_traversal
+from repro.lattice.digraph import Digraph
+from repro.lattice.dominance import Diagram
+from repro.lattice.generators import figure3_diagram, grid_diagram
+from repro.lattice.nonseparating import (
+    delayed_nonseparating_traversal,
+    nonseparating_traversal,
+)
+from repro.lattice.poset import Poset
+
+from tests.conftest import two_dim_lattices
+
+FIGURE4_CAPTION = (
+    "(1, 1)(1, 2)(2, 2)(2, 3)(3, 3)(3, 6)(2, 5)(1, 4)(4, 4)(4, 5)(5, 5)"
+    "(5, 6)(6, 6)(6, 9)(5, 8)(4, 7)(7, 7)(7, 8)(8, 8)(8, 9)(9, 9)"
+)
+
+
+class TestFigure4:
+    def test_traversal_matches_caption_verbatim(self, fig3_diagram):
+        items = nonseparating_traversal(fig3_diagram)
+        assert format_traversal(items) == FIGURE4_CAPTION
+
+    def test_last_arcs_form_rightmost_tree(self, fig3_diagram):
+        """Figure 4 draws the last-arcs solid: they are (1,4),(2,5),
+        (3,6),(4,7),(5,8),(6,9),(7,8),(8,9)."""
+        items = nonseparating_traversal(fig3_diagram)
+        last = {(a.src, a.dst) for a in items if isinstance(a, Arc) and a.last}
+        assert last == {
+            (1, 4), (2, 5), (3, 6), (4, 7), (5, 8), (6, 9), (7, 8), (8, 9),
+        }
+
+    def test_item_count(self, fig3_diagram):
+        items = nonseparating_traversal(fig3_diagram)
+        arcs = sum(isinstance(x, Arc) for x in items)
+        loops = sum(isinstance(x, Loop) for x in items)
+        assert (arcs, loops) == (12, 9)
+
+
+class TestProperties:
+    def test_loop_right_after_final_incoming_arc(self, fig3_diagram):
+        """Depth-first: a vertex is visited immediately after its last
+        incoming arc is traversed."""
+        items = nonseparating_traversal(fig3_diagram)
+        for i, item in enumerate(items):
+            if isinstance(item, Loop) and i > 0:
+                prev = items[i - 1]
+                assert isinstance(prev, Arc) and prev.dst == item.vertex
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=two_dim_lattices())
+    def test_random_lattices_valid(self, graph):
+        poset = Poset(graph)
+        diagram = Diagram.from_poset(poset)
+        items = nonseparating_traversal(diagram)
+        check_wellformed(items)
+        check_topological(items, poset.leq)
+
+    def test_grid_traversal_valid(self):
+        d = grid_diagram(3, 4)
+        items = nonseparating_traversal(d)
+        check_wellformed(items)
+        check_topological(items, Poset(d.graph).leq)
+
+    def test_single_vertex(self):
+        g = Digraph()
+        g.add_vertex("v")
+        d = Diagram(g, {"v": (0, 0)})
+        assert nonseparating_traversal(d) == [Loop("v")]
+
+
+class TestDelayed:
+    def test_delayed_default_oracle(self, fig3_diagram):
+        items = delayed_nonseparating_traversal(fig3_diagram)
+        check_delayed_wellformed(items)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=two_dim_lattices())
+    def test_delayed_random(self, graph):
+        d = Diagram.from_poset(Poset(graph))
+        check_delayed_wellformed(delayed_nonseparating_traversal(d))
+
+
+class TestErrors:
+    def test_disconnected_detected(self):
+        g = Digraph()
+        g.add_arc(0, 1)
+        g.add_vertex(2)
+        d = Diagram(g, {0: (0, 0), 1: (1, 1), 2: (2, 2)})
+        # vertex 2 is a second source: multi-source is allowed, but a
+        # vertex unreachable by arc-count bookkeeping must be visited.
+        items = nonseparating_traversal(d)
+        assert sum(isinstance(x, Loop) for x in items) == 3
+
+    def test_empty_graph_rejected(self):
+        g = Digraph()
+        d = Diagram(g, {})
+        with pytest.raises(GraphError, match="no source"):
+            nonseparating_traversal(d)

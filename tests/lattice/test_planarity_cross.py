@@ -1,0 +1,68 @@
+"""Cross-validation of dimension-2 against graph planarity (Platt).
+
+Platt's theorem (1976): a finite lattice has a planar (Hasse) diagram
+iff its cover graph **plus an edge from bottom to top** is a planar
+undirected graph.  Combined with Baker-Fishburn-Roberts (planar lattice
+⟺ dimension ≤ 2), this gives an entirely independent referee for our
+realizer-based dimension test: ``networkx.check_planarity`` on the
+augmented cover graph must agree with ``is_two_dimensional`` on every
+bounded lattice.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.lattice.generators import boolean_lattice, figure3_lattice
+from repro.lattice.poset import Poset
+from repro.lattice.realizer import is_two_dimensional
+
+from tests.conftest import two_dim_lattices
+
+
+def platt_planar(poset: Poset) -> bool:
+    """Platt's criterion: cover graph + (bottom, top) edge is planar."""
+    bottom, top = poset.bottom(), poset.top()
+    assert bottom is not None and top is not None, "needs a bounded lattice"
+    g = nx.Graph()
+    g.add_nodes_from(poset.vertices())
+    g.add_edges_from(poset.covers())
+    if not g.has_edge(bottom, top):
+        g.add_edge(bottom, top)
+    ok, _ = nx.check_planarity(g)
+    return ok
+
+
+class TestPlattAgreement:
+    def test_figure3(self):
+        poset = Poset(figure3_lattice())
+        assert platt_planar(poset) and is_two_dimensional(poset)
+
+    def test_b3_rejected_by_both(self):
+        poset = Poset(boolean_lattice(3))
+        assert not platt_planar(poset)
+        assert not is_two_dimensional(poset)
+
+    def test_b4_rejected_by_both(self):
+        poset = Poset(boolean_lattice(4))
+        assert not platt_planar(poset)
+        assert not is_two_dimensional(poset)
+
+    @settings(max_examples=80, deadline=None)
+    @given(graph=two_dim_lattices())
+    def test_generated_lattices_agree(self, graph):
+        poset = Poset(graph)
+        assert poset.is_lattice()
+        assert platt_planar(poset) == is_two_dimensional(poset) == True  # noqa: E712
+
+    def test_task_graphs_agree(self):
+        from repro.forkjoin import build_task_graph, run
+        from repro.workloads.synthetic import SyntheticConfig, random_program
+
+        for seed in range(6):
+            cfg = SyntheticConfig(seed=seed, max_tasks=12, ops_per_task=4)
+            ex = run(random_program(cfg), record_events=True)
+            tg = build_task_graph(ex.events)
+            assert platt_planar(tg.poset)

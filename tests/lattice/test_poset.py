@@ -1,0 +1,162 @@
+"""Tests for the brute-force poset oracle."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.digraph import Digraph
+from repro.lattice.generators import boolean_lattice, diamond, grid_digraph
+from repro.lattice.poset import Poset
+
+from tests.conftest import two_dim_lattices
+
+
+class TestOrderQueries:
+    def test_leq_reflexive_on_figure3(self, fig3_poset):
+        for v in fig3_poset.vertices():
+            assert fig3_poset.leq(v, v)
+            assert not fig3_poset.lt(v, v)
+
+    def test_leq_matches_networkx_reachability(self, fig3_graph, fig3_poset):
+        nxg = nx.DiGraph(list(fig3_graph.arcs()))
+        closure = nx.transitive_closure(nxg, reflexive=True)
+        for x in fig3_poset.vertices():
+            for y in fig3_poset.vertices():
+                assert fig3_poset.leq(x, y) == closure.has_edge(x, y)
+
+    def test_up_down_sets(self, fig3_poset):
+        assert fig3_poset.up_set(5) == frozenset({5, 6, 8, 9})
+        assert fig3_poset.down_set(5) == frozenset({1, 2, 4, 5})
+
+    def test_comparable(self, fig3_poset):
+        assert fig3_poset.comparable(1, 9)
+        assert not fig3_poset.comparable(3, 4)
+
+    def test_index_is_topological(self, fig3_poset):
+        for x, y in fig3_poset.graph.arcs():
+            assert fig3_poset.index(x) < fig3_poset.index(y)
+
+
+class TestSupInf:
+    def test_figure3_examples(self, fig3_poset):
+        assert fig3_poset.sup(3, 5) == 6
+        assert fig3_poset.sup(1, 5) == 5
+        assert fig3_poset.sup(2, 4) == 5
+        assert fig3_poset.inf(3, 5) == 2
+        assert fig3_poset.inf(6, 8) == 5
+
+    def test_diamond(self):
+        p = Poset(diamond())
+        assert p.sup(1, 2) == 3
+        assert p.inf(1, 2) == 0
+
+    def test_missing_supremum_is_none(self):
+        # Two maximal elements: {1,2} has no upper bound at all.
+        p = Poset(Digraph([(0, 1), (0, 2)]))
+        assert p.sup(1, 2) is None
+        assert p.inf(1, 2) == 0
+
+    def test_ambiguous_supremum_is_none(self):
+        # x,y below both a,b (a || b): minimal upper bounds not unique.
+        g = Digraph([("x", "a"), ("x", "b"), ("y", "a"), ("y", "b")])
+        p = Poset(g)
+        assert p.sup("x", "y") is None
+        assert p.inf("a", "b") is None
+
+    def test_sup_of_set(self, fig3_poset):
+        assert fig3_poset.sup_of_set([2, 4]) == 5
+        assert fig3_poset.sup_of_set([3, 4]) == 6
+        assert fig3_poset.sup_of_set([1]) == 1
+        assert fig3_poset.sup_of_set([]) == 1  # unit: the minimum
+
+    def test_inf_of_set(self, fig3_poset):
+        assert fig3_poset.inf_of_set([6, 8]) == 5
+        assert fig3_poset.inf_of_set([]) == 9  # unit: the maximum
+
+    def test_sup_comparable_pair(self, fig3_poset):
+        assert fig3_poset.sup(2, 6) == 6
+        assert fig3_poset.inf(2, 6) == 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=two_dim_lattices(), data=st.data())
+    def test_sup_is_least_upper_bound(self, graph, data):
+        p = Poset(graph)
+        vs = p.vertices()
+        x = data.draw(st.sampled_from(vs))
+        y = data.draw(st.sampled_from(vs))
+        s = p.sup(x, y)
+        assert s is not None  # generated graphs are lattices
+        assert p.leq(x, s) and p.leq(y, s)
+        for z in vs:
+            if p.leq(x, z) and p.leq(y, z):
+                assert p.leq(s, z)
+
+
+class TestLatticeProperty:
+    def test_figure3_is_lattice(self, fig3_poset):
+        assert fig3_poset.is_lattice()
+
+    def test_grids_are_lattices(self):
+        assert Poset(grid_digraph(3, 4)).is_lattice()
+
+    def test_boolean_lattice_is_lattice(self):
+        assert Poset(boolean_lattice(3)).is_lattice()
+
+    def test_two_maximal_elements_is_not_lattice(self):
+        assert not Poset(Digraph([(0, 1), (0, 2)])).is_lattice()
+
+    def test_ambiguous_bounds_is_not_lattice(self):
+        g = Digraph([("x", "a"), ("x", "b"), ("y", "a"), ("y", "b")])
+        assert not Poset(g).is_lattice()
+
+
+class TestClosure:
+    def test_closure_of_incomparable_pair(self, fig3_poset):
+        # closure({3, 4}) must contain sup=6 and inf=1, then their
+        # consequences.
+        cl = fig3_poset.closure({3, 4})
+        assert {3, 4, 6, 1} <= cl
+
+    def test_closure_of_chain_is_itself(self, fig3_poset):
+        assert fig3_poset.closure({1, 2, 3}) == frozenset({1, 2, 3})
+
+    def test_closure_matches_paper_figure4_remark(self, fig3_poset):
+        """Section 3: after the prefix ending in (5,5), vertex 6 belongs
+        to the closure of the visited prefix {1,2,3,4,5}."""
+        cl = fig3_poset.closure({1, 2, 3, 4, 5})
+        assert 6 in cl
+        assert 7 not in cl
+
+    def test_closure_rejects_unknown_vertices(self, fig3_poset):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            fig3_poset.closure({42})
+
+
+class TestStructure:
+    def test_bottom_top(self, fig3_poset):
+        assert fig3_poset.bottom() == 1
+        assert fig3_poset.top() == 9
+
+    def test_covers_match_reduction(self, fig3_graph, fig3_poset):
+        assert set(fig3_poset.covers()) == set(fig3_graph.arcs())
+
+    def test_incomparable_pairs(self, fig3_poset):
+        pairs = {frozenset(p) for p in fig3_poset.incomparable_pairs()}
+        assert frozenset({3, 4}) in pairs
+        assert frozenset({1, 9}) not in pairs
+        # Count: total pairs minus comparable ones.
+        n = len(fig3_poset)
+        comparable = sum(
+            1
+            for i, x in enumerate(fig3_poset.vertices())
+            for y in fig3_poset.vertices()[i + 1 :]
+            if fig3_poset.comparable(x, y)
+        )
+        assert len(pairs) == n * (n - 1) // 2 - comparable

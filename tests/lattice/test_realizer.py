@@ -1,0 +1,142 @@
+"""Tests for Dushnik-Miller realizers and the dimension-2 machinery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, NotATwoDimensionalLattice
+from repro.lattice.digraph import Digraph
+from repro.lattice.generators import (
+    boolean_lattice,
+    chain,
+    diamond,
+    grid_digraph,
+    standard_example,
+)
+from repro.lattice.poset import Poset
+from repro.lattice.realizer import (
+    is_realizer_of,
+    is_two_dimensional,
+    poset_from_realizer,
+    realizer_of,
+    transitive_orientation,
+)
+
+from tests.conftest import two_dim_lattices
+
+
+class TestPosetFromRealizer:
+    def test_identity_pair_gives_chain(self):
+        g = poset_from_realizer([0, 1, 2], [0, 1, 2])
+        assert sorted(g.arcs()) == [(0, 1), (1, 2)]
+
+    def test_reversed_pair_gives_antichain(self):
+        g = poset_from_realizer([0, 1, 2], [2, 1, 0])
+        assert list(g.arcs()) == []
+
+    def test_result_is_cover_digraph(self):
+        g = poset_from_realizer([0, 1, 2, 3], [0, 2, 1, 3])
+        # 0 < everything, 3 > everything, 1 || 2.
+        assert sorted(g.arcs()) == [(0, 1), (0, 2), (1, 3), (2, 3)]
+
+    def test_rejects_mismatched_sequences(self):
+        with pytest.raises(GraphError):
+            poset_from_realizer([0, 1], [0, 2])
+        with pytest.raises(GraphError):
+            poset_from_realizer([0, 0], [0, 0])
+
+    @settings(max_examples=60, deadline=None)
+    @given(n=st.integers(1, 12), seed=st.integers(0, 2**32 - 1))
+    def test_roundtrip_random_permutation(self, n, seed):
+        """poset_from_realizer then realizer_of must re-realize the order."""
+        rng = random.Random(seed)
+        l1 = list(range(n))
+        l2 = list(range(n))
+        rng.shuffle(l2)
+        poset = Poset(poset_from_realizer(l1, l2))
+        assert is_realizer_of(poset, l1, l2)
+        r1, r2 = realizer_of(poset)
+        assert is_realizer_of(poset, r1, r2)
+
+
+class TestRealizerOf:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [lambda: chain(5), diamond, lambda: grid_digraph(3, 4)],
+    )
+    def test_positive_families(self, graph_factory):
+        poset = Poset(graph_factory())
+        l1, l2 = realizer_of(poset)
+        assert is_realizer_of(poset, l1, l2)
+
+    def test_figure3(self, fig3_poset):
+        l1, l2 = realizer_of(fig3_poset)
+        assert is_realizer_of(fig3_poset, l1, l2)
+
+    def test_figure2(self, fig2_graph):
+        poset = Poset(fig2_graph)
+        l1, l2 = realizer_of(poset)
+        assert is_realizer_of(poset, l1, l2)
+
+    def test_boolean_lattice_b3_rejected(self):
+        """B_3 is a lattice of order dimension 3 (the canonical witness)."""
+        with pytest.raises(NotATwoDimensionalLattice):
+            realizer_of(Poset(boolean_lattice(3)))
+
+    def test_standard_example_s3_rejected(self):
+        with pytest.raises(NotATwoDimensionalLattice):
+            realizer_of(Poset(standard_example(3)))
+
+    def test_standard_example_s2_accepted(self):
+        poset = Poset(standard_example(2))
+        l1, l2 = realizer_of(poset)
+        assert is_realizer_of(poset, l1, l2)
+
+    def test_b2_accepted(self):
+        poset = Poset(boolean_lattice(2))
+        assert is_two_dimensional(poset)
+
+    def test_antichain(self):
+        g = Digraph()
+        for i in range(4):
+            g.add_vertex(i)
+        poset = Poset(g)
+        l1, l2 = realizer_of(poset)
+        assert list(reversed(l1)) == l2 or is_realizer_of(poset, l1, l2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=two_dim_lattices())
+    def test_generated_lattices_are_2d(self, graph):
+        poset = Poset(graph)
+        l1, l2 = realizer_of(poset)
+        assert is_realizer_of(poset, l1, l2)
+
+
+class TestTransitiveOrientation:
+    def test_triangle_orientable(self):
+        edges = {frozenset(e) for e in [(0, 1), (1, 2), (0, 2)]}
+        oriented = transitive_orientation([0, 1, 2], edges)
+        assert oriented is not None
+        assert len(oriented) == 3
+
+    def test_c5_not_orientable(self):
+        """The 5-cycle is the smallest non-comparability graph."""
+        edges = {frozenset((i, (i + 1) % 5)) for i in range(5)}
+        out = transitive_orientation(list(range(5)), edges)
+        assert out is None
+
+    def test_empty_graph(self):
+        assert transitive_orientation([0, 1], set()) == {}
+
+    def test_path_p4(self):
+        edges = {frozenset(e) for e in [(0, 1), (1, 2), (2, 3)]}
+        oriented = transitive_orientation([0, 1, 2, 3], edges)
+        assert oriented is not None
+
+    def test_is_two_dimensional_wrapper(self, fig3_poset):
+        assert is_two_dimensional(fig3_poset)
+        assert not is_two_dimensional(Poset(boolean_lattice(3)))

@@ -1,0 +1,109 @@
+"""Tests for SP-graph construction and recognition."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.lattice.digraph import Digraph
+from repro.lattice.generators import figure2_lattice, grid_digraph
+from repro.lattice.poset import Poset
+from repro.lattice.realizer import is_two_dimensional
+from repro.lattice.series_parallel import (
+    is_series_parallel,
+    leaf,
+    leaf_count,
+    parallel,
+    random_sp_tree,
+    series,
+    sp_digraph,
+)
+
+
+class TestTrees:
+    def test_constructors_validate_arity(self):
+        with pytest.raises(WorkloadError):
+            series(leaf())
+        with pytest.raises(WorkloadError):
+            parallel(leaf())
+
+    def test_leaf_count(self):
+        t = series(leaf(), parallel(leaf(), leaf(), leaf()))
+        assert leaf_count(t) == 4
+
+    def test_random_tree_leaf_count(self):
+        rng = random.Random(1)
+        assert leaf_count(random_sp_tree(9, rng)) == 9
+        with pytest.raises(WorkloadError):
+            random_sp_tree(0, rng)
+
+
+class TestDigraphs:
+    def test_single_leaf(self):
+        g = sp_digraph(leaf())
+        assert sorted(g.arcs()) == [(0, 1)]
+
+    def test_series_chains(self):
+        g = sp_digraph(series(leaf(), leaf(), leaf()))
+        assert g.vertex_count == 4 and g.arc_count == 3
+        assert is_series_parallel(g)
+
+    def test_parallel_subdivides_bare_arcs(self):
+        g = sp_digraph(parallel(leaf(), leaf()))
+        # Two bare arcs in parallel would be a multigraph; subdivision
+        # inserts a middle vertex on each branch.
+        assert g.vertex_count == 4
+        assert g.arc_count == 4
+        assert is_series_parallel(g)
+
+    def test_figure1_shape(self):
+        """Figure 1's task graph: S(P(A, B), P(C, D)) around a middle."""
+        t = series(parallel(leaf(), leaf()), parallel(leaf(), leaf()))
+        g = sp_digraph(t)
+        assert is_series_parallel(g)
+        p = Poset(g)
+        assert p.is_lattice() and is_two_dimensional(p)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), leaves=st.integers(1, 12))
+    def test_random_sp_digraphs_recognised_and_2d(self, seed, leaves):
+        g = sp_digraph(random_sp_tree(leaves, random.Random(seed)))
+        assert is_series_parallel(g)
+        p = Poset(g)
+        assert p.is_lattice()
+        assert is_two_dimensional(p)
+
+
+class TestRecognition:
+    def test_figure2_not_sp(self):
+        """The paper's Figure 2 graph is the canonical 2D-but-not-SP case."""
+        assert not is_series_parallel(figure2_lattice())
+
+    def test_grid_not_sp(self):
+        assert not is_series_parallel(grid_digraph(3, 3))
+        assert is_series_parallel(grid_digraph(1, 5))  # a chain is SP
+
+    def test_multi_source_rejected(self):
+        assert not is_series_parallel(Digraph([(0, 2), (1, 2)]))
+
+    def test_diamond_is_sp(self):
+        from repro.lattice.generators import diamond
+
+        assert is_series_parallel(diamond())
+
+    def test_single_vertex(self):
+        g = Digraph()
+        g.add_vertex(0)
+        assert is_series_parallel(g)
+
+    def test_n_graph_rejected(self):
+        # The "N": the minimal non-SP pattern, completed to an st-graph.
+        g = Digraph(
+            [("s", "a"), ("s", "b"), ("a", "c"), ("a", "d"), ("b", "d"),
+             ("c", "t"), ("d", "t")]
+        )
+        assert not is_series_parallel(g)

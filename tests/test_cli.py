@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.cli import build_parser, main
+
+PROGRAM = textwrap.dedent(
+    """
+    from repro.forkjoin import fork, join, read, write
+
+    def child(self):
+        yield write("x")
+
+    def main(self):
+        c = yield fork(child)
+        yield read("x")
+        yield join(c)
+
+    def clean(self):
+        yield write("y")
+        yield read("y")
+    """
+)
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.py"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 1  # a race was found
+        out = capsys.readouterr().out
+        assert "race on 'l'" in out
+
+    def test_detectors_listing(self, capsys):
+        assert main(["detectors"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "lattice2d" in out and "fasttrack" in out
+
+    def test_run_detects_race(self, program_file, capsys):
+        assert main(["run", program_file]) == 1
+        out = capsys.readouterr().out
+        assert "1 race(s)" in out
+
+    def test_run_clean_entry(self, program_file, capsys):
+        assert main(["run", program_file, "--entry", "clean"]) == 0
+        assert "0 race(s)" in capsys.readouterr().out
+
+    def test_run_with_other_detector(self, program_file, capsys):
+        assert main(
+            ["run", program_file, "--detector", "vectorclock"]
+        ) == 1
+        assert "vectorclock" in capsys.readouterr().out
+
+    def test_compare_table(self, program_file, capsys):
+        assert main(["run", program_file, "--compare"]) == 1
+        out = capsys.readouterr().out
+        assert "lattice2d" in out and "fasttrack" in out and "none" in out
+
+    def test_dot_export(self, program_file, tmp_path, capsys):
+        dot = tmp_path / "out.dot"
+        assert main(["run", program_file, "--dot", str(dot)]) == 1
+        assert dot.read_text().startswith("digraph")
+
+    def test_missing_entry_errors(self, program_file, capsys):
+        assert main(["run", program_file, "--entry", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_errors(self, tmp_path):
+        assert main(["run", str(tmp_path / "absent.py")]) == 2
+
+    def test_parser_rejects_unknown_detector(self, program_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", program_file, "--detector", "magic"]
+            )
+
+    def test_record_then_replay(self, program_file, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        assert main(["record", program_file, "-o", trace]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out and "2 tasks" in out
+        assert main(["replay", trace]) == 1
+        out = capsys.readouterr().out
+        assert "1 race(s)" in out
+
+    def test_replay_clean_under_other_detector(
+        self, program_file, tmp_path, capsys
+    ):
+        trace = str(tmp_path / "clean.jsonl")
+        main(["record", program_file, "--entry", "clean", "-o", trace])
+        capsys.readouterr()
+        assert main(["replay", trace, "--detector", "fasttrack"]) == 0
+        assert "0 race(s)" in capsys.readouterr().out
+
+    def test_replay_bad_file_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"format":"nope"}\n')
+        assert main(["replay", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_timeline_command(self, program_file, capsys):
+        assert main(["timeline", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "fork 0->1" in out and "[0]" in out
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out

@@ -1,0 +1,80 @@
+"""Tests for the exception hierarchy and the one-call convenience API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import detect_races
+from repro.errors import (
+    DeadTaskError,
+    DetectorError,
+    GraphError,
+    NotATwoDimensionalLattice,
+    ProgramError,
+    QueryPreconditionError,
+    ReproError,
+    StructureError,
+    TraversalError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            StructureError,
+            TraversalError,
+            QueryPreconditionError,
+            GraphError,
+            NotATwoDimensionalLattice,
+            ProgramError,
+            DeadTaskError,
+            DetectorError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_specific_parents(self):
+        assert issubclass(NotATwoDimensionalLattice, GraphError)
+        assert issubclass(DeadTaskError, ProgramError)
+
+    def test_one_catch_covers_the_library(self):
+        """A caller can guard any library call with one except clause."""
+        from repro.lattice.generators import boolean_lattice
+        from repro.lattice.poset import Poset
+        from repro.lattice.realizer import realizer_of
+
+        try:
+            realizer_of(Poset(boolean_lattice(3)))
+        except ReproError:
+            pass
+        else:  # pragma: no cover
+            pytest.fail("expected a ReproError")
+
+
+class TestDetectRacesConvenience:
+    def test_racy_program(self):
+        from repro.workloads.racegen import conflicting_pair_program
+
+        races = detect_races(conflicting_pair_program())
+        assert len(races) == 1
+
+    def test_clean_program(self):
+        from repro.workloads.racegen import conflicting_pair_program
+
+        assert detect_races(conflicting_pair_program(ordered=True)) == []
+
+    def test_kwargs_forwarded(self):
+        from repro.forkjoin.program import step
+
+        def runaway(self):
+            while True:
+                yield step()
+
+        with pytest.raises(ProgramError, match="budget"):
+            detect_races(runaway, max_ops=50)

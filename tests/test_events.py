@@ -1,0 +1,48 @@
+"""Tests for the event and traversal-item vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import (
+    Arc,
+    ForkEvent,
+    Loop,
+    ReadEvent,
+    StopArc,
+    WriteEvent,
+    format_traversal,
+    iter_vertices,
+)
+
+
+class TestTraversalItems:
+    def test_arc_equality_and_last_flag(self):
+        assert Arc(1, 2) == Arc(1, 2)
+        assert Arc(1, 2) != Arc(1, 2, last=True)
+
+    def test_items_are_hashable(self):
+        assert len({Arc(1, 2), Loop(1), StopArc(1), Arc(1, 2)}) == 3
+
+    def test_iter_vertices(self):
+        items = [Loop(1), Arc(1, 2), Loop(2), StopArc(2)]
+        assert list(iter_vertices(items)) == [1, 2]
+
+    def test_format_traversal_matches_paper_notation(self):
+        items = [Loop(1), Arc(1, 2), StopArc(2)]
+        assert format_traversal(items) == "(1, 1)(1, 2)(2, \N{MULTIPLICATION SIGN})"
+
+    def test_format_traversal_rejects_non_items(self):
+        with pytest.raises(TypeError):
+            format_traversal(["nope"])
+
+
+class TestEvents:
+    def test_events_are_frozen(self):
+        ev = ReadEvent(1, "x")
+        with pytest.raises(AttributeError):
+            ev.loc = "y"  # type: ignore[misc]
+
+    def test_defaults(self):
+        assert ForkEvent(0, 1).label == ""
+        assert WriteEvent(2).loc is None

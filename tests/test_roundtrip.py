@@ -1,0 +1,98 @@
+"""Full-circle integration: execution -> graph -> synthesis -> execution.
+
+The deepest consistency check in the repository: take a random
+program's execution, reconstruct its operation-level task graph,
+synthesize a *new* fork-join execution realising that graph, and verify
+the synthesized execution's own task graph is order-isomorphic to the
+original -- i.e. `graph -> events -> graph` is the identity up to
+isomorphism, with detectors agreeing at both ends.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reports import AccessKind
+from repro.detectors import Lattice2DDetector, exact_races
+from repro.forkjoin import build_task_graph, run
+from repro.forkjoin.replay import replay_events
+from repro.forkjoin.synthesis import synthesize_events
+from repro.lattice.dominance import Diagram
+from repro.workloads.synthetic import SyntheticConfig, random_program
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_execution_graph_synthesis_roundtrip(seed):
+    cfg = SyntheticConfig(seed=seed, max_tasks=8, ops_per_task=4,
+                          n_locations=3)
+    ex = run(random_program(cfg), record_events=True)
+    tg = build_task_graph(ex.events)
+
+    # Carry the access annotations over to the graph's vertices.
+    accesses = {}
+    for v, op in tg.ops.items():
+        if op.kind == "read":
+            accesses[v] = [(op.loc, AccessKind.READ)]
+        elif op.kind == "write":
+            accesses[v] = [(op.loc, AccessKind.WRITE)]
+
+    diagram = Diagram.from_poset(tg.poset)
+    synth = synthesize_events(diagram, accesses)
+
+    # 1) the synthesized stream is a valid structured execution
+    det = Lattice2DDetector()
+    replay_events(synth.events, observers=[det])
+
+    # 2) same race verdict at both ends (oracle-level, both directions)
+    original_pairs = exact_races(ex.events)
+    synth_pairs = exact_races(synth.events)
+    assert bool(original_pairs) == bool(synth_pairs) == bool(det.races)
+
+    # 3) the synthesized execution's graph realises the original order
+    tg2 = build_task_graph(synth.events)
+    for x in tg.graph.vertices():
+        for y in tg.graph.vertices():
+            if x == y:
+                continue
+            assert tg.poset.leq(x, y) == tg2.poset.leq(
+                synth.step_event_of[x], synth.step_event_of[y]
+            ), (seed, x, y)
+
+
+def test_racing_pair_count_preserved():
+    """Not just the boolean: the set of racing (loc, pair) races maps
+    across the roundtrip for a concrete example."""
+    from repro.forkjoin import fork, join, read, write
+
+    def child(self):
+        yield write("x", label="cw")
+        yield read("y", label="cr")
+
+    def main(self):
+        c = yield fork(child)
+        yield write("x", label="mw")   # races with cw
+        yield write("y", label="my")   # races with cr
+        yield join(c)
+
+    ex = run(main, record_events=True)
+    tg = build_task_graph(ex.events)
+    accesses = {
+        v: [(op.loc, AccessKind.READ if op.kind == "read"
+             else AccessKind.WRITE)]
+        for v, op in tg.ops.items()
+        if op.kind in ("read", "write")
+    }
+    synth = synthesize_events(Diagram.from_poset(tg.poset), accesses)
+    original = {(p.loc, frozenset((p.first, p.second)))
+                for p in exact_races(ex.events)}
+    inverse = {v: k for k, v in synth.step_event_of.items()}
+    mapped = {
+        (p.loc, frozenset((inverse[p.first], inverse[p.second])))
+        for p in exact_races(synth.events)
+    }
+    # Pair-for-pair identical under the vertex correspondence.
+    assert mapped == original
+    assert len(original) == 2

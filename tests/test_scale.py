@@ -1,0 +1,75 @@
+"""Moderate-scale smoke tests: the system holds up beyond toy sizes.
+
+These are not benchmarks (no timing assertions); they establish that
+the data structures handle tens of thousands of operations and
+thousands of tasks without recursion-limit, memory-blowup or quadratic
+cliffs sneaking in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.suprema import SupremaWalker
+from repro.detectors import Lattice2DDetector
+from repro.forkjoin import run
+from repro.forkjoin.pipeline import run_pipeline
+from repro.lattice.generators import grid_diagram
+from repro.lattice.nonseparating import nonseparating_traversal
+from repro.workloads.pipelines import clean_pipeline, read_shared_pipeline
+from repro.workloads.synthetic import SyntheticConfig, random_program
+
+
+def test_pipeline_50k_ops_monitored():
+    items, stages = clean_pipeline(400, 8)
+    det = Lattice2DDetector()
+    ex = run_pipeline(items, stages, observers=[det])
+    assert ex.task_count == 3201
+    assert ex.op_count > 15_000
+    assert det.races == []
+    assert det.shadow_peak_per_location() <= 2
+
+def test_read_shared_4k_tasks():
+    items, stages = read_shared_pipeline(1000, 4)
+    det = Lattice2DDetector()
+    ex = run_pipeline(items, stages, observers=[det])
+    assert ex.task_count == 4001
+    assert det.races == []
+    assert det.shadow_peak_per_location() <= 2
+    # Θ(1) per thread: exactly 6 words each.
+    assert det.metadata_entries() == 6 * ex.task_count
+
+
+def test_deep_fork_chain_10k():
+    from repro.forkjoin import fork, join_left, write
+
+    def nest(self, depth):
+        if depth:
+            yield write(("cell", depth))
+            yield fork(nest, depth - 1)
+            yield join_left()
+
+    det = Lattice2DDetector()
+    ex = run(nest, 10_000, observers=[det])
+    assert ex.task_count == 10_001
+    assert det.races == []
+
+
+def test_large_synthetic_program():
+    cfg = SyntheticConfig(
+        seed=11, max_tasks=3000, ops_per_task=10, fork_probability=0.35,
+        n_locations=64,
+    )
+    det = Lattice2DDetector()
+    ex = run(random_program(cfg), observers=[det])
+    assert ex.task_count > 1500
+    assert det.shadow_peak_per_location() <= 2
+
+
+def test_traversal_of_100x100_grid():
+    diagram = grid_diagram(100, 100)
+    items = nonseparating_traversal(diagram)
+    walker = SupremaWalker(check_preconditions=False)
+    for item in items:
+        walker.feed(item)
+    assert len(walker.unionfind) == 10_000

@@ -1,0 +1,70 @@
+"""Tests for the task-line timeline (Figure 10 presentation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.forkjoin import fork, join, read, run, step, write
+from repro.viz.timeline import LineTracker, render_timeline
+
+
+def figure2(self):
+    def task_a(self2):
+        yield read("l", label="A")
+
+    def task_c(self2, a):
+        yield join(a)
+        yield step(label="C")
+
+    a = yield fork(task_a)
+    yield read("l", label="B")
+    c = yield fork(task_c, a)
+    yield write("l", label="D")
+    yield join(c)
+
+
+class TestLineTracker:
+    def test_snapshot_per_transition(self):
+        tracker = LineTracker()
+        ex = run(figure2, observers=[tracker])
+        # root snapshot + one per operation
+        assert len(tracker.snapshots) == ex.op_count + 1
+
+    def test_fork_inserts_left(self):
+        tracker = LineTracker()
+        run(figure2, observers=[tracker])
+        desc, line, active = tracker.snapshots[1]
+        assert desc == "fork 0->1"
+        assert line == [1, 0]
+        assert active == 0
+
+    def test_join_removes(self):
+        tracker = LineTracker()
+        run(figure2, observers=[tracker])
+        join_snaps = [s for s in tracker.snapshots if s[0].startswith("join")]
+        assert join_snaps[0][1] == [2, 0]  # after c joins a: line 2 . 0
+        assert join_snaps[1][1] == [0]     # after main joins c
+
+    def test_final_line_is_root_alone(self):
+        tracker = LineTracker()
+        run(figure2, observers=[tracker])
+        assert tracker.snapshots[-1][1] == [0]
+
+
+class TestRender:
+    def test_render_contains_all_events(self):
+        tracker = LineTracker()
+        run(figure2, observers=[tracker])
+        text = render_timeline(tracker)
+        assert "fork 0->1" in text
+        assert "write 'l' by 0 (D)" in text
+        assert "[0]" in text and "[1]" in text
+
+    def test_active_task_bracketed_per_row(self):
+        tracker = LineTracker()
+        run(figure2, observers=[tracker])
+        for row in render_timeline(tracker).splitlines()[2:]:
+            assert "[" in row and "]" in row
+
+    def test_empty_tracker(self):
+        assert render_timeline(LineTracker()) == "(no snapshots)"

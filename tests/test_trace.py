@@ -1,0 +1,165 @@
+"""Tests for trace serialisation and the replayer."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import Lattice2DDetector, VectorClockDetector
+from repro.errors import ProgramError, StructureError
+from repro.events import (
+    ForkEvent,
+    HaltEvent,
+    JoinEvent,
+    ReadEvent,
+    StepEvent,
+    WriteEvent,
+)
+from repro.forkjoin import fork, join, read, run, write
+from repro.forkjoin.replay import replay_events
+from repro.trace import dump_events, dumps_event, load_events, loads_event
+from repro.workloads.synthetic import SyntheticConfig, random_program
+
+
+def record(body, *args):
+    ex = run(body, *args, record_events=True)
+    assert ex.events is not None
+    return ex.events
+
+
+def racy_body(self):
+    c = yield fork(child_body)
+    yield read(("arr", 3), label="r1")
+    yield join(c)
+
+
+def child_body(self):
+    yield write(("arr", 3))
+
+
+class TestEventCodec:
+    @pytest.mark.parametrize(
+        "ev",
+        [
+            ForkEvent(0, 1),
+            JoinEvent(0, 1, label="sync"),
+            HaltEvent(2),
+            StepEvent(1, label="work"),
+            ReadEvent(1, "x"),
+            WriteEvent(0, ("arr", 3, ("nested", 1))),
+            ReadEvent(2, None),
+            WriteEvent(0, 42),
+        ],
+    )
+    def test_roundtrip(self, ev):
+        assert loads_event(dumps_event(ev)) == ev
+
+    def test_exotic_location_stringified(self):
+        ev = WriteEvent(0, frozenset({1}))
+        back = loads_event(dumps_event(ev))
+        assert back.loc == str(frozenset({1}))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProgramError, match="unknown event kind"):
+            loads_event('{"k":"explode"}')
+
+
+class TestFileRoundtrip:
+    def test_stream_roundtrip(self):
+        events = record(racy_body)
+        buf = io.StringIO()
+        n = dump_events(events, buf)
+        assert n == len(events)
+        buf.seek(0)
+        assert load_events(buf) == events
+
+    def test_path_roundtrip(self, tmp_path):
+        events = record(racy_body)
+        path = str(tmp_path / "t.jsonl")
+        dump_events(events, path)
+        assert load_events(path) == events
+
+    def test_header_validated(self):
+        with pytest.raises(ProgramError, match="not a repro-trace"):
+            load_events(io.StringIO('{"format":"other"}\n'))
+        with pytest.raises(ProgramError, match="version"):
+            load_events(
+                io.StringIO('{"format":"repro-trace","version":99}\n')
+            )
+        with pytest.raises(ProgramError, match="empty"):
+            load_events(io.StringIO(""))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_random_program_roundtrip(self, seed):
+        cfg = SyntheticConfig(seed=seed, max_tasks=10, ops_per_task=4)
+        events = record(random_program(cfg))
+        buf = io.StringIO()
+        dump_events(events, buf)
+        buf.seek(0)
+        assert load_events(buf) == events
+
+
+class TestReplay:
+    def test_replay_reproduces_detection(self):
+        events = record(racy_body)
+        live = Lattice2DDetector()
+        run(racy_body, observers=[live])
+        replayed = Lattice2DDetector()
+        ex = replay_events(events, observers=[replayed])
+        assert ex.task_count == 2
+        assert len(replayed.races) == len(live.races) == 1
+        assert replayed.races[0].loc == live.races[0].loc
+
+    def test_replay_through_different_detector(self):
+        events = record(racy_body)
+        vc = VectorClockDetector()
+        replay_events(events, observers=[vc])
+        assert len(vc.races) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_recorded_streams_always_replay(self, seed):
+        cfg = SyntheticConfig(seed=seed, max_tasks=12, ops_per_task=5)
+        events = record(random_program(cfg))
+        det = Lattice2DDetector()
+        replay_events(events, observers=[det])
+
+    def test_replay_rejects_sparse_ids(self):
+        with pytest.raises(StructureError, match="dense"):
+            replay_events([ForkEvent(0, 5)])
+
+    def test_replay_rejects_join_of_running(self):
+        events = [ForkEvent(0, 1), JoinEvent(0, 1)]
+        with pytest.raises(StructureError, match="running"):
+            replay_events(events)
+
+    def test_replay_rejects_op_after_halt(self):
+        events = [HaltEvent(0), StepEvent(0)]
+        with pytest.raises(StructureError, match="halted"):
+            replay_events(events)
+
+    def test_replay_rejects_unjoined_end(self):
+        def child(self):
+            yield write("x")
+
+        def main(self):
+            yield fork(child)
+
+        events = record_unclean(main)
+        with pytest.raises(StructureError, match="unjoined"):
+            replay_events(events)
+        replay_events(events, require_all_joined=False)
+
+    def test_replay_rejects_non_events(self):
+        with pytest.raises(ProgramError, match="not an event"):
+            replay_events(["garbage"])
+
+
+def record_unclean(body):
+    ex = run(body, record_events=True, require_all_joined=False)
+    assert ex.events is not None
+    return ex.events

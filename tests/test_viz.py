@@ -1,0 +1,64 @@
+"""Tests for the ASCII and DOT visualisations."""
+
+from __future__ import annotations
+
+from repro.events import Arc, Loop, StopArc
+from repro.forkjoin import build_task_graph, fork, join, read, run, write
+from repro.lattice.generators import figure3_diagram
+from repro.viz.ascii import render_diagram, render_task_line, render_traversal
+from repro.viz.dot import digraph_to_dot, task_graph_to_dot
+
+
+def sample_task_graph():
+    def child(self):
+        yield write("x", label="w")
+
+    def main(self):
+        c = yield fork(child)
+        yield read("x", label="r")
+        yield join(c)
+
+    ex = run(main, record_events=True)
+    return build_task_graph(ex.events)
+
+
+class TestAscii:
+    def test_render_diagram_mentions_all_vertices(self):
+        text = render_diagram(figure3_diagram())
+        for v in range(1, 10):
+            assert str(v) in text
+        assert "1 -> 2, 4" in text
+
+    def test_render_task_line(self):
+        assert render_task_line([3, 1, 0], current=1) == "3 . [1] . 0"
+        assert render_task_line([]) == "(empty line)"
+
+    def test_render_traversal_marks_kinds(self):
+        text = render_traversal(
+            [Loop(1), Arc(1, 2, last=True), StopArc(2)], per_line=2
+        )
+        assert "(1,1)" in text
+        assert "(1,2)!" in text
+        assert "(2,\N{MULTIPLICATION SIGN})" in text
+        assert len(text.splitlines()) == 2
+
+
+class TestDot:
+    def test_digraph_dot_structure(self):
+        text = digraph_to_dot(figure3_diagram().graph, name="Fig3")
+        assert text.startswith("digraph Fig3 {")
+        assert '"1" -> "2";' in text
+        assert text.rstrip().endswith("}")
+
+    def test_task_graph_dot_clusters_and_labels(self):
+        text = task_graph_to_dot(sample_task_graph())
+        assert "cluster_task0" in text and "cluster_task1" in text
+        assert "w" in text and "fork" in text
+        assert "->" in text
+
+    def test_dot_quotes_special_vertices(self):
+        from repro.lattice.digraph import Digraph
+
+        g = Digraph([(("a", 1), ("b", 2))])
+        text = digraph_to_dot(g)
+        assert '"(\'a\', 1)"' in text

@@ -1,0 +1,81 @@
+"""Tests for the wavefront (stencil) workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors import Lattice2DDetector, exact_races
+from repro.errors import WorkloadError
+from repro.forkjoin.pipeline import run_pipeline
+from repro.workloads.wavefront import (
+    blocked_wavefront,
+    wavefront,
+    wavefront_with_bug,
+)
+
+
+def monitored(workload):
+    items, stages = workload
+    det = Lattice2DDetector()
+    ex = run_pipeline(items, stages, observers=[det], record_events=True)
+    return det, ex
+
+
+class TestCorrectKernel:
+    @pytest.mark.parametrize("rows,cols", [(1, 1), (4, 4), (6, 3), (3, 7)])
+    def test_race_free(self, rows, cols):
+        det, ex = monitored(wavefront(rows, cols))
+        assert det.races == []
+        assert exact_races(ex.events) == []
+
+    def test_with_work_steps(self):
+        det, ex = monitored(wavefront(3, 3, work=2))
+        assert det.races == []
+        assert ex.op_count > 9 * 3
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(WorkloadError):
+            wavefront(0, 3)
+
+
+class TestBuggyKernel:
+    def test_anti_diagonal_races(self):
+        det, ex = monitored(wavefront_with_bug(5, 5))
+        assert det.races
+        assert exact_races(ex.events)
+        assert any("bad-read" in r.label for r in det.races)
+
+    @pytest.mark.parametrize("offset", [(-1, 1), (1, -1), (-2, 3), (2, -1)])
+    def test_any_incomparable_offset_races(self, offset):
+        det, _ = monitored(wavefront_with_bug(6, 6, bad_offset=offset))
+        assert det.races, offset
+
+    @pytest.mark.parametrize("offset", [(-1, 0), (0, 1), (1, 1), (-1, -1)])
+    def test_comparable_offsets_rejected_as_non_races(self, offset):
+        with pytest.raises(WorkloadError, match="cannot race"):
+            wavefront_with_bug(4, 4, bad_offset=offset)
+
+
+class TestBlockedKernel:
+    def test_race_free_and_fewer_tasks(self):
+        det_fine, ex_fine = monitored(wavefront(8, 8))
+        det_blk, ex_blk = monitored(blocked_wavefront(8, 8, 2, 2))
+        assert det_fine.races == [] and det_blk.races == []
+        assert ex_blk.task_count < ex_fine.task_count
+        assert ex_blk.task_count == 4 * 4 + 1
+
+    def test_block_size_must_divide(self):
+        with pytest.raises(WorkloadError):
+            blocked_wavefront(8, 8, 3, 2)
+
+    def test_blocked_covers_all_cells(self):
+        _, ex = monitored(blocked_wavefront(4, 4, 2, 2))
+        from repro.forkjoin import build_task_graph
+
+        tg = build_task_graph(ex.events)
+        written = {
+            op.loc
+            for op in tg.ops.values()
+            if op.kind == "write" and op.loc and op.loc[0] == "cell"
+        }
+        assert written == {("cell", i, j) for i in range(4) for j in range(4)}
