@@ -6,6 +6,10 @@ Usage examples::
     repro-race run prog.py --entry main --detector lattice2d
     repro-race run prog.py --compare      # all applicable detectors
     repro-race run prog.py --dot out.dot  # export the task graph
+    repro-race record prog.py --compact -o t.rtrc   # engine trace format
+    repro-race replay t.rtrc --shards 4   # batched/sharded fast path
+    repro-race diff t.rtrc                # differential detector check
+    repro-race bench-engine --accesses 100000       # ingestion throughput
 
 A program file is ordinary Python defining a task body (generator
 function) named by ``--entry`` (default ``main``); see
@@ -75,17 +79,75 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", required=True, metavar="TRACE",
         help="trace file to write (JSON lines)",
     )
+    p_rec.add_argument(
+        "--compact",
+        action="store_true",
+        help="write the engine's compact binary trace format instead of "
+        "JSON lines (columnar batch + location table; labels dropped)",
+    )
 
     p_rep = sub.add_parser(
         "replay", help="replay a recorded trace under a detector"
     )
-    p_rep.add_argument("trace", help="trace file from `record`")
+    p_rep.add_argument(
+        "trace",
+        help="trace file from `record` (JSONL or compact; auto-detected)",
+    )
     p_rep.add_argument(
         "--detector",
         default="lattice2d",
         choices=sorted(DETECTOR_FACTORIES),
     )
     p_rep.add_argument("--max-races", type=int, default=20)
+    p_rep.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="compact traces only: partition the shadow map across this "
+        "many detector instances (default: 1, unsharded)",
+    )
+    p_rep.add_argument(
+        "--batch-size",
+        type=int,
+        default=8192,
+        help="compact traces only: events per ingested batch",
+    )
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="replay one trace through several detectors in lockstep and "
+        "report any per-access verdict disagreement",
+    )
+    p_diff.add_argument("trace", help="trace file (JSONL or compact)")
+    p_diff.add_argument(
+        "--detectors",
+        default="lattice2d,fasttrack,spbags",
+        help="comma-separated detector names (default: "
+        "lattice2d,fasttrack,spbags; spbags needs spawn-sync traces)",
+    )
+    p_diff.add_argument(
+        "--max-divergences", type=int, default=20, help="divergences to print"
+    )
+
+    p_be = sub.add_parser(
+        "bench-engine",
+        help="measure the ingestion paths (replay / per-event / batched / "
+        "sharded) on a racegen bulk workload",
+    )
+    p_be.add_argument("--accesses", type=int, default=100_000)
+    p_be.add_argument("--fanout", type=int, default=8)
+    p_be.add_argument("--accesses-per-task", type=int, default=250)
+    p_be.add_argument(
+        "--race-free",
+        action="store_true",
+        help="do not seed racing rounds into the workload",
+    )
+    p_be.add_argument("--shards", type=int, default=4)
+    p_be.add_argument("--batch-size", type=int, default=8192)
+    p_be.add_argument("--repeats", type=int, default=3)
+    p_be.add_argument(
+        "--json", metavar="PATH", help="also write the full record as JSON"
+    )
 
     p_tl = sub.add_parser(
         "timeline",
@@ -158,6 +220,97 @@ def _run_single(body: Callable, detector_name: str, max_races: int,
     return 1 if detector.races else 0
 
 
+def _load_batch(path: str):
+    """Load any trace file as ``(batch, interner)``: compact traces
+    directly, JSONL traces via the event decoder."""
+    from repro.engine.batch import batch_from_events
+    from repro.engine.tracefile import is_tracefile, read_trace
+
+    if is_tracefile(path):
+        return read_trace(path)
+    from repro.trace import load_events
+
+    return batch_from_events(load_events(path))
+
+
+def _replay_compact(args) -> int:
+    from repro.engine.ingest import BatchEngine, ShardedBatchEngine
+    from repro.engine.tracefile import read_trace
+
+    batch, interner = read_trace(args.trace)
+    factory = DETECTOR_FACTORIES[args.detector]
+    if args.shards < 1:
+        raise ReproError(f"need at least one shard, got {args.shards}")
+    if args.shards > 1:
+        engine = ShardedBatchEngine(
+            args.shards, detector_factory=factory, interner=interner
+        )
+        name = f"{engine.shards[0].name} x{args.shards} shards"
+    else:
+        detector = factory()
+        detector.on_root(0)
+        engine = BatchEngine(detector, interner=interner)
+        name = detector.name
+    engine.ingest_all(batch.slices(args.batch_size))
+    races = engine.races()
+    print(
+        f"{name}: replayed {engine.events_ingested} events (batched), "
+        f"{len(races)} race(s)"
+    )
+    for report in races[: args.max_races]:
+        print(f"  {report}")
+    return 1 if races else 0
+
+
+def _diff_trace(args) -> int:
+    from repro.engine.differential import replay_differential
+
+    names = [n.strip() for n in args.detectors.split(",") if n.strip()]
+    batch, interner = _load_batch(args.trace)
+    report = replay_differential(batch, interner, names)
+    print(report.summary())
+    for div in report.divergences[: args.max_divergences]:
+        print(f"  {div}")
+    if len(report.divergences) > args.max_divergences:
+        remaining = len(report.divergences) - args.max_divergences
+        print(f"  ... and {remaining} more")
+    return 0 if report.agreed else 1
+
+
+def _bench_engine(args) -> int:
+    from repro.engine.benchlib import format_record, run_engine_benchmark
+
+    record = run_engine_benchmark(
+        accesses=args.accesses,
+        fanout=args.fanout,
+        accesses_per_task=args.accesses_per_task,
+        racy=not args.race_free,
+        shards=args.shards,
+        batch_size=args.batch_size,
+        repeats=args.repeats,
+    )
+    title = (
+        f"engine ingestion ({record['workload']['accesses']} accesses, "
+        f"{record['workload']['events']} events)"
+    )
+    print(format_table(format_record(record), title=title))
+    diff = record["differential"]
+    print(
+        f"batched vs per-event: {record['speedup_batched_vs_per_event']}x; "
+        f"differential: {diff['divergences']} divergence(s) across "
+        f"{', '.join(diff['detectors'])}; sharded agrees: "
+        f"{diff['sharded_agrees']}"
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"record written to {args.json}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -169,9 +322,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("Figure 2 of the paper: race between A and D expected.\n")
             return _run_single(_figure2_body(), "lattice2d", 20, None)
         if args.command == "record":
+            body = _load_body(args.file, args.entry)
+            if args.compact:
+                from repro.engine.tracefile import record_trace
+
+                count = record_trace(body, path=args.output)
+                print(
+                    f"recorded {count} events (compact) to {args.output}"
+                )
+                return 0
             from repro.trace import dump_events
 
-            body = _load_body(args.file, args.entry)
             ex = run(body, record_events=True)
             assert ex.events is not None
             count = dump_events(ex.events, args.output)
@@ -181,6 +342,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 0
         if args.command == "replay":
+            from repro.engine.tracefile import is_tracefile
+
+            if is_tracefile(args.trace):
+                return _replay_compact(args)
             from repro.forkjoin.replay import replay_events
             from repro.trace import load_events
 
@@ -194,6 +359,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             for report in detector.races[: args.max_races]:
                 print(f"  {report}")
             return 1 if detector.races else 0
+        if args.command == "diff":
+            return _diff_trace(args)
+        if args.command == "bench-engine":
+            return _bench_engine(args)
         if args.command == "timeline":
             from repro.viz.timeline import LineTracker, render_timeline
 

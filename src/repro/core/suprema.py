@@ -94,10 +94,15 @@ class SupremaWalker:
             self._visited[v] = True
             self.current = v
         elif isinstance(item, Arc):
+            # Both endpoints of a visited arc belong to the closure of
+            # the prefix (a target may be seen here before its loop), so
+            # they must enter the union-find universe even for non-last
+            # arcs -- otherwise is_known()/sup() wrongly reject valid
+            # queries on them.  Only last-arcs mutate the forest.
+            self._uf.add(item.src)
+            self._uf.add(item.dst)
             if item.last:
                 # Walk lines 5-6: attach s's tree below t.
-                self._uf.add(item.src)
-                self._uf.add(item.dst)
                 self._uf.union(item.dst, item.src)
         elif isinstance(item, StopArc):
             self._on_stop_arc(item)
@@ -141,7 +146,14 @@ class SupremaWalker:
                 raise QueryPreconditionError(
                     f"{x!r} is outside the closure of the current prefix"
                 )
-        r = self._uf.find(x)
+        try:
+            r = self._uf.find(x)
+        except KeyError:
+            # Union-find lookup is non-creating; surface the miss as the
+            # precondition violation it is, even with checks disabled.
+            raise QueryPreconditionError(
+                f"{x!r} is outside the closure of the current prefix"
+            ) from None
         if self._visited.get(r, False):
             return t
         return r

@@ -31,6 +31,16 @@ DESIGN.md) can quantify their effect:
 
 With both enabled, a sequence of ``m`` operations over ``n`` elements
 costs ``O((m + n) * alpha(m + n, n))`` -- the bound cited by Theorem 3.
+
+Counter semantics
+-----------------
+
+``find_count``, ``union_count`` and ``hop_count`` count exactly the
+``find``/``union`` calls made by the *algorithm under measurement*:
+inspection helpers (:meth:`IntUnionFind.sets`,
+:meth:`UnionFind.sets`) walk the forest read-only -- no counter bumps,
+no path compression -- so tests and reports can look at the partition
+without perturbing the op counts the ablation benchmarks (A1) rely on.
 """
 
 from __future__ import annotations
@@ -136,21 +146,33 @@ class IntUnionFind:
     def sets(self) -> Dict[int, List[int]]:
         """Return the current partition as ``{label: sorted members}``.
 
-        Intended for tests and debugging; costs a full pass.
+        Intended for tests and debugging; costs a full pass.  The walk
+        is strictly read-only: it neither bumps ``find_count`` /
+        ``hop_count`` nor compresses paths, so inspecting the partition
+        cannot perturb the measurements a benchmark is accumulating.
         """
+        parent = self._parent
+        label = self._label
         out: Dict[int, List[int]] = {}
-        for i in range(len(self._parent)):
-            out.setdefault(self.find(i), []).append(i)
+        for i in range(len(parent)):
+            r = i
+            while parent[r] != r:
+                r = parent[r]
+            out.setdefault(label[r], []).append(i)
         return out
 
 
 class UnionFind:
     """Labeled union-find over arbitrary hashable elements.
 
-    A convenience wrapper around :class:`IntUnionFind` that interns
-    elements on first use.  ``find`` and ``union`` accept unseen elements
-    and create singleton sets for them, which matches how the Walk
+    A convenience wrapper around :class:`IntUnionFind`.  Only the
+    *mutating* entry points -- :meth:`add` and :meth:`union` -- intern
+    unseen elements as fresh singletons, which matches how the Walk
     routines encounter lattice vertices lazily along a traversal.
+    Queries (:meth:`find`, :meth:`same_set`) are non-creating: asking
+    about an element that was never added raises :class:`KeyError`
+    instead of silently inventing a singleton whose bogus answer would
+    also corrupt later :meth:`sets` output.
     """
 
     __slots__ = ("_ids", "_elems", "_uf")
@@ -186,17 +208,32 @@ class UnionFind:
             self._elems.append(x)
         return i
 
+    def _id_of(self, x: Hashable) -> int:
+        try:
+            return self._ids[x]
+        except KeyError:
+            raise KeyError(
+                f"{x!r} was never added to this union-find"
+            ) from None
+
     def add(self, x: Hashable) -> None:
         """Ensure ``x`` exists as a singleton set (idempotent)."""
         self._intern(x)
 
     def find(self, x: Hashable) -> Hashable:
-        """Return the label of the set containing ``x``."""
-        return self._elems[self._uf.find(self._intern(x))]
+        """Return the label of the set containing ``x``.
+
+        Raises :class:`KeyError` when ``x`` was never :meth:`add`-ed or
+        :meth:`union`-ed -- lookup never creates elements.
+        """
+        return self._elems[self._uf.find(self._id_of(x))]
 
     def same_set(self, x: Hashable, y: Hashable) -> bool:
-        """True iff ``x`` and ``y`` currently belong to the same set."""
-        return self._uf.same_set(self._intern(x), self._intern(y))
+        """True iff ``x`` and ``y`` currently belong to the same set.
+
+        Like :meth:`find`, raises :class:`KeyError` on unseen elements.
+        """
+        return self._uf.same_set(self._id_of(x), self._id_of(y))
 
     def union(self, t: Hashable, s: Hashable) -> Hashable:
         """Merge the sets of ``t`` and ``s`` under the label of ``t``'s set."""

@@ -1,0 +1,246 @@
+"""Shared machinery for the engine throughput benchmark.
+
+Both entry points -- ``repro-race bench-engine`` and
+``benchmarks/bench_engine_batch.py`` -- run this module, so the CLI
+table and the checked-in benchmark can never drift apart.
+
+The measured contenders, slowest to fastest:
+
+* ``replay``    -- the pre-engine production path:
+  :func:`repro.forkjoin.replay.replay_events` (per-event objects plus
+  full structural validation);
+* ``per-event`` -- per-event objects, no validation: an isinstance
+  dispatch loop calling the detector's ``on_*`` methods directly;
+* ``batched``   -- :class:`~repro.engine.ingest.BatchEngine` over
+  columnar batches with interned locations;
+* ``sharded``   -- :class:`~repro.engine.ingest.ShardedBatchEngine`
+  (measures the lifecycle-replication overhead sharding pays for its
+  partitioning; it is not expected to win on one core).
+
+Every run also differentially cross-checks verdicts across the paths
+(and across the lattice2d/fasttrack/spbags trio) before reporting, so
+a throughput number from a detector that stopped detecting is
+impossible by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.detector import RaceDetector2D
+from repro.engine.batch import BatchBuilder, EventBatch, LocationInterner
+from repro.engine.differential import (
+    DEFAULT_DETECTORS,
+    cross_check_sharded,
+    replay_differential,
+)
+from repro.engine.ingest import BatchEngine, ShardedBatchEngine
+from repro.events import (
+    Event,
+    ForkEvent,
+    HaltEvent,
+    JoinEvent,
+    ReadEvent,
+    StepEvent,
+    WriteEvent,
+)
+from repro.workloads.racegen import bulk_access_program
+
+__all__ = [
+    "build_workload",
+    "capture",
+    "drive_per_event",
+    "run_engine_benchmark",
+    "format_record",
+]
+
+
+def build_workload(
+    accesses: int = 100_000,
+    *,
+    fanout: int = 8,
+    accesses_per_task: int = 250,
+    racy: bool = True,
+) -> Callable:
+    """The benchmark's standard traffic: a ``racegen`` bulk program
+    sized to roughly ``accesses`` memory accesses (SP-shaped, so the
+    differential trio including ``spbags`` applies)."""
+    per_round = fanout * accesses_per_task
+    rounds = max(1, accesses // per_round)
+    racy_rounds = range(0, rounds, 5) if racy else ()
+    return bulk_access_program(
+        rounds,
+        fanout,
+        accesses_per_task,
+        racy_rounds=racy_rounds,
+    )
+
+
+def capture(body: Callable):
+    """Run ``body`` once, capturing the event list and the columnar
+    batch in the same execution; returns ``(events, batch, interner)``."""
+    from repro.forkjoin.interpreter import run
+
+    builder = BatchBuilder()
+    ex = run(body, observers=[builder], record_events=True)
+    assert ex.events is not None
+    return ex.events, builder.batch, builder.interner
+
+
+def drive_per_event(events: Sequence[Event], detector: Any) -> None:
+    """The unbatched reference loop: one dispatch per event object."""
+    for ev in events:
+        if isinstance(ev, ReadEvent):
+            detector.on_read(ev.task, ev.loc, ev.label)
+        elif isinstance(ev, WriteEvent):
+            detector.on_write(ev.task, ev.loc, ev.label)
+        elif isinstance(ev, ForkEvent):
+            detector.on_fork(ev.parent, ev.child)
+        elif isinstance(ev, JoinEvent):
+            detector.on_join(ev.joiner, ev.joined)
+        elif isinstance(ev, HaltEvent):
+            detector.on_halt(ev.task)
+        elif isinstance(ev, StepEvent):
+            detector.on_step(ev.task)
+
+
+def _best_of(repeats: int, fn: Callable[[], Any]) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_engine_benchmark(
+    *,
+    accesses: int = 100_000,
+    fanout: int = 8,
+    accesses_per_task: int = 250,
+    racy: bool = True,
+    shards: int = 4,
+    batch_size: int = 8192,
+    repeats: int = 3,
+    detectors: Sequence[str] = DEFAULT_DETECTORS,
+) -> Dict[str, Any]:
+    """Measure every ingestion path on one workload; return the record.
+
+    The returned dict is what ``BENCH_engine.json`` stores: workload
+    shape, per-path wall seconds and events/sec, the batched-over-
+    per-event speedup, race counts, and the differential verdicts.
+    """
+    body = build_workload(
+        accesses,
+        fanout=fanout,
+        accesses_per_task=accesses_per_task,
+        racy=racy,
+    )
+    events, batch, interner = capture(body)
+
+    def run_replay():
+        from repro.forkjoin.replay import replay_events
+
+        det = RaceDetector2D()
+        # replay_events drives observer-protocol objects; RaceDetector2D
+        # itself satisfies it (on_root checks the dense id).
+        replay_events(events, observers=[det])
+        return det
+
+    def run_per_event():
+        det = RaceDetector2D()
+        det.spawn_root()
+        drive_per_event(events, det)
+        return det
+
+    def run_batched():
+        engine = BatchEngine(interner=interner)
+        engine.ingest_all(batch.slices(batch_size))
+        return engine
+
+    def run_sharded():
+        engine = ShardedBatchEngine(shards, interner=interner)
+        engine.ingest_all(batch.slices(batch_size))
+        return engine
+
+    timings = {
+        "replay": _best_of(repeats, run_replay),
+        "per-event": _best_of(repeats, run_per_event),
+        "batched": _best_of(repeats, run_batched),
+        "sharded": _best_of(repeats, run_sharded),
+    }
+    n = len(batch)
+
+    # Correctness gates: the fast paths must report exactly what the
+    # reference does, and the detector trio must agree per access.
+    # (Labels are dropped on the batched path, so compare everything
+    # except the label.)
+    def key(r):
+        return (r.loc, r.task, r.kind, r.prior_kind, r.prior_repr, r.op_index)
+
+    per_event_races = run_per_event().races
+    batched_races = run_batched().races()
+    if [key(r) for r in batched_races] != [key(r) for r in per_event_races]:
+        raise AssertionError(
+            "batched ingestion changed verdicts: "
+            f"{len(batched_races)} vs {len(per_event_races)} reports"
+        )
+    shard_agree, _, sharded_races = cross_check_sharded(
+        batch, interner, num_shards=shards, batch_size=batch_size
+    )
+    diff = replay_differential(batch, interner, detectors)
+
+    record: Dict[str, Any] = {
+        "bench": "engine_batch",
+        "workload": {
+            "generator": "racegen.bulk_access_program",
+            "accesses": batch.access_count(),
+            "events": n,
+            "tasks": 1 + sum(1 for ev in events if isinstance(ev, ForkEvent)),
+            "fanout": fanout,
+            "accesses_per_task": accesses_per_task,
+            "racy": racy,
+            "locations": len(interner),
+        },
+        "batch_size": batch_size,
+        "shards": shards,
+        "seconds": {k: round(v, 6) for k, v in timings.items()},
+        "events_per_sec": {
+            k: round(n / v) for k, v in timings.items() if v > 0
+        },
+        "speedup_batched_vs_per_event": round(
+            timings["per-event"] / timings["batched"], 3
+        ),
+        "speedup_batched_vs_replay": round(
+            timings["replay"] / timings["batched"], 3
+        ),
+        "races": {
+            "per_event": len(per_event_races),
+            "batched": len(batched_races),
+            "sharded": len(sharded_races),
+        },
+        "differential": {
+            "detectors": list(diff.detectors),
+            "races": diff.races,
+            "divergences": len(diff.divergences),
+            "sharded_agrees": shard_agree,
+        },
+    }
+    return record
+
+
+def format_record(record: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Rows for :func:`repro.bench.tables.format_table`."""
+    base = record["seconds"]["per-event"]
+    rows = []
+    for name, secs in record["seconds"].items():
+        rows.append(
+            {
+                "path": name,
+                "seconds": round(secs, 4),
+                "events/s": record["events_per_sec"][name],
+                "vs per-event": f"{base / secs:.2f}x",
+            }
+        )
+    return rows

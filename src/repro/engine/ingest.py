@@ -1,0 +1,470 @@
+"""Batched ingestion: the tight per-batch loop over a detector.
+
+:class:`BatchEngine` drives one detector through an
+:class:`~repro.engine.batch.EventBatch`.  Two paths:
+
+* a **generic loop** for any observer-protocol detector: methods
+  pre-bound to locals, flat integer opcode dispatch, locations already
+  interned to dense ints;
+* a **specialised kernel** for :class:`RaceDetector2D` (the common
+  case) that inlines the detector's Figure-6 access rules and Figure-8
+  union-find directly over the detector's own state: no per-event
+  method calls, no per-access shadow accounting (entry counts are
+  reconciled once per batch -- cells only ever grow, so the final
+  counts and peaks are identical), and the union-find ``find`` unrolled
+  into the loop.  The kernel leaves the detector in *exactly* the state
+  the per-event calls would -- same races (including ``op_index``),
+  same op counters, same shadow accounting -- which
+  :mod:`repro.engine.differential` cross-checks on every benchmark run.
+
+:class:`ShardedBatchEngine` partitions the *shadow map* by location id:
+shard ``k`` owns locations with ``lid % num_shards == k`` and runs its
+own detector instance over the lifecycle stream plus only its own
+accesses.  Lifecycle events (fork/join/halt/step) are replicated to
+every shard -- they carry the happens-before structure all shards need
+-- so sharding costs ``O(shards x lifecycle)`` extra work in exchange
+for location ranges that can be processed independently (separate
+processes, machines, or simply bounded working sets).  Verdicts are
+unaffected: an access only ever interacts with its own location's
+history, and every shard sees the full ordering structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.core.detector import RaceDetector2D
+from repro.core.reports import AccessKind, RaceReport
+from repro.engine.batch import (
+    OP_FORK,
+    OP_HALT,
+    OP_JOIN,
+    OP_READ,
+    OP_STEP,
+    OP_WRITE,
+    EventBatch,
+    LocationInterner,
+)
+from repro.errors import DetectorError, ProgramError
+
+__all__ = ["BatchEngine", "ShardedBatchEngine"]
+
+_READ = AccessKind.READ
+_WRITE = AccessKind.WRITE
+
+
+def _ingest_generic(det: Any, batch: EventBatch) -> None:
+    """Pre-bound dispatch loop for arbitrary observer-protocol detectors."""
+    on_fork = det.on_fork
+    on_join = det.on_join
+    on_halt = det.on_halt
+    on_step = det.on_step
+    on_read = det.on_read
+    on_write = det.on_write
+    read_op, write_op = OP_READ, OP_WRITE
+    fork_op, join_op, halt_op = OP_FORK, OP_JOIN, OP_HALT
+    for op, a, b in zip(batch.ops, batch.a, batch.b):
+        if op == read_op:
+            on_read(a, b)
+        elif op == write_op:
+            on_write(a, b)
+        elif op == fork_op:
+            on_fork(a, b)
+        elif op == join_op:
+            on_join(a, b)
+        elif op == halt_op:
+            on_halt(a)
+        else:
+            on_step(a)
+
+
+def _ingest_fast(det: RaceDetector2D, batch: EventBatch) -> None:
+    """The inlined :class:`RaceDetector2D` kernel (see module docstring).
+
+    Mirrors ``on_fork/on_join/on_halt/on_step/on_read/on_write`` and the
+    ``sup`` query line by line; any behavioural change to the detector
+    must be replicated here (the differential harness will catch a
+    missed one).
+    """
+    uf = det._uf
+    parent = uf._parent
+    rank = uf._rank
+    label = uf._label
+    compress = uf.path_compression
+    by_rank = uf.link_by_rank
+    finds = 0
+    hops = 0
+    unions = 0
+
+    visited = det._visited
+    halted = det._halted
+    joined_flags = det._joined
+    shadow = det.shadow
+    cells = shadow._cells
+    races = det.races
+    op_index = det.op_index
+    touched: set = set()
+
+    read_op, write_op = OP_READ, OP_WRITE
+    fork_op, join_op, halt_op = OP_FORK, OP_JOIN, OP_HALT
+    kind_read, kind_write = _READ, _WRITE
+    n_threads = len(visited)
+
+    try:
+        for op, t, b in zip(batch.ops, batch.a, batch.b):
+            if op == read_op or op == write_op:
+                if t >= n_threads or t < 0:
+                    raise DetectorError(f"unknown thread id {t}")
+                if halted[t]:
+                    raise DetectorError(f"thread {t} already halted")
+                op_index += 1
+                visited[t] = True
+                cell = cells.get(b)
+                if cell is None:
+                    cell = [None, None]
+                    cells[b] = cell
+                touched.add(b)
+                r, w = cell
+                if op == read_op:
+                    # on_read: check against the write supremum, fold the
+                    # read into the read supremum.
+                    if w is not None:
+                        finds += 1
+                        x = w
+                        while parent[x] != x:
+                            x = parent[x]
+                            hops += 1
+                        if compress:
+                            i = w
+                            while parent[i] != x:
+                                parent[i], i = x, parent[i]
+                        sup_w = t if visited[label[x]] else label[x]
+                        if sup_w != t:
+                            races.append(
+                                RaceReport(
+                                    loc=b, task=t, kind=kind_read,
+                                    prior_kind=kind_write, prior_repr=w,
+                                    op_index=op_index,
+                                )
+                            )
+                    if r is None:
+                        cell[0] = t
+                    else:
+                        finds += 1
+                        x = r
+                        while parent[x] != x:
+                            x = parent[x]
+                            hops += 1
+                        if compress:
+                            i = r
+                            while parent[i] != x:
+                                parent[i], i = x, parent[i]
+                        cell[0] = t if visited[label[x]] else label[x]
+                else:
+                    # on_write: check both suprema, fold the write into
+                    # the write supremum.  Mirrors the detector's exact
+                    # find sequence (including the repeated sup(w, t) in
+                    # check and update) so the union-find op counters
+                    # come out identical; the repeat is one hop after
+                    # compression.
+                    reported = False
+                    if r is not None:
+                        finds += 1
+                        x = r
+                        while parent[x] != x:
+                            x = parent[x]
+                            hops += 1
+                        if compress:
+                            i = r
+                            while parent[i] != x:
+                                parent[i], i = x, parent[i]
+                        if (t if visited[label[x]] else label[x]) != t:
+                            races.append(
+                                RaceReport(
+                                    loc=b, task=t, kind=kind_write,
+                                    prior_kind=kind_read, prior_repr=r,
+                                    op_index=op_index,
+                                )
+                            )
+                            reported = True
+                    if not reported and w is not None:
+                        finds += 1
+                        x = w
+                        while parent[x] != x:
+                            x = parent[x]
+                            hops += 1
+                        if compress:
+                            i = w
+                            while parent[i] != x:
+                                parent[i], i = x, parent[i]
+                        if (t if visited[label[x]] else label[x]) != t:
+                            races.append(
+                                RaceReport(
+                                    loc=b, task=t, kind=kind_write,
+                                    prior_kind=kind_write, prior_repr=w,
+                                    op_index=op_index,
+                                )
+                            )
+                    if w is None:
+                        cell[1] = t
+                    else:
+                        finds += 1
+                        x = w
+                        while parent[x] != x:
+                            x = parent[x]
+                            hops += 1
+                        if compress:
+                            i = w
+                            while parent[i] != x:
+                                parent[i], i = x, parent[i]
+                        cell[1] = t if visited[label[x]] else label[x]
+            elif op == fork_op:
+                if t >= n_threads or t < 0:
+                    raise DetectorError(f"unknown thread id {t}")
+                if halted[t]:
+                    raise DetectorError(f"thread {t} already halted")
+                op_index += 1
+                visited[t] = True
+                tid = n_threads
+                parent.append(tid)
+                rank.append(0)
+                label.append(tid)
+                visited.append(False)
+                halted.append(False)
+                joined_flags.append(False)
+                n_threads += 1
+                if b != tid:
+                    raise DetectorError(
+                        f"fork id mismatch: interpreter says {b}, detector "
+                        f"allocated {tid}"
+                    )
+            elif op == join_op:
+                if t >= n_threads or t < 0:
+                    raise DetectorError(f"unknown thread id {t}")
+                if halted[t]:
+                    raise DetectorError(f"thread {t} already halted")
+                if not halted[b]:
+                    raise DetectorError(f"joining running thread {b}")
+                if joined_flags[b]:
+                    raise DetectorError(f"thread {b} joined twice")
+                joined_flags[b] = True
+                op_index += 1
+                # Union(joiner, joined) under the joiner's set label.
+                unions += 1
+                rt = t
+                while parent[rt] != rt:
+                    rt = parent[rt]
+                    hops += 1
+                if compress:
+                    i = t
+                    while parent[i] != rt:
+                        parent[i], i = rt, parent[i]
+                rs = b
+                while parent[rs] != rs:
+                    rs = parent[rs]
+                    hops += 1
+                if compress:
+                    i = b
+                    while parent[i] != rs:
+                        parent[i], i = rs, parent[i]
+                lab = label[rt]
+                if rt != rs:
+                    if by_rank:
+                        if rank[rt] < rank[rs]:
+                            rt, rs = rs, rt
+                        elif rank[rt] == rank[rs]:
+                            rank[rt] += 1
+                    parent[rs] = rt
+                    label[rt] = lab
+                visited[t] = True
+            elif op == halt_op:
+                if t >= n_threads or t < 0:
+                    raise DetectorError(f"unknown thread id {t}")
+                if halted[t]:
+                    raise DetectorError(f"thread {t} already halted")
+                op_index += 1
+                halted[t] = True
+                visited[t] = False
+            else:  # step
+                if t >= n_threads or t < 0:
+                    raise DetectorError(f"unknown thread id {t}")
+                if halted[t]:
+                    raise DetectorError(f"thread {t} already halted")
+                op_index += 1
+                visited[t] = True
+    finally:
+        # Reconcile the deferred bookkeeping even on error, so partially
+        # ingested state stays consistent with the per-event semantics.
+        det.op_index = op_index
+        uf.find_count += finds
+        uf.hop_count += hops
+        uf.union_count += unions
+        # Shadow accounting: 2D cells only ever gain entries, so the
+        # final per-location counts (and thus the peak) match what
+        # per-access touch() calls would have accumulated.
+        entries = shadow._entries
+        peak = shadow.peak_entries_per_loc
+        for lid in touched:
+            cell = cells[lid]
+            n = (cell[0] is not None) + (cell[1] is not None)
+            entries[lid] = n
+            if n > peak:
+                peak = n
+        shadow.peak_entries_per_loc = peak
+
+
+def _ingest_batch(det: Any, batch: EventBatch) -> None:
+    """Route a batch to the fast kernel when it applies."""
+    if type(det) is RaceDetector2D and not det._literal:
+        _ingest_fast(det, batch)
+    else:
+        _ingest_generic(det, batch)
+
+
+def _default_detector() -> RaceDetector2D:
+    det = RaceDetector2D()
+    det.spawn_root()
+    return det
+
+
+class BatchEngine:
+    """Feed columnar batches to one detector as fast as Python allows.
+
+    Parameters
+    ----------
+    detector:
+        Any observer-protocol detector (``on_fork``/``on_join``/...).
+        Defaults to a fresh :class:`RaceDetector2D` with its root task
+        already spawned.  A detector you pass in must already know task
+        0 (call ``on_root(0)`` / ``spawn_root`` yourself).  Plain
+        :class:`RaceDetector2D` instances (without the Figure-6-literal
+        erratum knob) get the inlined kernel; everything else gets the
+        generic pre-bound loop.
+    interner:
+        The :class:`LocationInterner` the batches were built with; only
+        needed to decode locations in :meth:`races`.
+    """
+
+    __slots__ = ("detector", "interner", "events_ingested")
+
+    def __init__(
+        self,
+        detector: Optional[Any] = None,
+        *,
+        interner: Optional[LocationInterner] = None,
+    ) -> None:
+        self.detector = detector if detector is not None else _default_detector()
+        self.interner = interner
+        self.events_ingested = 0
+
+    def ingest(self, batch: EventBatch) -> int:
+        """Process one batch; returns the number of events consumed."""
+        _ingest_batch(self.detector, batch)
+        n = len(batch)
+        self.events_ingested += n
+        return n
+
+    def ingest_all(self, batches: Iterable[EventBatch]) -> int:
+        """Process a sequence of batches; returns total events consumed."""
+        return sum(self.ingest(batch) for batch in batches)
+
+    def races(self) -> List[RaceReport]:
+        """The detector's reports, with location ids decoded back to the
+        original locations when an interner is available."""
+        reports = list(self.detector.races)
+        if self.interner is None:
+            return reports
+        location = self.interner.location
+        return [replace(r, loc=location(r.loc)) for r in reports]
+
+
+class ShardedBatchEngine:
+    """Shadow-map partitioning over independent detector instances.
+
+    See the module docstring for the model.  ``detector_factory`` must
+    produce observer-protocol detectors that have *not* seen the root
+    yet; the engine announces task 0 to every shard itself.
+
+    Each incoming batch is split once into per-shard sub-batches
+    (lifecycle events replicated, accesses routed by ``lid % shards``)
+    and each shard then consumes its sub-batch through the same kernel
+    a :class:`BatchEngine` would use -- the split is the only extra
+    cost, and it is what a multi-process deployment would ship over a
+    queue per shard.
+    """
+
+    __slots__ = ("num_shards", "shards", "interner", "events_ingested")
+
+    def __init__(
+        self,
+        num_shards: int,
+        *,
+        detector_factory: Optional[Callable[[], Any]] = None,
+        interner: Optional[LocationInterner] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ProgramError(f"need at least one shard, got {num_shards}")
+        factory = detector_factory if detector_factory is not None else RaceDetector2D
+        self.num_shards = num_shards
+        self.shards: List[Any] = [factory() for _ in range(num_shards)]
+        for det in self.shards:
+            det.on_root(0)
+        self.interner = interner
+        self.events_ingested = 0
+
+    def shard_of(self, loc_id: int) -> int:
+        """Which shard owns interned location ``loc_id``."""
+        return loc_id % self.num_shards
+
+    def split(self, batch: EventBatch) -> List[EventBatch]:
+        """Partition one batch into per-shard sub-batches."""
+        subs = [EventBatch() for _ in range(self.num_shards)]
+        appends = [
+            (sub.ops.append, sub.a.append, sub.b.append) for sub in subs
+        ]
+        n_shards = self.num_shards
+        read_op, write_op = OP_READ, OP_WRITE
+        for op, a, b in zip(batch.ops, batch.a, batch.b):
+            if op == read_op or op == write_op:
+                ap_op, ap_a, ap_b = appends[b % n_shards]
+                ap_op(op)
+                ap_a(a)
+                ap_b(b)
+            else:
+                for ap_op, ap_a, ap_b in appends:
+                    ap_op(op)
+                    ap_a(a)
+                    ap_b(b)
+        return subs
+
+    def ingest(self, batch: EventBatch) -> int:
+        """Route one batch: accesses to their shard, lifecycle to all."""
+        if self.num_shards == 1:
+            _ingest_batch(self.shards[0], batch)
+        else:
+            for det, sub in zip(self.shards, self.split(batch)):
+                _ingest_batch(det, sub)
+        n = len(batch)
+        self.events_ingested += n
+        return n
+
+    def ingest_all(self, batches: Iterable[EventBatch]) -> int:
+        return sum(self.ingest(batch) for batch in batches)
+
+    def races(self) -> List[RaceReport]:
+        """All shards' reports, merged (decoded when possible).
+
+        Shards process disjoint location sets, so reports never overlap;
+        the merge is ordered by shard then detection order.  Note that
+        ``op_index`` values are per-shard stream positions, not global
+        ones -- compare reports by ``(task, loc, kind)`` across engines.
+        """
+        out: List[RaceReport] = []
+        location = self.interner.location if self.interner else None
+        for det in self.shards:
+            for r in det.races:
+                out.append(
+                    r if location is None else replace(r, loc=location(r.loc))
+                )
+        return out

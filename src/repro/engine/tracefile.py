@@ -1,0 +1,128 @@
+"""Compact binary trace files: capture once, replay into any detector.
+
+The JSONL format of :mod:`repro.trace` is self-describing but pays JSON
+encode/decode per event.  The engine's trace format stores the columnar
+batch representation directly, so a 100k-event workload is written and
+read back as three bulk array copies plus one small location table.
+
+Layout (all header integers little-endian)::
+
+    offset  size  field
+    0       8     magic  b"RPR2TRC\\x01"
+    8       1     endianness of the array payload (0=little, 1=big)
+    9       3     reserved (zero)
+    12      4     version (currently 1)
+    16      8     n_events
+    24      8     byte length L of the location table
+    32      L     location table: UTF-8 JSON list, one entry per
+                  interned location id, using the same tagged codec as
+                  the JSONL format (:func:`repro.trace.encode_location`)
+    32+L    n     opcode column   (u8[n])
+    ...     4n    primary column  (i32[n])
+    ...     4n    secondary column(i32[n])
+
+The array payload is written native-endian for zero-copy speed; the
+flag lets a reader on the other byte order ``byteswap()`` on load.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+from array import array
+from typing import IO, Tuple, Union
+
+from repro.engine.batch import EventBatch, LocationInterner
+from repro.errors import ProgramError
+from repro.trace import decode_location, encode_location
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "write_trace",
+    "read_trace",
+    "record_trace",
+    "is_tracefile",
+]
+
+MAGIC = b"RPR2TRC\x01"
+VERSION = 1
+
+_HEADER = struct.Struct("<8sB3xIQQ")
+
+
+def write_trace(
+    fp: Union[str, IO[bytes]], batch: EventBatch, interner: LocationInterner
+) -> int:
+    """Write one batch + its location table; returns events written."""
+    if isinstance(fp, str):
+        with open(fp, "wb") as handle:
+            return write_trace(handle, batch, interner)
+    table = json.dumps(
+        [encode_location(loc) for loc in interner.locations()],
+        separators=(",", ":"),
+    ).encode("utf-8")
+    endian = 0 if sys.byteorder == "little" else 1
+    fp.write(_HEADER.pack(MAGIC, endian, VERSION, len(batch), len(table)))
+    fp.write(table)
+    fp.write(batch.ops.tobytes())
+    fp.write(batch.a.tobytes())
+    fp.write(batch.b.tobytes())
+    return len(batch)
+
+
+def read_trace(
+    fp: Union[str, IO[bytes]]
+) -> Tuple[EventBatch, LocationInterner]:
+    """Read a trace file back into ``(batch, interner)``."""
+    if isinstance(fp, str):
+        with open(fp, "rb") as handle:
+            return read_trace(handle)
+    head = fp.read(_HEADER.size)
+    if len(head) < _HEADER.size:
+        raise ProgramError("truncated engine trace header")
+    magic, endian, version, n_events, table_len = _HEADER.unpack(head)
+    if magic != MAGIC:
+        raise ProgramError(f"not an engine trace (magic {magic!r})")
+    if version != VERSION:
+        raise ProgramError(f"unsupported engine trace version {version}")
+    table = json.loads(fp.read(table_len).decode("utf-8"))
+    interner = LocationInterner()
+    for encoded in table:
+        interner.intern(decode_location(encoded))
+    if len(interner) != len(table):
+        raise ProgramError("duplicate locations in trace table")
+    ops = array("B")
+    av = array("i")
+    bv = array("i")
+    ops.frombytes(fp.read(n_events * ops.itemsize))
+    av.frombytes(fp.read(n_events * av.itemsize))
+    bv.frombytes(fp.read(n_events * bv.itemsize))
+    if not (len(ops) == len(av) == len(bv) == n_events):
+        raise ProgramError("truncated engine trace payload")
+    mine = 0 if sys.byteorder == "little" else 1
+    if endian != mine:
+        av.byteswap()
+        bv.byteswap()
+    return EventBatch(ops, av, bv), interner
+
+
+def record_trace(body, *args, path: Union[str, IO[bytes]]) -> int:
+    """Run ``body`` under a :class:`~repro.engine.batch.BatchBuilder`
+    and save the captured batch; returns the number of events."""
+    from repro.engine.batch import BatchBuilder
+    from repro.forkjoin.interpreter import run
+
+    builder = BatchBuilder()
+    run(body, *args, observers=[builder])
+    return write_trace(path, builder.batch, builder.interner)
+
+
+def is_tracefile(path: str) -> bool:
+    """Cheap sniff: does ``path`` start with the engine-trace magic?"""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False

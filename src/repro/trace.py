@@ -32,7 +32,14 @@ from repro.events import (
     WriteEvent,
 )
 
-__all__ = ["dump_events", "load_events", "dumps_event", "loads_event"]
+__all__ = [
+    "dump_events",
+    "load_events",
+    "dumps_event",
+    "loads_event",
+    "encode_location",
+    "decode_location",
+]
 
 FORMAT = "repro-trace"
 VERSION = 1
@@ -57,6 +64,13 @@ def _dec_loc(obj: Any) -> Any:
             return obj["s"]
         raise ProgramError(f"bad location encoding: {obj!r}")
     return obj
+
+
+#: public aliases -- the compact engine trace format
+#: (:mod:`repro.engine.tracefile`) shares this location codec so both
+#: formats round-trip the same location shapes.
+encode_location = _enc_loc
+decode_location = _dec_loc
 
 
 # -- event encoding -----------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.workloads.spworkloads import (
 )
 from repro.workloads.racegen import (
     INJECTED_LOC,
+    bulk_access_program,
     conflicting_pair_program,
     with_injected_race,
 )
@@ -35,6 +36,7 @@ from repro.workloads.wavefront import (
 
 __all__ = [
     "INJECTED_LOC",
+    "bulk_access_program",
     "conflicting_pair_program",
     "with_injected_race",
     "wavefront",

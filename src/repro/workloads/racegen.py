@@ -14,17 +14,23 @@ microbenchmarks.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, Iterator
+from typing import Any, Callable, Hashable, Iterable, Iterator
 
 from repro.forkjoin.program import (
     Body,
     TaskHandle,
     fork as _fork,
     join as _join,
+    read as _read,
     write as _write,
 )
 
-__all__ = ["with_injected_race", "conflicting_pair_program", "INJECTED_LOC"]
+__all__ = [
+    "with_injected_race",
+    "conflicting_pair_program",
+    "bulk_access_program",
+    "INJECTED_LOC",
+]
 
 #: the location every injected race is on
 INJECTED_LOC = ("__injected_race__",)
@@ -55,6 +61,54 @@ def with_injected_race(body: Body) -> Body:
 
     wrapped.__name__ = f"{getattr(body, '__name__', 'body')}+race"
     return wrapped
+
+
+def bulk_access_program(
+    rounds: int = 10,
+    fanout: int = 4,
+    accesses_per_task: int = 25,
+    *,
+    racy_rounds: Iterable[int] = (),
+    n_shared: int = 4,
+) -> Body:
+    """A heavy, SP-shaped access workload with race status known by
+    construction -- the engine benchmarks' standard traffic generator.
+
+    Each round forks ``fanout`` children and joins them back-to-back
+    (fork-all-then-join-all, so the stream is legal spawn-sync and the
+    SP-only baselines stay sound on it).  Every child performs
+    ``accesses_per_task`` accesses: writes to its private locations
+    interleaved with reads of a small shared read-only pool -- all
+    race-free.  Rounds listed in ``racy_rounds`` additionally have their
+    first two children write one common per-round location, seeding
+    exactly one racing pair per listed round and nothing else.
+
+    Total accesses: ``rounds * fanout * accesses_per_task`` plus two per
+    racy round.
+    """
+    racy = frozenset(racy_rounds)
+
+    def worker(self: TaskHandle, round_i: int, child_i: int) -> Iterator:
+        for k in range(accesses_per_task):
+            if k % 3 == 2:
+                yield _read(("shared", (round_i + child_i + k) % n_shared))
+            else:
+                yield _write(("private", round_i, child_i, k))
+        if round_i in racy and child_i < 2:
+            yield _write(("racy", round_i), label=f"racer-{child_i}")
+
+    def main(self: TaskHandle) -> Iterator:
+        for round_i in range(rounds):
+            handles = []
+            for child_i in range(fanout):
+                handles.append((yield _fork(worker, round_i, child_i)))
+            # Fork-first semantics: children already ran; joins must
+            # consume immediate left neighbours, i.e. reverse fork order.
+            for handle in reversed(handles):
+                yield _join(handle)
+
+    main.__name__ = f"bulk_{rounds}x{fanout}x{accesses_per_task}"
+    return main
 
 
 def conflicting_pair_program(

@@ -152,6 +152,28 @@ class TestWalkerMechanics:
         walker.feed(Arc(1, 2, last=False))
         assert not walker.unionfind.same_set(1, 2)
 
+    def test_non_last_arcs_register_their_endpoints(self):
+        """Both endpoints of any visited arc are in the closure of the
+        prefix, so a ``sup`` query on them is valid even before the
+        target's loop (Figure 5 traversals visit arcs ahead of loops)."""
+        walker = SupremaWalker()
+        walker.feed(Loop(1))
+        walker.feed(Arc(1, 3, last=False))
+        walker.feed(Loop(2))
+        assert walker.is_known(3)
+        # 3's tree root (itself) is unvisited: the answer is the root.
+        assert walker.sup(3, 2) == 3
+        assert walker.sup(1, 2) == 2  # 1 is visited: ordered before 2
+
+    def test_unknown_vertex_still_raises_without_checks(self):
+        """Lookup is non-creating: even with precondition checks off, a
+        query on a vertex outside the closure cannot silently intern it
+        (which used to corrupt the forest) -- it raises instead."""
+        walker = SupremaWalker(check_preconditions=False)
+        walker.feed(Loop(1))
+        with pytest.raises(QueryPreconditionError, match="closure"):
+            walker.sup(99, 1)
+
     def test_last_arc_unions_under_target_label(self):
         walker = SupremaWalker()
         walker.feed(Loop(1))

@@ -91,13 +91,54 @@ class TestIntUnionFind:
 
         assert hops(True) < hops(False)
 
+    def test_sets_does_not_touch_counters(self):
+        """Inspecting the partition must not perturb the op counters
+        (the A1 ablation benchmarks read them after the fact)."""
+        uf = IntUnionFind(6, link_by_rank=False)
+        uf.union(1, 0)
+        uf.union(2, 1)
+        uf.union(5, 4)
+        before = (uf.find_count, uf.union_count, uf.hop_count)
+        partition = uf.sets()
+        assert (uf.find_count, uf.union_count, uf.hop_count) == before
+        assert partition == {2: [0, 1, 2], 3: [3], 5: [4, 5]}
+
+    def test_sets_does_not_compress_paths(self):
+        """The read-only walk must also leave the tree shape alone, or
+        it would still skew future hop counts."""
+        uf = IntUnionFind(50, path_compression=True, link_by_rank=False)
+        for i in range(49):
+            uf.union(i + 1, i)  # a long path: 0 -> 1 -> ... -> 49
+        uf.sets()
+        uf.find(0)  # first find after sets() must still walk the path
+        assert uf.hop_count == 49
+
 
 class TestGenericUnionFind:
     def test_hashable_elements(self):
         uf = UnionFind()
         uf.union("b", "a")
         assert uf.find("a") == "b"
-        assert uf.find("c") == "c"  # unseen elements are interned lazily
+
+    def test_lookup_is_non_creating(self):
+        """A mistyped element in a query must raise, not quietly become
+        a fresh singleton that pollutes the partition."""
+        uf = UnionFind()
+        uf.union("b", "a")
+        with pytest.raises(KeyError, match="never added"):
+            uf.find("c")
+        with pytest.raises(KeyError, match="never added"):
+            uf.same_set("a", "c")
+        assert "c" not in uf
+        assert len(uf) == 2
+        assert uf.sets() == {"b": ["b", "a"]}
+
+    def test_interning_only_in_add_and_union(self):
+        uf = UnionFind()
+        uf.add("x")
+        uf.union("y", "z")
+        assert uf.find("x") == "x"
+        assert uf.find("z") == "y"
 
     def test_contains(self):
         uf = UnionFind()
@@ -114,6 +155,7 @@ class TestGenericUnionFind:
     def test_same_set(self):
         uf = UnionFind()
         uf.union(10, 20)
+        uf.add(30)
         assert uf.same_set(10, 20)
         assert not uf.same_set(10, 30)
 

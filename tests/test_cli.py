@@ -101,6 +101,62 @@ class TestCommands:
         assert main(["replay", trace, "--detector", "fasttrack"]) == 0
         assert "0 race(s)" in capsys.readouterr().out
 
+    def test_record_compact_then_replay(self, program_file, tmp_path, capsys):
+        trace = str(tmp_path / "run.rtrc")
+        assert main(["record", program_file, "--compact", "-o", trace]) == 0
+        assert "compact" in capsys.readouterr().out
+        assert main(["replay", trace]) == 1
+        out = capsys.readouterr().out
+        assert "batched" in out and "1 race(s)" in out and "'x'" in out
+
+    def test_replay_compact_sharded(self, program_file, tmp_path, capsys):
+        trace = str(tmp_path / "run.rtrc")
+        main(["record", program_file, "--compact", "-o", trace])
+        capsys.readouterr()
+        assert main(["replay", trace, "--shards", "3"]) == 1
+        assert "x3 shards" in capsys.readouterr().out
+
+    def test_diff_agrees_on_both_formats(self, program_file, tmp_path, capsys):
+        compact = str(tmp_path / "run.rtrc")
+        jsonl = str(tmp_path / "run.jsonl")
+        main(["record", program_file, "--compact", "-o", compact])
+        main(["record", program_file, "-o", jsonl])
+        capsys.readouterr()
+        for trace in (compact, jsonl):
+            assert main(["diff", trace]) == 0
+            assert "all detectors agree" in capsys.readouterr().out
+
+    def test_diff_custom_detector_list(self, program_file, tmp_path, capsys):
+        trace = str(tmp_path / "run.rtrc")
+        main(["record", program_file, "--compact", "-o", trace])
+        capsys.readouterr()
+        assert main(
+            ["diff", trace, "--detectors", "lattice2d,vectorclock"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "lattice2d=1" in out and "vectorclock=1" in out
+
+    def test_bench_engine_smoke(self, tmp_path, capsys):
+        out_json = tmp_path / "rec.json"
+        assert main(
+            [
+                "bench-engine",
+                "--accesses", "600",
+                "--fanout", "2",
+                "--accesses-per-task", "30",
+                "--repeats", "1",
+                "--shards", "2",
+                "--json", str(out_json),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batched" in out and "0 divergence(s)" in out
+        import json
+
+        record = json.loads(out_json.read_text())
+        assert record["bench"] == "engine_batch"
+        assert record["differential"]["divergences"] == 0
+
     def test_replay_bad_file_errors(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
         bad.write_text('{"format":"nope"}\n')
