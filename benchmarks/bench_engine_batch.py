@@ -48,6 +48,20 @@ def test_batched_beats_replay(record):
 
 
 @pytest.mark.shape
+def test_metrics_overhead_within_5_percent(record):
+    """Live per-batch counters vs the disabled NULL_REGISTRY engine.
+
+    The headline `batched` number above already runs with metrics on;
+    this pins the other side: turning the registry *off* must not be
+    worth more than 5% -- i.e. the observability layer is effectively
+    free at batch granularity.
+    """
+    ratio = record["metrics_overhead_vs_disabled"]
+    assert ratio is not None
+    assert ratio <= 1.05, record["seconds"]
+
+
+@pytest.mark.shape
 def test_fast_paths_change_no_verdicts(record):
     """Throughput without soundness is worthless: all paths agree."""
     races = record["races"]

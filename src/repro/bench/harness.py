@@ -6,6 +6,14 @@ the interpreter baseline), then report space and time side by side.
 Program bodies must be replayable -- running them twice must produce the
 same event stream -- which all :mod:`repro.workloads` builders guarantee
 by owning their RNG state.
+
+Each measured run populates a :class:`~repro.obs.registry.MetricsRegistry`
+(a fresh one per run unless the caller passes one in): the run's wall
+time and interpreter figures as set-gauges, the detector's live
+accounting as pull-gauges.  The returned
+:class:`~repro.bench.metrics.DetectorStats` is built *from that
+registry*, so a benchmark table and a ``--metrics`` export of the same
+run can never disagree.
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.bench.metrics import DetectorStats
 from repro.detectors.base import Detector
+from repro.obs.bind import bind_detector
+from repro.obs.registry import MetricsRegistry
 from repro.detectors.espbags import ESPBagsDetector
 from repro.detectors.fasttrack import FastTrackDetector
 from repro.detectors.lattice2d import Lattice2DDetector
@@ -45,39 +55,40 @@ def measure(
     *args: Any,
     detector: Optional[Detector] = None,
     base_seconds: Optional[float] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> DetectorStats:
     """Run ``body`` once under ``detector`` and collect statistics.
 
-    Pass ``detector=None`` for the interpreter-only baseline.
+    Pass ``detector=None`` for the interpreter-only baseline.  The
+    run's numbers land in ``registry`` (fresh per call by default; pass
+    one in to accumulate several runs side by side, e.g. for a single
+    export) and the returned stats are read back from it.
     """
+    if registry is None:
+        registry = MetricsRegistry()
+    name = detector.name if detector is not None else "none"
+    labels = {"detector": name}
     observers = [detector] if detector is not None else []
     start = time.perf_counter()
     ex = run(body, *args, observers=observers)
     elapsed = time.perf_counter() - start
+    registry.gauge(
+        "run_tasks", "tasks the workload created", labels=labels
+    ).set(ex.task_count)
+    registry.gauge(
+        "run_ops", "interpreter operations executed", labels=labels
+    ).set(ex.op_count)
+    registry.gauge(
+        "run_wall_seconds", "wall-clock seconds of the monitored run",
+        labels=labels,
+    ).set(elapsed)
     if detector is None:
-        return DetectorStats(
-            detector="none",
-            tasks=ex.task_count,
-            ops=ex.op_count,
-            races=0,
-            shadow_peak_per_loc=0,
-            shadow_total=0,
-            metadata_entries=0,
-            locations=0,
-            wall_seconds=elapsed,
-            base_seconds=elapsed,
+        return DetectorStats.from_registry(
+            registry, "none", base_seconds=elapsed
         )
-    return DetectorStats(
-        detector=detector.name,
-        tasks=ex.task_count,
-        ops=ex.op_count,
-        races=len(detector.races),
-        shadow_peak_per_loc=detector.shadow_peak_per_location(),
-        shadow_total=detector.shadow_total_entries(),
-        metadata_entries=detector.metadata_entries(),
-        locations=len(getattr(detector, "shadow", ())),
-        wall_seconds=elapsed,
-        base_seconds=base_seconds,
+    bind_detector(registry, detector, labels)
+    return DetectorStats.from_registry(
+        registry, name, base_seconds=base_seconds
     )
 
 

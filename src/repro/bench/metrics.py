@@ -1,4 +1,12 @@
-"""Measured statistics of one detector run."""
+"""Measured statistics of one detector run.
+
+Since the observability layer landed, :class:`DetectorStats` is a
+*view* over a :class:`~repro.obs.registry.MetricsRegistry` snapshot:
+the harness binds the detector's live accounting into a registry
+(:func:`repro.obs.bind.bind_detector`) and builds the stats row via
+:meth:`DetectorStats.from_registry`.  Benchmark tables and metric
+exports therefore read the same numbers by construction.
+"""
 
 from __future__ import annotations
 
@@ -28,6 +36,40 @@ class DetectorStats:
     #: interpreter-only baseline for the same workload, when measured
     base_seconds: Optional[float] = None
     extra: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        detector: str,
+        *,
+        base_seconds: Optional[float] = None,
+    ) -> "DetectorStats":
+        """Build one stats row from a registry the harness populated.
+
+        Expects the gauges written by :func:`repro.bench.harness.measure`
+        (``run_tasks`` / ``run_ops`` / ``run_wall_seconds``, labelled by
+        detector) plus the ``detector_*`` pull-gauges registered by
+        :func:`repro.obs.bind.bind_detector`.  Unbound gauges read as 0,
+        matching a detector that never tracked the quantity.
+        """
+        labels = {"detector": detector}
+
+        def value(name: str) -> float:
+            return registry.gauge(name, labels=labels).value
+
+        return cls(
+            detector=detector,
+            tasks=int(value("run_tasks")),
+            ops=int(value("run_ops")),
+            races=int(value("detector_races")),
+            shadow_peak_per_loc=int(value("detector_shadow_peak_per_location")),
+            shadow_total=int(value("detector_shadow_entries")),
+            metadata_entries=int(value("detector_metadata_entries")),
+            locations=int(value("detector_shadow_locations")),
+            wall_seconds=value("run_wall_seconds"),
+            base_seconds=base_seconds,
+        )
 
     @property
     def seconds_per_op(self) -> float:

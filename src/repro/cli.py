@@ -10,10 +10,17 @@ Usage examples::
     repro-race replay t.rtrc --shards 4   # batched/sharded fast path
     repro-race diff t.rtrc                # differential detector check
     repro-race bench-engine --accesses 100000       # ingestion throughput
+    repro-race stats t.rtrc --format prom # metrics + phase timings
+    repro-race --metrics m.json replay t.rtrc       # dump counters after
 
 A program file is ordinary Python defining a task body (generator
 function) named by ``--entry`` (default ``main``); see
 :mod:`repro.forkjoin.program` for the effect vocabulary.
+
+Every invocation runs against a fresh metrics registry
+(:mod:`repro.obs`); the global ``--metrics PATH`` flag dumps its
+snapshot when the command finishes (``.prom``/``.txt`` for the
+Prometheus text format, anything else JSON).
 """
 
 from __future__ import annotations
@@ -44,6 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     parser.add_argument(
         "--version", action="version", version=f"repro-race {__version__}"
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="after the command finishes, dump the metrics registry "
+        "snapshot to PATH (.prom/.txt: Prometheus text format, "
+        "otherwise JSON)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -147,6 +161,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_be.add_argument("--repeats", type=int, default=3)
     p_be.add_argument(
         "--json", metavar="PATH", help="also write the full record as JSON"
+    )
+
+    p_st = sub.add_parser(
+        "stats",
+        help="replay a trace through the batch engine with metrics and "
+        "phase tracing enabled; print the registry snapshot",
+    )
+    p_st.add_argument(
+        "trace",
+        help="trace file from `record` (JSONL or compact; auto-detected)",
+    )
+    p_st.add_argument(
+        "--detector",
+        default="lattice2d",
+        choices=sorted(DETECTOR_FACTORIES),
+    )
+    p_st.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the shadow map across this many detector "
+        "instances (default: 1, unsharded)",
+    )
+    p_st.add_argument("--batch-size", type=int, default=8192)
+    p_st.add_argument(
+        "--format",
+        choices=("table", "json", "prom"),
+        default="table",
+        help="how to print the snapshot (default: table)",
     )
 
     p_tl = sub.add_parser(
@@ -277,6 +320,71 @@ def _diff_trace(args) -> int:
     return 0 if report.agreed else 1
 
 
+def _stats(args) -> int:
+    from repro.engine.ingest import BatchEngine, ShardedBatchEngine
+    from repro.obs import (
+        PhaseTracer,
+        bind_detector,
+        get_registry,
+        set_tracer,
+        to_json,
+        to_prometheus,
+    )
+
+    registry = get_registry()
+    batch, interner = _load_batch(args.trace)
+    factory = DETECTOR_FACTORIES[args.detector]
+    if args.shards < 1:
+        raise ReproError(f"need at least one shard, got {args.shards}")
+    tracer = PhaseTracer(enabled=True, registry=registry)
+    previous_tracer = set_tracer(tracer)
+    try:
+        if args.shards > 1:
+            engine = ShardedBatchEngine(
+                args.shards, detector_factory=factory, interner=interner,
+                registry=registry,
+            )
+            for k, det in enumerate(engine.shards):
+                bind_detector(
+                    registry, det,
+                    {"detector": det.name, "shard": str(k)},
+                )
+        else:
+            detector = factory()
+            detector.on_root(0)
+            engine = BatchEngine(
+                detector, interner=interner, registry=registry
+            )
+            bind_detector(registry, detector, {"detector": detector.name})
+        engine.ingest_all(batch.slices(args.batch_size))
+    finally:
+        set_tracer(previous_tracer)
+    races = engine.races()
+    if args.format == "json":
+        print(to_json(registry, tracer=tracer))
+    elif args.format == "prom":
+        print(to_prometheus(registry), end="")
+    else:
+        snapshot = registry.snapshot()
+        rows = [
+            {"metric": series, "value": value}
+            for section in ("counters", "gauges")
+            for series, value in snapshot[section].items()
+        ]
+        print(format_table(rows, title=f"metrics for {args.trace}"))
+        phase_rows = [
+            {"phase": path, "calls": agg["calls"],
+             "seconds": round(agg["seconds"], 6)}
+            for path, agg in tracer.totals().items()
+        ]
+        if phase_rows:
+            print(format_table(phase_rows, title="phase timings"))
+    print(
+        f"replayed {engine.events_ingested} events, {len(races)} race(s)"
+    )
+    return 1 if races else 0
+
+
 def _bench_engine(args) -> int:
     from repro.engine.benchlib import format_record, run_engine_benchmark
 
@@ -312,74 +420,92 @@ def _bench_engine(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.obs import MetricsRegistry, set_registry, write_metrics
+
     args = build_parser().parse_args(argv)
+    # One fresh registry per invocation: engine counters land here and
+    # `--metrics` dumps exactly this command's activity.
+    registry = MetricsRegistry()
+    previous_registry = set_registry(registry)
     try:
-        if args.command == "detectors":
-            for name in sorted(DETECTOR_FACTORIES):
-                print(name)
-            return 0
-        if args.command == "demo":
-            print("Figure 2 of the paper: race between A and D expected.\n")
-            return _run_single(_figure2_body(), "lattice2d", 20, None)
-        if args.command == "record":
-            body = _load_body(args.file, args.entry)
-            if args.compact:
-                from repro.engine.tracefile import record_trace
-
-                count = record_trace(body, path=args.output)
-                print(
-                    f"recorded {count} events (compact) to {args.output}"
-                )
-                return 0
-            from repro.trace import dump_events
-
-            ex = run(body, record_events=True)
-            assert ex.events is not None
-            count = dump_events(ex.events, args.output)
-            print(
-                f"recorded {count} events ({ex.task_count} tasks) "
-                f"to {args.output}"
-            )
-            return 0
-        if args.command == "replay":
-            from repro.engine.tracefile import is_tracefile
-
-            if is_tracefile(args.trace):
-                return _replay_compact(args)
-            from repro.forkjoin.replay import replay_events
-            from repro.trace import load_events
-
-            detector = DETECTOR_FACTORIES[args.detector]()
-            events = load_events(args.trace)
-            ex2 = replay_events(events, observers=[detector])
-            print(
-                f"{detector.name}: replayed {ex2.op_count} events, "
-                f"{len(detector.races)} race(s)"
-            )
-            for report in detector.races[: args.max_races]:
-                print(f"  {report}")
-            return 1 if detector.races else 0
-        if args.command == "diff":
-            return _diff_trace(args)
-        if args.command == "bench-engine":
-            return _bench_engine(args)
-        if args.command == "timeline":
-            from repro.viz.timeline import LineTracker, render_timeline
-
-            body = _load_body(args.file, args.entry)
-            tracker = LineTracker()
-            run(body, observers=[tracker])
-            print(render_timeline(tracker))
-            return 0
-        body = _load_body(args.file, args.entry)
-        if args.compare:
-            stats = compare_detectors(body)
-            print(format_table([s.row() for s in stats], title=args.file))
-            return 1 if any(s.races for s in stats) else 0
-        return _run_single(body, args.detector, args.max_races, args.dot)
+        code = _dispatch(args)
+        if args.metrics:
+            fmt = write_metrics(args.metrics, registry)
+            print(f"metrics ({fmt}) written to {args.metrics}")
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        set_registry(previous_registry)
+
+
+def _dispatch(args) -> int:
+    if args.command == "detectors":
+        for name in sorted(DETECTOR_FACTORIES):
+            print(name)
+        return 0
+    if args.command == "demo":
+        print("Figure 2 of the paper: race between A and D expected.\n")
+        return _run_single(_figure2_body(), "lattice2d", 20, None)
+    if args.command == "record":
+        body = _load_body(args.file, args.entry)
+        if args.compact:
+            from repro.engine.tracefile import record_trace
+
+            count = record_trace(body, path=args.output)
+            print(
+                f"recorded {count} events (compact) to {args.output}"
+            )
+            return 0
+        from repro.trace import dump_events
+
+        ex = run(body, record_events=True)
+        assert ex.events is not None
+        count = dump_events(ex.events, args.output)
+        print(
+            f"recorded {count} events ({ex.task_count} tasks) "
+            f"to {args.output}"
+        )
+        return 0
+    if args.command == "replay":
+        from repro.engine.tracefile import is_tracefile
+
+        if is_tracefile(args.trace):
+            return _replay_compact(args)
+        from repro.forkjoin.replay import replay_events
+        from repro.trace import load_events
+
+        detector = DETECTOR_FACTORIES[args.detector]()
+        events = load_events(args.trace)
+        ex2 = replay_events(events, observers=[detector])
+        print(
+            f"{detector.name}: replayed {ex2.op_count} events, "
+            f"{len(detector.races)} race(s)"
+        )
+        for report in detector.races[: args.max_races]:
+            print(f"  {report}")
+        return 1 if detector.races else 0
+    if args.command == "diff":
+        return _diff_trace(args)
+    if args.command == "stats":
+        return _stats(args)
+    if args.command == "bench-engine":
+        return _bench_engine(args)
+    if args.command == "timeline":
+        from repro.viz.timeline import LineTracker, render_timeline
+
+        body = _load_body(args.file, args.entry)
+        tracker = LineTracker()
+        run(body, observers=[tracker])
+        print(render_timeline(tracker))
+        return 0
+    body = _load_body(args.file, args.entry)
+    if args.compare:
+        stats = compare_detectors(body)
+        print(format_table([s.row() for s in stats], title=args.file))
+        return 1 if any(s.races for s in stats) else 0
+    return _run_single(body, args.detector, args.max_races, args.dot)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -45,7 +45,7 @@ without perturbing the op counts the ablation benchmarks (A1) rely on.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List
+from typing import Dict, Hashable, List, Optional
 
 __all__ = ["IntUnionFind", "UnionFind"]
 
@@ -143,6 +143,20 @@ class IntUnionFind:
         self._label[rt] = label
         return label
 
+    def bind_metrics(
+        self, registry, labels: Optional[Dict[str, str]] = None, *, prefix: str = "unionfind"
+    ) -> None:
+        """Expose the op counters through a metrics registry.
+
+        Registers pull-gauges (``<prefix>_finds`` / ``_unions`` /
+        ``_hops`` / ``_elements``) that read the live counters at
+        snapshot time -- the hot-path attributes stay plain ints, the
+        registry is the one place consumers look them up.
+        """
+        from repro.obs.bind import bind_union_find
+
+        bind_union_find(registry, self, labels, prefix=prefix)
+
     def sets(self) -> Dict[int, List[int]]:
         """Return the current partition as ``{label: sorted members}``.
 
@@ -238,6 +252,13 @@ class UnionFind:
     def union(self, t: Hashable, s: Hashable) -> Hashable:
         """Merge the sets of ``t`` and ``s`` under the label of ``t``'s set."""
         return self._elems[self._uf.union(self._intern(t), self._intern(s))]
+
+    def bind_metrics(
+        self, registry, labels: Optional[Dict[str, str]] = None, *, prefix: str = "unionfind"
+    ) -> None:
+        """Expose the inner structure's op counters through a registry
+        (see :meth:`IntUnionFind.bind_metrics`)."""
+        self._uf.bind_metrics(registry, labels, prefix=prefix)
 
     def sets(self) -> Dict[Hashable, List[Hashable]]:
         """Current partition as ``{label: members}`` (test helper)."""

@@ -130,6 +130,8 @@ def replay_differential(
     :class:`Divergence`.  The location ``interner`` is only used to
     name locations in divergences (pass ``None`` to report raw ids).
     """
+    from repro.obs.registry import get_registry
+
     names = list(detectors)
     dets = _make_detectors(names)
     for det in dets:
@@ -189,6 +191,26 @@ def replay_differential(
                 det.on_step(a)
     for name, det in zip(names, dets):
         report.races[name] = len(det.races)
+    registry = get_registry()
+    registry.counter(
+        "differential_replays_total", "lockstep replays performed"
+    ).inc()
+    registry.counter(
+        "differential_events_total", "events replayed in lockstep"
+    ).inc(report.events)
+    registry.counter(
+        "differential_accesses_total", "accesses compared in lockstep"
+    ).inc(report.accesses)
+    registry.counter(
+        "differential_divergences_total",
+        "per-access verdict disagreements found",
+    ).inc(len(report.divergences))
+    for name in names:
+        registry.gauge(
+            "differential_races",
+            "race reports per detector in the last lockstep replay",
+            labels={"detector": name},
+        ).set(report.races[name])
     return report
 
 

@@ -47,6 +47,8 @@ from repro.engine.batch import (
     LocationInterner,
 )
 from repro.errors import DetectorError, ProgramError
+from repro.obs.phases import get_tracer
+from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = ["BatchEngine", "ShardedBatchEngine"]
 
@@ -303,23 +305,29 @@ def _ingest_fast(det: RaceDetector2D, batch: EventBatch) -> None:
         # Shadow accounting: 2D cells only ever gain entries, so the
         # final per-location counts (and thus the peak) match what
         # per-access touch() calls would have accumulated.
-        entries = shadow._entries
-        peak = shadow.peak_entries_per_loc
-        for lid in touched:
-            cell = cells[lid]
-            n = (cell[0] is not None) + (cell[1] is not None)
-            entries[lid] = n
-            if n > peak:
-                peak = n
-        shadow.peak_entries_per_loc = peak
+        with get_tracer().span("shadow-update"):
+            entries = shadow._entries
+            peak = shadow.peak_entries_per_loc
+            for lid in touched:
+                cell = cells[lid]
+                n = (cell[0] is not None) + (cell[1] is not None)
+                entries[lid] = n
+                if n > peak:
+                    peak = n
+            shadow.peak_entries_per_loc = peak
 
 
-def _ingest_batch(det: Any, batch: EventBatch) -> None:
-    """Route a batch to the fast kernel when it applies."""
+def _ingest_batch(det: Any, batch: EventBatch) -> str:
+    """Route a batch to the fast kernel when it applies.
+
+    Returns the dispatch path taken (``"kernel"`` or ``"generic"``) so
+    callers can count how often each loop actually runs.
+    """
     if type(det) is RaceDetector2D and not det._literal:
         _ingest_fast(det, batch)
-    else:
-        _ingest_generic(det, batch)
+        return "kernel"
+    _ingest_generic(det, batch)
+    return "generic"
 
 
 def _default_detector() -> RaceDetector2D:
@@ -344,25 +352,69 @@ class BatchEngine:
     interner:
         The :class:`LocationInterner` the batches were built with; only
         needed to decode locations in :meth:`races`.
+    registry:
+        The :class:`~repro.obs.registry.MetricsRegistry` to count
+        against (events, batches, races, dispatch path; all labelled
+        ``engine="batch"``).  Defaults to the process registry; pass
+        :data:`~repro.obs.registry.NULL_REGISTRY` to opt out.
     """
 
-    __slots__ = ("detector", "interner", "events_ingested")
+    __slots__ = (
+        "detector",
+        "interner",
+        "events_ingested",
+        "registry",
+        "_c_events",
+        "_c_batches",
+        "_c_races",
+        "_c_dispatch",
+    )
 
     def __init__(
         self,
         detector: Optional[Any] = None,
         *,
         interner: Optional[LocationInterner] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.detector = detector if detector is not None else _default_detector()
         self.interner = interner
         self.events_ingested = 0
+        reg = registry if registry is not None else get_registry()
+        self.registry = reg
+        labels = {"engine": "batch"}
+        self._c_events = reg.counter(
+            "engine_events_total", "events ingested", labels=labels
+        )
+        self._c_batches = reg.counter(
+            "engine_batches_total", "batches ingested", labels=labels
+        )
+        self._c_races = reg.counter(
+            "engine_races_total", "race reports found during ingestion",
+            labels=labels,
+        )
+        self._c_dispatch = {
+            path: reg.counter(
+                "engine_dispatch_total",
+                "batches per dispatch loop",
+                labels={**labels, "path": path},
+            )
+            for path in ("kernel", "generic")
+        }
 
     def ingest(self, batch: EventBatch) -> int:
         """Process one batch; returns the number of events consumed."""
-        _ingest_batch(self.detector, batch)
+        det = self.detector
+        races_before = len(det.races)
+        with get_tracer().span("ingest"):
+            with get_tracer().span("dispatch"):
+                path = _ingest_batch(det, batch)
         n = len(batch)
         self.events_ingested += n
+        self._c_events.inc(n)
+        self._c_batches.inc()
+        self._c_dispatch[path].inc()
+        self._c_races.inc(len(det.races) - races_before)
         return n
 
     def ingest_all(self, batches: Iterable[EventBatch]) -> int:
@@ -394,7 +446,19 @@ class ShardedBatchEngine:
     queue per shard.
     """
 
-    __slots__ = ("num_shards", "shards", "interner", "events_ingested")
+    __slots__ = (
+        "num_shards",
+        "shards",
+        "interner",
+        "events_ingested",
+        "registry",
+        "_c_events",
+        "_c_batches",
+        "_c_races",
+        "_c_dispatch",
+        "_c_routed",
+        "_c_lifecycle",
+    )
 
     def __init__(
         self,
@@ -402,6 +466,7 @@ class ShardedBatchEngine:
         *,
         detector_factory: Optional[Callable[[], Any]] = None,
         interner: Optional[LocationInterner] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_shards < 1:
             raise ProgramError(f"need at least one shard, got {num_shards}")
@@ -412,6 +477,44 @@ class ShardedBatchEngine:
             det.on_root(0)
         self.interner = interner
         self.events_ingested = 0
+        reg = registry if registry is not None else get_registry()
+        self.registry = reg
+        labels = {"engine": "sharded"}
+        self._c_events = reg.counter(
+            "engine_events_total", "events ingested", labels=labels
+        )
+        self._c_batches = reg.counter(
+            "engine_batches_total", "batches ingested", labels=labels
+        )
+        self._c_races = reg.counter(
+            "engine_races_total", "race reports found during ingestion",
+            labels=labels,
+        )
+        self._c_dispatch = {
+            path: reg.counter(
+                "engine_dispatch_total",
+                "per-shard sub-batches per dispatch loop",
+                labels={**labels, "path": path},
+            )
+            for path in ("kernel", "generic")
+        }
+        # The routing counters partition every incoming event exactly
+        # once: an access counts against its owner shard, a lifecycle
+        # event (which split() replicates to every shard) counts once
+        # here.  Their sum is therefore always the ingested length.
+        self._c_routed = [
+            reg.counter(
+                "engine_shard_accesses_total",
+                "accesses routed to this shard (lid % num_shards)",
+                labels={**labels, "shard": str(k)},
+            )
+            for k in range(num_shards)
+        ]
+        self._c_lifecycle = reg.counter(
+            "engine_shard_lifecycle_total",
+            "lifecycle events replicated to every shard (counted once)",
+            labels=labels,
+        )
 
     def shard_of(self, loc_id: int) -> int:
         """Which shard owns interned location ``loc_id``."""
@@ -440,13 +543,33 @@ class ShardedBatchEngine:
 
     def ingest(self, batch: EventBatch) -> int:
         """Route one batch: accesses to their shard, lifecycle to all."""
-        if self.num_shards == 1:
-            _ingest_batch(self.shards[0], batch)
-        else:
-            for det, sub in zip(self.shards, self.split(batch)):
-                _ingest_batch(det, sub)
+        tracer = get_tracer()
+        races_before = sum(len(det.races) for det in self.shards)
+        with tracer.span("ingest"):
+            if self.num_shards == 1:
+                accesses = batch.access_count()
+                self._c_routed[0].inc(accesses)
+                self._c_lifecycle.inc(len(batch) - accesses)
+                with tracer.span("dispatch"):
+                    path = _ingest_batch(self.shards[0], batch)
+                self._c_dispatch[path].inc()
+            else:
+                with tracer.span("split"):
+                    subs = self.split(batch)
+                lifecycle = len(batch) - batch.access_count()
+                self._c_lifecycle.inc(lifecycle)
+                for k, (det, sub) in enumerate(zip(self.shards, subs)):
+                    self._c_routed[k].inc(len(sub) - lifecycle)
+                    with tracer.span("dispatch"):
+                        path = _ingest_batch(det, sub)
+                    self._c_dispatch[path].inc()
         n = len(batch)
         self.events_ingested += n
+        self._c_events.inc(n)
+        self._c_batches.inc()
+        self._c_races.inc(
+            sum(len(det.races) for det in self.shards) - races_before
+        )
         return n
 
     def ingest_all(self, batches: Iterable[EventBatch]) -> int:

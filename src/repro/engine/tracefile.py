@@ -72,10 +72,29 @@ def write_trace(
     return len(batch)
 
 
+def _bytes_remaining(fp: IO[bytes]) -> Union[int, None]:
+    """How many bytes are left on ``fp``, or None when unseekable."""
+    try:
+        pos = fp.tell()
+        end = fp.seek(0, 2)
+        fp.seek(pos)
+    except (AttributeError, OSError, ValueError):
+        return None
+    return end - pos
+
+
 def read_trace(
     fp: Union[str, IO[bytes]]
 ) -> Tuple[EventBatch, LocationInterner]:
-    """Read a trace file back into ``(batch, interner)``."""
+    """Read a trace file back into ``(batch, interner)``.
+
+    Every header field is validated before it sizes an allocation: a
+    corrupt or adversarial ``n_events`` / ``table_len`` is rejected
+    against the actual bytes remaining on a seekable stream rather
+    than handed to ``read()``, and every corruption mode (bad magic,
+    bad version, bad endian flag, truncated table or payload, a
+    header that lies about lengths) raises :class:`ProgramError`.
+    """
     if isinstance(fp, str):
         with open(fp, "rb") as handle:
             return read_trace(handle)
@@ -87,20 +106,43 @@ def read_trace(
         raise ProgramError(f"not an engine trace (magic {magic!r})")
     if version != VERSION:
         raise ProgramError(f"unsupported engine trace version {version}")
-    table = json.loads(fp.read(table_len).decode("utf-8"))
+    if endian not in (0, 1):
+        raise ProgramError(f"bad endianness flag {endian} in engine trace")
+    ops = array("B")
+    av = array("i")
+    bv = array("i")
+    per_event = ops.itemsize + av.itemsize + bv.itemsize
+    remaining = _bytes_remaining(fp)
+    if remaining is not None:
+        need = table_len + n_events * per_event
+        if need > remaining:
+            raise ProgramError(
+                f"truncated or lying engine trace: header claims {need} "
+                f"payload bytes ({n_events} events, {table_len}-byte "
+                f"table) but only {remaining} remain"
+            )
+    raw_table = fp.read(table_len)
+    if len(raw_table) != table_len:
+        raise ProgramError("truncated engine trace location table")
+    try:
+        table = json.loads(raw_table.decode("utf-8"))
+    except ValueError as exc:
+        raise ProgramError(
+            f"corrupt engine trace location table: {exc}"
+        ) from None
+    if not isinstance(table, list):
+        raise ProgramError("corrupt engine trace location table: not a list")
     interner = LocationInterner()
     for encoded in table:
         interner.intern(decode_location(encoded))
     if len(interner) != len(table):
         raise ProgramError("duplicate locations in trace table")
-    ops = array("B")
-    av = array("i")
-    bv = array("i")
-    ops.frombytes(fp.read(n_events * ops.itemsize))
-    av.frombytes(fp.read(n_events * av.itemsize))
-    bv.frombytes(fp.read(n_events * bv.itemsize))
-    if not (len(ops) == len(av) == len(bv) == n_events):
-        raise ProgramError("truncated engine trace payload")
+    for column in (ops, av, bv):
+        want = n_events * column.itemsize
+        raw = fp.read(want)
+        if len(raw) != want:
+            raise ProgramError("truncated engine trace payload")
+        column.frombytes(raw)
     mine = 0 if sys.byteorder == "little" else 1
     if endian != mine:
         av.byteswap()

@@ -1,0 +1,76 @@
+"""repro.obs -- the observability layer: metrics, phases, exporters.
+
+FastTrack-style detectors justify their complexity claims with
+per-operation counter profiles; this package keeps those profiles
+continuously measurable instead of re-deriving them per benchmark.
+Three pieces, zero third-party dependencies:
+
+* :mod:`repro.obs.registry` -- a process-local
+  :class:`MetricsRegistry` of counters, gauges, and fixed-bucket
+  histograms.  O(1) thread-safe updates; a disabled registry hands out
+  shared no-ops so instrumentation is free to leave in.
+* :mod:`repro.obs.phases` -- a :class:`PhaseTracer` recording nested
+  span timings (``ingest/dispatch`` ...) via a context manager or the
+  :func:`traced` decorator; one truth test per call when disabled.
+* :mod:`repro.obs.export` -- :func:`to_json` and :func:`to_prometheus`
+  render one consistent snapshot; :func:`write_metrics` picks the
+  format from the file extension (``.prom``/``.txt`` vs JSON).
+
+Wiring: the batch engines count events/batches/races/dispatch paths and
+shard routing against the default registry
+(:func:`get_registry`); union-find and detector internals are *pulled*
+via the function-gauge bindings in :mod:`repro.obs.bind`; the bench
+harness builds its :class:`~repro.bench.metrics.DetectorStats` from a
+registry snapshot, so benchmarks and exports can never disagree.
+
+Quick taste::
+
+    from repro.obs import MetricsRegistry, to_prometheus
+
+    reg = MetricsRegistry()
+    reg.counter("requests_total", "requests served").inc()
+    print(to_prometheus(reg))
+
+See ``docs/OBSERVABILITY.md`` for the full tour.
+"""
+
+from repro.obs.bind import bind_detector, bind_union_find
+from repro.obs.export import to_json, to_prometheus, write_metrics
+from repro.obs.phases import (
+    PhaseTracer,
+    Span,
+    get_tracer,
+    set_tracer,
+    traced,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "PhaseTracer",
+    "Span",
+    "get_tracer",
+    "set_tracer",
+    "traced",
+    "to_json",
+    "to_prometheus",
+    "write_metrics",
+    "bind_detector",
+    "bind_union_find",
+]

@@ -1,0 +1,123 @@
+"""Pull-bindings: surface existing structures' state through a registry.
+
+The hot structures (union-find, shadow maps, detectors) already keep
+their own plain-int counters -- that is what makes their hot paths
+cheap.  Rather than moving those counters behind instrument objects,
+the registry *pulls* them: each binding registers function gauges that
+read the live attributes at snapshot/export time.  Zero cost on the
+instrumented structure's fast path, one attribute read per export.
+
+These helpers are what the engines, the bench harness, and the CLI use
+to make "what the structure counted" and "what the export says"
+tautologically the same number.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["bind_union_find", "bind_detector"]
+
+
+def bind_union_find(
+    registry: MetricsRegistry,
+    uf: Any,
+    labels: Optional[Dict[str, str]] = None,
+    *,
+    prefix: str = "unionfind",
+) -> None:
+    """Expose a union-find's op counters as function gauges.
+
+    Accepts :class:`~repro.core.unionfind.IntUnionFind` or anything with
+    ``find_count`` / ``union_count`` / ``hop_count`` attributes
+    (:class:`~repro.core.unionfind.UnionFind` exposes its inner
+    structure via ``.stats``).
+    """
+    stats = getattr(uf, "stats", uf)
+    registry.gauge(
+        f"{prefix}_finds",
+        "find() calls made by the algorithm under measurement",
+        labels=labels,
+    ).set_function(lambda: stats.find_count)
+    registry.gauge(
+        f"{prefix}_unions",
+        "union() calls made by the algorithm under measurement",
+        labels=labels,
+    ).set_function(lambda: stats.union_count)
+    registry.gauge(
+        f"{prefix}_hops",
+        "parent-pointer hops walked during finds",
+        labels=labels,
+    ).set_function(lambda: stats.hop_count)
+    registry.gauge(
+        f"{prefix}_elements",
+        "elements ever created",
+        labels=labels,
+    ).set_function(lambda: len(stats))
+
+
+def bind_detector(
+    registry: MetricsRegistry,
+    detector: Any,
+    labels: Optional[Dict[str, str]] = None,
+    *,
+    prefix: str = "detector",
+) -> None:
+    """Expose a detector's race/space accounting as function gauges.
+
+    Works for any observer-protocol detector; whatever of the metric
+    surface it has (``races``, a ``shadow`` map, ``metadata_entries``,
+    a ``unionfind`` property) gets bound, the rest is skipped.
+    """
+    registry.gauge(
+        f"{prefix}_races",
+        "race reports accumulated by the detector",
+        labels=labels,
+    ).set_function(lambda: len(detector.races))
+    if hasattr(detector, "op_index"):
+        registry.gauge(
+            f"{prefix}_ops",
+            "events the detector has consumed",
+            labels=labels,
+        ).set_function(lambda: detector.op_index)
+    shadow = getattr(detector, "shadow", None)
+    if shadow is not None:
+        registry.gauge(
+            f"{prefix}_shadow_locations",
+            "locations currently tracked in shadow memory",
+            labels=labels,
+        ).set_function(lambda: len(shadow))
+    # Prefer the Detector ABC's accounting methods (each detector knows
+    # its own cell layout); fall back to the raw ShadowMap counters for
+    # plain observer-protocol objects like RaceDetector2D.
+    total_fn = getattr(detector, "shadow_total_entries", None)
+    if total_fn is None and shadow is not None:
+        total_fn = shadow.total_entries
+    if total_fn is not None:
+        registry.gauge(
+            f"{prefix}_shadow_entries",
+            "current total shadow entries (conceptual words)",
+            labels=labels,
+        ).set_function(total_fn)
+    peak_fn = getattr(detector, "shadow_peak_per_location", None)
+    if peak_fn is None and shadow is not None:
+        peak_fn = lambda: shadow.peak_entries_per_loc  # noqa: E731
+    if peak_fn is not None:
+        registry.gauge(
+            f"{prefix}_shadow_peak_per_location",
+            "peak shadow entries any single location ever used",
+            labels=labels,
+        ).set_function(peak_fn)
+    if hasattr(detector, "metadata_entries"):
+        registry.gauge(
+            f"{prefix}_metadata_entries",
+            "non-shadow metadata entries (conceptual words)",
+            labels=labels,
+        ).set_function(detector.metadata_entries)
+    uf = getattr(detector, "unionfind", None)
+    if uf is None:
+        uf = getattr(detector, "_uf", None)
+    if uf is not None and hasattr(uf, "find_count"):
+        bind_union_find(registry, uf, labels, prefix=f"{prefix}_unionfind")

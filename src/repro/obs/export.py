@@ -1,0 +1,137 @@
+"""Registry exporters: JSON for tools, Prometheus text for scrapers.
+
+Both exporters read one consistent :meth:`MetricsRegistry.snapshot`
+-- the formats cannot drift because neither talks to instruments
+directly.  The Prometheus output follows the text exposition format
+version 0.0.4: ``# HELP`` / ``# TYPE`` per metric family, label pairs
+escaped, histograms as cumulative ``_bucket{le=...}`` series plus
+``_sum`` and ``_count``.  Metric names are sanitised (every character
+outside ``[a-zA-Z0-9_:]`` becomes ``_``) so registry names can stay
+readable Python-side.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional
+
+from repro.obs.phases import PhaseTracer
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["to_json", "to_prometheus", "write_metrics"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_FIRST_OK = re.compile(r"^[a-zA-Z_:]")
+
+
+def _prom_name(name: str) -> str:
+    cleaned = _NAME_OK.sub("_", name)
+    if not _FIRST_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels, extra: Optional[Dict[str, str]] = None) -> str:
+    pairs = list(labels)
+    if extra:
+        pairs.extend(sorted(extra.items()))
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{_prom_name(k)}="{_prom_label_value(str(v))}"' for k, v in pairs
+    )
+    return f"{{{inner}}}"
+
+
+def _prom_number(value) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_json(
+    registry: MetricsRegistry,
+    *,
+    tracer: Optional[PhaseTracer] = None,
+    indent: Optional[int] = 2,
+) -> str:
+    """The registry snapshot as a JSON document.
+
+    Pass the tracer to embed its per-phase aggregates under a
+    ``"phases"`` key alongside the metric sections.
+    """
+    doc: Dict[str, object] = dict(registry.snapshot())
+    if tracer is not None:
+        doc["phases"] = tracer.totals()
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry snapshot in the Prometheus text exposition format."""
+    families: Dict[str, Dict[str, object]] = {}
+    for inst in registry.instruments():
+        fam = families.setdefault(
+            inst.name, {"kind": inst.kind, "help": inst.help, "rows": []}
+        )
+        if not fam["help"] and inst.help:
+            fam["help"] = inst.help
+        fam["rows"].append(inst)
+
+    lines: List[str] = []
+    for name in sorted(families):
+        fam = families[name]
+        pname = _prom_name(name)
+        if fam["help"]:
+            lines.append(f"# HELP {pname} {fam['help']}")
+        lines.append(f"# TYPE {pname} {fam['kind']}")
+        for inst in fam["rows"]:
+            if inst.kind in ("counter", "gauge"):
+                lines.append(
+                    f"{pname}{_prom_labels(inst.labels)} "
+                    f"{_prom_number(inst.value)}"
+                )
+            else:  # histogram
+                cumulative = inst.cumulative_counts()
+                for upper, cum in zip(inst.buckets, cumulative):
+                    le = _prom_labels(inst.labels, {"le": _prom_number(upper)})
+                    lines.append(f"{pname}_bucket{le} {cum}")
+                inf = _prom_labels(inst.labels, {"le": "+Inf"})
+                lines.append(f"{pname}_bucket{inf} {inst.count}")
+                lines.append(
+                    f"{pname}_sum{_prom_labels(inst.labels)} "
+                    f"{_prom_number(inst.sum)}"
+                )
+                lines.append(
+                    f"{pname}_count{_prom_labels(inst.labels)} {inst.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(
+    path: str,
+    registry: MetricsRegistry,
+    *,
+    tracer: Optional[PhaseTracer] = None,
+) -> str:
+    """Dump the registry to ``path``; the extension picks the format.
+
+    ``.prom`` / ``.txt`` write the Prometheus text format, anything
+    else JSON.  Returns the format written (``"prometheus"`` or
+    ``"json"``).
+    """
+    if path.endswith((".prom", ".txt")):
+        payload = to_prometheus(registry)
+        fmt = "prometheus"
+    else:
+        payload = to_json(registry, tracer=tracer) + "\n"
+        fmt = "json"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    return fmt

@@ -1,0 +1,389 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the repository's one instrumentation surface: every
+subsystem that wants an always-on number (events ingested, races found,
+union-find finds, shard routing decisions) registers it here, and every
+consumer (the CLI's ``--metrics`` dump, ``repro-race stats``, the bench
+harness, the exporters) reads the same snapshot.  Design constraints,
+in order:
+
+* **zero third-party dependencies** -- plain Python, stdlib only;
+* **O(1) hot-path updates** -- an increment is one lock acquire plus an
+  integer add; instruments are looked up *once*, at wiring time, never
+  per event (hot loops keep plain local ints and flush per batch);
+* **thread-safe** -- instrument creation and every mutation are guarded
+  (instruments get their own small locks so unrelated updates do not
+  contend);
+* **free when disabled** -- a disabled registry hands out shared no-op
+  instruments, so instrumented code pays one method call per *batch*,
+  not per event (the engine benchmark asserts the overhead).
+
+Identity model (after the Prometheus one): a time series is a metric
+*name* plus a set of ``label=value`` pairs.  ``counter(name, labels=...)``
+is get-or-create -- asking twice returns the same instrument, asking
+with a different metric *type* for an existing name raises.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ProgramError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "DEFAULT_BUCKETS",
+]
+
+#: default histogram bucket upper bounds (seconds-flavoured; override
+#: per histogram for size-flavoured metrics)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.001, 0.01, 0.1, 1.0, 10.0,
+)
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Optional[Mapping[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    ``inc`` is the only mutator; decrementing raises (use a
+    :class:`Gauge` for values that go down).
+    """
+
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str = "", labels: LabelPairs = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._value: float = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
+        if amount < 0:
+            raise ProgramError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        return self._value
+
+
+class Gauge:
+    """A value that can go up, down, or be computed on demand.
+
+    ``set_function`` turns the gauge into a *pull* instrument: the
+    callable is evaluated at snapshot/export time, which is how existing
+    structures (union-find op counters, shadow-map sizes) surface their
+    state without paying anything on their own hot paths.
+    """
+
+    __slots__ = ("name", "help", "labels", "_value", "_fn", "_lock")
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str = "", labels: LabelPairs = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._value: float = 0
+        self._fn: Optional[Callable[[], float]] = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value`` (clears any pull function)."""
+        with self._lock:
+            self._fn = None
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Subtract ``amount``."""
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Evaluate ``fn()`` at read time instead of storing a value."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        """Current value (evaluates the pull function when set)."""
+        fn = self._fn
+        return fn() if fn is not None else self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram: observation counts, sum, and total count.
+
+    Buckets are cumulative *upper bounds*, Prometheus style; an implicit
+    ``+Inf`` bucket always exists.  ``observe`` costs one binary search
+    plus three integer updates under the instrument's lock.
+    """
+
+    __slots__ = (
+        "name", "help", "labels", "buckets", "_counts", "_sum", "_count",
+        "_lock",
+    )
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelPairs = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        uppers = tuple(sorted(float(b) for b in buckets))
+        if not uppers:
+            raise ProgramError(f"histogram {name!r} needs at least one bucket")
+        if len(set(uppers)) != len(uppers):
+            raise ProgramError(f"histogram {name!r} has duplicate buckets")
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.buckets = uppers
+        self._counts = [0] * (len(uppers) + 1)  # +1 for +Inf
+        self._sum: float = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def cumulative_counts(self) -> List[int]:
+        """Per-bucket cumulative counts (ending with the +Inf total)."""
+        out = []
+        acc = 0
+        for c in self._counts:
+            acc += c
+            out.append(acc)
+        return out
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = ""
+    help = ""
+    labels: LabelPairs = ()
+    buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+    value = 0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative_counts(self) -> List[int]:
+        return []
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Get-or-create home for a process's instruments.
+
+    One registry per logical scope: the module-level default (see
+    :func:`get_registry`) for always-on process metrics, fresh instances
+    for isolated measurements (the bench harness makes one per run).
+
+    Passing ``enabled=False`` creates a registry whose instrument
+    factories return a shared no-op -- instrumented code runs unchanged
+    at (measurably, see ``benchmarks/bench_engine_batch.py``) zero cost.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[Tuple[str, LabelPairs], object] = {}
+        self._kinds: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument factories ------------------------------------------------
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        frozen = _freeze_labels(labels)
+        key = (name, frozen)
+        with self._lock:
+            inst = self._metrics.get(key)
+            if inst is not None:
+                if inst.kind != cls.kind:
+                    raise ProgramError(
+                        f"metric {name!r} already registered as {inst.kind}, "
+                        f"requested {cls.kind}"
+                    )
+                return inst
+            kind = self._kinds.get(name)
+            if kind is not None and kind != cls.kind:
+                raise ProgramError(
+                    f"metric {name!r} already registered as {kind}, "
+                    f"requested {cls.kind}"
+                )
+            inst = cls(name, help, frozen, **kwargs)
+            self._metrics[key] = inst
+            self._kinds[name] = cls.kind
+            return inst
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        """Get or create the counter ``name`` with ``labels``."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        """Get or create the gauge ``name`` with ``labels``."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` with ``labels``."""
+        return self._get_or_create(
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    # -- reading -------------------------------------------------------------
+
+    def instruments(self) -> List[object]:
+        """All registered instruments, sorted by (name, labels)."""
+        with self._lock:
+            return [
+                self._metrics[k] for k in sorted(self._metrics)
+            ]
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A plain-dict view of every instrument's current state.
+
+        Stable across calls (sorted by name then labels); histogram
+        bucket counts are cumulative, matching the Prometheus exposition
+        they export to.
+        """
+        out: Dict[str, Dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for inst in self.instruments():
+            series = _series_name(inst.name, inst.labels)
+            if inst.kind == "counter":
+                out["counters"][series] = inst.value
+            elif inst.kind == "gauge":
+                out["gauges"][series] = inst.value
+            else:
+                out["histograms"][series] = {
+                    "buckets": {
+                        str(upper): cum
+                        for upper, cum in zip(
+                            inst.buckets, inst.cumulative_counts()
+                        )
+                    },
+                    "sum": inst.sum,
+                    "count": inst.count,
+                }
+        return out
+
+    def clear(self) -> None:
+        """Drop every instrument (tests and CLI runs start clean)."""
+        with self._lock:
+            self._metrics.clear()
+            self._kinds.clear()
+
+
+def _series_name(name: str, labels: LabelPairs) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+#: the shared disabled registry: instrument anything against it for free
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (always-on metrics live here)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process default; returns the previous one.
+
+    The CLI installs a fresh registry per invocation so ``--metrics``
+    dumps exactly one command's activity; tests do the same around
+    assertions on global counters.
+    """
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous

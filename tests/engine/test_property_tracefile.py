@@ -1,0 +1,192 @@
+"""Property-based round-trips and corruption rejection for RPR2TRC.
+
+`write_trace`/`read_trace` must be bit-exact inverses on *any* batch --
+including the empty one and the cross-endian payload path -- and
+`read_trace` must answer every corrupted input with
+:class:`~repro.errors.ProgramError`, never an allocation blow-up or a
+raw codec exception.  The strict-prefix property doubles as the
+regression test for the header bound-check: ``n_events``/``table_len``
+are validated against the real file size before sizing any read.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.batch import EventBatch, LocationInterner
+from repro.engine.tracefile import (
+    _HEADER,
+    MAGIC,
+    VERSION,
+    read_trace,
+    write_trace,
+)
+from repro.errors import ProgramError
+
+pytestmark = pytest.mark.engine
+
+_I32 = st.integers(-(2**31), 2**31 - 1)
+
+#: location shapes the tagged JSON codec round-trips exactly
+_LOCATIONS = st.one_of(
+    st.integers(-(2**40), 2**40),
+    st.text(max_size=8),
+    st.tuples(st.text(max_size=4), st.integers(0, 100)),
+    st.booleans(),
+    st.none(),
+)
+
+
+@st.composite
+def batches(draw):
+    n = draw(st.integers(0, 40))
+    ops = array("B", draw(st.lists(st.integers(0, 255),
+                                   min_size=n, max_size=n)))
+    av = array("i", draw(st.lists(_I32, min_size=n, max_size=n)))
+    bv = array("i", draw(st.lists(_I32, min_size=n, max_size=n)))
+    interner = LocationInterner()
+    for loc in draw(st.lists(_LOCATIONS, max_size=6, unique=True)):
+        interner.intern(loc)
+    return EventBatch(ops, av, bv), interner
+
+
+def _dump(batch, interner) -> bytes:
+    buf = io.BytesIO()
+    write_trace(buf, batch, interner)
+    return buf.getvalue()
+
+
+def _assert_identical(batch, interner, back, back_interner) -> None:
+    assert back.ops.tobytes() == batch.ops.tobytes()
+    assert back.a.tobytes() == batch.a.tobytes()
+    assert back.b.tobytes() == batch.b.tobytes()
+    assert back_interner.locations() == interner.locations()
+
+
+class TestRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(case=batches())
+    def test_bit_exact(self, case):
+        batch, interner = case
+        data = _dump(batch, interner)
+        back, back_interner = read_trace(io.BytesIO(data))
+        _assert_identical(batch, interner, back, back_interner)
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=batches())
+    def test_byteswapped_payload_reads_identically(self, case):
+        """The endian flag is honoured: a trace whose array columns were
+        written on the other byte order round-trips through byteswap."""
+        batch, interner = case
+        data = _dump(batch, interner)
+        n = len(batch)
+        table_len = len(data) - _HEADER.size - n * (1 + 4 + 4)
+        swapped_a = array("i", batch.a)
+        swapped_b = array("i", batch.b)
+        swapped_a.byteswap()
+        swapped_b.byteswap()
+        foreign = (
+            data[:8]
+            + bytes([1 - data[8]])  # claim the opposite byte order
+            + data[9 : _HEADER.size + table_len + n]  # header tail+table+ops
+            + swapped_a.tobytes()
+            + swapped_b.tobytes()
+        )
+        back, back_interner = read_trace(io.BytesIO(foreign))
+        _assert_identical(batch, interner, back, back_interner)
+
+    def test_empty_batch(self):
+        batch = EventBatch(array("B"), array("i"), array("i"))
+        data = _dump(batch, LocationInterner())
+        back, back_interner = read_trace(io.BytesIO(data))
+        assert len(back) == 0
+        assert len(back_interner) == 0
+
+
+#: one healthy little trace to corrupt, built once
+def _healthy() -> bytes:
+    interner = LocationInterner()
+    for loc in ("x", ("y", 3), 7):
+        interner.intern(loc)
+    batch = EventBatch(
+        array("B", [1, 2, 1]), array("i", [0, 0, 1]), array("i", [0, 1, 2])
+    )
+    return _dump(batch, interner)
+
+
+class TestCorruptionRejection:
+    @pytest.mark.parametrize(
+        "mutate, why",
+        [
+            (lambda d: b"XXXXXXXX" + d[8:], "bad magic"),
+            (
+                lambda d: d[:12] + struct.pack("<I", VERSION + 9) + d[16:],
+                "bad version",
+            ),
+            (lambda d: d[:8] + b"\x07" + d[9:], "bad endian flag"),
+            (
+                lambda d: d[:16] + struct.pack("<Q", 2**48) + d[24:],
+                "n_events lies high",
+            ),
+            (
+                lambda d: d[:24] + struct.pack("<Q", 2**48) + d[32:],
+                "table_len lies high",
+            ),
+            (
+                lambda d: d[:16] + struct.pack("<Q", 10**6) + d[24:],
+                "n_events larger than payload",
+            ),
+            (lambda d: d[: _HEADER.size - 4], "truncated header"),
+            (lambda d: d[: _HEADER.size + 2], "truncated table"),
+            (lambda d: d[:-1], "truncated payload"),
+            (
+                lambda d: d[: _HEADER.size]
+                + b"}" * (len(d) - _HEADER.size),
+                "table is not JSON",
+            ),
+            (
+                lambda d: d[:24]
+                + struct.pack("<Q", 2)
+                + d[32 : 32 + 2]
+                + d[32:],
+                "table truncated to non-JSON prefix",
+            ),
+        ],
+    )
+    def test_rejected_with_program_error(self, mutate, why):
+        blob = mutate(_healthy())
+        with pytest.raises(ProgramError):
+            read_trace(io.BytesIO(blob))
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data())
+    def test_every_strict_prefix_is_rejected(self, data):
+        """Truncation anywhere -- header, table or payload -- raises
+        ProgramError (and never allocates from a lying header)."""
+        blob = _healthy()
+        cut = data.draw(st.integers(0, len(blob) - 1))
+        with pytest.raises(ProgramError):
+            read_trace(io.BytesIO(blob[:cut]))
+
+    def test_table_not_a_list_rejected(self):
+        blob = _healthy()
+        payload = b'{"a":1}'
+        bad = (
+            _HEADER.pack(MAGIC, blob[8], VERSION, 0, len(payload)) + payload
+        )
+        with pytest.raises(ProgramError, match="not a list"):
+            read_trace(io.BytesIO(bad))
+
+    def test_lying_n_events_fails_before_allocating(self):
+        """Regression: a header claiming 2**48 events must be rejected
+        by the size check, not handed to read()/frombytes."""
+        blob = _healthy()
+        lying = blob[:16] + struct.pack("<Q", 2**48) + blob[24:]
+        with pytest.raises(ProgramError, match="claims"):
+            read_trace(io.BytesIO(lying))

@@ -1,0 +1,112 @@
+"""Exporters: exact JSON and Prometheus text output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import to_json, to_prometheus, write_metrics
+from repro.obs.phases import PhaseTracer
+from repro.obs.registry import MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter(
+        "events_total", "events ingested", labels={"engine": "batch"}
+    ).inc(7)
+    reg.gauge("depth", "current depth").set(2.5)
+    h = reg.histogram("batch_seconds", "per-batch time", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+class TestJson:
+    def test_exact_document(self):
+        doc = json.loads(to_json(_sample_registry()))
+        assert doc == {
+            "counters": {'events_total{engine="batch"}': 7},
+            "gauges": {"depth": 2.5},
+            "histograms": {
+                "batch_seconds": {
+                    "buckets": {"0.1": 1, "1.0": 2},
+                    "sum": 5.55,
+                    "count": 3,
+                }
+            },
+        }
+
+    def test_embeds_tracer_phases(self):
+        tracer = PhaseTracer(enabled=True)
+        with tracer.span("ingest"):
+            pass
+        doc = json.loads(to_json(MetricsRegistry(), tracer=tracer))
+        assert doc["phases"]["ingest"]["calls"] == 1
+        assert doc["phases"]["ingest"]["seconds"] >= 0
+
+
+class TestPrometheus:
+    def test_exact_exposition(self):
+        text = to_prometheus(_sample_registry())
+        assert text == (
+            "# HELP batch_seconds per-batch time\n"
+            "# TYPE batch_seconds histogram\n"
+            'batch_seconds_bucket{le="0.1"} 1\n'
+            'batch_seconds_bucket{le="1"} 2\n'
+            'batch_seconds_bucket{le="+Inf"} 3\n'
+            "batch_seconds_sum 5.55\n"
+            "batch_seconds_count 3\n"
+            "# HELP depth current depth\n"
+            "# TYPE depth gauge\n"
+            "depth 2.5\n"
+            "# HELP events_total events ingested\n"
+            "# TYPE events_total counter\n"
+            'events_total{engine="batch"} 7\n'
+        )
+
+    def test_empty_registry_exports_nothing(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_name_sanitisation(self):
+        reg = MetricsRegistry()
+        reg.counter("shadow-update.count", labels={"bad-key": "v"}).inc()
+        text = to_prometheus(reg)
+        assert "shadow_update_count" in text
+        assert 'bad_key="v"' in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels={"loc": 'say "hi"\\now'}).inc()
+        text = to_prometheus(reg)
+        assert 'loc="say \\"hi\\"\\\\now"' in text
+
+    def test_integral_floats_render_as_integers(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3.0)
+        assert "c 3\n" in to_prometheus(reg)
+
+
+class TestWriteMetrics:
+    def test_extension_selects_the_format(self, tmp_path):
+        reg = _sample_registry()
+        prom = tmp_path / "m.prom"
+        txt = tmp_path / "m.txt"
+        js = tmp_path / "m.json"
+        assert write_metrics(str(prom), reg) == "prometheus"
+        assert write_metrics(str(txt), reg) == "prometheus"
+        assert write_metrics(str(js), reg) == "json"
+        assert prom.read_text() == to_prometheus(reg)
+        assert json.loads(js.read_text()) == json.loads(to_json(reg))
+
+    def test_json_dump_carries_phases(self, tmp_path):
+        tracer = PhaseTracer(enabled=True)
+        with tracer.span("x"):
+            pass
+        path = tmp_path / "m.json"
+        write_metrics(str(path), MetricsRegistry(), tracer=tracer)
+        assert json.loads(path.read_text())["phases"]["x"]["calls"] == 1

@@ -1,0 +1,140 @@
+"""Phase tracing: span nesting, aggregates, registry mirroring."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.phases import (
+    PhaseTracer,
+    _NULL_SPAN,
+    get_tracer,
+    set_tracer,
+    traced,
+)
+from repro.obs.registry import MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+class TestSpans:
+    def test_nested_spans_record_full_paths(self):
+        tracer = PhaseTracer(enabled=True)
+        with tracer.span("ingest"):
+            with tracer.span("dispatch"):
+                pass
+            with tracer.span("shadow-update"):
+                pass
+        paths = [s.path for s in tracer.spans]
+        # inner spans close first
+        assert paths == [
+            "ingest/dispatch", "ingest/shadow-update", "ingest",
+        ]
+        assert [s.depth for s in tracer.spans] == [1, 1, 0]
+        assert all(s.seconds >= 0 for s in tracer.spans)
+
+    def test_totals_aggregate_calls_and_seconds(self):
+        tracer = PhaseTracer(enabled=True)
+        for _ in range(3):
+            with tracer.span("ingest"):
+                pass
+        totals = tracer.totals()
+        assert totals["ingest"]["calls"] == 3
+        assert totals["ingest"]["seconds"] >= 0
+
+    def test_disabled_tracer_returns_the_shared_null_span(self):
+        tracer = PhaseTracer()
+        assert tracer.span("anything") is _NULL_SPAN
+        with tracer.span("anything"):
+            pass
+        assert tracer.spans == []
+        assert tracer.totals() == {}
+
+    def test_max_spans_is_a_ring(self):
+        tracer = PhaseTracer(enabled=True, max_spans=5)
+        for i in range(8):
+            with tracer.span(f"p{i}"):
+                pass
+        assert len(tracer.spans) == 5
+        assert tracer.spans[0].name == "p3"  # oldest three dropped
+        assert tracer.totals()["p0"]["calls"] == 1  # aggregates keep all
+
+    def test_clear(self):
+        tracer = PhaseTracer(enabled=True)
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.spans == []
+        assert tracer.totals() == {}
+
+    def test_threads_get_independent_stacks(self):
+        tracer = PhaseTracer(enabled=True)
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with tracer.span(name):
+                barrier.wait()  # both spans open simultaneously
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",))
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # neither span nested under the other
+        assert sorted(s.path for s in tracer.spans) == ["t0", "t1"]
+        assert all(s.depth == 0 for s in tracer.spans)
+
+
+class TestRegistryMirroring:
+    def test_finished_spans_bump_phase_counters(self):
+        registry = MetricsRegistry()
+        tracer = PhaseTracer(enabled=True, registry=registry)
+        with tracer.span("ingest"):
+            with tracer.span("dispatch"):
+                pass
+        counters = registry.snapshot()["counters"]
+        assert counters['phase_calls_total{phase="ingest"}'] == 1
+        assert counters['phase_calls_total{phase="ingest/dispatch"}'] == 1
+        assert counters['phase_seconds_total{phase="ingest"}'] >= (
+            counters['phase_seconds_total{phase="ingest/dispatch"}']
+        )
+
+
+class TestTracedDecorator:
+    def test_times_calls_when_enabled(self):
+        tracer = PhaseTracer(enabled=True)
+
+        @traced("work", tracer=tracer)
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        assert [s.path for s in tracer.spans] == ["work"]
+
+    def test_no_spans_when_disabled(self):
+        tracer = PhaseTracer()
+
+        @traced("work", tracer=tracer)
+        def work():
+            return 1
+
+        assert work() == 1
+        assert tracer.spans == []
+
+    def test_late_binding_honours_set_tracer(self):
+        @traced("late")
+        def work():
+            return "ok"
+
+        mine = PhaseTracer(enabled=True)
+        previous = set_tracer(mine)
+        try:
+            assert work() == "ok"
+        finally:
+            set_tracer(previous)
+        assert [s.path for s in mine.spans] == ["late"]
+        assert get_tracer() is previous

@@ -13,7 +13,11 @@ import re
 import pytest
 
 ROOT = pathlib.Path(__file__).parent.parent
-DOC_FILES = [ROOT / "README.md", ROOT / "docs" / "ALGORITHM.md"]
+DOC_FILES = [
+    ROOT / "README.md",
+    ROOT / "docs" / "ALGORITHM.md",
+    ROOT / "docs" / "OBSERVABILITY.md",
+]
 
 BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 

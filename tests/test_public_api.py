@@ -60,6 +60,17 @@ def test_version():
         "repro.detectors.oracle",
         "repro.detectors.offline2d",
         "repro.workloads",
+        "repro.engine",
+        "repro.engine.batch",
+        "repro.engine.ingest",
+        "repro.engine.tracefile",
+        "repro.engine.differential",
+        "repro.engine.benchlib",
+        "repro.obs",
+        "repro.obs.registry",
+        "repro.obs.phases",
+        "repro.obs.export",
+        "repro.obs.bind",
         "repro.bench",
         "repro.viz",
         "repro.viz.timeline",
@@ -81,7 +92,7 @@ def test_subpackage_all_resolve():
 
     for module in ("repro.detectors", "repro.lattice", "repro.forkjoin",
                    "repro.core", "repro.workloads", "repro.bench",
-                   "repro.viz"):
+                   "repro.viz", "repro.obs", "repro.engine"):
         mod = importlib.import_module(module)
         for name in mod.__all__:
             assert hasattr(mod, name), f"{module}.{name}"
