@@ -6,6 +6,11 @@ per-event observer calls by at least 2x on the standard 100k-access
 ``racegen`` bulk workload -- and it must do so while changing *zero*
 verdicts, which the differential harness checks on the same run.
 
+The multi-process tier rides the same record: ``parallel`` (4 shard
+workers over shared memory, whole-batch feed) must beat ``batched``
+outright, with the race multiset and the parent-vs-worker routing
+counters in exact agreement.
+
 The measured record is written to ``BENCH_engine.json`` at the repo
 root so the perf trajectory accumulates across revisions.
 """
@@ -48,6 +53,18 @@ def test_batched_beats_replay(record):
 
 
 @pytest.mark.shape
+def test_parallel_beats_batched(record):
+    """The multi-core tier must pay for itself even on one core.
+
+    The worker kernel skips the per-event structural checks (the
+    parent pre-validates the whole batch vectorized), which is where
+    the margin comes from when no second core exists; real parallelism
+    only widens it.
+    """
+    assert record["speedup_parallel_vs_batched"] > 1.0, record["seconds"]
+
+
+@pytest.mark.shape
 def test_metrics_overhead_within_5_percent(record):
     """Live per-batch counters vs the disabled NULL_REGISTRY engine.
 
@@ -66,10 +83,12 @@ def test_fast_paths_change_no_verdicts(record):
     """Throughput without soundness is worthless: all paths agree."""
     races = record["races"]
     assert races["batched"] == races["per_event"] == races["sharded"]
+    assert races["parallel"] == races["per_event"]
     assert races["per_event"] > 0  # the workload seeds real races
     diff = record["differential"]
     assert diff["divergences"] == 0
     assert diff["sharded_agrees"] is True
+    assert diff["parallel_agrees"] is True
     assert len(set(diff["races"].values())) == 1  # trio agrees on the count
 
 

@@ -1,0 +1,68 @@
+"""CI gate: fail on a >25% engine-throughput regression.
+
+Compares a freshly measured ``BENCH_engine.json`` against the baseline
+committed in git (the record as of the checkout, before the benchmark
+run overwrote it). The gated series is ``events_per_sec.batched`` --
+the serial fast path every other tier is measured against; its shape
+tests already pin the *ratios* (parallel > batched, batched >= 2x
+per-event), so one absolute anchor suffices.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE.json FRESH.json
+
+Exits 0 when fresh throughput is within tolerance (or improved), 1 on
+regression, 2 on unusable inputs. CI extracts the baseline with
+``git show HEAD:BENCH_engine.json``; after an intentional perf change,
+commit the regenerated record to move the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: fraction of baseline throughput the fresh run may lose
+TOLERANCE = 0.25
+
+#: the gated series
+SERIES = ("events_per_sec", "batched")
+
+
+def _throughput(path: str) -> float:
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    value = record
+    for key in SERIES:
+        value = value[key]
+    return float(value)
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    _, baseline_path, fresh_path = argv
+    try:
+        baseline = _throughput(baseline_path)
+        fresh = _throughput(fresh_path)
+    except (OSError, KeyError, ValueError, TypeError) as exc:
+        print(f"cannot read benchmark records: {exc!r}", file=sys.stderr)
+        return 2
+    if baseline <= 0:
+        print(f"baseline throughput is {baseline}; nothing to gate",
+              file=sys.stderr)
+        return 2
+    ratio = fresh / baseline
+    floor = 1.0 - TOLERANCE
+    verdict = "OK" if ratio >= floor else "REGRESSION"
+    print(
+        f"{'.'.join(SERIES)}: baseline {baseline:,.0f} ev/s, "
+        f"fresh {fresh:,.0f} ev/s ({ratio:.2%} of baseline, "
+        f"floor {floor:.0%}) -> {verdict}"
+    )
+    return 0 if ratio >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

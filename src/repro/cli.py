@@ -8,6 +8,7 @@ Usage examples::
     repro-race run prog.py --dot out.dot  # export the task graph
     repro-race record prog.py --compact -o t.rtrc   # engine trace format
     repro-race replay t.rtrc --shards 4   # batched/sharded fast path
+    repro-race replay t.rtrc --jobs 4     # multi-process shard workers
     repro-race diff t.rtrc                # differential detector check
     repro-race bench-engine --accesses 100000       # ingestion throughput
     repro-race stats t.rtrc --format prom # metrics + phase timings
@@ -126,6 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=8192,
         help="compact traces only: events per ingested batch",
     )
+    p_rep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="compact traces only: detect with this many shard worker "
+        "processes; workers mmap the trace directly (lattice2d kernel; "
+        "default: 1, in-process)",
+    )
 
     p_diff = sub.add_parser(
         "diff",
@@ -146,7 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_be = sub.add_parser(
         "bench-engine",
         help="measure the ingestion paths (replay / per-event / batched / "
-        "sharded) on a racegen bulk workload",
+        "sharded / parallel) on a racegen bulk workload",
     )
     p_be.add_argument("--accesses", type=int, default=100_000)
     p_be.add_argument("--fanout", type=int, default=8)
@@ -159,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_be.add_argument("--shards", type=int, default=4)
     p_be.add_argument("--batch-size", type=int, default=8192)
     p_be.add_argument("--repeats", type=int, default=3)
+    p_be.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker processes for the parallel contender (default: 4)",
+    )
     p_be.add_argument(
         "--json", metavar="PATH", help="also write the full record as JSON"
     )
@@ -185,6 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
         "instances (default: 1, unsharded)",
     )
     p_st.add_argument("--batch-size", type=int, default=8192)
+    p_st.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="detect with this many shard worker processes; their "
+        "per-worker counters are merged into the printed snapshot "
+        "(lattice2d kernel; default: 1, in-process)",
+    )
     p_st.add_argument(
         "--format",
         choices=("table", "json", "prom"),
@@ -276,14 +299,49 @@ def _load_batch(path: str):
     return batch_from_events(load_events(path))
 
 
+def _check_jobs(args) -> None:
+    """Shared validation for the ``--jobs`` flag on replay/stats."""
+    if args.jobs < 1:
+        raise ReproError(f"need at least one worker, got {args.jobs}")
+    if args.jobs > 1 and args.shards > 1:
+        raise ReproError(
+            "--shards and --jobs are mutually exclusive: --jobs already "
+            "partitions the shadow map across its worker processes"
+        )
+    if args.jobs > 1 and args.detector != "lattice2d":
+        raise ReproError(
+            "--jobs runs the fixed lattice2d worker kernel; drop "
+            f"--detector {args.detector} or use --jobs 1"
+        )
+
+
+def _replay_parallel(args) -> int:
+    from repro.engine.parallel import ParallelShardedEngine
+
+    with ParallelShardedEngine(args.jobs) as engine:
+        engine.ingest_trace(args.trace)
+        races = engine.races()
+        events = engine.events_ingested
+    print(
+        f"lattice2d x{args.jobs} workers: replayed {events} events "
+        f"(mmap, multi-process), {len(races)} race(s)"
+    )
+    for report in races[: args.max_races]:
+        print(f"  {report}")
+    return 1 if races else 0
+
+
 def _replay_compact(args) -> int:
     from repro.engine.ingest import BatchEngine, ShardedBatchEngine
     from repro.engine.tracefile import read_trace
 
-    batch, interner = read_trace(args.trace)
-    factory = DETECTOR_FACTORIES[args.detector]
     if args.shards < 1:
         raise ReproError(f"need at least one shard, got {args.shards}")
+    _check_jobs(args)
+    if args.jobs > 1:
+        return _replay_parallel(args)
+    batch, interner = read_trace(args.trace)
+    factory = DETECTOR_FACTORIES[args.detector]
     if args.shards > 1:
         engine = ShardedBatchEngine(
             args.shards, detector_factory=factory, interner=interner
@@ -336,10 +394,21 @@ def _stats(args) -> int:
     factory = DETECTOR_FACTORIES[args.detector]
     if args.shards < 1:
         raise ReproError(f"need at least one shard, got {args.shards}")
+    _check_jobs(args)
     tracer = PhaseTracer(enabled=True, registry=registry)
     previous_tracer = set_tracer(tracer)
+    parallel_engine = None
     try:
-        if args.shards > 1:
+        if args.jobs > 1:
+            from repro.engine.parallel import ParallelShardedEngine
+
+            # Whole-batch feed: one shared-memory publish, then collect
+            # merges each worker's counters into this registry.
+            engine = parallel_engine = ParallelShardedEngine(
+                args.jobs, interner=interner, registry=registry
+            )
+            engine.ingest(batch)
+        elif args.shards > 1:
             engine = ShardedBatchEngine(
                 args.shards, detector_factory=factory, interner=interner,
                 registry=registry,
@@ -349,6 +418,7 @@ def _stats(args) -> int:
                     registry, det,
                     {"detector": det.name, "shard": str(k)},
                 )
+            engine.ingest_all(batch.slices(args.batch_size))
         else:
             detector = factory()
             detector.on_root(0)
@@ -356,10 +426,12 @@ def _stats(args) -> int:
                 detector, interner=interner, registry=registry
             )
             bind_detector(registry, detector, {"detector": detector.name})
-        engine.ingest_all(batch.slices(args.batch_size))
+            engine.ingest_all(batch.slices(args.batch_size))
+        races = engine.races()
     finally:
         set_tracer(previous_tracer)
-    races = engine.races()
+        if parallel_engine is not None:
+            parallel_engine.close()
     if args.format == "json":
         print(to_json(registry, tracer=tracer))
     elif args.format == "prom":
@@ -388,6 +460,8 @@ def _stats(args) -> int:
 def _bench_engine(args) -> int:
     from repro.engine.benchlib import format_record, run_engine_benchmark
 
+    if args.jobs < 1:
+        raise ReproError(f"need at least one worker, got {args.jobs}")
     record = run_engine_benchmark(
         accesses=args.accesses,
         fanout=args.fanout,
@@ -396,6 +470,7 @@ def _bench_engine(args) -> int:
         shards=args.shards,
         batch_size=args.batch_size,
         repeats=args.repeats,
+        jobs=args.jobs,
     )
     title = (
         f"engine ingestion ({record['workload']['accesses']} accesses, "
@@ -405,9 +480,12 @@ def _bench_engine(args) -> int:
     diff = record["differential"]
     print(
         f"batched vs per-event: {record['speedup_batched_vs_per_event']}x; "
+        f"parallel({record['jobs']} workers) vs batched: "
+        f"{record['speedup_parallel_vs_batched']}x; "
         f"differential: {diff['divergences']} divergence(s) across "
         f"{', '.join(diff['detectors'])}; sharded agrees: "
-        f"{diff['sharded_agrees']}"
+        f"{diff['sharded_agrees']}; parallel agrees: "
+        f"{diff['parallel_agrees']}"
     )
     if args.json:
         import json
@@ -473,6 +551,11 @@ def _dispatch(args) -> int:
 
         if is_tracefile(args.trace):
             return _replay_compact(args)
+        if args.jobs > 1:
+            raise ReproError(
+                "--jobs needs a compact trace (record with --compact); "
+                f"{args.trace} is a JSONL trace"
+            )
         from repro.forkjoin.replay import replay_events
         from repro.trace import load_events
 

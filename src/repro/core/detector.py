@@ -94,6 +94,18 @@ class RaceDetector2D:
         erratum; defaults to ``False``.
     path_compression / link_by_rank:
         Union-find ablation knobs (see :mod:`repro.core.unionfind`).
+    epoch_cache:
+        Allow the batch kernel (:mod:`repro.engine.ingest`) to keep a
+        per-location *access epoch* -- the last ``(task, kind)`` whose
+        access was race-free and folded the supremum to the task itself
+        -- and skip the union-find ``Sup`` queries when the same task
+        repeats the same kind of access (FastTrack's same-epoch check,
+        sound here because ``x`` ⊑ ``t`` is monotone: once a location's
+        history is ordered before a live task it stays ordered).  The
+        cache changes no verdicts and no shadow state, only the number
+        of ``find`` calls; pass ``False`` to get union-find operation
+        counts bit-identical to the per-event methods (the ablation
+        experiments want the exact Figure-8 profile).
 
     Example
     -------
@@ -114,6 +126,7 @@ class RaceDetector2D:
         paper_figure6_literal: bool = False,
         path_compression: bool = True,
         link_by_rank: bool = True,
+        epoch_cache: bool = True,
     ) -> None:
         self._uf = IntUnionFind(
             path_compression=path_compression, link_by_rank=link_by_rank
@@ -122,6 +135,9 @@ class RaceDetector2D:
         self._halted: List[bool] = []
         self._joined: List[bool] = []
         self._literal = paper_figure6_literal
+        #: batch-kernel access-epoch cache: location id -> encoded
+        #: ``(task, kind)`` of the last clean access (``None`` disables)
+        self._epoch: Optional[dict] = {} if epoch_cache else None
         #: per-location cells ``[read_sup, write_sup]``
         self.shadow: ShadowMap[List[Optional[int]]] = ShadowMap(_cell_entries)
         #: all reports, in detection order (precise up to the first one)
@@ -280,6 +296,11 @@ class RaceDetector2D:
         self._check_alive(t)
         self.op_index += 1
         self._visited[t] = True
+        ep = self._epoch
+        if ep:
+            # Keep the batch kernel's epoch cache coherent when the two
+            # driving styles are mixed on one detector instance.
+            ep.pop(loc, None)
         cell = self._cell(loc)
         if self._literal:
             # Figure 6 exactly as printed: compare against R, update R.
@@ -302,6 +323,9 @@ class RaceDetector2D:
         self._check_alive(t)
         self.op_index += 1
         self._visited[t] = True
+        ep = self._epoch
+        if ep:
+            ep.pop(loc, None)
         cell = self._cell(loc)
         r, w = cell
         if r is not None and self.sup(r, t) != t:

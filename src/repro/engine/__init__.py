@@ -1,6 +1,6 @@
 """Batched event-ingestion engine: the detector's serving fast path.
 
-Four pieces, layered so each is useful alone:
+Five pieces, layered so each is useful alone:
 
 * :mod:`repro.engine.batch` -- dense columnar event batches (parallel
   opcode / task-id / interned-location arrays) and the
@@ -9,8 +9,12 @@ Four pieces, layered so each is useful alone:
   pre-bound per-batch loop over a detector, and
   :class:`ShardedBatchEngine`, which partitions the shadow map by
   location id across independent detector instances;
+* :mod:`repro.engine.parallel` -- :class:`ParallelShardedEngine`, the
+  same location partitioning over a persistent pool of worker
+  *processes* fed through shared memory and mapped trace files;
 * :mod:`repro.engine.tracefile` -- the compact binary record/replay
-  format (capture a workload once, replay it into any detector);
+  format (capture a workload once, replay it into any detector),
+  with ``mmap``-backed zero-copy reads;
 * :mod:`repro.engine.differential` -- lockstep cross-checking of
   per-access verdicts across detectors and across fast paths; the
   correctness gate every future perf change must pass.
@@ -47,12 +51,16 @@ from repro.engine.differential import (
     DEFAULT_DETECTORS,
     DifferentialReport,
     Divergence,
+    cross_check_parallel,
     cross_check_sharded,
     replay_differential,
 )
 from repro.engine.ingest import BatchEngine, ShardedBatchEngine
+from repro.engine.parallel import ParallelShardedEngine
 from repro.engine.tracefile import (
+    MappedTrace,
     is_tracefile,
+    map_trace,
     read_trace,
     record_trace,
     write_trace,
@@ -73,13 +81,17 @@ __all__ = [
     "events_from_batch",
     "BatchEngine",
     "ShardedBatchEngine",
+    "ParallelShardedEngine",
     "DEFAULT_DETECTORS",
     "DifferentialReport",
     "Divergence",
     "replay_differential",
     "cross_check_sharded",
+    "cross_check_parallel",
     "is_tracefile",
     "read_trace",
     "record_trace",
     "write_trace",
+    "map_trace",
+    "MappedTrace",
 ]

@@ -18,6 +18,10 @@ Two comparisons are provided:
   reference detector, compared on the multiset of flagged accesses
   (per-shard streams renumber ``op_index``, so positions are compared
   by ``(task, loc, kind)``).
+* :func:`cross_check_parallel` -- the multi-process engine vs the same
+  unsharded reference, on the race multiset *and* the per-shard routing
+  counters (the parent's routing decisions vs what each worker's kernel
+  actually consumed).
 
 Both operate on interned batches, so detectors hash dense ints; the
 verdict only depends on ordering structure, never on what a location
@@ -50,6 +54,7 @@ __all__ = [
     "DifferentialReport",
     "replay_differential",
     "cross_check_sharded",
+    "cross_check_parallel",
 ]
 
 #: the trio the acceptance gate runs: the paper's detector against the
@@ -244,3 +249,40 @@ def cross_check_sharded(
     sharded_races = sharded.races()
     agree = _flag_multiset(ref_races) == _flag_multiset(sharded_races)
     return agree, ref_races, sharded_races
+
+
+def cross_check_parallel(
+    batch: EventBatch,
+    interner: Optional[LocationInterner] = None,
+    *,
+    num_workers: int = 4,
+    batch_size: Optional[int] = None,
+) -> Tuple[bool, List[Any], List[Any]]:
+    """Multi-process engine vs the serial fast path on one trace.
+
+    Replays ``batch`` through a plain :class:`BatchEngine` and a
+    :class:`~repro.engine.parallel.ParallelShardedEngine` and demands
+    both (a) the same multiset of flagged accesses and (b) exact
+    agreement between the parent's per-shard routing counters and the
+    access counts each worker's kernel reports having consumed.
+    Returns ``(agree, reference_races, parallel_races)``.
+    """
+    from repro.engine.parallel import ParallelShardedEngine
+
+    ref = BatchEngine(interner=interner)
+    with ParallelShardedEngine(num_workers, interner=interner) as par:
+        if batch_size is None:
+            ref.ingest(batch)
+            par.ingest(batch)
+        else:
+            ref.ingest_all(batch.slices(batch_size))
+            par.ingest_all(batch.slices(batch_size))
+        ref_races = ref.races()
+        par_races = par.races()
+        routing_agrees = (
+            par.routing_counts() == par.worker_access_counts()
+        )
+    agree = routing_agrees and (
+        _flag_multiset(ref_races) == _flag_multiset(par_races)
+    )
+    return agree, ref_races, par_races

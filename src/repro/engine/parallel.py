@@ -1,0 +1,951 @@
+"""Multi-process sharded detection: shard workers over shared memory.
+
+:class:`ParallelShardedEngine` is the process-parallel sibling of
+:class:`~repro.engine.ingest.ShardedBatchEngine`: K persistent worker
+processes each own the shadow state of the locations with
+``loc_id % K == k`` and consume the full structural (fork/join/halt/
+step) stream plus only their own accesses.  The paper's Θ(1)-per-
+location shadow cells make this embarrassingly parallel -- an access
+only ever interacts with its own location's history, and every worker
+replays the complete ordering structure -- so verdicts are unaffected
+by the partitioning (the differential harness cross-checks this on
+every benchmark run).
+
+Data flow per :meth:`~ParallelShardedEngine.ingest` call::
+
+    parent                                   worker k (of K)
+    ------                                   ---------------
+    validate batch (vectorized)   ----+
+    write columns into one            |
+    shared_memory segment             |
+    broadcast (name, n) to all  --->  attach segment
+                                      self-select:  structural | b%K==k
+                                      relaxed kernel over selection
+    await K acks               <----  ack(n_selected)
+    close + unlink segment
+
+The division of labour is deliberate:
+
+* the **parent validates, workers trust**.  Stream well-formedness
+  (dense fork ids, no use-after-halt, no double join...) is checked
+  once, vectorized over numpy columns, before anything is shipped;
+  the per-shard kernel then runs with no per-event bounds or liveness
+  checks at all.  Combined with the access-epoch fast path this makes
+  the per-shard kernel cheaper than the serial exact kernel per event
+  -- which is what lets the parallel engine win even on a single core,
+  and scale with cores when they exist.
+* the **payload crosses the process boundary once**.  The parent
+  writes each column into the shared-memory segment directly from the
+  batch's buffers (no pickling of event data); workers self-select
+  with one vectorized mask instead of the parent materializing K
+  sub-batches.
+* **traces never materialize in the parent at all**:
+  :meth:`~ParallelShardedEngine.ingest_trace` maps an RPR2TRC file
+  (:func:`~repro.engine.tracefile.map_trace`), validates the columns
+  through zero-copy views, and sends workers only the column
+  *offsets*; each worker re-maps the file and reads through the shared
+  page cache.
+
+Results merge deterministically: at collect time each worker ships its
+race tuples (in local detection order), its per-worker
+:class:`~repro.obs.registry.MetricsRegistry` export, and its routing
+counts; the parent merges races in shard order, folds the registries
+into its own (:meth:`~repro.obs.registry.MetricsRegistry.merge_state`)
+and cross-checks the worker-side access counts against its own routing
+counters.  A worker that dies or hangs surfaces as a clean
+:class:`~repro.errors.DetectorError`, never a deadlock.
+"""
+
+from __future__ import annotations
+
+import mmap as _mmaplib
+import multiprocessing as _mp
+import queue as _queue
+import time as _time
+from array import array
+from multiprocessing import shared_memory as _shm
+from typing import Any, Iterable, List, Optional, Tuple
+
+try:  # numpy vectorizes validation and worker self-selection
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
+from repro.core.reports import AccessKind, RaceReport
+from repro.engine.batch import (
+    OP_FORK,
+    OP_HALT,
+    OP_JOIN,
+    OP_READ,
+    OP_WRITE,
+    EventBatch,
+    LocationInterner,
+)
+from repro.engine.tracefile import map_trace
+from repro.errors import DetectorError, ProgramError
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = ["ParallelShardedEngine"]
+
+_READ = AccessKind.READ
+_WRITE = AccessKind.WRITE
+
+#: align the i32 columns inside a shared-memory segment
+def _pad4(n: int) -> int:
+    return (n + 3) & ~3
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+class _ShardState:
+    """One worker's detector state: the relaxed-kernel equivalent of a
+    :class:`~repro.core.detector.RaceDetector2D` with the root spawned.
+
+    Plain lists and dicts, no methods on the hot path; the parent's
+    pre-validation is what makes dropping the per-event checks sound.
+    """
+
+    __slots__ = (
+        "shard",
+        "num_shards",
+        "parent",
+        "rank",
+        "label",
+        "visited",
+        "cells",
+        "epoch",
+        "races",
+        "op_index",
+        "accesses",
+        "epoch_hits",
+    )
+
+    def __init__(self, shard: int, num_shards: int) -> None:
+        self.shard = shard
+        self.num_shards = num_shards
+        self.reset()
+
+    def reset(self) -> None:
+        # Root task 0, exactly like RaceDetector2D.spawn_root().
+        self.parent = [0]
+        self.rank = [0]
+        self.label = [0]
+        self.visited = [False]
+        self.cells: dict = {}
+        self.epoch: dict = {}
+        #: race tuples ``(loc, task, kind, prior_kind, prior_repr,
+        #: local_op_index)`` with kind encoded 0=read / 1=write
+        self.races: list = []
+        self.op_index = 0
+        self.accesses = 0
+        self.epoch_hits = 0
+
+
+def _relaxed_ingest(st: _ShardState, ops, a_col, b_col) -> int:
+    """The trusted per-shard kernel; returns epoch-cache hits.
+
+    Mirrors the exact kernel of :func:`repro.engine.ingest._ingest_fast`
+    minus everything the parent already guaranteed or nobody will read:
+    no bounds/liveness checks, no union-find op counters, no deferred
+    shadow accounting.  Verdicts, shadow cells and the union-find
+    partition come out identical to the exact kernel on the worker's
+    sub-stream -- the property tests drive both and compare.
+    """
+    parent = st.parent
+    rank = st.rank
+    label = st.label
+    visited = st.visited
+    cells = st.cells
+    epoch = st.epoch
+    races = st.races
+    op_index = st.op_index
+    hits = 0
+    accesses = 0
+    read_op = OP_READ
+    fork_op, join_op, halt_op = OP_FORK, OP_JOIN, OP_HALT
+
+    for op, t, b in zip(ops, a_col, b_col):
+        op_index += 1
+        if op >= read_op:  # read or write
+            accesses += 1
+            visited[t] = True
+            cell = cells.get(b)
+            if cell is None:
+                cells[b] = [t, None] if op == read_op else [None, t]
+                continue
+            key = (t << 1) | (op - read_op)
+            if epoch.get(b) == key:
+                hits += 1
+                continue
+            r, w = cell
+            if op == read_op:
+                raced = False
+                if w is not None:
+                    x = w
+                    while parent[x] != x:
+                        x = parent[x]
+                    i = w
+                    while parent[i] != x:
+                        parent[i], i = x, parent[i]
+                    if (t if visited[label[x]] else label[x]) != t:
+                        races.append((b, t, 0, 1, w, op_index))
+                        raced = True
+                if r is None:
+                    cell[0] = t
+                else:
+                    x = r
+                    while parent[x] != x:
+                        x = parent[x]
+                    i = r
+                    while parent[i] != x:
+                        parent[i], i = x, parent[i]
+                    cell[0] = t if visited[label[x]] else label[x]
+                epoch[b] = key if not raced and cell[0] == t else -1
+            else:
+                reported = False
+                if r is not None:
+                    x = r
+                    while parent[x] != x:
+                        x = parent[x]
+                    i = r
+                    while parent[i] != x:
+                        parent[i], i = x, parent[i]
+                    if (t if visited[label[x]] else label[x]) != t:
+                        races.append((b, t, 1, 0, r, op_index))
+                        reported = True
+                if not reported and w is not None:
+                    x = w
+                    while parent[x] != x:
+                        x = parent[x]
+                    i = w
+                    while parent[i] != x:
+                        parent[i], i = x, parent[i]
+                    if (t if visited[label[x]] else label[x]) != t:
+                        races.append((b, t, 1, 1, w, op_index))
+                        reported = True
+                if w is None:
+                    cell[1] = t
+                else:
+                    x = w
+                    while parent[x] != x:
+                        x = parent[x]
+                    i = w
+                    while parent[i] != x:
+                        parent[i], i = x, parent[i]
+                    cell[1] = t if visited[label[x]] else label[x]
+                epoch[b] = key if not reported and cell[1] == t else -1
+        elif op == fork_op:
+            visited[t] = True
+            tid = len(parent)
+            parent.append(tid)
+            rank.append(0)
+            label.append(tid)
+            visited.append(False)
+        elif op == join_op:
+            rt = t
+            while parent[rt] != rt:
+                rt = parent[rt]
+            i = t
+            while parent[i] != rt:
+                parent[i], i = rt, parent[i]
+            rs = b
+            while parent[rs] != rs:
+                rs = parent[rs]
+            i = b
+            while parent[i] != rs:
+                parent[i], i = rs, parent[i]
+            if rt != rs:
+                lab = label[rt]
+                if rank[rt] < rank[rs]:
+                    rt, rs = rs, rt
+                elif rank[rt] == rank[rs]:
+                    rank[rt] += 1
+                parent[rs] = rt
+                label[rt] = lab
+            visited[t] = True
+        elif op == halt_op:
+            visited[t] = False
+        else:  # step
+            visited[t] = True
+
+    st.op_index = op_index
+    st.accesses += accesses
+    st.epoch_hits += hits
+    return hits
+
+
+def _select_np(st: _ShardState, ops_np, a_np, b_np):
+    """Self-select this shard's sub-stream with one vectorized mask."""
+    if st.num_shards == 1:
+        mask = None
+        ops_sel, a_sel, b_sel = ops_np, a_np, b_np
+    else:
+        mask = (ops_np < OP_READ) | ((b_np % st.num_shards) == st.shard)
+        ops_sel = ops_np[mask]
+        a_sel = a_np[mask]
+        b_sel = b_np[mask]
+    # Materialize as stdlib arrays: the kernel iterates array objects
+    # faster than numpy scalars.
+    return (
+        array("B", ops_sel.tobytes()),
+        array("i", a_sel.astype(_np.int32, copy=False).tobytes()),
+        array("i", b_sel.astype(_np.int32, copy=False).tobytes()),
+    )
+
+
+def _select_py(st: _ShardState, ops, a_col, b_col):
+    """Per-event fallback selection (no numpy)."""
+    if st.num_shards == 1:
+        return ops, a_col, b_col
+    sub_ops = array("B")
+    sub_a = array("i")
+    sub_b = array("i")
+    ap_op = sub_ops.append
+    ap_a = sub_a.append
+    ap_b = sub_b.append
+    read_op = OP_READ
+    k = st.shard
+    n_shards = st.num_shards
+    for op, a, b in zip(ops, a_col, b_col):
+        if op < read_op or b % n_shards == k:
+            ap_op(op)
+            ap_a(a)
+            ap_b(b)
+    return sub_ops, sub_a, sub_b
+
+
+def _worker_ingest_shm(st: _ShardState, name: str, n: int) -> Tuple[int, int]:
+    """Attach a shared-memory segment, ingest this shard's share."""
+    seg = _shm.SharedMemory(name=name)
+    a_off = _pad4(n)
+    b_off = a_off + 4 * n
+    try:
+        if _np is not None:
+            buf = seg.buf
+            ops_np = _np.frombuffer(buf, dtype=_np.uint8, count=n, offset=0)
+            a_np = _np.frombuffer(buf, dtype=_np.int32, count=n, offset=a_off)
+            b_np = _np.frombuffer(buf, dtype=_np.int32, count=n, offset=b_off)
+            try:
+                ops, a_col, b_col = _select_np(st, ops_np, a_np, b_np)
+            finally:
+                # Release the buffer exports before seg.close().
+                ops_np = a_np = b_np = buf = None
+        else:
+            view = seg.buf
+            ops_all = array("B")
+            a_all = array("i")
+            b_all = array("i")
+            ops_all.frombytes(view[0:n])
+            a_all.frombytes(view[a_off:b_off])
+            b_all.frombytes(view[b_off : b_off + 4 * n])
+            view = None
+            ops, a_col, b_col = _select_py(st, ops_all, a_all, b_all)
+    finally:
+        seg.close()
+    hits = _relaxed_ingest(st, ops, a_col, b_col)
+    return len(ops), hits
+
+
+def _worker_ingest_trace(
+    st: _ShardState,
+    path: str,
+    n: int,
+    ops_off: int,
+    a_off: int,
+    b_off: int,
+    native: bool,
+) -> Tuple[int, int]:
+    """Re-map a trace file and ingest this shard's share of its events.
+
+    The columns are read straight off the page cache the parent already
+    warmed; only the shard's selection is ever materialized.
+    """
+    with open(path, "rb") as handle:
+        mm = _mmaplib.mmap(handle.fileno(), 0, access=_mmaplib.ACCESS_READ)
+        try:
+            if _np is not None:
+                int_dt = _np.dtype(_np.int32)
+                if not native:
+                    int_dt = int_dt.newbyteorder()
+                ops_np = _np.frombuffer(
+                    mm, dtype=_np.uint8, count=n, offset=ops_off
+                )
+                a_np = _np.frombuffer(mm, dtype=int_dt, count=n, offset=a_off)
+                b_np = _np.frombuffer(mm, dtype=int_dt, count=n, offset=b_off)
+                if not native:
+                    a_np = a_np.astype(_np.int32)
+                    b_np = b_np.astype(_np.int32)
+                try:
+                    ops, a_col, b_col = _select_np(st, ops_np, a_np, b_np)
+                finally:
+                    ops_np = a_np = b_np = None
+            else:
+                ops_all = array("B")
+                a_all = array("i")
+                b_all = array("i")
+                ops_all.frombytes(mm[ops_off : ops_off + n])
+                a_all.frombytes(mm[a_off : a_off + 4 * n])
+                b_all.frombytes(mm[b_off : b_off + 4 * n])
+                if not native:
+                    a_all.byteswap()
+                    b_all.byteswap()
+                ops, a_col, b_col = _select_py(st, ops_all, a_all, b_all)
+        finally:
+            mm.close()
+    hits = _relaxed_ingest(st, ops, a_col, b_col)
+    return len(ops), hits
+
+
+def _worker_main(shard: int, num_shards: int, cmd_q, res_q) -> None:
+    """Command loop of one shard worker process."""
+    import traceback
+
+    registry = MetricsRegistry()
+    labels = {"engine": "parallel", "shard": str(shard)}
+    c_events = registry.counter(
+        "engine_worker_events_total",
+        "events this shard worker ingested (after self-selection)",
+        labels=labels,
+    )
+    c_batches = registry.counter(
+        "engine_worker_batches_total",
+        "payloads this shard worker ingested",
+        labels=labels,
+    )
+    c_epoch = registry.counter(
+        "engine_worker_epoch_hits_total",
+        "accesses served from the access-epoch cache",
+        labels=labels,
+    )
+    state = _ShardState(shard, num_shards)
+    while True:
+        try:
+            cmd = cmd_q.get()
+        except (EOFError, KeyboardInterrupt):  # pragma: no cover
+            break
+        tag = cmd[0]
+        if tag == "stop":
+            break
+        try:
+            if tag == "shm":
+                n_sel, hits = _worker_ingest_shm(state, cmd[1], cmd[2])
+                c_events.inc(n_sel)
+                c_batches.inc()
+                c_epoch.inc(hits)
+                res_q.put(("ok", shard, n_sel))
+            elif tag == "trace":
+                n_sel, hits = _worker_ingest_trace(state, *cmd[1:])
+                c_events.inc(n_sel)
+                c_batches.inc()
+                c_epoch.inc(hits)
+                res_q.put(("ok", shard, n_sel))
+            elif tag == "collect":
+                res_q.put(
+                    (
+                        "result",
+                        shard,
+                        state.races,
+                        state.accesses,
+                        registry.export_state(),
+                    )
+                )
+            elif tag == "reset":
+                state.reset()
+                res_q.put(("ok", shard, 0))
+            else:
+                res_q.put(("error", shard, f"unknown command {tag!r}"))
+        except Exception:
+            res_q.put(("error", shard, traceback.format_exc()))
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+class ParallelShardedEngine:
+    """Location-sharded detection over a persistent process pool.
+
+    See the module docstring for the architecture.  Usage::
+
+        with ParallelShardedEngine(4, interner=interner) as engine:
+            engine.ingest(batch)          # or engine.ingest_trace(path)
+            races = engine.races()        # collects + merges workers
+
+    After :meth:`races` (or any other collecting accessor) the workers
+    hold merged-out state; call :meth:`reset` to start a fresh run on
+    the same pool (what the benchmark harness does between repeats).
+
+    Parameters
+    ----------
+    num_workers:
+        Shard worker processes; location ``lid`` is owned by worker
+        ``lid % num_workers``.
+    interner:
+        Decodes location ids in :meth:`races` (optional).
+    registry:
+        Parent-side metrics home; worker registries are merged into it
+        at collect time.  Defaults to the process registry.
+    timeout:
+        Seconds to wait on any single worker reply before declaring the
+        pool wedged (:class:`DetectorError`).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        interner: Optional[LocationInterner] = None,
+        registry: Optional[MetricsRegistry] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ProgramError(
+                f"need at least one worker, got {num_workers}"
+            )
+        self.num_workers = num_workers
+        self.interner = interner
+        self.timeout = timeout
+        self.events_ingested = 0
+        reg = registry if registry is not None else get_registry()
+        self.registry = reg
+        labels = {"engine": "parallel"}
+        self._c_events = reg.counter(
+            "engine_events_total", "events ingested", labels=labels
+        )
+        self._c_batches = reg.counter(
+            "engine_batches_total", "batches ingested", labels=labels
+        )
+        self._c_races = reg.counter(
+            "engine_races_total",
+            "race reports found during ingestion",
+            labels=labels,
+        )
+        self._c_routed = [
+            reg.counter(
+                "engine_shard_accesses_total",
+                "accesses routed to this shard (lid % num_workers)",
+                labels={**labels, "shard": str(k)},
+            )
+            for k in range(num_workers)
+        ]
+        self._c_lifecycle = reg.counter(
+            "engine_shard_lifecycle_total",
+            "lifecycle events replicated to every shard (counted once)",
+            labels=labels,
+        )
+        # Parent-side mirror of the structural stream, for validation.
+        self._n_threads = 1
+        self._halted: List[bool] = [False]
+        self._joined: List[bool] = [False]
+        self._routed_events: List[int] = [0] * num_workers
+        self._collected: Optional[List[tuple]] = None
+        self._closed = False
+        try:
+            # Start the shared-memory resource tracker *before* forking:
+            # workers then inherit it and their attach-time registrations
+            # deduplicate against the parent's create-time one (a worker
+            # that lazily spawns its own tracker would instead warn about
+            # "leaked" segments the parent already unlinked).
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except (ImportError, AttributeError, OSError):  # pragma: no cover
+            pass
+        methods = _mp.get_all_start_methods()
+        ctx = _mp.get_context("fork" if "fork" in methods else None)
+        self._workers: List[Any] = []
+        self._cmd_qs: List[Any] = []
+        self._res_qs: List[Any] = []
+        try:
+            for k in range(num_workers):
+                cmd_q = ctx.Queue()
+                res_q = ctx.Queue()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(k, num_workers, cmd_q, res_q),
+                    name=f"repro-shard-{k}",
+                    daemon=True,
+                )
+                proc.start()
+                self._workers.append(proc)
+                self._cmd_qs.append(cmd_q)
+                self._res_qs.append(res_q)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "ParallelShardedEngine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Stop the pool; idempotent.  The engine is unusable after."""
+        if self._closed:
+            return
+        self._closed = True
+        for cmd_q in self._cmd_qs:
+            try:
+                cmd_q.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        for proc in self._workers:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for q in self._cmd_qs + self._res_qs:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, ValueError):
+                pass
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ProgramError("parallel engine is closed")
+
+    def _abort(self, why: str) -> "DetectorError":
+        self.close()
+        return DetectorError(why)
+
+    def _recv(self, k: int) -> tuple:
+        """One reply from worker ``k``, with liveness and deadline
+        checks -- a dead or wedged worker raises instead of hanging."""
+        deadline = _time.monotonic() + self.timeout
+        proc = self._workers[k]
+        res_q = self._res_qs[k]
+        while True:
+            try:
+                msg = res_q.get(timeout=0.05)
+                break
+            except _queue.Empty:
+                if not proc.is_alive():
+                    raise self._abort(
+                        f"parallel shard worker {k} died (exit code "
+                        f"{proc.exitcode}); partial results discarded"
+                    ) from None
+                if _time.monotonic() > deadline:
+                    raise self._abort(
+                        f"parallel shard worker {k} gave no reply "
+                        f"within {self.timeout}s"
+                    ) from None
+        if msg[0] == "error":
+            raise self._abort(
+                f"parallel shard worker {k} failed:\n{msg[2]}"
+            )
+        return msg
+
+    def _broadcast(self, cmd: tuple) -> List[tuple]:
+        self._require_open()
+        for cmd_q in self._cmd_qs:
+            cmd_q.put(cmd)
+        return [self._recv(k) for k in range(self.num_workers)]
+
+    # -- validation (the workers run a trusted kernel) -----------------------
+
+    def _validate(self, ops, a_col, b_col, n: int) -> Tuple[List[int], int]:
+        """Check stream well-formedness against the parent's structural
+        mirror; commits the batch's forks/halts/joins on success.
+
+        Raises exactly where the exact kernel would (unknown ids, use
+        after halt, fork id skew, joining a running thread, double
+        join) so the trusted worker kernel never sees garbage.  Returns
+        per-shard access counts and the access total.
+        """
+        if _np is not None and n >= 64:
+            if not isinstance(ops, _np.ndarray):
+                ops = _np.frombuffer(ops, dtype=_np.uint8)
+                a_col = _np.frombuffer(a_col, dtype=_np.int32)
+                b_col = _np.frombuffer(b_col, dtype=_np.int32)
+            return self._validate_np(ops, a_col, b_col, n)
+        return self._validate_py(ops, a_col, b_col)
+
+    def _validate_np(self, ops_np, a_np, b_np, n: int) -> Tuple[List[int], int]:
+        pos = _np.arange(n, dtype=_np.int64)
+        is_fork = ops_np == OP_FORK
+        is_join = ops_np == OP_JOIN
+        is_halt = ops_np == OP_HALT
+        n0 = self._n_threads
+        fork_pos = pos[is_fork]
+        n1 = n0 + len(fork_pos)
+        a64 = a_np.astype(_np.int64)
+        if n and (a64.min() < 0 or a64.max() >= n1):
+            bad = int(a64.min()) if a64.min() < 0 else int(a64.max())
+            raise DetectorError(f"unknown thread id {bad}")
+        kids = b_np[is_fork].astype(_np.int64)
+        want = _np.arange(n0, n1, dtype=_np.int64)
+        if not _np.array_equal(kids, want):
+            at = int(_np.nonzero(kids != want)[0][0])
+            raise DetectorError(
+                f"fork id mismatch: interpreter says {int(kids[at])}, "
+                f"detector allocated {int(want[at])}"
+            )
+        born = _np.full(n1, -1, dtype=_np.int64)
+        born[n0:] = fork_pos
+        halt_pos = _np.full(n1, n, dtype=_np.int64)
+        if n0:
+            halt_pos[:n0][_np.array(self._halted, dtype=bool)] = -1
+        halt_actors = a64[is_halt]
+        if len(halt_actors):
+            uniq, counts = _np.unique(halt_actors, return_counts=True)
+            if counts.max() > 1 or _np.any(halt_pos[uniq] != n):
+                raise DetectorError("thread already halted")
+            halt_pos[halt_actors] = pos[is_halt]
+        used_before_born = born[a64] >= pos
+        if _np.any(used_before_born):
+            at = int(_np.nonzero(used_before_born)[0][0])
+            raise DetectorError(f"unknown thread id {int(a64[at])}")
+        after_halt = pos > halt_pos[a64]
+        if _np.any(after_halt):
+            at = int(_np.nonzero(after_halt)[0][0])
+            raise DetectorError(f"thread {int(a64[at])} already halted")
+        join_pos = pos[is_join]
+        targets = b_np[is_join].astype(_np.int64)
+        if len(targets):
+            if targets.min() < 0 or targets.max() >= n1:
+                raise DetectorError(
+                    f"unknown thread id {int(targets.max())}"
+                )
+            if _np.any(halt_pos[targets] >= join_pos):
+                at = int(
+                    _np.nonzero(halt_pos[targets] >= join_pos)[0][0]
+                )
+                raise DetectorError(
+                    f"joining running thread {int(targets[at])}"
+                )
+            uniq, counts = _np.unique(targets, return_counts=True)
+            joined_np = _np.array(self._joined, dtype=bool)
+            old = uniq[uniq < n0]
+            if counts.max() > 1 or (len(old) and _np.any(joined_np[old])):
+                raise DetectorError("thread joined twice")
+        # Commit the structural effects.
+        self._n_threads = n1
+        self._halted.extend([False] * (n1 - n0))
+        for t in halt_actors.tolist():
+            self._halted[t] = True
+        self._joined.extend([False] * (n1 - n0))
+        for t in targets.tolist():
+            self._joined[t] = True
+        acc_mask = ops_np >= OP_READ
+        acc_b = b_np[acc_mask]
+        routed = _np.bincount(
+            acc_b % self.num_workers, minlength=self.num_workers
+        ).tolist()
+        return routed, int(acc_mask.sum())
+
+    def _validate_py(self, ops, a_col, b_col) -> Tuple[List[int], int]:
+        """Per-event fallback validation (tiny batches, no numpy)."""
+        n_threads = self._n_threads
+        halted = list(self._halted)
+        joined = list(self._joined)
+        routed = [0] * self.num_workers
+        accesses = 0
+        read_op = OP_READ
+        fork_op, join_op, halt_op = OP_FORK, OP_JOIN, OP_HALT
+        for op, t, b in zip(ops, a_col, b_col):
+            if t < 0 or t >= n_threads:
+                raise DetectorError(f"unknown thread id {t}")
+            if halted[t]:
+                raise DetectorError(f"thread {t} already halted")
+            if op >= read_op:
+                accesses += 1
+                routed[b % self.num_workers] += 1
+            elif op == fork_op:
+                if b != n_threads:
+                    raise DetectorError(
+                        f"fork id mismatch: interpreter says {b}, "
+                        f"detector allocated {n_threads}"
+                    )
+                n_threads += 1
+                halted.append(False)
+                joined.append(False)
+            elif op == join_op:
+                if b < 0 or b >= n_threads:
+                    raise DetectorError(f"unknown thread id {b}")
+                if not halted[b]:
+                    raise DetectorError(f"joining running thread {b}")
+                if joined[b]:
+                    raise DetectorError(f"thread {b} joined twice")
+                joined[b] = True
+            elif op == halt_op:
+                halted[t] = True
+        self._n_threads = n_threads
+        self._halted = halted
+        self._joined = joined
+        return routed, accesses
+
+    # -- ingestion -----------------------------------------------------------
+
+    def ingest(self, batch: EventBatch) -> int:
+        """Validate one batch, ship it through shared memory, await all
+        shard acks; returns the number of events consumed."""
+        self._require_open()
+        if self._collected is not None:
+            raise ProgramError(
+                "parallel engine already collected; call reset() first"
+            )
+        n = len(batch)
+        if n == 0:
+            self._c_batches.inc()
+            return 0
+        routed, accesses = self._validate(batch.ops, batch.a, batch.b, n)
+        a_off = _pad4(n)
+        seg = _shm.SharedMemory(create=True, size=a_off + 8 * n)
+        try:
+            buf = seg.buf
+            buf[0:n] = memoryview(batch.ops).cast("B")
+            buf[a_off : a_off + 4 * n] = memoryview(batch.a).cast("B")
+            buf[a_off + 4 * n : a_off + 8 * n] = memoryview(batch.b).cast(
+                "B"
+            )
+            buf = None
+            self._broadcast(("shm", seg.name, n))
+        finally:
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._account(n, routed, accesses)
+        return n
+
+    def ingest_all(self, batches: Iterable[EventBatch]) -> int:
+        """Process a sequence of batches; returns total events."""
+        return sum(self.ingest(batch) for batch in batches)
+
+    def ingest_trace(self, path: str) -> int:
+        """Feed an RPR2TRC file without materializing it in the parent.
+
+        The parent maps the file, validates the columns through
+        zero-copy views, and broadcasts only the column offsets; each
+        worker re-maps the file and self-selects its share.  Adopts the
+        trace's location table when the engine has no interner yet.
+        """
+        self._require_open()
+        if self._collected is not None:
+            raise ProgramError(
+                "parallel engine already collected; call reset() first"
+            )
+        with map_trace(path) as mapped:
+            if self.interner is None:
+                self.interner = mapped.interner
+            n = mapped.n_events
+            if n == 0:
+                self._c_batches.inc()
+                return 0
+            if _np is None or not mapped.native:
+                # Rare paths (no numpy / foreign-endian file): validate
+                # on a materialized batch, still feed workers by offset.
+                batch = mapped.batch()
+                routed, accesses = self._validate(
+                    batch.ops, batch.a, batch.b, n
+                )
+            else:
+                ops_v, a_v, b_v = mapped.columns()
+                try:
+                    routed, accesses = self._validate_np(
+                        _np.frombuffer(ops_v, dtype=_np.uint8),
+                        _np.frombuffer(a_v, dtype=_np.int32),
+                        _np.frombuffer(b_v, dtype=_np.int32),
+                        n,
+                    )
+                finally:
+                    ops_v.release()
+                    a_v.release()
+                    b_v.release()
+            self._broadcast(
+                (
+                    "trace",
+                    path,
+                    n,
+                    mapped.ops_offset,
+                    mapped.a_offset,
+                    mapped.b_offset,
+                    mapped.native,
+                )
+            )
+        self._account(n, routed, accesses)
+        return n
+
+    def _account(self, n: int, routed: List[int], accesses: int) -> None:
+        self.events_ingested += n
+        self._c_events.inc(n)
+        self._c_batches.inc()
+        self._c_lifecycle.inc(n - accesses)
+        for k, cnt in enumerate(routed):
+            self._routed_events[k] += cnt
+            self._c_routed[k].inc(cnt)
+
+    # -- results -------------------------------------------------------------
+
+    def _collect(self) -> List[tuple]:
+        """Gather every worker's races, counters and registry export;
+        idempotent until :meth:`reset`."""
+        if self._collected is None:
+            results = self._broadcast(("collect",))
+            results.sort(key=lambda msg: msg[1])  # deterministic: by shard
+            self._collected = results
+            for msg in results:
+                self.registry.merge_state(msg[4])
+                self._c_races.inc(len(msg[2]))
+        return self._collected
+
+    def races(self) -> List[RaceReport]:
+        """All shards' reports, merged in shard order (decoded when an
+        interner is available).
+
+        ``op_index`` values are per-worker sub-stream positions, not
+        global ones -- compare reports across engines by
+        ``(task, loc, kind)``, exactly like the sharded serial engine.
+        """
+        location = self.interner.location if self.interner else None
+        out: List[RaceReport] = []
+        for msg in self._collect():
+            for loc, task, kind, prior_kind, prior_repr, opi in msg[2]:
+                out.append(
+                    RaceReport(
+                        loc=loc if location is None else location(loc),
+                        task=task,
+                        kind=_READ if kind == 0 else _WRITE,
+                        prior_kind=_READ if prior_kind == 0 else _WRITE,
+                        prior_repr=prior_repr,
+                        op_index=opi,
+                    )
+                )
+        return out
+
+    def routing_counts(self) -> List[int]:
+        """Parent-side per-shard access routing counts."""
+        return list(self._routed_events)
+
+    def worker_access_counts(self) -> List[int]:
+        """Worker-side per-shard access counts (what each worker's
+        kernel actually processed).  Equal to :meth:`routing_counts` on
+        every healthy run -- the differential harness asserts it."""
+        return [msg[3] for msg in self._collect()]
+
+    def reset(self) -> None:
+        """Clear all detector state, keeping the pool alive (between
+        benchmark repeats)."""
+        self._broadcast(("reset",))
+        self._collected = None
+        self._n_threads = 1
+        self._halted = [False]
+        self._joined = [False]
+        self._routed_events = [0] * self.num_workers
+        self.events_ingested = 0

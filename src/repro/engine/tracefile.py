@@ -23,15 +23,27 @@ Layout (all header integers little-endian)::
 
 The array payload is written native-endian for zero-copy speed; the
 flag lets a reader on the other byte order ``byteswap()`` on load.
+
+Reading is zero-copy-friendly: :func:`read_trace` ``mmap``\\ s real
+files, so each column is materialized with exactly one copy (straight
+from the page cache into its ``array``), and a foreign-endian payload
+is ``byteswap()``\\ ed *in place* on that single materialized array --
+never via an intermediate bytes object.  :func:`map_trace` goes one
+step further and hands out a :class:`MappedTrace`: the column
+offset/length layout plus zero-copy ``memoryview`` slices over the
+mapping, which is what the parallel engine ships to its shard workers
+(each worker re-maps the file and reads only the slices it owns,
+through the shared page cache, with no parent-side materialization).
 """
 
 from __future__ import annotations
 
 import json
+import mmap as _mmap
 import struct
 import sys
 from array import array
-from typing import IO, Tuple, Union
+from typing import IO, Optional, Tuple, Union
 
 from repro.engine.batch import EventBatch, LocationInterner
 from repro.errors import ProgramError
@@ -44,6 +56,8 @@ __all__ = [
     "read_trace",
     "record_trace",
     "is_tracefile",
+    "map_trace",
+    "MappedTrace",
 ]
 
 MAGIC = b"RPR2TRC\x01"
@@ -72,6 +86,16 @@ def write_trace(
     return len(batch)
 
 
+#: column item sizes, fixed by the format (u8 / i32 / i32)
+_OPS_SIZE = array("B").itemsize
+_INT_SIZE = array("i").itemsize
+_PER_EVENT = _OPS_SIZE + 2 * _INT_SIZE
+
+
+def _native_flag() -> int:
+    return 0 if sys.byteorder == "little" else 1
+
+
 def _bytes_remaining(fp: IO[bytes]) -> Union[int, None]:
     """How many bytes are left on ``fp``, or None when unseekable."""
     try:
@@ -83,22 +107,8 @@ def _bytes_remaining(fp: IO[bytes]) -> Union[int, None]:
     return end - pos
 
 
-def read_trace(
-    fp: Union[str, IO[bytes]]
-) -> Tuple[EventBatch, LocationInterner]:
-    """Read a trace file back into ``(batch, interner)``.
-
-    Every header field is validated before it sizes an allocation: a
-    corrupt or adversarial ``n_events`` / ``table_len`` is rejected
-    against the actual bytes remaining on a seekable stream rather
-    than handed to ``read()``, and every corruption mode (bad magic,
-    bad version, bad endian flag, truncated table or payload, a
-    header that lies about lengths) raises :class:`ProgramError`.
-    """
-    if isinstance(fp, str):
-        with open(fp, "rb") as handle:
-            return read_trace(handle)
-    head = fp.read(_HEADER.size)
+def _check_header(head: bytes) -> Tuple[int, int, int]:
+    """Unpack + validate a header; returns (endian, n_events, table_len)."""
     if len(head) < _HEADER.size:
         raise ProgramError("truncated engine trace header")
     magic, endian, version, n_events, table_len = _HEADER.unpack(head)
@@ -108,22 +118,20 @@ def read_trace(
         raise ProgramError(f"unsupported engine trace version {version}")
     if endian not in (0, 1):
         raise ProgramError(f"bad endianness flag {endian} in engine trace")
-    ops = array("B")
-    av = array("i")
-    bv = array("i")
-    per_event = ops.itemsize + av.itemsize + bv.itemsize
-    remaining = _bytes_remaining(fp)
-    if remaining is not None:
-        need = table_len + n_events * per_event
-        if need > remaining:
-            raise ProgramError(
-                f"truncated or lying engine trace: header claims {need} "
-                f"payload bytes ({n_events} events, {table_len}-byte "
-                f"table) but only {remaining} remain"
-            )
-    raw_table = fp.read(table_len)
-    if len(raw_table) != table_len:
-        raise ProgramError("truncated engine trace location table")
+    return endian, n_events, table_len
+
+
+def _check_bound(n_events: int, table_len: int, remaining: int) -> None:
+    need = table_len + n_events * _PER_EVENT
+    if need > remaining:
+        raise ProgramError(
+            f"truncated or lying engine trace: header claims {need} "
+            f"payload bytes ({n_events} events, {table_len}-byte "
+            f"table) but only {remaining} remain"
+        )
+
+
+def _decode_table(raw_table: bytes) -> LocationInterner:
     try:
         table = json.loads(raw_table.decode("utf-8"))
     except ValueError as exc:
@@ -137,17 +145,256 @@ def read_trace(
         interner.intern(decode_location(encoded))
     if len(interner) != len(table):
         raise ProgramError("duplicate locations in trace table")
+    return interner
+
+
+def _try_mmap(fp: IO[bytes]) -> Optional[Tuple[_mmap.mmap, int]]:
+    """Map ``fp`` read-only if it is a real file; returns ``(mmap,
+    current position)`` or None when the stream cannot be mapped
+    (pipe, BytesIO, zero-length file, ...)."""
+    try:
+        fileno = fp.fileno()
+        pos = fp.tell()
+        mm = _mmap.mmap(fileno, 0, access=_mmap.ACCESS_READ)
+    except (AttributeError, OSError, ValueError):
+        return None
+    return mm, pos
+
+
+def read_trace(
+    fp: Union[str, IO[bytes]]
+) -> Tuple[EventBatch, LocationInterner]:
+    """Read a trace file back into ``(batch, interner)``.
+
+    Every header field is validated before it sizes an allocation: a
+    corrupt or adversarial ``n_events`` / ``table_len`` is rejected
+    against the actual bytes remaining on a seekable stream rather
+    than handed to ``read()``, and every corruption mode (bad magic,
+    bad version, bad endian flag, truncated table or payload, a
+    header that lies about lengths) raises :class:`ProgramError`.
+
+    Real files are ``mmap``\\ ed, so each column is built with a single
+    copy out of the page cache and a foreign-endian payload is swapped
+    in place on the materialized array.  Unmappable streams (pipes,
+    ``BytesIO``) take a ``read()``-based path with the same checks.
+    """
+    if isinstance(fp, str):
+        with open(fp, "rb") as handle:
+            return read_trace(handle)
+    mapped = _try_mmap(fp)
+    if mapped is None:
+        return _read_trace_stream(fp)
+    mm, base = mapped
+    try:
+        view = memoryview(mm)
+        try:
+            endian, n_events, table_len = _check_header(
+                bytes(view[base : base + _HEADER.size])
+            )
+            _check_bound(n_events, table_len, len(mm) - base - _HEADER.size)
+            table_off = base + _HEADER.size
+            ops_off = table_off + table_len
+            a_off = ops_off + n_events * _OPS_SIZE
+            b_off = a_off + n_events * _INT_SIZE
+            end = b_off + n_events * _INT_SIZE
+            interner = _decode_table(
+                bytes(view[table_off : table_off + table_len])
+            )
+            ops = array("B")
+            av = array("i")
+            bv = array("i")
+            # One copy per column: straight from the mapping into the
+            # array buffer, no intermediate bytes objects.
+            ops.frombytes(view[ops_off:a_off])
+            av.frombytes(view[a_off:b_off])
+            bv.frombytes(view[b_off:end])
+        finally:
+            view.release()
+        fp.seek(end)
+    finally:
+        mm.close()
+    if endian != _native_flag():
+        av.byteswap()
+        bv.byteswap()
+    return EventBatch(ops, av, bv), interner
+
+
+def _read_trace_stream(
+    fp: IO[bytes]
+) -> Tuple[EventBatch, LocationInterner]:
+    """The ``read()``-based path for streams that cannot be mapped."""
+    endian, n_events, table_len = _check_header(fp.read(_HEADER.size))
+    remaining = _bytes_remaining(fp)
+    if remaining is not None:
+        _check_bound(n_events, table_len, remaining)
+    raw_table = fp.read(table_len)
+    if len(raw_table) != table_len:
+        raise ProgramError("truncated engine trace location table")
+    interner = _decode_table(raw_table)
+    ops = array("B")
+    av = array("i")
+    bv = array("i")
     for column in (ops, av, bv):
         want = n_events * column.itemsize
         raw = fp.read(want)
         if len(raw) != want:
             raise ProgramError("truncated engine trace payload")
         column.frombytes(raw)
-    mine = 0 if sys.byteorder == "little" else 1
-    if endian != mine:
+    if endian != _native_flag():
+        # In place on the one materialized array -- never via an
+        # intermediate swapped copy.
         av.byteswap()
         bv.byteswap()
     return EventBatch(ops, av, bv), interner
+
+
+class MappedTrace:
+    """A trace file mapped read-only, exposing its column layout.
+
+    Instead of materializing arrays, this keeps the file ``mmap``\\ ed
+    and hands out zero-copy :func:`memoryview` slices over the raw
+    columns.  The parallel engine uses the offset attributes to let
+    each shard worker re-map the file itself and read only the event
+    range it owns -- through the shared page cache, with nothing
+    materialized in the parent.
+
+    Attributes
+    ----------
+    path:         the mapped file
+    n_events:     events in the trace (also ``len(self)``)
+    endian:       payload byte-order flag (0=little, 1=big)
+    native:       whether the payload matches this host's byte order
+    interner:     decoded location table
+    ops_offset / a_offset / b_offset:
+                  absolute byte offsets of the three columns
+
+    Use as a context manager, or :meth:`close` explicitly; column
+    views must be released before closing.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fp: Optional[IO[bytes]] = open(path, "rb")
+        try:
+            self._mm: Optional[_mmap.mmap] = _mmap.mmap(
+                self._fp.fileno(), 0, access=_mmap.ACCESS_READ
+            )
+        except ValueError:
+            self._fp.close()
+            self._fp = None
+            self._mm = None
+            raise ProgramError("truncated engine trace header") from None
+        try:
+            view = memoryview(self._mm)
+            try:
+                self.endian, self.n_events, table_len = _check_header(
+                    bytes(view[: _HEADER.size])
+                )
+                _check_bound(
+                    self.n_events, table_len, len(self._mm) - _HEADER.size
+                )
+                self.ops_offset = _HEADER.size + table_len
+                self.a_offset = self.ops_offset + self.n_events * _OPS_SIZE
+                self.b_offset = self.a_offset + self.n_events * _INT_SIZE
+                self.interner = _decode_table(
+                    bytes(view[_HEADER.size : self.ops_offset])
+                )
+            finally:
+                view.release()
+        except BaseException:
+            self.close()
+            raise
+        self.native = self.endian == _native_flag()
+
+    def __len__(self) -> int:
+        return self.n_events
+
+    @property
+    def closed(self) -> bool:
+        return self._mm is None
+
+    def columns(
+        self, start: int = 0, stop: Optional[int] = None
+    ) -> Tuple[memoryview, memoryview, memoryview]:
+        """Zero-copy views over events ``[start, stop)`` of each column
+        (ops, a, b).  Release them before :meth:`close`."""
+        if stop is None:
+            stop = self.n_events
+        if not 0 <= start <= stop <= self.n_events:
+            raise ProgramError(
+                f"bad trace slice [{start}:{stop}) of "
+                f"{self.n_events} events"
+            )
+        if self._mm is None:
+            raise ProgramError(f"mapped trace {self.path!r} is closed")
+        mv = memoryview(self._mm)
+        try:
+            # Slices take their own buffer on the mmap, so the parent
+            # view can be released immediately.
+            return (
+                mv[self.ops_offset + start : self.ops_offset + stop],
+                mv[
+                    self.a_offset + start * _INT_SIZE
+                    : self.a_offset + stop * _INT_SIZE
+                ],
+                mv[
+                    self.b_offset + start * _INT_SIZE
+                    : self.b_offset + stop * _INT_SIZE
+                ],
+            )
+        finally:
+            mv.release()
+
+    def batch(
+        self, start: int = 0, stop: Optional[int] = None
+    ) -> EventBatch:
+        """Materialize events ``[start, stop)`` as an
+        :class:`EventBatch` (one copy per column, byteswapped in place
+        when the payload is foreign-endian)."""
+        ops_v, a_v, b_v = self.columns(start, stop)
+        try:
+            ops = array("B")
+            av = array("i")
+            bv = array("i")
+            ops.frombytes(ops_v)
+            av.frombytes(a_v)
+            bv.frombytes(b_v)
+        finally:
+            ops_v.release()
+            a_v.release()
+            b_v.release()
+        if not self.native:
+            av.byteswap()
+            bv.byteswap()
+        return EventBatch(ops, av, bv)
+
+    def close(self) -> None:
+        if self._mm is not None:
+            self._mm.close()
+            self._mm = None
+        if self._fp is not None:
+            self._fp.close()
+            self._fp = None
+
+    def __enter__(self) -> "MappedTrace":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"MappedTrace({self.path!r}, n_events={self.n_events}, "
+            f"{state})"
+        )
+
+
+def map_trace(path: str) -> MappedTrace:
+    """Map a trace file without materializing its columns; see
+    :class:`MappedTrace`."""
+    return MappedTrace(path)
 
 
 def record_trace(body, *args, path: Union[str, IO[bytes]]) -> int:

@@ -349,6 +349,79 @@ class MetricsRegistry:
                 }
         return out
 
+    def export_state(self) -> List[Dict]:
+        """A picklable description of every instrument and its state.
+
+        The wire format for cross-process metric aggregation: shard
+        workers export their private registries and the parent folds
+        them into one with :meth:`merge_state`.  Pull-function gauges
+        are evaluated at export time.
+        """
+        out: List[Dict] = []
+        for inst in self.instruments():
+            entry: Dict = {
+                "kind": inst.kind,
+                "name": inst.name,
+                "help": inst.help,
+                "labels": [list(pair) for pair in inst.labels],
+            }
+            if inst.kind == "histogram":
+                entry["buckets"] = list(inst.buckets)
+                entry["counts"] = list(inst._counts)
+                entry["sum"] = inst.sum
+                entry["count"] = inst.count
+            else:
+                entry["value"] = inst.value
+            out.append(entry)
+        return out
+
+    def merge_state(self, state: Sequence[Dict]) -> None:
+        """Fold an :meth:`export_state` payload into this registry.
+
+        Counter and gauge values *add* (use distinguishing labels --
+        e.g. ``shard="3"`` -- when per-worker series must stay
+        separate); histograms add per-bucket counts, sums and totals.
+        Instruments are get-or-created, so merging into an empty
+        registry reconstructs the exported one.
+        """
+        if not self.enabled:
+            return
+        for entry in state:
+            labels = {k: v for k, v in entry["labels"]}
+            kind = entry["kind"]
+            if kind == "counter":
+                self.counter(entry["name"], entry["help"], labels).inc(
+                    entry["value"]
+                )
+            elif kind == "gauge":
+                self.gauge(entry["name"], entry["help"], labels).inc(
+                    entry["value"]
+                )
+            elif kind == "histogram":
+                hist = self.histogram(
+                    entry["name"],
+                    entry["help"],
+                    labels,
+                    buckets=entry["buckets"],
+                )
+                counts = entry["counts"]
+                if len(counts) != len(hist._counts) or list(
+                    hist.buckets
+                ) != list(entry["buckets"]):
+                    raise ProgramError(
+                        f"histogram {entry['name']!r} bucket mismatch "
+                        f"on merge"
+                    )
+                with hist._lock:
+                    for i, c in enumerate(counts):
+                        hist._counts[i] += c
+                    hist._sum += entry["sum"]
+                    hist._count += entry["count"]
+            else:
+                raise ProgramError(
+                    f"unknown instrument kind {kind!r} in merge"
+                )
+
     def clear(self) -> None:
         """Drop every instrument (tests and CLI runs start clean)."""
         with self._lock:

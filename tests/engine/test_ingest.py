@@ -57,13 +57,14 @@ class TestBatchEngine:
     @pytest.mark.parametrize("batch_size", [1, 7, 64, 10_000])
     def test_kernel_state_is_bit_identical_to_per_event(self, batch_size):
         events, batch, interner = capture(BODY)
-        ref = RaceDetector2D()
+        ref = RaceDetector2D(epoch_cache=False)
         ref.spawn_root()
         drive(events, ref)
 
-        engine = BatchEngine(interner=interner)
+        det = RaceDetector2D(epoch_cache=False)
+        det.spawn_root()
+        engine = BatchEngine(det, interner=interner)
         engine.ingest_all(batch.slices(batch_size))
-        det = engine.detector
 
         # Reports: everything except the dropped labels.
         assert [
@@ -92,6 +93,105 @@ class TestBatchEngine:
             decode(lid): n for lid, n in det.shadow._entries.items()
         } == ref.shadow._entries
         assert det.shadow.peak_entries_per_loc == ref.shadow.peak_entries_per_loc
+
+    @pytest.mark.parametrize("batch_size", [13, 10_000])
+    def test_epoch_cache_changes_no_verdicts_but_skips_finds(
+        self, batch_size
+    ):
+        """The default (epoch-cached) kernel: same races down to
+        ``op_index``, same shadow state, same union-find *sets* -- and
+        measurably fewer ``find`` calls on repeat-heavy traffic."""
+        # 30 accesses per task means each task revisits every shared
+        # pool location several times: the same-epoch path must engage.
+        body = bulk_access_program(3, 3, 30, racy_rounds=(1,))
+        events, batch, interner = capture(body)
+        ref = RaceDetector2D(epoch_cache=False)
+        ref.spawn_root()
+        drive(events, ref)
+
+        engine = BatchEngine(interner=interner)  # default: epoch cache on
+        engine.ingest_all(batch.slices(batch_size))
+        det = engine.detector
+
+        assert [
+            (r.loc, r.task, r.kind, r.prior_kind, r.prior_repr, r.op_index)
+            for r in engine.races()
+        ] == [
+            (r.loc, r.task, r.kind, r.prior_kind, r.prior_repr, r.op_index)
+            for r in ref.races
+        ]
+        assert len(ref.races) > 0
+        assert det.op_index == ref.op_index
+        assert det._visited == ref._visited
+        assert det._halted == ref._halted
+        # Union-find: identical partition and labels (parent pointers may
+        # differ -- skipped finds skip path compression too).
+        assert det._uf._rank == ref._uf._rank
+        assert det._uf._label == ref._uf._label
+        n = len(det._uf._parent)
+        assert [det._uf.find(i) for i in range(n)] == [
+            ref._uf.find(i) for i in range(n)
+        ]
+        assert dict(det.shadow.items()) == {
+            interner.intern(loc): cell for loc, cell in ref.shadow.items()
+        }
+        assert det.shadow._entries == {
+            interner.intern(loc): v for loc, v in ref.shadow._entries.items()
+        }
+        assert det.shadow.peak_entries_per_loc == ref.shadow.peak_entries_per_loc
+        # The whole point: repeats were served from the epoch cache.
+        assert det._uf.find_count < ref._uf.find_count
+
+    def test_epoch_cache_never_swallows_racing_repeats(self):
+        """A task that races on a location twice is reported twice --
+        racy accesses must never enter the epoch cache."""
+        from repro.engine.batch import batch_from_events
+        from repro.events import ForkEvent, HaltEvent, WriteEvent
+
+        events = [
+            ForkEvent(0, 1),
+            WriteEvent(1, "x"),
+            HaltEvent(1),
+            WriteEvent(0, "x"),  # races with task 1's write
+            WriteEvent(0, "x"),  # still racing: must be reported again
+        ]
+        ref = RaceDetector2D(epoch_cache=False)
+        ref.spawn_root()
+        drive(events, ref)
+        assert len(ref.races) == 2
+
+        batch, interner = batch_from_events(events)
+        engine = BatchEngine(interner=interner)
+        engine.ingest(batch)
+        assert [
+            (r.task, r.op_index) for r in engine.detector.races
+        ] == [(r.task, r.op_index) for r in ref.races]
+
+    def test_epoch_cache_invalidated_by_other_tasks(self):
+        """A clean epoch for (t, kind) must be evicted when another task
+        touches the location in between."""
+        from repro.engine.batch import batch_from_events
+        from repro.events import ForkEvent, HaltEvent, JoinEvent, WriteEvent
+
+        events = [
+            WriteEvent(0, "x"),
+            WriteEvent(0, "x"),  # clean repeat: cached
+            ForkEvent(0, 1),
+            WriteEvent(1, "x"),  # child write, unordered with parent's next
+            HaltEvent(1),
+            WriteEvent(0, "x"),  # must be re-checked and flagged
+            JoinEvent(0, 1),
+        ]
+        ref = RaceDetector2D(epoch_cache=False)
+        ref.spawn_root()
+        drive(events, ref)
+        batch, interner = batch_from_events(events)
+        engine = BatchEngine(interner=interner)
+        engine.ingest(batch)
+        assert [
+            (r.task, r.op_index) for r in engine.detector.races
+        ] == [(r.task, r.op_index) for r in ref.races]
+        assert len(ref.races) == 1  # the parent write after the child's
 
     def test_generic_path_drives_other_detectors(self):
         events, batch, interner = capture(BODY)

@@ -1,0 +1,338 @@
+"""ParallelShardedEngine: multi-process detection changes nothing.
+
+The engine's contract has three legs and each gets its own class here:
+
+* **equivalence** -- for any worker count, the merged race multiset
+  equals the serial :class:`BatchEngine`'s on the same trace, whether
+  the batch arrives whole, sliced, or as a mapped trace file;
+* **validation** -- the workers run a trusted kernel, so the parent
+  must reject every malformed stream the exact kernel would, *before*
+  shipping (both the vectorized and the small-batch fallback path);
+* **crash safety** -- a killed worker surfaces as a clean
+  :class:`DetectorError`, never a hang, and the pool shuts down.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from array import array
+from collections import Counter
+
+import pytest
+
+from repro.engine.batch import (
+    OP_FORK,
+    OP_HALT,
+    OP_JOIN,
+    OP_READ,
+    OP_STEP,
+    OP_WRITE,
+    BatchBuilder,
+    EventBatch,
+)
+from repro.engine.differential import cross_check_parallel
+from repro.engine.ingest import BatchEngine
+from repro.engine.parallel import ParallelShardedEngine
+from repro.engine.tracefile import write_trace
+from repro.errors import DetectorError, ProgramError
+from repro.forkjoin.interpreter import run
+from repro.obs.registry import MetricsRegistry
+from repro.workloads.racegen import bulk_access_program
+
+pytestmark = pytest.mark.engine
+
+WORKER_COUNTS = (1, 2, 4)
+
+WORKLOAD = bulk_access_program(6, 4, 11, racy_rounds=(1, 4))
+
+
+def _capture():
+    builder = BatchBuilder()
+    run(WORKLOAD, observers=[builder])
+    return builder.batch, builder.interner
+
+
+def _flag_multiset(races):
+    return Counter((r.task, r.loc, r.kind) for r in races)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    batch, interner = _capture()
+    engine = BatchEngine(interner=interner, registry=MetricsRegistry())
+    engine.ingest(batch)
+    return batch, interner, engine.races()
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_whole_batch_equals_serial(self, workers, reference):
+        batch, interner, ref_races = reference
+        with ParallelShardedEngine(
+            workers, interner=interner, registry=MetricsRegistry()
+        ) as engine:
+            assert engine.ingest(batch) == len(batch)
+            races = engine.races()
+            assert _flag_multiset(races) == _flag_multiset(ref_races)
+            assert len(races) > 0  # the workload seeds real races
+            # Every access the parent routed was consumed by exactly
+            # the worker it was routed to.
+            assert engine.routing_counts() == engine.worker_access_counts()
+            assert sum(engine.routing_counts()) == batch.access_count()
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_sliced_ingest_equals_serial(self, workers, reference):
+        batch, interner, ref_races = reference
+        with ParallelShardedEngine(
+            workers, interner=interner, registry=MetricsRegistry()
+        ) as engine:
+            # 17 forces many odd-sized payloads through the small-batch
+            # validation fallback as well as the vectorized one.
+            engine.ingest_all(batch.slices(17))
+            assert _flag_multiset(engine.races()) == _flag_multiset(
+                ref_races
+            )
+
+    def test_reset_reuses_the_pool(self, reference):
+        batch, interner, ref_races = reference
+        with ParallelShardedEngine(
+            2, interner=interner, registry=MetricsRegistry()
+        ) as engine:
+            engine.ingest(batch)
+            first = engine.races()
+            engine.reset()
+            assert engine.events_ingested == 0
+            engine.ingest(batch)
+            second = engine.races()
+            assert _flag_multiset(first) == _flag_multiset(second)
+            assert _flag_multiset(second) == _flag_multiset(ref_races)
+
+    def test_races_decode_locations(self, reference):
+        batch, interner, ref_races = reference
+        with ParallelShardedEngine(
+            2, interner=interner, registry=MetricsRegistry()
+        ) as engine:
+            engine.ingest(batch)
+            decoded = {r.loc for r in engine.races()}
+        assert decoded == {r.loc for r in ref_races}
+
+    def test_cross_check_parallel_agrees(self, reference):
+        batch, interner, _ = reference
+        agree, ref_races, par_races = cross_check_parallel(
+            batch, interner, num_workers=3
+        )
+        assert agree
+        assert len(ref_races) == len(par_races) > 0
+
+
+class TestTraceIngest:
+    def test_trace_equals_serial(self, reference, tmp_path):
+        batch, interner, ref_races = reference
+        path = str(tmp_path / "t.rtrc")
+        write_trace(path, batch, interner)
+        with ParallelShardedEngine(
+            3, interner=interner, registry=MetricsRegistry()
+        ) as engine:
+            assert engine.ingest_trace(path) == len(batch)
+            assert _flag_multiset(engine.races()) == _flag_multiset(
+                ref_races
+            )
+
+    def test_adopts_the_trace_interner(self, reference, tmp_path):
+        batch, interner, ref_races = reference
+        path = str(tmp_path / "t.rtrc")
+        write_trace(path, batch, interner)
+        with ParallelShardedEngine(
+            2, registry=MetricsRegistry()
+        ) as engine:
+            engine.ingest_trace(path)
+            # Locations decode through the table read from the file.
+            assert {r.loc for r in engine.races()} == {
+                r.loc for r in ref_races
+            }
+
+
+def _structural_prefix(tasks: int) -> EventBatch:
+    """``tasks`` forks by the root, so ids 1..tasks are live."""
+    batch = EventBatch()
+    for t in range(1, tasks + 1):
+        batch.append(OP_FORK, 0, t)
+    return batch
+
+
+def _pad_with_steps(batch: EventBatch, to: int) -> EventBatch:
+    """Push the batch over the vectorized-validation threshold."""
+    while len(batch) < to:
+        batch.append(OP_STEP, 0, 0)
+    return batch
+
+
+_BAD_STREAMS = {
+    "unknown-task": lambda: (
+        b := _structural_prefix(2),
+        b.append(OP_READ, 7, 0),
+    )[0],
+    "fork-id-skew": lambda: (
+        b := _structural_prefix(1),
+        b.append(OP_FORK, 0, 5),
+    )[0],
+    "use-after-halt": lambda: (
+        b := _structural_prefix(1),
+        b.append(OP_HALT, 1, 0),
+        b.append(OP_WRITE, 1, 0),
+    )[0],
+    "join-running": lambda: (
+        b := _structural_prefix(2),
+        b.append(OP_JOIN, 0, 2),
+    )[0],
+    "double-join": lambda: (
+        b := _structural_prefix(2),
+        b.append(OP_HALT, 2, 0),
+        b.append(OP_JOIN, 0, 2),
+        b.append(OP_JOIN, 0, 2),
+    )[0],
+    "double-halt": lambda: (
+        b := _structural_prefix(1),
+        b.append(OP_HALT, 1, 0),
+        b.append(OP_HALT, 1, 0),
+    )[0],
+}
+
+
+class TestValidation:
+    """Both validation paths reject exactly what the exact kernel does."""
+
+    @pytest.mark.parametrize("name", sorted(_BAD_STREAMS))
+    @pytest.mark.parametrize("pad", (0, 128), ids=("py", "vectorized"))
+    def test_malformed_stream_raises_before_shipping(self, name, pad):
+        batch = _BAD_STREAMS[name]()
+        if pad:
+            batch = _pad_with_steps(batch, pad)
+        # The serial engine rejects it...
+        with pytest.raises(DetectorError):
+            BatchEngine(registry=MetricsRegistry()).ingest(batch)
+        # ...and so does the parallel parent, before any worker sees it.
+        with ParallelShardedEngine(
+            2, registry=MetricsRegistry()
+        ) as engine:
+            with pytest.raises(DetectorError):
+                engine.ingest(batch)
+
+    def test_valid_stream_spanning_batches_is_accepted(self):
+        # Structural state must carry across ingest calls: the fork in
+        # batch one legitimizes the access in batch two.
+        first = _structural_prefix(1)
+        second = EventBatch()
+        second.append(OP_WRITE, 1, 0)
+        second.append(OP_HALT, 1, 0)
+        second.append(OP_JOIN, 0, 1)
+        with ParallelShardedEngine(
+            2, registry=MetricsRegistry()
+        ) as engine:
+            engine.ingest(first)
+            engine.ingest(second)
+            assert engine.races() == []
+
+
+class TestCrashSafety:
+    def test_killed_worker_raises_instead_of_hanging(self, reference):
+        batch, interner, _ = reference
+        engine = ParallelShardedEngine(
+            2, interner=interner, registry=MetricsRegistry(), timeout=10.0
+        )
+        try:
+            os.kill(engine._workers[1].pid, signal.SIGKILL)
+            engine._workers[1].join(timeout=5.0)
+            with pytest.raises(DetectorError, match="died"):
+                engine.ingest(batch)
+            # The abort closed the pool; the engine is unusable now.
+            with pytest.raises(ProgramError, match="closed"):
+                engine.ingest(batch)
+        finally:
+            engine.close()
+
+    def test_close_is_idempotent_and_final(self, reference):
+        batch, interner, _ = reference
+        engine = ParallelShardedEngine(
+            2, interner=interner, registry=MetricsRegistry()
+        )
+        engine.close()
+        engine.close()
+        with pytest.raises(ProgramError, match="closed"):
+            engine.ingest(batch)
+
+
+class TestLifecycle:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ProgramError):
+            ParallelShardedEngine(0, registry=MetricsRegistry())
+
+    def test_ingest_after_collect_requires_reset(self, reference):
+        batch, interner, _ = reference
+        with ParallelShardedEngine(
+            2, interner=interner, registry=MetricsRegistry()
+        ) as engine:
+            engine.ingest(batch)
+            engine.races()
+            with pytest.raises(ProgramError, match="reset"):
+                engine.ingest(batch)
+            engine.reset()
+            engine.ingest(batch)  # fine again
+
+    def test_empty_batch_is_a_noop(self):
+        with ParallelShardedEngine(
+            2, registry=MetricsRegistry()
+        ) as engine:
+            assert engine.ingest(EventBatch()) == 0
+            assert engine.races() == []
+
+
+class TestMetrics:
+    def test_worker_counters_merge_into_parent_registry(self, reference):
+        batch, interner, ref_races = reference
+        registry = MetricsRegistry()
+        with ParallelShardedEngine(
+            2, interner=interner, registry=registry
+        ) as engine:
+            engine.ingest(batch)
+            races = engine.races()
+        snap = registry.snapshot()["counters"]
+
+        def series(name, **labels):
+            body = ",".join(
+                f'{k}="{v}"' for k, v in sorted(labels.items())
+            )
+            return snap[f"{name}{{{body}}}"]
+
+        n = len(batch)
+        accesses = batch.access_count()
+        assert series("engine_events_total", engine="parallel") == n
+        assert series("engine_races_total", engine="parallel") == len(
+            races
+        )
+        # Parent routing vs worker consumption, series by series.
+        for k in range(2):
+            routed = series(
+                "engine_shard_accesses_total",
+                engine="parallel",
+                shard=str(k),
+            )
+            consumed = series(
+                "engine_worker_events_total",
+                engine="parallel",
+                shard=str(k),
+            )
+            # Each worker sees its accesses plus every structural event.
+            assert consumed == routed + (n - accesses)
+        assert (
+            sum(
+                series(
+                    "engine_shard_accesses_total",
+                    engine="parallel",
+                    shard=str(k),
+                )
+                for k in range(2)
+            )
+            == accesses
+        )

@@ -1,0 +1,96 @@
+"""Property-based equivalence sweep for the multi-process engine.
+
+Random spawn-sync programs (the generator from the differential sweep)
+replayed through :class:`ParallelShardedEngine` at 1/2/4/8 workers must
+flag exactly the accesses the serial :class:`BatchEngine` flags -- same
+multiset, same counts -- and the parent's routing counters must match
+what the workers report consuming.  Pools are built once per worker
+count and reset between examples; per-example process spawning would
+drown the sweep in fork latency.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.batch import BatchBuilder
+from repro.engine.ingest import BatchEngine
+from repro.engine.parallel import ParallelShardedEngine
+from repro.forkjoin.interpreter import run
+from repro.obs.registry import MetricsRegistry
+from tests.engine.test_property_differential import (
+    _cilk_program,
+    spawn_sync_cases,
+)
+
+pytestmark = pytest.mark.engine
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _flag_multiset(races):
+    return Counter((r.task, r.loc, r.kind) for r in races)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    engines = {}
+
+    def get(workers: int) -> ParallelShardedEngine:
+        if workers not in engines:
+            engines[workers] = ParallelShardedEngine(
+                workers, registry=MetricsRegistry()
+            )
+        engine = engines[workers]
+        engine.reset()
+        return engine
+
+    yield get
+    for engine in engines.values():
+        engine.close()
+
+
+def _capture(case):
+    tree, plan = case
+    builder = BatchBuilder()
+    run(_cilk_program(tree, plan), observers=[builder])
+    return builder.batch
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    case=spawn_sync_cases(max_leaves=8),
+    workers=st.sampled_from(WORKER_COUNTS),
+)
+def test_parallel_equals_serial(pool, case, workers):
+    batch = _capture(case)
+    ref = BatchEngine(registry=MetricsRegistry())
+    ref.ingest(batch)
+
+    engine = pool(workers)
+    engine.ingest(batch)
+    races = engine.races()
+    assert _flag_multiset(races) == _flag_multiset(ref.races())
+    assert len(races) == len(ref.races())
+    assert engine.routing_counts() == engine.worker_access_counts()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    case=spawn_sync_cases(max_leaves=8),
+    workers=st.sampled_from(WORKER_COUNTS),
+)
+def test_sliced_payloads_equal_serial(pool, case, workers):
+    """Odd slice sizes exercise the structural mirror across calls and
+    the small-batch validation fallback."""
+    batch = _capture(case)
+    ref = BatchEngine(registry=MetricsRegistry())
+    ref.ingest(batch)
+
+    engine = pool(workers)
+    engine.ingest_all(batch.slices(5))
+    assert _flag_multiset(engine.races()) == _flag_multiset(ref.races())

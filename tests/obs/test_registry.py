@@ -180,3 +180,61 @@ class TestDefaultRegistry:
         finally:
             assert set_registry(previous) is mine
         assert get_registry() is previous
+
+
+class TestExportMerge:
+    """The picklable wire format the parallel engine ships between
+    worker and parent registries."""
+
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help", labels={"shard": "0"}).inc(3)
+        reg.gauge("g").set(7)
+        reg.histogram("h", buckets=(1.0, 10.0)).observe(0.5)
+        reg.histogram("h", buckets=(1.0, 10.0)).observe(5.0)
+        return reg
+
+    def test_roundtrip_into_empty_registry(self):
+        src = self._populated()
+        dst = MetricsRegistry()
+        dst.merge_state(src.export_state())
+        assert dst.snapshot() == src.snapshot()
+
+    def test_merge_adds_to_existing_series(self):
+        src = self._populated()
+        dst = self._populated()
+        dst.merge_state(src.export_state())
+        snap = dst.snapshot()
+        assert snap["counters"]['c{shard="0"}'] == 6
+        # Gauges add too: the wire format carries deltas from workers
+        # whose series the parent never touches concurrently.
+        assert snap["gauges"]["g"] == 14
+        hist = snap["histograms"]["h"]
+        assert hist["count"] == 4
+        assert hist["sum"] == pytest.approx(11.0)
+
+    def test_state_is_plain_data(self):
+        import json
+
+        state = self._populated().export_state()
+        assert json.loads(json.dumps(state)) == state
+
+    def test_merge_into_disabled_registry_is_a_noop(self):
+        state = self._populated().export_state()
+        NULL_REGISTRY.merge_state(state)
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_bucket_mismatch_rejected(self):
+        src = self._populated()
+        dst = MetricsRegistry()
+        dst.histogram("h", buckets=(2.0, 20.0)).observe(1.0)
+        with pytest.raises(ProgramError):
+            dst.merge_state(src.export_state())
+
+    def test_unknown_kind_rejected(self):
+        dst = MetricsRegistry()
+        with pytest.raises(ProgramError):
+            dst.merge_state([{"kind": "exotic", "name": "x", "help": "",
+                              "labels": [], "value": 1}])

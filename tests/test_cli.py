@@ -116,6 +116,40 @@ class TestCommands:
         assert main(["replay", trace, "--shards", "3"]) == 1
         assert "x3 shards" in capsys.readouterr().out
 
+    def test_replay_compact_parallel(self, program_file, tmp_path, capsys):
+        trace = str(tmp_path / "run.rtrc")
+        main(["record", program_file, "--compact", "-o", trace])
+        capsys.readouterr()
+        assert main(["replay", trace, "--jobs", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "x2 workers" in out and "1 race(s)" in out
+
+    def test_replay_jobs_misuse_errors(self, program_file, tmp_path, capsys):
+        compact = str(tmp_path / "run.rtrc")
+        jsonl = str(tmp_path / "run.jsonl")
+        main(["record", program_file, "--compact", "-o", compact])
+        main(["record", program_file, "-o", jsonl])
+        capsys.readouterr()
+        assert main(["replay", compact, "--jobs", "2", "--shards", "2"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+        assert main(
+            ["replay", compact, "--jobs", "2", "--detector", "fasttrack"]
+        ) == 2
+        assert "lattice2d" in capsys.readouterr().err
+        assert main(["replay", jsonl, "--jobs", "2"]) == 2
+        assert "compact" in capsys.readouterr().err
+
+    def test_stats_jobs_merges_worker_counters(
+        self, program_file, tmp_path, capsys
+    ):
+        trace = str(tmp_path / "run.rtrc")
+        main(["record", program_file, "--compact", "-o", trace])
+        capsys.readouterr()
+        assert main(["stats", trace, "--jobs", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "engine_worker_events_total" in out
+        assert 'shard="1"' in out
+
     def test_diff_agrees_on_both_formats(self, program_file, tmp_path, capsys):
         compact = str(tmp_path / "run.rtrc")
         jsonl = str(tmp_path / "run.jsonl")
@@ -146,6 +180,7 @@ class TestCommands:
                 "--accesses-per-task", "30",
                 "--repeats", "1",
                 "--shards", "2",
+                "--jobs", "2",
                 "--json", str(out_json),
             ]
         ) == 0

@@ -17,6 +17,7 @@ DOC_FILES = [
     ROOT / "README.md",
     ROOT / "docs" / "ALGORITHM.md",
     ROOT / "docs" / "OBSERVABILITY.md",
+    ROOT / "docs" / "PERFORMANCE.md",
 ]
 
 BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
