@@ -2,10 +2,16 @@
 
 Compares a freshly measured ``BENCH_engine.json`` against the baseline
 committed in git (the record as of the checkout, before the benchmark
-run overwrote it). The gated series is ``events_per_sec.batched`` --
-the serial fast path every other tier is measured against; its shape
-tests already pin the *ratios* (parallel > batched, batched >= 2x
-per-event), so one absolute anchor suffices.
+run overwrote it). The gated series:
+
+* ``events_per_sec.batched`` -- the serial fast path every other tier
+  is measured against; its shape tests already pin the *ratios*
+  (parallel > batched, batched >= 2x per-event), so one absolute
+  anchor suffices for the engine;
+* ``events_per_sec.serve_4s`` -- the serving layer's 4-session
+  loopback throughput, the steady-state shape of a real deployment.
+  Skipped (with a note) when the baseline predates the serving layer,
+  so the gate can introduce itself without failing its own PR.
 
 Usage::
 
@@ -25,17 +31,23 @@ import sys
 #: fraction of baseline throughput the fresh run may lose
 TOLERANCE = 0.25
 
-#: the gated series
-SERIES = ("events_per_sec", "batched")
+#: the gated series: (path into the record, required in the baseline?)
+GATES = (
+    (("events_per_sec", "batched"), True),
+    (("events_per_sec", "serve_4s"), False),
+)
 
 
-def _throughput(path: str) -> float:
-    with open(path, "r", encoding="utf-8") as handle:
-        record = json.load(handle)
+def _lookup(record, series):
     value = record
-    for key in SERIES:
+    for key in series:
         value = value[key]
     return float(value)
+
+
+def _load(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
 
 
 def main(argv) -> int:
@@ -44,24 +56,41 @@ def main(argv) -> int:
         return 2
     _, baseline_path, fresh_path = argv
     try:
-        baseline = _throughput(baseline_path)
-        fresh = _throughput(fresh_path)
-    except (OSError, KeyError, ValueError, TypeError) as exc:
+        baseline_rec = _load(baseline_path)
+        fresh_rec = _load(fresh_path)
+    except (OSError, ValueError) as exc:
         print(f"cannot read benchmark records: {exc!r}", file=sys.stderr)
         return 2
-    if baseline <= 0:
-        print(f"baseline throughput is {baseline}; nothing to gate",
-              file=sys.stderr)
-        return 2
-    ratio = fresh / baseline
     floor = 1.0 - TOLERANCE
-    verdict = "OK" if ratio >= floor else "REGRESSION"
-    print(
-        f"{'.'.join(SERIES)}: baseline {baseline:,.0f} ev/s, "
-        f"fresh {fresh:,.0f} ev/s ({ratio:.2%} of baseline, "
-        f"floor {floor:.0%}) -> {verdict}"
-    )
-    return 0 if ratio >= floor else 1
+    failed = False
+    for series, required in GATES:
+        name = ".".join(series)
+        try:
+            baseline = _lookup(baseline_rec, series)
+        except (KeyError, TypeError):
+            if required:
+                print(f"{name}: missing from baseline", file=sys.stderr)
+                return 2
+            print(f"{name}: not in baseline yet; skipping this gate")
+            continue
+        try:
+            fresh = _lookup(fresh_rec, series)
+        except (KeyError, TypeError):
+            print(f"{name}: missing from the fresh record", file=sys.stderr)
+            return 2
+        if baseline <= 0:
+            print(f"{name}: baseline throughput is {baseline}; "
+                  "nothing to gate", file=sys.stderr)
+            return 2
+        ratio = fresh / baseline
+        ok = ratio >= floor
+        failed = failed or not ok
+        print(
+            f"{name}: baseline {baseline:,.0f} ev/s, "
+            f"fresh {fresh:,.0f} ev/s ({ratio:.2%} of baseline, "
+            f"floor {floor:.0%}) -> {'OK' if ok else 'REGRESSION'}"
+        )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -13,6 +13,8 @@ Usage examples::
     repro-race bench-engine --accesses 100000       # ingestion throughput
     repro-race stats t.rtrc --format prom # metrics + phase timings
     repro-race --metrics m.json replay t.rtrc       # dump counters after
+    repro-race serve --port 7521 --metrics-port 9100  # streaming ingest
+    repro-race submit t.rtrc --port 7521 --sessions 4 # replay over TCP
 
 A program file is ordinary Python defining a task body (generator
 function) named by ``--entry`` (default ``main``); see
@@ -213,6 +215,84 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("table", "json", "prom"),
         default="table",
         help="how to print the snapshot (default: table)",
+    )
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="run the streaming trace-ingest server (RPRSERVE over TCP); "
+        "SIGTERM drains live sessions before exiting",
+    )
+    p_sv.add_argument(
+        "--host", default="127.0.0.1", help="listen address"
+    )
+    p_sv.add_argument(
+        "--port", type=int, default=7521,
+        help="listen port (default: 7521; 0 picks a free one)",
+    )
+    p_sv.add_argument(
+        "--credit-window", type=int, default=8,
+        help="BATCH frames a session may have outstanding (default: 8)",
+    )
+    p_sv.add_argument(
+        "--queue-high-water", type=int, default=6,
+        help="queued batches per session above which credit grants are "
+        "withheld (default: 6)",
+    )
+    p_sv.add_argument(
+        "--max-frame", type=int, default=8 * 1024 * 1024,
+        help="largest frame payload accepted, in bytes (default: 8 MiB)",
+    )
+    p_sv.add_argument(
+        "--idle-timeout", type=float, default=30.0,
+        help="seconds of session silence before disconnect (default: 30)",
+    )
+    p_sv.add_argument(
+        "--jobs", type=int, default=1,
+        help="serve all sessions from one shared multi-process engine "
+        "with this many shard workers instead of one isolated engine "
+        "per session (default: 1, isolated)",
+    )
+    p_sv.add_argument(
+        "--metrics-port", type=int, metavar="PORT",
+        help="also serve the live Prometheus snapshot on "
+        "http://HOST:PORT/metrics (stdlib http.server thread)",
+    )
+
+    p_sub2 = sub.add_parser(
+        "submit",
+        help="replay a trace (or a generated racegen workload) against "
+        "a running serve instance over TCP",
+    )
+    p_sub2.add_argument(
+        "trace", nargs="?",
+        help="trace file from `record` (JSONL or compact; auto-"
+        "detected); omit when using --racegen",
+    )
+    p_sub2.add_argument(
+        "--racegen", type=int, metavar="ACCESSES",
+        help="generate a racegen bulk workload of roughly this many "
+        "accesses instead of reading a trace file",
+    )
+    p_sub2.add_argument("--host", default="127.0.0.1")
+    p_sub2.add_argument("--port", type=int, default=7521)
+    p_sub2.add_argument(
+        "--sessions", type=int, default=1,
+        help="concurrent connections for load generation (default: 1)",
+    )
+    p_sub2.add_argument(
+        "--batch-size", type=int, default=8192,
+        help="events per BATCH frame (default: 8192)",
+    )
+    p_sub2.add_argument(
+        "--ship-locations", action="store_true",
+        help="ship the location table over the wire so the server's "
+        "race reports use original locations (slower; default keeps "
+        "the table client-side and decodes locally)",
+    )
+    p_sub2.add_argument("--max-races", type=int, default=20)
+    p_sub2.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-socket-operation timeout in seconds (default: 60)",
     )
 
     p_tl = sub.add_parser(
@@ -497,6 +577,136 @@ def _bench_engine(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    import asyncio
+
+    from repro.serve import (
+        EXIT_BIND_FAILURE,
+        RaceServer,
+        ServeConfig,
+        start_metrics_http,
+    )
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        credit_window=args.credit_window,
+        queue_high_water=args.queue_high_water,
+        max_frame=args.max_frame,
+        idle_timeout=args.idle_timeout,
+        jobs=args.jobs,
+    )
+
+    async def _run() -> int:
+        server = RaceServer(config)
+        try:
+            port = await server.start()
+        except OSError as exc:
+            print(
+                f"error: cannot bind {config.host}:{config.port}: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_BIND_FAILURE
+        server.install_signal_handlers()
+        httpd = None
+        try:
+            if args.metrics_port is not None:
+                try:
+                    httpd = start_metrics_http(
+                        args.metrics_port, server.registry, host=config.host
+                    )
+                except OSError as exc:
+                    print(
+                        f"error: cannot bind metrics port "
+                        f"{args.metrics_port}: {exc}",
+                        file=sys.stderr,
+                    )
+                    await server.shutdown()
+                    return EXIT_BIND_FAILURE
+                print(
+                    f"metrics on http://{config.host}:"
+                    f"{httpd.server_port}/metrics"
+                )
+            print(
+                f"serving RPRSERVE on {config.host}:{port} "
+                f"(credit window {config.credit_window}, "
+                f"jobs {config.jobs}); SIGTERM drains"
+            )
+            await server.serve_forever()
+        finally:
+            if httpd is not None:
+                httpd.shutdown()
+        return 0
+
+    return asyncio.run(_run())
+
+
+def _submit(args) -> int:
+    from dataclasses import replace
+
+    from repro.errors import ProtocolError
+    from repro.serve import (
+        EXIT_CONNECT_FAILURE,
+        EXIT_PROTOCOL_FAILURE,
+        ConnectError,
+        RemoteError,
+        run_load,
+        submit_batch,
+    )
+
+    if args.racegen is not None:
+        from repro.engine.benchlib import build_workload, capture
+
+        _events, batch, interner = capture(build_workload(args.racegen))
+        source = f"racegen[{args.racegen}]"
+    elif args.trace:
+        batch, interner = _load_batch(args.trace)
+        source = args.trace
+    else:
+        raise ReproError("submit needs a trace file or --racegen N")
+    target = f"{args.host}:{args.port}"
+    try:
+        if args.sessions > 1:
+            result = run_load(
+                args.host, args.port, batch,
+                sessions=args.sessions, batch_size=args.batch_size,
+                timeout=args.timeout,
+            )
+            print(
+                f"{args.sessions} sessions x {len(batch)} events from "
+                f"{source} to {target}: {result.events} events in "
+                f"{result.seconds:.3f}s "
+                f"({result.events_per_sec:,.0f} events/sec), "
+                f"{result.races} race report(s)"
+            )
+            return 1 if result.races else 0
+        summary = submit_batch(
+            args.host, args.port, batch, interner=interner,
+            batch_size=args.batch_size,
+            ship_locations=args.ship_locations, timeout=args.timeout,
+        )
+        reports = summary.reports
+        if not args.ship_locations and interner is not None:
+            reports = [
+                replace(r, loc=interner.location(r.loc)) for r in reports
+            ]
+        print(
+            f"submitted {summary.events} events from {source} to "
+            f"{target}: {summary.races} race report(s)"
+        )
+        for report in reports[: args.max_races]:
+            print(f"  {report}")
+        if len(reports) > args.max_races:
+            print(f"  ... and {len(reports) - args.max_races} more")
+        return 1 if summary.races else 0
+    except ConnectError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CONNECT_FAILURE
+    except (RemoteError, ProtocolError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_PROTOCOL_FAILURE
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.obs import MetricsRegistry, set_registry, write_metrics
 
@@ -575,6 +785,10 @@ def _dispatch(args) -> int:
         return _stats(args)
     if args.command == "bench-engine":
         return _bench_engine(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "submit":
+        return _submit(args)
     if args.command == "timeline":
         from repro.viz.timeline import LineTracker, render_timeline
 

@@ -288,6 +288,8 @@ def _ingest_fast(det: RaceDetector2D, batch: EventBatch) -> None:
                     raise DetectorError(f"unknown thread id {t}")
                 if halted[t]:
                     raise DetectorError(f"thread {t} already halted")
+                if b >= n_threads or b < 0:
+                    raise DetectorError(f"unknown thread id {b}")
                 if not halted[b]:
                     raise DetectorError(f"joining running thread {b}")
                 if joined_flags[b]:

@@ -452,6 +452,10 @@ def _worker_main(shard: int, num_shards: int, cmd_q, res_q) -> None:
                         registry.export_state(),
                     )
                 )
+            elif tag == "peek":
+                # Non-destructive snapshot: races so far, no registry
+                # export and no state transition -- ingestion continues.
+                res_q.put(("result", shard, list(state.races), state.accesses))
             elif tag == "reset":
                 state.reset()
                 res_q.put(("ok", shard, 0))
@@ -905,17 +909,10 @@ class ParallelShardedEngine:
                 self._c_races.inc(len(msg[2]))
         return self._collected
 
-    def races(self) -> List[RaceReport]:
-        """All shards' reports, merged in shard order (decoded when an
-        interner is available).
-
-        ``op_index`` values are per-worker sub-stream positions, not
-        global ones -- compare reports across engines by
-        ``(task, loc, kind)``, exactly like the sharded serial engine.
-        """
+    def _decode_reports(self, results: List[tuple]) -> List[RaceReport]:
         location = self.interner.location if self.interner else None
         out: List[RaceReport] = []
-        for msg in self._collect():
+        for msg in results:
             for loc, task, kind, prior_kind, prior_repr, opi in msg[2]:
                 out.append(
                     RaceReport(
@@ -928,6 +925,31 @@ class ParallelShardedEngine:
                     )
                 )
         return out
+
+    def races(self) -> List[RaceReport]:
+        """All shards' reports, merged in shard order (decoded when an
+        interner is available).
+
+        ``op_index`` values are per-worker sub-stream positions, not
+        global ones -- compare reports across engines by
+        ``(task, loc, kind)``, exactly like the sharded serial engine.
+        """
+        return self._decode_reports(self._collect())
+
+    def peek_races(self) -> List[RaceReport]:
+        """Snapshot of the reports found *so far*, in shard order.
+
+        Unlike :meth:`races` this does not collect: worker counters
+        stay put and ingestion may continue afterwards.  The streaming
+        server calls this after every batch to compute race deltas
+        without ending the run.
+        """
+        self._require_open()
+        if self._collected is not None:
+            return self._decode_reports(self._collected)
+        results = self._broadcast(("peek",))
+        results.sort(key=lambda msg: msg[1])  # deterministic: by shard
+        return self._decode_reports(results)
 
     def routing_counts(self) -> List[int]:
         """Parent-side per-shard access routing counts."""

@@ -19,6 +19,8 @@ __all__ = [
     "DeadTaskError",
     "DetectorError",
     "WorkloadError",
+    "ServeError",
+    "ProtocolError",
 ]
 
 
@@ -79,3 +81,13 @@ class DetectorError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received inconsistent parameters."""
+
+
+class ServeError(ReproError):
+    """A failure in the streaming ingest service (:mod:`repro.serve`)."""
+
+
+class ProtocolError(ServeError):
+    """A wire-protocol violation: bad magic, version mismatch, CRC
+    failure, truncated or oversized frames, or a BATCH frame whose
+    declared column lengths disagree with its payload size."""

@@ -1,0 +1,69 @@
+"""Network serving layer: stream event batches to a detector over TCP.
+
+The subsystem has three parts -- see ``docs/SERVING.md`` for the
+protocol walk-through and deployment guidance:
+
+* :mod:`repro.serve.protocol` -- the sans-IO RPRSERVE wire format
+  (length-prefixed CRC-checked frames of ``tracefile``-layout column
+  batches);
+* :mod:`repro.serve.server` -- the asyncio multi-session server with
+  credit-based backpressure (:class:`RaceServer`, plus
+  :class:`ServerThread` for loopback serving from synchronous code);
+* :mod:`repro.serve.client` -- the blocking client
+  (:class:`RaceClient`), trace/program replay helpers, and the
+  multi-connection load generator (:func:`run_load`).
+
+The ``repro-race serve`` / ``submit`` CLI subcommands front these; the
+distinct exit codes they use live here so tests and scripts can name
+them.
+"""
+
+from repro.serve.client import (
+    ClientSummary,
+    ConnectError,
+    LoadResult,
+    RaceClient,
+    RemoteError,
+    run_load,
+    submit_batch,
+    submit_program,
+    submit_trace,
+)
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+)
+from repro.serve.server import (
+    RaceServer,
+    ServeConfig,
+    ServerThread,
+    start_metrics_http,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME",
+    "ServeConfig",
+    "RaceServer",
+    "ServerThread",
+    "start_metrics_http",
+    "RaceClient",
+    "ConnectError",
+    "RemoteError",
+    "ClientSummary",
+    "submit_batch",
+    "submit_trace",
+    "submit_program",
+    "LoadResult",
+    "run_load",
+    "EXIT_BIND_FAILURE",
+    "EXIT_CONNECT_FAILURE",
+    "EXIT_PROTOCOL_FAILURE",
+]
+
+#: ``repro-race serve`` could not bind its listen address.
+EXIT_BIND_FAILURE = 3
+#: ``repro-race submit`` could not reach the server.
+EXIT_CONNECT_FAILURE = 4
+#: the session died on a wire-protocol violation or server ERROR.
+EXIT_PROTOCOL_FAILURE = 5

@@ -1,0 +1,434 @@
+"""Blocking client for the RPRSERVE protocol, plus a load generator.
+
+:class:`RaceClient` is the synchronous counterpart of
+:class:`~repro.serve.server.RaceServer`: it speaks the HELLO exchange,
+pushes :class:`~repro.engine.batch.EventBatch` columns as BATCH
+frames while honouring the server's credit grants, collects the RACES
+frames streamed back, and closes with a BYE handshake whose summary
+it cross-checks against its own counters.  Server-side failures
+arrive as ERROR frames and raise :class:`RemoteError` with the
+machine-readable code (``remote.code``) preserved.
+
+On top of it sit the replay helpers -- :func:`submit_batch`,
+:func:`submit_trace` for ``.rpr2trc`` files, :func:`submit_program`
+for racegen program bodies -- and :func:`run_load`, the
+multi-connection load generator behind ``repro-race submit --sessions``
+and ``benchmarks/bench_serve.py``: N threads, one session each,
+replaying the same workload concurrently and reporting aggregate
+events/sec.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.reports import RaceReport
+from repro.engine.batch import EventBatch, LocationInterner
+from repro.errors import ProtocolError, ServeError
+from repro.serve import protocol as wire
+
+__all__ = [
+    "ConnectError",
+    "RemoteError",
+    "ClientSummary",
+    "RaceClient",
+    "submit_batch",
+    "submit_trace",
+    "submit_program",
+    "LoadResult",
+    "run_load",
+]
+
+
+class ConnectError(ServeError):
+    """The server could not be reached at all (TCP dial failed)."""
+
+
+class RemoteError(ServeError):
+    """The server answered with an ERROR frame.
+
+    ``code`` is the wire error code (``wire.ERR_*``); ``str()`` is the
+    server's message prefixed with the code's name.
+    """
+
+    def __init__(self, code: int, message: str) -> None:
+        name = wire.ERROR_NAMES.get(code, str(code))
+        super().__init__(f"server error [{name}]: {message}")
+        self.code = code
+        self.remote_message = message
+
+
+@dataclass
+class ClientSummary:
+    """What one session accomplished, per the server's BYE summary."""
+
+    events: int  #: events the server ingested for this session
+    races: int  #: race reports the server streamed back
+    reports: List[RaceReport] = field(default_factory=list)
+
+
+class RaceClient:
+    """One blocking RPRSERVE session.
+
+    Use as a context manager (connects on entry, closes on exit)::
+
+        with RaceClient("127.0.0.1", port) as client:
+            for piece in batch.slices(8192):
+                client.send_batch(piece)
+            summary = client.finish()
+
+    ``send_batch`` blocks while the session is out of credit, reading
+    frames until the server grants more -- that *is* the backpressure:
+    a slow server throttles its clients instead of buffering without
+    bound.  RACES frames are decoded as they arrive into
+    :attr:`races`; location ids in them are the client's own interned
+    ids unless the session ships its table (``ship_locations=True``).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 30.0,
+        max_frame: int = wire.DEFAULT_MAX_FRAME,
+        interner: Optional[LocationInterner] = None,
+        ship_locations: bool = False,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_frame = max_frame
+        self.interner = interner
+        self.ship_locations = ship_locations
+        self.credit = 0
+        self.races: List[RaceReport] = []
+        self.events_sent = 0
+        self.batches_sent = 0
+        self._sock: Optional[socket.socket] = None
+        self._shipped_locations = 0
+        self._finished: Optional[Tuple[int, int]] = None
+
+    # -- connection ----------------------------------------------------------
+
+    def connect(self) -> "RaceClient":
+        """Dial the server and complete the HELLO exchange."""
+        if self._sock is not None:
+            raise ServeError("client already connected")
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ConnectError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        self._sock = sock
+        self._send_frame(wire.FRAME_HELLO, wire.encode_hello(self.max_frame))
+        ftype, payload = self._recv_frame()
+        if ftype == wire.FRAME_ERROR:
+            code, message = wire.decode_error(payload)
+            self.close()
+            raise RemoteError(code, message)
+        if ftype != wire.FRAME_HELLO:
+            self.close()
+            raise ProtocolError(
+                f"expected HELLO reply, got {wire.FRAME_NAMES[ftype]}"
+            )
+        _version, credit, max_frame = wire.decode_hello_reply(payload)
+        self.credit = credit
+        self.max_frame = max_frame
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "RaceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- wire ----------------------------------------------------------------
+
+    def _require_sock(self) -> socket.socket:
+        if self._sock is None:
+            raise ServeError("client is not connected")
+        return self._sock
+
+    def _send_frame(self, ftype: int, payload: bytes = b"") -> None:
+        try:
+            self._require_sock().sendall(wire.encode_frame(ftype, payload))
+        except OSError as exc:
+            raise ServeError(f"send failed: {exc}") from exc
+
+    def _recv_exactly(self, n: int) -> bytes:
+        sock = self._require_sock()
+        chunks = []
+        got = 0
+        while got < n:
+            try:
+                chunk = sock.recv(n - got)
+            except socket.timeout as exc:
+                raise ServeError(
+                    f"no frame from server within {self.timeout}s"
+                ) from exc
+            except OSError as exc:
+                raise ServeError(f"receive failed: {exc}") from exc
+            if not chunk:
+                raise ServeError(
+                    "server closed the connection mid-frame"
+                )
+            chunks.append(chunk)
+            got += len(chunk)
+        return b"".join(chunks)
+
+    def _recv_frame(self) -> Tuple[int, bytes]:
+        head = self._recv_exactly(wire.FRAME_HEADER_SIZE)
+        length, ftype, crc = wire.parse_frame_header(head)
+        wire.check_frame_length(length, self.max_frame)
+        payload = self._recv_exactly(length) if length else b""
+        wire.check_payload_crc(payload, crc)
+        return ftype, payload
+
+    def _pump(self) -> Tuple[int, bytes]:
+        """Read one frame, folding CREDIT/RACES into client state;
+        returns the frame for the caller to inspect too."""
+        ftype, payload = self._recv_frame()
+        if ftype == wire.FRAME_CREDIT:
+            self.credit += wire.decode_credit(payload)
+        elif ftype == wire.FRAME_RACES:
+            self.races.extend(wire.decode_races(payload))
+        elif ftype == wire.FRAME_ERROR:
+            code, message = wire.decode_error(payload)
+            self.close()
+            raise RemoteError(code, message)
+        return ftype, payload
+
+    # -- streaming -----------------------------------------------------------
+
+    def send_batch(self, batch: EventBatch) -> None:
+        """Push one BATCH frame, waiting for credit first if the
+        session has none outstanding."""
+        if self._finished is not None:
+            raise ServeError("session already finished (BYE sent)")
+        while self.credit <= 0:
+            self._pump()
+        new_locations: Sequence = ()
+        if self.ship_locations:
+            if self.interner is None:
+                raise ServeError(
+                    "ship_locations needs the session's interner"
+                )
+            table = self.interner.locations()
+            new_locations = table[self._shipped_locations:]
+            self._shipped_locations = len(table)
+        payload = wire.encode_batch_payload(batch, new_locations)
+        if len(payload) > self.max_frame:
+            raise ProtocolError(
+                f"batch of {len(batch)} events encodes to {len(payload)} "
+                f"bytes, over the negotiated frame cap of "
+                f"{self.max_frame}; slice it smaller"
+            )
+        self.credit -= 1
+        self._send_frame(wire.FRAME_BATCH, payload)
+        self.events_sent += len(batch)
+        self.batches_sent += 1
+
+    def send_batches(
+        self, batch: EventBatch, batch_size: int = 8192
+    ) -> None:
+        """Slice ``batch`` and push every piece."""
+        for piece in batch.slices(batch_size):
+            self.send_batch(piece)
+
+    def finish(self) -> ClientSummary:
+        """Send BYE, drain the stream, and return the session summary.
+
+        The server's summary is cross-checked against the client's own
+        event counter -- a disagreement means frames were lost or
+        double-counted and raises :class:`ProtocolError`.
+        """
+        if self._finished is None:
+            self._send_frame(wire.FRAME_BYE)
+            while True:
+                ftype, payload = self._pump()
+                if ftype == wire.FRAME_BYE:
+                    self._finished = wire.decode_bye_summary(payload)
+                    break
+                if ftype not in (wire.FRAME_CREDIT, wire.FRAME_RACES):
+                    raise ProtocolError(
+                        f"unexpected {wire.FRAME_NAMES[ftype]} frame "
+                        f"while draining"
+                    )
+        events, races = self._finished
+        if events != self.events_sent:
+            raise ProtocolError(
+                f"server ingested {events} events, client sent "
+                f"{self.events_sent}"
+            )
+        return ClientSummary(events, races, list(self.races))
+
+
+# -- replay helpers -----------------------------------------------------------
+
+
+def submit_batch(
+    host: str,
+    port: int,
+    batch: EventBatch,
+    *,
+    interner: Optional[LocationInterner] = None,
+    batch_size: int = 8192,
+    ship_locations: bool = False,
+    timeout: float = 30.0,
+) -> ClientSummary:
+    """Replay one in-memory batch over a fresh session."""
+    with RaceClient(
+        host, port, timeout=timeout, interner=interner,
+        ship_locations=ship_locations,
+    ) as client:
+        client.send_batches(batch, batch_size)
+        return client.finish()
+
+
+def submit_trace(
+    host: str,
+    port: int,
+    path: str,
+    *,
+    batch_size: int = 8192,
+    ship_locations: bool = False,
+    timeout: float = 30.0,
+) -> ClientSummary:
+    """Replay a trace file (compact ``.rpr2trc`` or JSONL) over a
+    fresh session."""
+    from repro.engine.batch import batch_from_events
+    from repro.engine.tracefile import is_tracefile, read_trace
+
+    if is_tracefile(path):
+        batch, interner = read_trace(path)
+    else:
+        from repro.trace import load_events
+
+        batch, interner = batch_from_events(load_events(path))
+    return submit_batch(
+        host, port, batch, interner=interner, batch_size=batch_size,
+        ship_locations=ship_locations, timeout=timeout,
+    )
+
+
+def submit_program(
+    host: str,
+    port: int,
+    body: Callable,
+    *,
+    batch_size: int = 8192,
+    ship_locations: bool = False,
+    timeout: float = 30.0,
+) -> ClientSummary:
+    """Run a program body locally into a columnar batch, then replay
+    it over a fresh session."""
+    from repro.engine.batch import BatchBuilder
+    from repro.forkjoin.interpreter import run
+
+    builder = BatchBuilder()
+    run(body, observers=[builder])
+    return submit_batch(
+        host, port, builder.batch, interner=builder.interner,
+        batch_size=batch_size, ship_locations=ship_locations,
+        timeout=timeout,
+    )
+
+
+# -- load generator -----------------------------------------------------------
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one :func:`run_load` drive."""
+
+    sessions: int
+    events: int  #: total events ingested across all sessions
+    races: int  #: total race reports streamed back
+    seconds: float  #: wall time from the start barrier to the last BYE
+    summaries: List[ClientSummary]
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else 0.0
+
+
+def run_load(
+    host: str,
+    port: int,
+    batch: EventBatch,
+    *,
+    sessions: int = 4,
+    batch_size: int = 8192,
+    timeout: float = 60.0,
+) -> LoadResult:
+    """Drive ``sessions`` concurrent connections, each replaying
+    ``batch``, and measure aggregate wall-clock throughput.
+
+    All sessions connect and handshake first, then start streaming
+    together off a barrier so the measured window is pure streaming.
+    The first session failure is re-raised after every thread joins.
+    """
+    if sessions < 1:
+        raise ServeError(f"need at least one session, got {sessions}")
+    clients = [
+        RaceClient(host, port, timeout=timeout).connect()
+        for _ in range(sessions)
+    ]
+    barrier = threading.Barrier(sessions + 1)
+    summaries: List[Optional[ClientSummary]] = [None] * sessions
+    errors: List[BaseException] = []
+
+    def drive(k: int, client: RaceClient) -> None:
+        try:
+            barrier.wait()
+            client.send_batches(batch, batch_size)
+            summaries[k] = client.finish()
+        except BaseException as exc:
+            errors.append(exc)
+            barrier.abort()
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(
+            target=drive, args=(k, client),
+            name=f"repro-load-{k}", daemon=True,
+        )
+        for k, client in enumerate(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        barrier.wait()
+    except threading.BrokenBarrierError:
+        pass
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    done = [s for s in summaries if s is not None]
+    return LoadResult(
+        sessions=sessions,
+        events=sum(s.events for s in done),
+        races=sum(s.races for s in done),
+        seconds=elapsed,
+        summaries=done,
+    )

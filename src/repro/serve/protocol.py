@@ -1,0 +1,490 @@
+"""The RPRSERVE wire protocol: length-prefixed frames of column batches.
+
+The serving layer moves the engine's columnar event batches
+(:class:`~repro.engine.batch.EventBatch`) over a TCP stream.  The unit
+is a *frame*::
+
+    offset  size  field
+    0       4     u32  payload length L (little-endian)
+    4       1     u8   frame type (FRAME_* below)
+    5       4     u32  CRC32 of the payload (zlib.crc32)
+    9       L     payload
+
+Frame types and their payloads:
+
+========  =========  =============================================
+type      direction  payload
+========  =========  =============================================
+HELLO     client->   magic ``RPRSERVE`` + u32 version + u32 max
+                     frame size the client is willing to receive
+HELLO     server->   magic + u32 version + u32 initial credit +
+                     u32 effective max frame size + u32 flags (0)
+BATCH     client->   the ``tracefile`` column layout, minus magic:
+                     u8 endian flag, u64 n_events, u64 table byte
+                     length, the (optional) location-table JSON,
+                     then ``ops`` (u8[n]), ``a`` (i32[n]), ``b``
+                     (i32[n]) -- byte-identical to the columns an
+                     RPR2TRC file stores, so server-side decode is
+                     bulk column copies (and, with numpy, zero-copy
+                     views for validation), never per-event parsing
+CREDIT    server->   u32 additional BATCH frames the client may send
+RACES     server->   UTF-8 JSON list of race reports (interned
+                     location ids; the client decodes against its
+                     own table)
+ERROR     both       u16 error code + UTF-8 message; sender closes
+BYE       client->   empty (end of stream, drain and summarise)
+BYE       server->   u64 events ingested + u64 races reported
+========  =========  =============================================
+
+Like the trace format, the BATCH columns travel in the *sender's*
+byte order with an explicit flag, so the common same-order case is
+bulk copies and a foreign-order peer pays one in-place ``byteswap``.
+Locations are interned client-side; the table field ships only the
+locations *new* since the previous BATCH (ids are allocated densely
+in first-seen order, exactly like
+:class:`~repro.engine.batch.LocationInterner`), and may be empty when
+the client keeps its table private -- the hot path then carries no
+JSON at all and race reports name interned ids.
+
+Every decoding function here validates **before it allocates**: frame
+lengths are bounded by the negotiated maximum before the payload is
+read, and a BATCH header whose declared column lengths disagree with
+the actual payload size is rejected before any column is materialized
+(mirroring :func:`repro.engine.tracefile.read_trace`'s
+header-vs-file-size bound check).  All violations raise
+:class:`~repro.errors.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+import zlib
+from array import array
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+try:  # numpy vectorizes column validation; everything degrades without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
+from repro.core.reports import AccessKind, RaceReport
+from repro.engine.batch import OP_READ, OP_WRITE, EventBatch
+from repro.errors import ProtocolError
+
+__all__ = [
+    "PROTOCOL_MAGIC",
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME",
+    "FRAME_HEADER_SIZE",
+    "FRAME_HELLO",
+    "FRAME_BATCH",
+    "FRAME_CREDIT",
+    "FRAME_RACES",
+    "FRAME_ERROR",
+    "FRAME_BYE",
+    "FRAME_NAMES",
+    "ERR_PROTOCOL",
+    "ERR_VERSION",
+    "ERR_FRAME_TOO_LARGE",
+    "ERR_BAD_CRC",
+    "ERR_MALFORMED_BATCH",
+    "ERR_DETECTOR",
+    "ERR_IDLE_TIMEOUT",
+    "ERR_CREDIT_OVERRUN",
+    "ERR_SHUTTING_DOWN",
+    "ERROR_NAMES",
+    "encode_frame",
+    "parse_frame_header",
+    "check_frame_length",
+    "check_payload_crc",
+    "encode_hello",
+    "decode_hello",
+    "encode_hello_reply",
+    "decode_hello_reply",
+    "encode_batch_payload",
+    "decode_batch_payload",
+    "validate_batch_columns",
+    "encode_credit",
+    "decode_credit",
+    "encode_races",
+    "decode_races",
+    "encode_error",
+    "decode_error",
+    "encode_bye_summary",
+    "decode_bye_summary",
+]
+
+PROTOCOL_MAGIC = b"RPRSERVE"
+PROTOCOL_VERSION = 1
+
+#: default cap on one frame's payload (negotiated down in HELLO)
+DEFAULT_MAX_FRAME = 8 * 1024 * 1024
+
+_FRAME = struct.Struct("<IBI")
+FRAME_HEADER_SIZE = _FRAME.size
+
+FRAME_HELLO, FRAME_BATCH, FRAME_CREDIT, FRAME_RACES, FRAME_ERROR, \
+    FRAME_BYE = range(1, 7)
+
+FRAME_NAMES = {
+    FRAME_HELLO: "HELLO",
+    FRAME_BATCH: "BATCH",
+    FRAME_CREDIT: "CREDIT",
+    FRAME_RACES: "RACES",
+    FRAME_ERROR: "ERROR",
+    FRAME_BYE: "BYE",
+}
+
+# -- error codes (carried in ERROR frames) ------------------------------------
+
+ERR_PROTOCOL = 1  #: generic framing violation
+ERR_VERSION = 2  #: HELLO version mismatch
+ERR_FRAME_TOO_LARGE = 3  #: frame exceeds the negotiated maximum
+ERR_BAD_CRC = 4  #: payload CRC32 disagrees with the header
+ERR_MALFORMED_BATCH = 5  #: BATCH header lies about its column lengths
+ERR_DETECTOR = 6  #: the event stream violated detector preconditions
+ERR_IDLE_TIMEOUT = 7  #: session produced no frame within the idle window
+ERR_CREDIT_OVERRUN = 8  #: client sent a BATCH with no credit outstanding
+ERR_SHUTTING_DOWN = 9  #: server is draining (SIGTERM)
+
+ERROR_NAMES = {
+    ERR_PROTOCOL: "protocol",
+    ERR_VERSION: "version",
+    ERR_FRAME_TOO_LARGE: "frame-too-large",
+    ERR_BAD_CRC: "bad-crc",
+    ERR_MALFORMED_BATCH: "malformed-batch",
+    ERR_DETECTOR: "detector",
+    ERR_IDLE_TIMEOUT: "idle-timeout",
+    ERR_CREDIT_OVERRUN: "credit-overrun",
+    ERR_SHUTTING_DOWN: "shutting-down",
+}
+
+_HELLO_C = struct.Struct("<8sII")  # magic, version, client max frame
+_HELLO_S = struct.Struct("<8sIIII")  # magic, version, credit, max frame, flags
+_BATCH_HEADER = struct.Struct("<B7xQQ")  # endian flag, n_events, table_len
+_CREDIT = struct.Struct("<I")
+_ERROR = struct.Struct("<H")
+_BYE_S = struct.Struct("<QQ")  # events ingested, races reported
+
+#: fixed column item sizes (u8 / i32 / i32), as in the trace format
+_OPS_SIZE = array("B").itemsize
+_INT_SIZE = array("i").itemsize
+_PER_EVENT = _OPS_SIZE + 2 * _INT_SIZE
+
+
+def _native_flag() -> int:
+    return 0 if sys.byteorder == "little" else 1
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def encode_frame(ftype: int, payload: bytes = b"") -> bytes:
+    """One wire frame: header (length, type, CRC32) plus payload."""
+    if ftype not in FRAME_NAMES:
+        raise ProtocolError(f"unknown frame type {ftype}")
+    return _FRAME.pack(len(payload), ftype, zlib.crc32(payload)) + payload
+
+
+def parse_frame_header(head: bytes) -> Tuple[int, int, int]:
+    """Unpack a 9-byte frame header; returns ``(length, type, crc)``."""
+    if len(head) < FRAME_HEADER_SIZE:
+        raise ProtocolError(
+            f"truncated frame header ({len(head)} of "
+            f"{FRAME_HEADER_SIZE} bytes)"
+        )
+    length, ftype, crc = _FRAME.unpack(head[:FRAME_HEADER_SIZE])
+    if ftype not in FRAME_NAMES:
+        raise ProtocolError(f"unknown frame type {ftype}")
+    return length, ftype, crc
+
+
+def check_frame_length(length: int, max_frame: int) -> None:
+    """Reject an oversized frame *before* its payload is read."""
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame payload of {length} bytes exceeds the negotiated "
+            f"maximum of {max_frame}"
+        )
+
+
+def check_payload_crc(payload: bytes, crc: int) -> None:
+    """Verify the header CRC against the received payload."""
+    actual = zlib.crc32(payload)
+    if actual != crc:
+        raise ProtocolError(
+            f"frame CRC mismatch: header says {crc:#010x}, payload "
+            f"hashes to {actual:#010x}"
+        )
+
+
+# -- HELLO --------------------------------------------------------------------
+
+
+def encode_hello(max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    return _HELLO_C.pack(PROTOCOL_MAGIC, PROTOCOL_VERSION, max_frame)
+
+
+def decode_hello(payload: bytes) -> Tuple[int, int]:
+    """Returns ``(version, client_max_frame)``; checks the magic only
+    (version mismatches are the *server's* call, so it can answer with
+    a precise ERROR frame)."""
+    if len(payload) != _HELLO_C.size:
+        raise ProtocolError(
+            f"bad HELLO payload length {len(payload)}"
+        )
+    magic, version, max_frame = _HELLO_C.unpack(payload)
+    if magic != PROTOCOL_MAGIC:
+        raise ProtocolError(f"bad protocol magic {magic!r}")
+    return version, max_frame
+
+
+def encode_hello_reply(credit: int, max_frame: int) -> bytes:
+    return _HELLO_S.pack(
+        PROTOCOL_MAGIC, PROTOCOL_VERSION, credit, max_frame, 0
+    )
+
+
+def decode_hello_reply(payload: bytes) -> Tuple[int, int, int]:
+    """Returns ``(version, initial_credit, max_frame)``."""
+    if len(payload) != _HELLO_S.size:
+        raise ProtocolError(
+            f"bad HELLO reply payload length {len(payload)}"
+        )
+    magic, version, credit, max_frame, _flags = _HELLO_S.unpack(payload)
+    if magic != PROTOCOL_MAGIC:
+        raise ProtocolError(f"bad protocol magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"server speaks protocol version {version}, "
+            f"client speaks {PROTOCOL_VERSION}"
+        )
+    return version, credit, max_frame
+
+
+# -- BATCH --------------------------------------------------------------------
+
+
+def encode_batch_payload(
+    batch: EventBatch, new_locations: Sequence = ()
+) -> bytes:
+    """Serialise one batch (plus the locations newly interned for it).
+
+    ``new_locations`` are the table entries whose ids start where the
+    receiver's table currently ends; pass ``()`` to keep the table
+    client-side (race reports then name interned ids).
+    """
+    from repro.trace import encode_location
+
+    if new_locations:
+        table = json.dumps(
+            [encode_location(loc) for loc in new_locations],
+            separators=(",", ":"),
+        ).encode("utf-8")
+    else:
+        table = b""
+    head = _BATCH_HEADER.pack(_native_flag(), len(batch), len(table))
+    return b"".join(
+        (head, table, batch.ops.tobytes(), batch.a.tobytes(),
+         batch.b.tobytes())
+    )
+
+
+def decode_batch_payload(
+    payload: bytes,
+) -> Tuple[EventBatch, Optional[List]]:
+    """Decode a BATCH payload into ``(batch, new_locations_or_None)``.
+
+    The declared column lengths are checked against the payload size
+    *before* any column (or the table) is allocated: a header that
+    lies about ``n_events`` or ``table_len`` is rejected outright,
+    exactly like :func:`~repro.engine.tracefile.read_trace` rejects a
+    lying trace-file header against the bytes on disk.
+    """
+    from repro.trace import decode_location
+
+    if len(payload) < _BATCH_HEADER.size:
+        raise ProtocolError(
+            f"truncated BATCH header ({len(payload)} of "
+            f"{_BATCH_HEADER.size} bytes)"
+        )
+    endian, n_events, table_len = _BATCH_HEADER.unpack_from(payload)
+    if endian not in (0, 1):
+        raise ProtocolError(f"bad endianness flag {endian} in BATCH")
+    need = _BATCH_HEADER.size + table_len + n_events * _PER_EVENT
+    if need != len(payload):
+        raise ProtocolError(
+            f"lying BATCH header: {n_events} events and a "
+            f"{table_len}-byte table need {need} payload bytes, "
+            f"frame carries {len(payload)}"
+        )
+    view = memoryview(payload)
+    table_off = _BATCH_HEADER.size
+    ops_off = table_off + table_len
+    a_off = ops_off + n_events * _OPS_SIZE
+    b_off = a_off + n_events * _INT_SIZE
+    locations: Optional[List] = None
+    if table_len:
+        try:
+            entries = json.loads(bytes(view[table_off:ops_off]))
+        except ValueError as exc:
+            raise ProtocolError(
+                f"corrupt BATCH location table: {exc}"
+            ) from None
+        if not isinstance(entries, list):
+            raise ProtocolError("corrupt BATCH location table: not a list")
+        locations = [decode_location(entry) for entry in entries]
+    ops = array("B")
+    av = array("i")
+    bv = array("i")
+    ops.frombytes(view[ops_off:a_off])
+    av.frombytes(view[a_off:b_off])
+    bv.frombytes(view[b_off:])
+    if endian != _native_flag():
+        av.byteswap()
+        bv.byteswap()
+    return EventBatch(ops, av, bv), locations
+
+
+def validate_batch_columns(
+    batch: EventBatch, table_size: Optional[int] = None
+) -> None:
+    """Column-level sanity checks before the batch reaches a kernel.
+
+    Rejects unknown opcodes and negative access location ids (and,
+    when the session ships its location table, access ids beyond the
+    table) -- the structural stream itself (fork ids, use-after-halt,
+    join discipline) is validated by the engine kernels, which raise
+    :class:`~repro.errors.DetectorError` exactly as they do for local
+    ingestion.  Vectorized under numpy; a bulk ``min``/``max`` scan
+    otherwise.
+    """
+    n = len(batch)
+    if n == 0:
+        return
+    if _np is not None:
+        ops_np = _np.frombuffer(batch.ops, dtype=_np.uint8)
+        b_np = _np.frombuffer(batch.b, dtype=_np.int32)
+        if ops_np.max() > OP_WRITE:
+            raise ProtocolError(
+                f"unknown opcode {int(ops_np.max())} in BATCH"
+            )
+        access = ops_np >= OP_READ  # OP_READ or OP_WRITE
+        if access.any():
+            lids = b_np[access]
+            lo = int(lids.min())
+            if lo < 0:
+                raise ProtocolError(
+                    f"negative location id {lo} in BATCH access"
+                )
+            if table_size is not None and int(lids.max()) >= table_size:
+                raise ProtocolError(
+                    f"access names location id {int(lids.max())} but "
+                    f"the session table has {table_size} entries"
+                )
+        return
+    if max(batch.ops) > OP_WRITE:
+        raise ProtocolError(
+            f"unknown opcode {max(batch.ops)} in BATCH"
+        )
+    # Structural events carry b = -1 (or a fork child id); only access
+    # slots are constrained, so the cheap whole-column bound uses -1 as
+    # the structural floor.
+    if min(batch.b) < -1:
+        raise ProtocolError("negative location id in BATCH access")
+    if table_size is not None:
+        read_op, write_op = OP_READ, OP_WRITE
+        for op, b in zip(batch.ops, batch.b):
+            if (op == read_op or op == write_op) and b >= table_size:
+                raise ProtocolError(
+                    f"access names location id {b} but the session "
+                    f"table has {table_size} entries"
+                )
+
+
+# -- CREDIT / ERROR / BYE -----------------------------------------------------
+
+
+def encode_credit(amount: int) -> bytes:
+    return _CREDIT.pack(amount)
+
+
+def decode_credit(payload: bytes) -> int:
+    if len(payload) != _CREDIT.size:
+        raise ProtocolError(f"bad CREDIT payload length {len(payload)}")
+    return _CREDIT.unpack(payload)[0]
+
+
+def encode_error(code: int, message: str) -> bytes:
+    return _ERROR.pack(code) + message.encode("utf-8", "replace")
+
+
+def decode_error(payload: bytes) -> Tuple[int, str]:
+    if len(payload) < _ERROR.size:
+        raise ProtocolError(f"bad ERROR payload length {len(payload)}")
+    code = _ERROR.unpack_from(payload)[0]
+    return code, payload[_ERROR.size:].decode("utf-8", "replace")
+
+
+def encode_bye_summary(events: int, races: int) -> bytes:
+    return _BYE_S.pack(events, races)
+
+
+def decode_bye_summary(payload: bytes) -> Tuple[int, int]:
+    if len(payload) != _BYE_S.size:
+        raise ProtocolError(f"bad BYE payload length {len(payload)}")
+    events, races = _BYE_S.unpack(payload)
+    return events, races
+
+
+# -- RACES --------------------------------------------------------------------
+
+
+def encode_races(reports: Iterable[RaceReport]) -> bytes:
+    """JSON-encode race reports with interned location ids.
+
+    ``prior_repr`` is a representative thread id for every built-in
+    detector; anything non-JSON degrades to its ``repr`` rather than
+    failing the stream.
+    """
+    rows = [
+        {
+            "loc": r.loc,
+            "task": r.task,
+            "kind": r.kind.value,
+            "prior_kind": r.prior_kind.value,
+            "prior_repr": r.prior_repr,
+            "op_index": r.op_index,
+        }
+        for r in reports
+    ]
+    return json.dumps(
+        rows, separators=(",", ":"), default=repr
+    ).encode("utf-8")
+
+
+def decode_races(payload: bytes) -> List[RaceReport]:
+    try:
+        rows = json.loads(payload)
+    except ValueError as exc:
+        raise ProtocolError(f"corrupt RACES payload: {exc}") from None
+    if not isinstance(rows, list):
+        raise ProtocolError("corrupt RACES payload: not a list")
+    out: List[RaceReport] = []
+    try:
+        for row in rows:
+            out.append(
+                RaceReport(
+                    loc=row["loc"],
+                    task=row["task"],
+                    kind=AccessKind(row["kind"]),
+                    prior_kind=AccessKind(row["prior_kind"]),
+                    prior_repr=row.get("prior_repr"),
+                    op_index=row.get("op_index", -1),
+                )
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"corrupt RACES payload: {exc!r}") from None
+    return out

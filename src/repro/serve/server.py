@@ -1,0 +1,825 @@
+"""The streaming trace-ingest server: many sessions, one detector each.
+
+:class:`RaceServer` is an asyncio TCP server speaking the RPRSERVE
+protocol (:mod:`repro.serve.protocol`).  Each accepted connection is a
+*session*:
+
+* the client leads with HELLO; the server negotiates the protocol
+  version and the frame-size cap and answers with the session's
+  initial **credit** -- the number of BATCH frames the client may have
+  outstanding;
+* BATCH frames are decoded (header-vs-payload bound check *before*
+  allocation, CRC already verified at the framing layer), column-
+  validated, and queued for the session's ingest worker;
+* the worker feeds each batch to the session's engine -- an isolated
+  :class:`~repro.engine.ingest.BatchEngine` per session by default, or
+  one *shared* :class:`~repro.engine.parallel.ParallelShardedEngine`
+  when the server runs with ``jobs > 1`` -- and streams any newly
+  detected races back as RACES frames;
+* after each processed batch the server returns credit, **unless** the
+  session's queue sits at or above its high-water mark: the grant is
+  withheld (a *credit stall*) until the queue drains, so a client can
+  never grow the server's memory past
+  ``credit_window x max_frame`` per session no matter how fast it
+  pushes;
+* a session that breaks the protocol, overruns its credit, trips the
+  engine's stream validation, or goes idle past the timeout gets one
+  ERROR frame and is torn down; teardown always *closes the session's
+  engine* so a client that vanishes mid-stream leaks no shadow state;
+* BYE drains the queue, answers with a ``(events, races)`` summary,
+  and ends the session cleanly.
+
+``SIGTERM``/``SIGINT`` (see :meth:`RaceServer.install_signal_handlers`)
+triggers a graceful drain: the listener closes, live sessions get a
+bounded window to finish their queues, then everything is torn down.
+
+:class:`ServerThread` runs a :class:`RaceServer` on a private event
+loop in a daemon thread -- the harness the tests, the benchmark, and
+the docs examples use for loopback serving from synchronous code.
+
+Everything is observable through :mod:`repro.obs`: session/frame/byte
+counters, queue-depth and credit gauges, per-batch service-time and
+batch-size histograms, all labelled ``component="serve"``.  The CLI's
+``serve --metrics-port`` exposes the same registry over HTTP via
+:func:`start_metrics_http` (stdlib ``http.server``, no new
+dependencies).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from collections import Counter as _Counter
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from itertools import count
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.batch import EventBatch
+from repro.engine.ingest import BatchEngine
+from repro.errors import DetectorError, ProtocolError, ServeError
+from repro.obs.export import to_prometheus
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.serve import protocol as wire
+
+__all__ = [
+    "ServeConfig",
+    "RaceServer",
+    "ServerThread",
+    "start_metrics_http",
+]
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one :class:`RaceServer`.
+
+    ``credit_window`` bounds the BATCH frames a session may have
+    outstanding (and therefore the server's queue growth);
+    ``queue_high_water`` is the depth at which credit grants are
+    withheld until the ingest worker catches up.  ``jobs > 1``
+    replaces the per-session engines with one shared multi-process
+    :class:`~repro.engine.parallel.ParallelShardedEngine` (see
+    ``docs/SERVING.md`` for when that trade is right).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = pick a free port (read it from ``server.port``)
+    credit_window: int = 8
+    queue_high_water: int = 6
+    max_frame: int = wire.DEFAULT_MAX_FRAME
+    idle_timeout: float = 30.0
+    hello_timeout: float = 10.0
+    drain_timeout: float = 10.0
+    jobs: int = 1
+
+
+class _Metrics:
+    """The serve-layer instrument bundle (one lookup at server start)."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        labels = {"component": "serve"}
+        self.sessions_total = registry.counter(
+            "serve_sessions_total", "client sessions accepted", labels=labels
+        )
+        self.sessions_active = registry.gauge(
+            "serve_sessions_active", "sessions currently open", labels=labels
+        )
+        self.frames_in = {
+            name: registry.counter(
+                "serve_frames_total",
+                "frames by direction and type",
+                labels={**labels, "dir": "in", "type": name},
+            )
+            for name in wire.FRAME_NAMES.values()
+        }
+        self.frames_out = {
+            name: registry.counter(
+                "serve_frames_total",
+                "frames by direction and type",
+                labels={**labels, "dir": "out", "type": name},
+            )
+            for name in wire.FRAME_NAMES.values()
+        }
+        self.bytes_in = registry.counter(
+            "serve_bytes_total", "payload bytes by direction",
+            labels={**labels, "dir": "in"},
+        )
+        self.bytes_out = registry.counter(
+            "serve_bytes_total", "payload bytes by direction",
+            labels={**labels, "dir": "out"},
+        )
+        self.batches = registry.counter(
+            "serve_batches_total", "BATCH frames ingested", labels=labels
+        )
+        self.events = registry.counter(
+            "serve_events_total", "events ingested over the wire",
+            labels=labels,
+        )
+        self.races_streamed = registry.counter(
+            "serve_races_streamed_total",
+            "race reports streamed back to clients", labels=labels,
+        )
+        self.credit_stalls = registry.counter(
+            "serve_credit_stalls_total",
+            "credit grants withheld because a session queue sat at its "
+            "high-water mark",
+            labels=labels,
+        )
+        self.errors = {
+            name: registry.counter(
+                "serve_errors_total",
+                "ERROR frames sent, by code",
+                labels={**labels, "code": name},
+            )
+            for name in wire.ERROR_NAMES.values()
+        }
+        self.queue_depth = registry.gauge(
+            "serve_queue_depth",
+            "batches queued across all sessions", labels=labels,
+        )
+        self.queue_depth_max = registry.gauge(
+            "serve_queue_depth_max",
+            "high-water mark of the aggregate ingest queue", labels=labels,
+        )
+        self.credit_outstanding = registry.gauge(
+            "serve_credit_outstanding",
+            "unspent credit across all sessions", labels=labels,
+        )
+        self.service_time = registry.histogram(
+            "serve_batch_service_seconds",
+            "wall seconds to ingest one BATCH frame", labels=labels,
+        )
+        self.batch_events = registry.histogram(
+            "serve_batch_events",
+            "events per BATCH frame", labels=labels,
+            buckets=(64, 512, 4096, 16384, 65536, 262144),
+        )
+
+    def observe_depth(self, depth: int) -> None:
+        self.queue_depth.set(depth)
+        if depth > self.queue_depth_max.value:
+            self.queue_depth_max.set(depth)
+
+
+class _SessionEngine:
+    """One session's detection state: an isolated :class:`BatchEngine`.
+
+    ``close()`` drops the engine (detector, shadow map, union-find)
+    so a torn-down session cannot leak shadow state; every method
+    raises after that.
+    """
+
+    shared = False
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._engine: Optional[BatchEngine] = BatchEngine(registry=registry)
+        self._races_seen = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._engine is None
+
+    def _require_open(self) -> BatchEngine:
+        if self._engine is None:
+            raise ServeError("session engine is closed")
+        return self._engine
+
+    def ingest(self, batch: EventBatch) -> List:
+        """Feed one batch; returns the races it newly detected."""
+        engine = self._require_open()
+        engine.ingest(batch)
+        races = engine.detector.races
+        new = list(races[self._races_seen:])
+        self._races_seen = len(races)
+        return new
+
+    @property
+    def events_ingested(self) -> int:
+        return self._require_open().events_ingested
+
+    @property
+    def races_reported(self) -> int:
+        return self._races_seen
+
+    def close(self) -> None:
+        self._engine = None
+
+
+class _SharedParallelEngine:
+    """The ``--jobs`` mode: every session feeds one multi-process
+    engine (single-tenant aggregate detection; races detected for any
+    session's batch are streamed to the session that sent it).
+
+    Ingestion is serialised under a thread lock -- the underlying
+    engine is not concurrency-safe -- and new races are recovered as a
+    multiset difference because the shard-ordered merge interleaves
+    fresh reports with old ones.
+    """
+
+    shared = True
+
+    def __init__(self, jobs: int, registry: MetricsRegistry) -> None:
+        from repro.engine.parallel import ParallelShardedEngine
+
+        self._engine = ParallelShardedEngine(jobs, registry=registry)
+        self._lock = threading.Lock()
+        self._seen: _Counter = _Counter()
+        self._events = 0
+        self._races = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def session_view(self) -> "_SharedEngineView":
+        return _SharedEngineView(self)
+
+    def ingest(self, batch: EventBatch) -> List:
+        with self._lock:
+            if self._closed:
+                raise ServeError("shared engine is closed")
+            self._engine.ingest(batch)
+            # peek_races() keeps the run open (no collect); the delta is
+            # a multiset difference because the shard-ordered merge
+            # interleaves fresh reports with earlier ones.
+            now = _Counter(self._engine.peek_races())
+            fresh = now - self._seen
+            self._seen = now
+            self._events += len(batch)
+            new = list(fresh.elements())
+            self._races += len(new)
+            return new
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._engine.close()
+
+
+class _SharedEngineView:
+    """Per-session facade over the shared engine: tracks this session's
+    own event/race totals for its BYE summary, while ``close()`` only
+    detaches (the pool outlives sessions)."""
+
+    shared = True
+
+    def __init__(self, owner: _SharedParallelEngine) -> None:
+        self._owner: Optional[_SharedParallelEngine] = owner
+        self.events_ingested = 0
+        self.races_reported = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._owner is None
+
+    def ingest(self, batch: EventBatch) -> List:
+        if self._owner is None:
+            raise ServeError("session engine is closed")
+        new = self._owner.ingest(batch)
+        self.events_ingested += len(batch)
+        self.races_reported += len(new)
+        return new
+
+    def close(self) -> None:
+        self._owner = None
+
+
+class _Session:
+    """Book-keeping for one live connection."""
+
+    __slots__ = (
+        "sid", "writer", "engine", "queue", "queued", "credits",
+        "withheld", "write_lock", "failed", "draining", "max_frame",
+    )
+
+    def __init__(
+        self, sid: int, writer: asyncio.StreamWriter, max_frame: int
+    ) -> None:
+        self.sid = sid
+        self.writer = writer
+        self.engine: Any = None
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.queued = 0  # batches only; the BYE sentinel is not depth
+        self.credits = 0
+        self.withheld = 0
+        self.write_lock = asyncio.Lock()
+        self.failed: Optional[BaseException] = None
+        self.draining = False
+        self.max_frame = max_frame
+
+
+_BYE = object()  # queue sentinel: client finished its stream
+
+
+async def _read_frame(
+    reader: asyncio.StreamReader, max_frame: int
+) -> Tuple[int, bytes]:
+    """Read one frame; returns ``(type, payload)``.
+
+    Length is checked against ``max_frame`` before the payload read,
+    the CRC after it.  EOF raises ``IncompleteReadError``.
+    """
+    head = await reader.readexactly(wire.FRAME_HEADER_SIZE)
+    length, ftype, crc = wire.parse_frame_header(head)
+    wire.check_frame_length(length, max_frame)
+    payload = await reader.readexactly(length) if length else b""
+    wire.check_payload_crc(payload, crc)
+    return ftype, payload
+
+
+class RaceServer:
+    """Accepts RPRSERVE sessions and detects races online (see the
+    module docstring for the session lifecycle)."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        if self.config.credit_window < 1:
+            raise ServeError(
+                f"credit window must be positive, got "
+                f"{self.config.credit_window}"
+            )
+        if self.config.jobs < 1:
+            raise ServeError(
+                f"need at least one job, got {self.config.jobs}"
+            )
+        self.registry = registry if registry is not None else get_registry()
+        self._m = _Metrics(self.registry)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._sessions: Dict[int, _Session] = {}
+        self._handlers: set = set()
+        self._ids = count(1)
+        self._shared_engine: Optional[_SharedParallelEngine] = None
+        self._closing = False
+        self._closed_event: Optional[asyncio.Event] = None
+        self.port: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> int:
+        """Bind and start accepting; returns the bound port."""
+        if self._server is not None:
+            raise ServeError("server already started")
+        self._closed_event = asyncio.Event()
+        if self.config.jobs > 1:
+            self._shared_engine = _SharedParallelEngine(
+                self.config.jobs, self.registry
+            )
+        try:
+            self._server = await asyncio.start_server(
+                self._handle, self.config.host, self.config.port
+            )
+        except OSError:
+            if self._shared_engine is not None:
+                self._shared_engine.close()
+                self._shared_engine = None
+            raise
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain (CLI mode)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(self.shutdown())
+            )
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        if self._closed_event is None:
+            raise ServeError("server not started")
+        await self._closed_event.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, let live sessions finish
+        their queues within ``drain_timeout``, then tear down."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for session in list(self._sessions.values()):
+            session.draining = True
+        if self._handlers:
+            done, pending = await asyncio.wait(
+                self._handlers, timeout=self.config.drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending)
+        if self._shared_engine is not None:
+            self._shared_engine.close()
+            self._shared_engine = None
+        if self._closed_event is not None:
+            self._closed_event.set()
+
+    # -- wire helpers --------------------------------------------------------
+
+    async def _send(
+        self, session: _Session, ftype: int, payload: bytes = b""
+    ) -> None:
+        # Count before the write syscall: a client thread unblocked by
+        # these very bytes may inspect the registry immediately.
+        self._m.frames_out[wire.FRAME_NAMES[ftype]].inc()
+        self._m.bytes_out.inc(wire.FRAME_HEADER_SIZE + len(payload))
+        async with session.write_lock:
+            session.writer.write(wire.encode_frame(ftype, payload))
+            await session.writer.drain()
+
+    async def _send_error(
+        self, session: _Session, code: int, message: str
+    ) -> None:
+        self._m.errors[wire.ERROR_NAMES[code]].inc()
+        try:
+            await self._send(
+                session, wire.FRAME_ERROR, wire.encode_error(code, message)
+            )
+        except (ConnectionError, RuntimeError):
+            pass  # the peer is already gone; teardown continues
+
+    # -- session lifecycle ---------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        sid = next(self._ids)
+        session = _Session(sid, writer, self.config.max_frame)
+        self._sessions[sid] = session
+        self._m.sessions_total.inc()
+        self._m.sessions_active.inc()
+        consumer: Optional[asyncio.Task] = None
+        try:
+            if self._closing:
+                await self._send_error(
+                    session, wire.ERR_SHUTTING_DOWN, "server is draining"
+                )
+                return
+            if not await self._handshake(session, reader):
+                return
+            session.engine = self._make_engine()
+            session.credits = self.config.credit_window
+            self._m.credit_outstanding.inc(session.credits)
+            consumer = asyncio.ensure_future(self._consume(session))
+            await self._read_loop(session, reader, consumer)
+        except asyncio.CancelledError:
+            raise
+        except (
+            asyncio.IncompleteReadError, ConnectionError, OSError
+        ):
+            pass  # client vanished mid-frame; teardown below
+        except ProtocolError as exc:
+            await self._send_error(session, wire.ERR_PROTOCOL, str(exc))
+        finally:
+            if consumer is not None:
+                consumer.cancel()
+                try:
+                    await consumer
+                except (asyncio.CancelledError, Exception):
+                    pass
+            # Teardown closes the engine: a vanished client leaves no
+            # shadow state behind (the queue and its decoded batches
+            # die with the session object).
+            if session.engine is not None:
+                session.engine.close()
+            self._m.credit_outstanding.dec(session.credits)
+            session.credits = 0
+            del self._sessions[sid]
+            self._m.sessions_active.dec()
+            self._m.observe_depth(self._total_depth())
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            if task is not None:
+                self._handlers.discard(task)
+
+    def _make_engine(self):
+        if self._shared_engine is not None:
+            return self._shared_engine.session_view()
+        return _SessionEngine(self.registry)
+
+    async def _handshake(
+        self, session: _Session, reader: asyncio.StreamReader
+    ) -> bool:
+        try:
+            ftype, payload = await asyncio.wait_for(
+                _read_frame(reader, wire.DEFAULT_MAX_FRAME),
+                self.config.hello_timeout,
+            )
+        except asyncio.TimeoutError:
+            await self._send_error(
+                session, wire.ERR_IDLE_TIMEOUT, "no HELLO within timeout"
+            )
+            return False
+        self._count_in(ftype, payload)
+        if ftype != wire.FRAME_HELLO:
+            await self._send_error(
+                session, wire.ERR_PROTOCOL,
+                f"expected HELLO, got {wire.FRAME_NAMES[ftype]}",
+            )
+            return False
+        version, client_max = wire.decode_hello(payload)
+        if version != wire.PROTOCOL_VERSION:
+            await self._send_error(
+                session, wire.ERR_VERSION,
+                f"server speaks protocol version "
+                f"{wire.PROTOCOL_VERSION}, client sent {version}",
+            )
+            return False
+        max_frame = min(self.config.max_frame, client_max)
+        session.max_frame = max_frame
+        await self._send(
+            session, wire.FRAME_HELLO,
+            wire.encode_hello_reply(self.config.credit_window, max_frame),
+        )
+        return True
+
+    def _count_in(self, ftype: int, payload: bytes) -> None:
+        self._m.frames_in[wire.FRAME_NAMES[ftype]].inc()
+        self._m.bytes_in.inc(wire.FRAME_HEADER_SIZE + len(payload))
+
+    async def _read_loop(
+        self,
+        session: _Session,
+        reader: asyncio.StreamReader,
+        consumer: asyncio.Task,
+    ) -> None:
+        max_frame = session.max_frame
+        table_size = 0
+        ships_table = False
+        while True:
+            try:
+                ftype, payload = await asyncio.wait_for(
+                    _read_frame(reader, max_frame),
+                    self.config.idle_timeout,
+                )
+            except asyncio.TimeoutError:
+                await self._send_error(
+                    session, wire.ERR_IDLE_TIMEOUT,
+                    f"no frame within {self.config.idle_timeout}s",
+                )
+                return
+            except ProtocolError as exc:
+                code = (
+                    wire.ERR_FRAME_TOO_LARGE
+                    if "exceeds" in str(exc)
+                    else wire.ERR_BAD_CRC
+                    if "CRC" in str(exc)
+                    else wire.ERR_PROTOCOL
+                )
+                await self._send_error(session, code, str(exc))
+                return
+            self._count_in(ftype, payload)
+            if session.failed is not None:
+                # The worker already sent ERROR.  Keep draining what
+                # the client's credit let it send -- closing with
+                # unread frames in the buffer raises an RST that can
+                # destroy the in-flight ERROR before the client reads
+                # it.  BYE (or EOF) ends the session.
+                if ftype == wire.FRAME_BYE:
+                    return
+                continue
+            if ftype == wire.FRAME_BATCH:
+                if session.credits <= 0:
+                    await self._send_error(
+                        session, wire.ERR_CREDIT_OVERRUN,
+                        "BATCH with no credit outstanding",
+                    )
+                    return
+                session.credits -= 1
+                self._m.credit_outstanding.dec()
+                try:
+                    batch, new_locs = wire.decode_batch_payload(payload)
+                    if new_locs is not None:
+                        ships_table = True
+                        table_size += len(new_locs)
+                    wire.validate_batch_columns(
+                        batch, table_size if ships_table else None
+                    )
+                except ProtocolError as exc:
+                    await self._send_error(
+                        session, wire.ERR_MALFORMED_BATCH, str(exc)
+                    )
+                    return
+                session.queued += 1
+                session.queue.put_nowait(batch)
+                self._m.observe_depth(self._total_depth())
+            elif ftype == wire.FRAME_BYE:
+                session.queue.put_nowait(_BYE)
+                await consumer
+                if session.failed is None:
+                    await self._send(
+                        session, wire.FRAME_BYE,
+                        wire.encode_bye_summary(
+                            session.engine.events_ingested,
+                            session.engine.races_reported,
+                        ),
+                    )
+                return
+            else:
+                await self._send_error(
+                    session, wire.ERR_PROTOCOL,
+                    f"unexpected {wire.FRAME_NAMES[ftype]} frame",
+                )
+                return
+
+    def _total_depth(self) -> int:
+        return sum(s.queued for s in self._sessions.values())
+
+    async def _consume(self, session: _Session) -> None:
+        """The session's ingest worker: dequeue, detect, stream races,
+        return credit (or stall at the high-water mark)."""
+        loop = asyncio.get_running_loop()
+        m = self._m
+        while True:
+            item = await session.queue.get()
+            if item is _BYE:
+                return
+            batch: EventBatch = item
+            session.queued -= 1
+            start = time.perf_counter()
+            try:
+                new_races = await loop.run_in_executor(
+                    None, session.engine.ingest, batch
+                )
+            except (DetectorError, ServeError) as exc:
+                session.failed = exc
+                await self._send_error(
+                    session, wire.ERR_DETECTOR, str(exc)
+                )
+                # No writer.close() here: closing with the client's
+                # remaining frames unread raises an RST that can
+                # destroy the in-flight ERROR.  The read loop drains
+                # what credit allowed and teardown closes cleanly.
+                return
+            m.service_time.observe(time.perf_counter() - start)
+            m.batch_events.observe(len(batch))
+            m.batches.inc()
+            m.events.inc(len(batch))
+            m.observe_depth(self._total_depth())
+            if new_races:
+                m.races_streamed.inc(len(new_races))
+                await self._send(
+                    session, wire.FRAME_RACES, wire.encode_races(new_races)
+                )
+            if session.queued >= self.config.queue_high_water:
+                # Above the high-water mark: withhold the grant until
+                # the backlog drains (credit-based backpressure).
+                session.withheld += 1
+                m.credit_stalls.inc()
+            elif not session.draining:
+                grant = 1 + session.withheld
+                session.withheld = 0
+                session.credits += grant
+                m.credit_outstanding.inc(grant)
+                await self._send(
+                    session, wire.FRAME_CREDIT, wire.encode_credit(grant)
+                )
+
+
+class ServerThread:
+    """A :class:`RaceServer` on a private event loop in a daemon
+    thread -- loopback serving for synchronous callers::
+
+        srv = ServerThread()
+        port = srv.start()
+        ... RaceClient("127.0.0.1", port) ...
+        srv.stop()
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.registry = registry
+        self.server: Optional[RaceServer] = None
+        self.port: Optional[int] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced to start()/stop()
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.server = RaceServer(self.config, registry=self.registry)
+        try:
+            self.port = await self.server.start()
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.server.serve_forever()
+
+    def start(self, timeout: float = 10.0) -> int:
+        """Start the thread; returns the bound port."""
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ServeError("server thread did not come up")
+        if self._error is not None:
+            raise self._error
+        assert self.port is not None
+        return self.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Gracefully drain and join the server thread."""
+        if self._loop is not None and self._thread.is_alive():
+            assert self.server is not None
+            asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(), self._loop
+            )
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+
+def start_metrics_http(
+    port: int,
+    registry: Optional[MetricsRegistry] = None,
+    host: str = "127.0.0.1",
+) -> ThreadingHTTPServer:
+    """Expose ``registry`` as Prometheus text on ``/metrics``.
+
+    Stdlib ``http.server`` on a daemon thread (no new dependencies);
+    returns the HTTP server (its ``server_port`` is the bound port;
+    call ``shutdown()`` to stop it).
+    """
+    reg = registry if registry is not None else get_registry()
+
+    class _Handler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - http.server API
+            if self.path.rstrip("/") not in ("", "/metrics"):
+                self.send_error(404)
+                return
+            body = to_prometheus(reg).encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):  # noqa: D102 - silence per-request logs
+            pass
+
+    httpd = ThreadingHTTPServer((host, port), _Handler)
+    thread = threading.Thread(
+        target=httpd.serve_forever, name="repro-serve-metrics", daemon=True
+    )
+    thread.start()
+    return httpd

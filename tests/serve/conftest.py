@@ -1,0 +1,116 @@
+"""Shared fixtures for the serving-layer tests.
+
+Workloads are captured once per session (the interpreter run is the
+expensive part); each test builds its own server so configuration and
+metrics stay isolated.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import Counter
+
+import pytest
+
+from repro.engine.benchlib import build_workload, capture
+from repro.engine.ingest import BatchEngine
+from repro.serve import protocol as wire
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """~4k events of racy racegen traffic: ``(batch, interner)``."""
+    _events, batch, interner = capture(build_workload(5_000))
+    return batch, interner
+
+
+@pytest.fixture(scope="session")
+def big_workload():
+    """The acceptance-criteria workload: a 100k-access racegen
+    program (~101k events)."""
+    _events, batch, interner = capture(build_workload(100_000))
+    return batch, interner
+
+
+def local_race_multiset(batch) -> Counter:
+    """Replay ``batch`` through a fresh local BatchEngine; the race
+    multiset every wire path must reproduce."""
+    engine = BatchEngine()
+    engine.ingest(batch)
+    return race_multiset(engine.detector.races)
+
+
+def race_multiset(reports) -> Counter:
+    return Counter((r.task, r.loc, r.kind, r.prior_kind) for r in reports)
+
+
+class RawConn:
+    """A hand-rolled socket speaking raw RPRSERVE frames -- for the
+    hostile-client tests the well-behaved :class:`RaceClient` cannot
+    express."""
+
+    def __init__(self, port: int, hello: bool = True, timeout: float = 10.0):
+        self.sock = socket.create_connection(
+            ("127.0.0.1", port), timeout=timeout
+        )
+        self.credit = 0
+        self.max_frame = wire.DEFAULT_MAX_FRAME
+        if hello:
+            self.send(
+                wire.encode_frame(wire.FRAME_HELLO, wire.encode_hello())
+            )
+            ftype, payload = self.recv_frame()
+            assert ftype == wire.FRAME_HELLO, wire.FRAME_NAMES[ftype]
+            _, self.credit, self.max_frame = wire.decode_hello_reply(payload)
+
+    def send(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def send_frame(self, ftype: int, payload: bytes = b"") -> None:
+        self.send(wire.encode_frame(ftype, payload))
+
+    def recv_exactly(self, n: int) -> bytes:
+        chunks = []
+        got = 0
+        while got < n:
+            chunk = self.sock.recv(n - got)
+            if not chunk:
+                raise ConnectionError("peer closed mid-frame")
+            chunks.append(chunk)
+            got += len(chunk)
+        return b"".join(chunks)
+
+    def recv_frame(self):
+        head = self.recv_exactly(wire.FRAME_HEADER_SIZE)
+        length, ftype, crc = wire.parse_frame_header(head)
+        payload = self.recv_exactly(length) if length else b""
+        wire.check_payload_crc(payload, crc)
+        return ftype, payload
+
+    def expect_error(self, code: int) -> str:
+        """Skip CREDIT/RACES frames until an ERROR arrives; assert its
+        code and return the server's message."""
+        while True:
+            ftype, payload = self.recv_frame()
+            if ftype in (wire.FRAME_CREDIT, wire.FRAME_RACES):
+                continue
+            assert ftype == wire.FRAME_ERROR, wire.FRAME_NAMES[ftype]
+            got, message = wire.decode_error(payload)
+            assert got == code, (
+                f"expected {wire.ERROR_NAMES[code]}, got "
+                f"{wire.ERROR_NAMES.get(got, got)}: {message}"
+            )
+            return message
+
+    def expect_eof(self) -> None:
+        assert self.sock.recv(1) == b""
+
+    def close(self) -> None:
+        self.sock.close()
+
+    def __enter__(self) -> "RawConn":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

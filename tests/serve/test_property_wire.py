@@ -1,0 +1,64 @@
+"""Property sweep: random spawn-sync programs served over the wire.
+
+The unit tests pin individual codecs and session behaviours; this
+sweep closes the loop end to end.  Each example builds a random
+series-parallel spawn-sync program (the generator from the engine's
+differential sweep), captures its trace with a :class:`BatchBuilder`,
+ships the batch client -> server -> per-session :class:`BatchEngine`
+in small BATCH frames, and checks the streamed race reports against a
+local replay of the same batch -- as a multiset, since slicing the
+stream must not change *what* races, only when the reports arrive.
+
+One server thread serves the whole sweep (sessions are isolated, so
+examples cannot contaminate each other and shrinking stays sound).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.engine.batch import BatchBuilder
+from repro.forkjoin.interpreter import run
+from repro.obs.registry import MetricsRegistry
+from repro.serve import RaceClient, ServeConfig, ServerThread
+
+from tests.engine.test_property_differential import (
+    _cilk_program,
+    spawn_sync_cases,
+)
+
+from .conftest import local_race_multiset, race_multiset
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def wire_server():
+    srv = ServerThread(
+        ServeConfig(credit_window=4, queue_high_water=3),
+        registry=MetricsRegistry(),
+    )
+    with srv:
+        yield srv
+
+
+class TestWireMatchesLocalReplay:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(case=spawn_sync_cases())
+    def test_streamed_races_equal_local_multiset(self, wire_server, case):
+        tree, plan = case
+        builder = BatchBuilder()
+        run(_cilk_program(tree, plan), observers=[builder])
+        batch = builder.batch
+        local = local_race_multiset(batch)
+        with RaceClient("127.0.0.1", wire_server.port) as client:
+            # tiny frames force mid-program session state on the server
+            client.send_batches(batch, batch_size=32)
+            summary = client.finish()
+        assert summary.events == len(batch)
+        assert race_multiset(summary.reports) == local

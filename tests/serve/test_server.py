@@ -1,0 +1,375 @@
+"""Integration tests for the asyncio ingest server.
+
+Every test runs a real :class:`ServerThread` on loopback with its own
+:class:`MetricsRegistry`, drives it with either the well-behaved
+:class:`RaceClient` or the hostile :class:`RawConn`, and checks both
+the wire behaviour and the observability counters.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from array import array
+
+import pytest
+
+from repro.engine.batch import OP_JOIN, OP_WRITE, EventBatch
+from repro.errors import ProtocolError, ServeError
+from repro.obs.registry import MetricsRegistry
+from repro.serve import (
+    RaceClient,
+    RemoteError,
+    ServeConfig,
+    ServerThread,
+    run_load,
+    submit_batch,
+)
+from repro.serve import protocol as wire
+from repro.serve.server import _SessionEngine, start_metrics_http
+
+from .conftest import RawConn, local_race_multiset, race_multiset
+
+pytestmark = pytest.mark.serve
+
+
+def make_server(registry=None, **kw) -> ServerThread:
+    kw.setdefault("drain_timeout", 2.0)
+    return ServerThread(
+        ServeConfig(**kw),
+        registry=registry if registry is not None else MetricsRegistry(),
+    )
+
+
+def counter_value(registry, name, **labels) -> float:
+    for inst in registry.instruments():
+        if inst.name == name and all(
+            dict(inst.labels).get(k) == v for k, v in labels.items()
+        ):
+            return inst.value
+    return 0.0
+
+
+class TestRoundTrip:
+    def test_100k_event_racegen_matches_local_replay(self, big_workload):
+        """The acceptance bar: a 100k-access racegen trace served over
+        loopback reports the exact race multiset of a local replay."""
+        batch, _interner = big_workload
+        assert len(batch) >= 100_000
+        local = local_race_multiset(batch)
+        with make_server() as srv:
+            with RaceClient("127.0.0.1", srv.port) as client:
+                client.send_batches(batch, 8192)
+                summary = client.finish()
+        assert summary.events == len(batch)
+        assert race_multiset(summary.reports) == local
+        assert summary.races == sum(local.values()) > 0
+
+    def test_sessions_are_isolated(self, small_workload):
+        """Two sessions replaying the same program each get the full
+        race set -- state never bleeds across engines."""
+        batch, _ = small_workload
+        local = local_race_multiset(batch)
+        with make_server() as srv:
+            first = submit_batch("127.0.0.1", srv.port, batch)
+            second = submit_batch("127.0.0.1", srv.port, batch)
+        assert race_multiset(first.reports) == local
+        assert race_multiset(second.reports) == local
+
+    def test_concurrent_sessions(self, small_workload):
+        batch, _ = small_workload
+        local = local_race_multiset(batch)
+        with make_server() as srv:
+            result = run_load(
+                "127.0.0.1", srv.port, batch, sessions=4, batch_size=1024
+            )
+        assert result.sessions == 4
+        assert result.events == 4 * len(batch)
+        for summary in result.summaries:
+            assert race_multiset(summary.reports) == local
+
+    def test_shipped_location_table(self, small_workload):
+        """With ``ship_locations`` the server knows the table size and
+        the round-trip still matches."""
+        batch, interner = small_workload
+        local = local_race_multiset(batch)
+        with make_server() as srv:
+            summary = submit_batch(
+                "127.0.0.1", srv.port, batch, interner=interner,
+                batch_size=512, ship_locations=True,
+            )
+        assert race_multiset(summary.reports) == local
+
+    def test_empty_session(self):
+        with make_server() as srv:
+            with RaceClient("127.0.0.1", srv.port) as client:
+                summary = client.finish()
+        assert (summary.events, summary.races) == (0, 0)
+
+    def test_metrics_account_for_the_session(self, small_workload):
+        batch, _ = small_workload
+        registry = MetricsRegistry()
+        with make_server(registry) as srv:
+            submit_batch("127.0.0.1", srv.port, batch, batch_size=1024)
+            assert counter_value(registry, "serve_sessions_total") == 1
+            assert counter_value(registry, "serve_events_total") == len(batch)
+            assert counter_value(
+                registry, "serve_frames_total", dir="in", type="BATCH"
+            ) == len(list(batch.slices(1024)))
+            assert counter_value(
+                registry, "serve_frames_total", dir="out", type="BYE"
+            ) == 1
+            assert counter_value(registry, "serve_bytes_total", dir="in") > 0
+            # teardown runs just after the BYE reply: poll briefly
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                if counter_value(registry, "serve_sessions_active") == 0:
+                    break
+                time.sleep(0.02)
+            assert counter_value(registry, "serve_sessions_active") == 0
+
+
+class TestProtocolViolations:
+    def test_version_mismatch_gets_version_error(self):
+        with make_server() as srv, RawConn(srv.port, hello=False) as conn:
+            bad = struct.pack("<8sII", wire.PROTOCOL_MAGIC, 99, 1 << 20)
+            conn.send_frame(wire.FRAME_HELLO, bad)
+            message = conn.expect_error(wire.ERR_VERSION)
+            assert "99" in message
+            conn.expect_eof()
+
+    def test_non_hello_first_frame_rejected(self):
+        with make_server() as srv, RawConn(srv.port, hello=False) as conn:
+            conn.send_frame(wire.FRAME_CREDIT, wire.encode_credit(1))
+            conn.expect_error(wire.ERR_PROTOCOL)
+
+    def test_bad_crc_rejected(self):
+        with make_server() as srv, RawConn(srv.port) as conn:
+            frame = bytearray(
+                wire.encode_frame(wire.FRAME_BYE, b"")
+            )
+            frame[5] ^= 0xFF  # stomp the CRC field
+            conn.send(bytes(frame))
+            conn.expect_error(wire.ERR_BAD_CRC)
+
+    def test_oversized_frame_rejected(self):
+        with make_server(max_frame=1024) as srv, RawConn(srv.port) as conn:
+            assert conn.max_frame == 1024
+            conn.send_frame(wire.FRAME_BATCH, b"x" * 2048)
+            conn.expect_error(wire.ERR_FRAME_TOO_LARGE)
+
+    def test_lying_batch_header_rejected_as_malformed(self, small_workload):
+        batch, _ = small_workload
+        with make_server() as srv, RawConn(srv.port) as conn:
+            payload = bytearray(wire.encode_batch_payload(batch))
+            struct.pack_into("<Q", payload, 8, len(batch) + 7)
+            conn.send_frame(wire.FRAME_BATCH, bytes(payload))
+            conn.expect_error(wire.ERR_MALFORMED_BATCH)
+
+    def test_unknown_opcode_rejected_as_malformed(self):
+        bad = EventBatch(
+            array("B", [77]), array("i", [0]), array("i", [-1])
+        )
+        with make_server() as srv, RawConn(srv.port) as conn:
+            conn.send_frame(
+                wire.FRAME_BATCH, wire.encode_batch_payload(bad)
+            )
+            conn.expect_error(wire.ERR_MALFORMED_BATCH)
+
+    def test_access_beyond_shipped_table_rejected(self):
+        batch = EventBatch(
+            array("B", [OP_WRITE]), array("i", [0]), array("i", [5])
+        )
+        with make_server() as srv, RawConn(srv.port) as conn:
+            conn.send_frame(
+                wire.FRAME_BATCH,
+                wire.encode_batch_payload(batch, new_locations=["x"]),
+            )
+            conn.expect_error(wire.ERR_MALFORMED_BATCH)
+
+    def test_structural_violation_gets_detector_error(self):
+        # joining a thread id that was never forked
+        bad = EventBatch(
+            array("B", [OP_JOIN]), array("i", [0]), array("i", [5])
+        )
+        with make_server() as srv, RawConn(srv.port) as conn:
+            conn.send_frame(
+                wire.FRAME_BATCH, wire.encode_batch_payload(bad)
+            )
+            conn.expect_error(wire.ERR_DETECTOR)
+
+    def test_credit_overrun_rejected(self, small_workload):
+        batch, _ = small_workload
+        piece = next(batch.slices(64))
+        payload = wire.encode_batch_payload(piece)
+        # high_water=0 means grants are withheld forever, so pushing
+        # past the initial window must trip the overrun error.
+        with make_server(
+            credit_window=2, queue_high_water=0
+        ) as srv, RawConn(srv.port) as conn:
+            assert conn.credit == 2
+            for _ in range(3):
+                conn.send_frame(wire.FRAME_BATCH, payload)
+            conn.expect_error(wire.ERR_CREDIT_OVERRUN)
+
+
+class TestSessionLifecycle:
+    def test_idle_timeout_disconnects(self):
+        registry = MetricsRegistry()
+        with make_server(registry, idle_timeout=0.3) as srv:
+            with RawConn(srv.port) as conn:
+                conn.expect_error(wire.ERR_IDLE_TIMEOUT)
+                conn.expect_eof()
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                if counter_value(registry, "serve_sessions_active") == 0:
+                    break
+                time.sleep(0.02)
+            assert counter_value(registry, "serve_sessions_active") == 0
+            assert (
+                counter_value(registry, "serve_errors_total",
+                              code="idle-timeout") == 1
+            )
+
+    def test_hello_timeout_disconnects(self):
+        with make_server(hello_timeout=0.3) as srv:
+            with RawConn(srv.port, hello=False) as conn:
+                conn.expect_error(wire.ERR_IDLE_TIMEOUT)
+
+    def test_mid_batch_client_kill_leaks_nothing(self, small_workload):
+        """A client that dies mid-frame tears its session (and engine)
+        down; the server keeps serving."""
+        batch, _ = small_workload
+        registry = MetricsRegistry()
+        with make_server(registry) as srv:
+            conn = RawConn(srv.port)
+            payload = wire.encode_batch_payload(batch)
+            # half a frame, then vanish
+            conn.send(wire.encode_frame(wire.FRAME_BATCH, payload)[: 40])
+            conn.close()
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                if (
+                    counter_value(registry, "serve_sessions_active") == 0
+                    and not srv.server._sessions
+                ):
+                    break
+                time.sleep(0.02)
+            assert counter_value(registry, "serve_sessions_active") == 0
+            assert not srv.server._sessions  # engine went down with it
+            # the server is still healthy
+            summary = submit_batch("127.0.0.1", srv.port, batch)
+            assert summary.events == len(batch)
+
+    def test_session_engine_close_drops_state(self):
+        engine = _SessionEngine(MetricsRegistry())
+        assert not engine.closed
+        engine.close()
+        assert engine.closed
+        with pytest.raises(ServeError, match="closed"):
+            engine.ingest(EventBatch())
+        with pytest.raises(ServeError, match="closed"):
+            _ = engine.events_ingested
+
+    def test_graceful_stop_with_live_session(self, small_workload):
+        batch, _ = small_workload
+        srv = make_server(drain_timeout=0.5)
+        srv.start()
+        client = RaceClient("127.0.0.1", srv.port).connect()
+        client.send_batch(next(batch.slices(256)))
+        srv.stop()  # drains; the idle session is cancelled after 0.5s
+        client.close()
+        assert not srv._thread.is_alive()
+
+
+class TestBackpressure:
+    def test_16_sessions_bounded_queue(self, big_workload):
+        """The acceptance bar: 16 sessions under a tiny credit window
+        cannot grow the server queue past ``sessions x window``, and
+        the high-water mark forces real credit stalls."""
+        batch, _ = big_workload
+        sessions, window = 16, 2
+        registry = MetricsRegistry()
+        with make_server(
+            registry, credit_window=window, queue_high_water=1
+        ) as srv:
+            result = run_load(
+                "127.0.0.1", srv.port, batch,
+                sessions=sessions, batch_size=16384,
+            )
+        assert result.events == sessions * len(batch)
+        depth_max = counter_value(registry, "serve_queue_depth_max")
+        assert 0 < depth_max <= sessions * window
+        assert counter_value(registry, "serve_credit_stalls_total") > 0
+        # every withheld grant was eventually returned: the stream ran
+        # to completion, which send_batch's credit wait already proves
+
+    def test_queue_depth_returns_to_zero(self, small_workload):
+        batch, _ = small_workload
+        registry = MetricsRegistry()
+        with make_server(registry, credit_window=2, queue_high_water=1) as srv:
+            submit_batch("127.0.0.1", srv.port, batch, batch_size=256)
+            assert counter_value(registry, "serve_queue_depth") == 0
+
+
+class TestSharedParallelMode:
+    def test_jobs_mode_matches_local_replay(self, small_workload):
+        batch, _ = small_workload
+        local = local_race_multiset(batch)
+        with make_server(jobs=2) as srv:
+            summary = submit_batch(
+                "127.0.0.1", srv.port, batch, batch_size=1024
+            )
+        assert summary.events == len(batch)
+        assert race_multiset(summary.reports) == local
+
+    def test_jobs_mode_is_single_tenant(self, small_workload):
+        """The shared engine is one logical stream: a second session
+        replaying the same program collides with the first session's
+        thread ids and is rejected as a detector error."""
+        batch, _ = small_workload
+        with make_server(jobs=2) as srv:
+            submit_batch("127.0.0.1", srv.port, batch, batch_size=1024)
+            with pytest.raises(RemoteError) as exc_info:
+                submit_batch("127.0.0.1", srv.port, batch, batch_size=1024)
+            assert exc_info.value.code == wire.ERR_DETECTOR
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_snapshot_over_http(self, small_workload):
+        import urllib.request
+
+        batch, _ = small_workload
+        registry = MetricsRegistry()
+        with make_server(registry) as srv:
+            submit_batch("127.0.0.1", srv.port, batch)
+            httpd = start_metrics_http(0, registry)
+            try:
+                base = f"http://127.0.0.1:{httpd.server_port}"
+                body = urllib.request.urlopen(
+                    f"{base}/metrics", timeout=5
+                ).read().decode()
+                assert "serve_sessions_total" in body
+                assert "serve_events_total" in body
+                with pytest.raises(Exception):
+                    urllib.request.urlopen(f"{base}/nope", timeout=5)
+            finally:
+                httpd.shutdown()
+
+
+class TestConfigValidation:
+    def test_bad_credit_window_rejected(self):
+        with pytest.raises(ServeError, match="credit window"):
+            ServerThread(ServeConfig(credit_window=0)).start()
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ServeError, match="job"):
+            ServerThread(ServeConfig(jobs=0)).start()
+
+    def test_client_refuses_oversized_batch(self, small_workload):
+        batch, _ = small_workload
+        with make_server(max_frame=4096) as srv:
+            with RaceClient("127.0.0.1", srv.port) as client:
+                assert client.max_frame == 4096
+                with pytest.raises(ProtocolError, match="slice it smaller"):
+                    client.send_batch(batch)

@@ -18,6 +18,7 @@ DOC_FILES = [
     ROOT / "docs" / "ALGORITHM.md",
     ROOT / "docs" / "OBSERVABILITY.md",
     ROOT / "docs" / "PERFORMANCE.md",
+    ROOT / "docs" / "SERVING.md",
 ]
 
 BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
