@@ -1,0 +1,169 @@
+"""Experiment E5 -- what durability costs.
+
+The fault-tolerance layer (PR 5) must be cheap enough to leave on:
+
+* ``checkpoint.save_ms`` / ``checkpoint.restore_ms`` -- best-of wall
+  time to serialize a :class:`BatchEngine` holding the standard
+  100k-access ``racegen`` workload state, and to rebuild it from the
+  file (CRC check included);
+* ``checkpoint.resume_replay_overhead`` -- a durable serve session
+  (sequenced batches, periodic background checkpoints, ACK trimming)
+  versus a plain session streaming the same workload: the ratio of
+  their best-of wall times, lower is better, 1.0 is free.
+
+The numbers merge into ``BENCH_engine.json`` (read-modify-write, same
+discipline as ``bench_serve.py``: the engine benchmark owns the record
+and runs first in CI) under the ``checkpoint`` key, which the CI
+regression gate tracks as lower-is-better once a baseline carries it.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.tables import print_table
+from repro.engine.benchlib import build_workload, capture
+from repro.engine.ingest import BatchEngine
+from repro.engine.snapshot import (
+    load_checkpoint,
+    save_checkpoint,
+    state_digest,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.client import RaceClient
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+ACCESSES = 100_000
+BATCH_SIZE = 16384
+CHECKPOINT_INTERVAL = 2  # several background checkpoints per stream
+REPEATS = 3
+
+pytestmark = [pytest.mark.engine, pytest.mark.serve]
+
+
+def _best_of(fn) -> float:
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        best = float("inf")
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        if was_enabled:
+            gc.enable()
+    return best
+
+
+def _stream_session(port: int, batch, session) -> None:
+    with RaceClient("127.0.0.1", port, session=session) as client:
+        client.send_batches(batch, BATCH_SIZE)
+        client.finish()
+
+
+@pytest.fixture(scope="module")
+def record(tmp_path_factory):
+    _events, batch, _interner = capture(build_workload(ACCESSES))
+    engine = BatchEngine()
+    engine.ingest(batch)
+
+    ckpt = tmp_path_factory.mktemp("bench-ckpt") / "engine.ckpt"
+    nbytes = save_checkpoint(engine, str(ckpt))  # warm-up + size probe
+    save_s = _best_of(lambda: save_checkpoint(engine, str(ckpt)))
+    restored, _meta = load_checkpoint(str(ckpt))
+    assert state_digest(restored) == state_digest(engine)
+    restore_s = _best_of(lambda: load_checkpoint(str(ckpt)))
+
+    ckdir = tmp_path_factory.mktemp("bench-serve-ckpt")
+    plain_cfg = ServeConfig()
+    with ServerThread(plain_cfg, registry=MetricsRegistry()) as srv:
+        plain_s = _best_of(lambda: _stream_session(srv.port, batch, None))
+    durable_cfg = ServeConfig(
+        checkpoint_dir=str(ckdir), checkpoint_interval=CHECKPOINT_INTERVAL
+    )
+    counter = iter(range(10_000))
+    with ServerThread(durable_cfg, registry=MetricsRegistry()) as srv:
+        durable_s = _best_of(
+            lambda: _stream_session(
+                srv.port, batch, f"bench-{next(counter)}"
+            )
+        )
+
+    rec = {
+        "bench": "checkpoint",
+        "workload": {
+            "accesses": ACCESSES,
+            "events": len(batch),
+            "batch_size": BATCH_SIZE,
+            "checkpoint_interval": CHECKPOINT_INTERVAL,
+            "repeats": REPEATS,
+        },
+        "checkpoint": {
+            "save_ms": save_s * 1e3,
+            "restore_ms": restore_s * 1e3,
+            "state_bytes": nbytes,
+            "resume_replay_overhead": durable_s / plain_s,
+        },
+        "seconds": {
+            "serve_plain": plain_s,
+            "serve_durable": durable_s,
+        },
+    }
+
+    stored = {}
+    if RECORD_PATH.exists():
+        stored = json.loads(RECORD_PATH.read_text(encoding="utf-8"))
+    stored["checkpoint"] = rec["checkpoint"]
+    RECORD_PATH.write_text(
+        json.dumps(stored, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    print_table(
+        [
+            {"metric": "save", "value": f"{save_s * 1e3:.2f} ms"},
+            {"metric": "restore", "value": f"{restore_s * 1e3:.2f} ms"},
+            {"metric": "state size", "value": f"{nbytes:,} bytes"},
+            {"metric": "plain session", "value": f"{plain_s:.3f} s"},
+            {"metric": "durable session", "value": f"{durable_s:.3f} s"},
+            {
+                "metric": "durability overhead",
+                "value": f"{durable_s / plain_s:.2f}x",
+            },
+        ],
+        title=f"checkpoint costs ({ACCESSES // 1000}k accesses)",
+    )
+    return rec
+
+
+@pytest.mark.shape
+def test_checkpoint_roundtrip_is_subsecond(record):
+    """Saving or restoring 100k accesses of state is an eye-blink, not
+    a maintenance window."""
+    assert record["checkpoint"]["save_ms"] < 1000.0, record["checkpoint"]
+    assert record["checkpoint"]["restore_ms"] < 1000.0, record["checkpoint"]
+
+
+@pytest.mark.shape
+def test_durable_session_overhead_bounded(record):
+    """Sequencing + periodic background checkpoints must not dominate
+    the stream: a durable session stays within 3x of a plain one."""
+    assert record["checkpoint"]["resume_replay_overhead"] <= 3.0, (
+        record["seconds"]
+    )
+
+
+def test_record_merged_into_engine_record(record):
+    stored = json.loads(RECORD_PATH.read_text(encoding="utf-8"))
+    assert "save_ms" in stored["checkpoint"]
+    assert stored["checkpoint"]["resume_replay_overhead"] == pytest.approx(
+        record["checkpoint"]["resume_replay_overhead"]
+    )

@@ -12,6 +12,11 @@ run overwrote it). The gated series:
   loopback throughput, the steady-state shape of a real deployment.
   Skipped (with a note) when the baseline predates the serving layer,
   so the gate can introduce itself without failing its own PR.
+* ``checkpoint.save_ms`` / ``checkpoint.restore_ms`` /
+  ``checkpoint.resume_replay_overhead`` -- the fault-tolerance layer's
+  costs, gated *lower-is-better* with a generous 2x ceiling (these are
+  millisecond-scale timings, noisy on shared runners).  Skipped when
+  the baseline predates the checkpoint benchmark.
 
 Usage::
 
@@ -35,6 +40,16 @@ TOLERANCE = 0.25
 GATES = (
     (("events_per_sec", "batched"), True),
     (("events_per_sec", "serve_4s"), False),
+)
+
+#: multiple of the baseline a lower-is-better series may grow to
+LOWER_CEILING = 2.0
+
+#: lower-is-better series (never required: the baseline may predate them)
+LOWER_GATES = (
+    ("checkpoint", "save_ms"),
+    ("checkpoint", "restore_ms"),
+    ("checkpoint", "resume_replay_overhead"),
 )
 
 
@@ -89,6 +104,30 @@ def main(argv) -> int:
             f"{name}: baseline {baseline:,.0f} ev/s, "
             f"fresh {fresh:,.0f} ev/s ({ratio:.2%} of baseline, "
             f"floor {floor:.0%}) -> {'OK' if ok else 'REGRESSION'}"
+        )
+    for series in LOWER_GATES:
+        name = ".".join(series)
+        try:
+            baseline = _lookup(baseline_rec, series)
+        except (KeyError, TypeError):
+            print(f"{name}: not in baseline yet; skipping this gate")
+            continue
+        try:
+            fresh = _lookup(fresh_rec, series)
+        except (KeyError, TypeError):
+            print(f"{name}: missing from the fresh record", file=sys.stderr)
+            return 2
+        if baseline <= 0:
+            print(f"{name}: baseline is {baseline}; nothing to gate",
+                  file=sys.stderr)
+            return 2
+        ratio = fresh / baseline
+        ok = ratio <= LOWER_CEILING
+        failed = failed or not ok
+        print(
+            f"{name}: baseline {baseline:.3f}, fresh {fresh:.3f} "
+            f"({ratio:.2f}x of baseline, ceiling {LOWER_CEILING:.1f}x) "
+            f"-> {'OK' if ok else 'REGRESSION'}"
         )
     return 1 if failed else 0
 

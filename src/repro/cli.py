@@ -14,7 +14,11 @@ Usage examples::
     repro-race stats t.rtrc --format prom # metrics + phase timings
     repro-race --metrics m.json replay t.rtrc       # dump counters after
     repro-race serve --port 7521 --metrics-port 9100  # streaming ingest
+    repro-race serve --port 7521 --checkpoint-dir ck  # durable sessions
     repro-race submit t.rtrc --port 7521 --sessions 4 # replay over TCP
+    repro-race submit t.rtrc --port 7521 --session s1 # resumable stream
+    repro-race checkpoint t.rtrc -o state.ckpt        # snapshot detector
+    repro-race restore state.ckpt --trace more.rtrc   # resume ingestion
 
 A program file is ordinary Python defining a task body (generator
 function) named by ``--entry`` (default ``main``); see
@@ -253,6 +257,18 @@ def build_parser() -> argparse.ArgumentParser:
         "per session (default: 1, isolated)",
     )
     p_sv.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="enable durable sessions: clients that RESUME with a "
+        "token get periodic background checkpoints here and can "
+        "reconnect after a crash without losing detection state "
+        "(incompatible with --jobs > 1)",
+    )
+    p_sv.add_argument(
+        "--checkpoint-interval", type=int, default=32, metavar="N",
+        help="applied batches between background checkpoints of a "
+        "durable session (default: 32)",
+    )
+    p_sv.add_argument(
         "--metrics-port", type=int, metavar="PORT",
         help="also serve the live Prometheus snapshot on "
         "http://HOST:PORT/metrics (stdlib http.server thread)",
@@ -294,6 +310,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=60.0,
         help="per-socket-operation timeout in seconds (default: 60)",
     )
+    p_sub2.add_argument(
+        "--session", metavar="TOKEN",
+        help="durable session token: sequence batches, survive server "
+        "restarts by resuming from its checkpoint, and replay "
+        "idempotently (needs a serve instance running with "
+        "--checkpoint-dir; incompatible with --sessions > 1)",
+    )
+
+    p_ck = sub.add_parser(
+        "checkpoint",
+        help="replay a trace through the batch engine and save the "
+        "detector state as a CRC-checked checkpoint file",
+    )
+    p_ck.add_argument(
+        "trace",
+        help="trace file from `record` (JSONL or compact; auto-detected)",
+    )
+    p_ck.add_argument(
+        "-o", "--output", required=True, metavar="CKPT",
+        help="checkpoint file to write",
+    )
+    p_ck.add_argument("--batch-size", type=int, default=8192)
+
+    p_rs = sub.add_parser(
+        "restore",
+        help="load a checkpoint file back into a batch engine, "
+        "optionally continue ingesting another trace, and report races",
+    )
+    p_rs.add_argument("checkpoint", help="checkpoint file from `checkpoint`")
+    p_rs.add_argument(
+        "--trace", metavar="TRACE",
+        help="also ingest this trace on top of the restored state",
+    )
+    p_rs.add_argument("--batch-size", type=int, default=8192)
+    p_rs.add_argument("--max-races", type=int, default=20)
 
     p_tl = sub.add_parser(
         "timeline",
@@ -595,6 +646,8 @@ def _serve(args) -> int:
         max_frame=args.max_frame,
         idle_timeout=args.idle_timeout,
         jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
     )
 
     async def _run() -> int:
@@ -627,10 +680,16 @@ def _serve(args) -> int:
                     f"metrics on http://{config.host}:"
                     f"{httpd.server_port}/metrics"
                 )
+            durability = (
+                f", checkpoints in {config.checkpoint_dir} every "
+                f"{config.checkpoint_interval} batches"
+                if config.checkpoint_dir is not None
+                else ""
+            )
             print(
                 f"serving RPRSERVE on {config.host}:{port} "
                 f"(credit window {config.credit_window}, "
-                f"jobs {config.jobs}); SIGTERM drains"
+                f"jobs {config.jobs}{durability}); SIGTERM drains"
             )
             await server.serve_forever()
         finally:
@@ -649,11 +708,17 @@ def _submit(args) -> int:
         EXIT_CONNECT_FAILURE,
         EXIT_PROTOCOL_FAILURE,
         ConnectError,
+        RaceClient,
         RemoteError,
         run_load,
         submit_batch,
     )
 
+    if args.session is not None and args.sessions > 1:
+        raise ReproError(
+            "--session tags one durable stream; it cannot be combined "
+            "with --sessions load generation"
+        )
     if args.racegen is not None:
         from repro.engine.benchlib import build_workload, capture
 
@@ -680,11 +745,20 @@ def _submit(args) -> int:
                 f"{result.races} race report(s)"
             )
             return 1 if result.races else 0
-        summary = submit_batch(
-            args.host, args.port, batch, interner=interner,
-            batch_size=args.batch_size,
-            ship_locations=args.ship_locations, timeout=args.timeout,
-        )
+        if args.session is not None:
+            with RaceClient(
+                args.host, args.port, timeout=args.timeout,
+                interner=interner, ship_locations=args.ship_locations,
+                session=args.session,
+            ) as client:
+                client.send_batches(batch, args.batch_size)
+                summary = client.finish()
+        else:
+            summary = submit_batch(
+                args.host, args.port, batch, interner=interner,
+                batch_size=args.batch_size,
+                ship_locations=args.ship_locations, timeout=args.timeout,
+            )
         reports = summary.reports
         if not args.ship_locations and interner is not None:
             reports = [
@@ -705,6 +779,53 @@ def _submit(args) -> int:
     except (RemoteError, ProtocolError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_PROTOCOL_FAILURE
+
+
+def _checkpoint_cmd(args) -> int:
+    from repro.engine.ingest import BatchEngine
+    from repro.engine.snapshot import save_checkpoint
+
+    batch, interner = _load_batch(args.trace)
+    engine = BatchEngine(interner=interner)
+    engine.ingest_all(batch.slices(args.batch_size))
+    nbytes = save_checkpoint(
+        engine, args.output, meta={"source": args.trace}
+    )
+    print(
+        f"checkpointed {engine.events_ingested} events "
+        f"({len(engine.detector.races)} race(s), {nbytes} bytes) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _restore_cmd(args) -> int:
+    from repro.engine.snapshot import load_checkpoint
+
+    engine, meta = load_checkpoint(args.checkpoint)
+    restored_events = engine.events_ingested
+    print(
+        f"restored {restored_events} events "
+        f"({len(engine.detector.races)} race(s)) from {args.checkpoint}"
+    )
+    if meta:
+        import json
+
+        print(f"meta: {json.dumps(meta, sort_keys=True)}")
+    if args.trace:
+        batch, _interner = _load_batch(args.trace)
+        engine.ingest_all(batch.slices(args.batch_size))
+        print(
+            f"continued with {engine.events_ingested - restored_events} "
+            f"events from {args.trace}"
+        )
+    races = engine.races()
+    print(f"total: {engine.events_ingested} events, {len(races)} race(s)")
+    for report in races[: args.max_races]:
+        print(f"  {report}")
+    if len(races) > args.max_races:
+        print(f"  ... and {len(races) - args.max_races} more")
+    return 1 if races else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -789,6 +910,10 @@ def _dispatch(args) -> int:
         return _serve(args)
     if args.command == "submit":
         return _submit(args)
+    if args.command == "checkpoint":
+        return _checkpoint_cmd(args)
+    if args.command == "restore":
+        return _restore_cmd(args)
     if args.command == "timeline":
         from repro.viz.timeline import LineTracker, render_timeline
 

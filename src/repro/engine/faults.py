@@ -1,0 +1,404 @@
+"""Fault injection for the checkpoint/resume machinery.
+
+Everything here is *seeded*: a failing soak run prints its seed and
+replays exactly.  Three families of faults, matching the recovery
+guarantees documented in ``docs/FAULT_TOLERANCE.md``:
+
+* **Torn checkpoints** -- :func:`corrupt_truncate` / :func:`corrupt_flip`
+  damage a checkpoint file the way a crashed writer or bad disk would;
+  :func:`repro.engine.snapshot.load_checkpoint` must refuse with
+  :class:`~repro.errors.CheckpointError`, never load silently.
+* **Process kills** -- :class:`ServerProcess` runs ``repro-race serve``
+  as a real subprocess and :meth:`ServerProcess.kill` delivers SIGKILL,
+  the no-cleanup crash.  A durable client resuming against a restarted
+  server must end with exactly the race multiset of an uninterrupted
+  local replay.
+* **Duplicated frames** -- :func:`resend_unacked` replays a batch the
+  server may already hold; sequence-number dedup must absorb it.
+
+:func:`run_soak` drives randomized rounds of all three for a bounded
+wall-clock budget; ``python -m repro.engine.faults`` is the entry the
+scheduled soak workflow runs.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import random
+import socket
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import CheckpointError, WorkloadError
+
+__all__ = [
+    "corrupt_truncate",
+    "corrupt_flip",
+    "corrupt_file",
+    "resend_unacked",
+    "free_port",
+    "ServerProcess",
+    "run_soak",
+    "main",
+]
+
+
+# -- file corruption ----------------------------------------------------------
+
+
+def corrupt_truncate(path: str, rng: random.Random) -> int:
+    """Truncate ``path`` at a random interior byte (a torn write).
+
+    Returns the new length.  The cut point is strictly inside the file
+    so the result is damaged, not merely empty-but-valid.
+    """
+    size = os.path.getsize(path)
+    if size < 2:
+        raise WorkloadError(f"{path} is too small to truncate ({size} bytes)")
+    keep = rng.randrange(1, size)
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def corrupt_flip(path: str, rng: random.Random, flips: int = 8) -> List[int]:
+    """Flip ``flips`` random bits in ``path`` (bit rot / bad sector).
+
+    Returns the damaged byte offsets.
+    """
+    data = bytearray(open(path, "rb").read())
+    if not data:
+        raise WorkloadError(f"{path} is empty")
+    offsets = []
+    for _ in range(flips):
+        k = rng.randrange(len(data))
+        data[k] ^= 1 << rng.randrange(8)
+        offsets.append(k)
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+    return offsets
+
+
+def corrupt_file(path: str, rng: random.Random) -> str:
+    """Apply one randomly chosen corruption mode; returns its name."""
+    mode = rng.choice(("truncate", "flip"))
+    if mode == "truncate":
+        corrupt_truncate(path, rng)
+    else:
+        corrupt_flip(path, rng)
+    return mode
+
+
+# -- frame-level faults -------------------------------------------------------
+
+
+def resend_unacked(client, rng: random.Random) -> Optional[int]:
+    """Deliberately resend one retained batch of a durable client.
+
+    The duplicate reaches the server with a sequence number at or
+    below what it already enqueued, so it must be skipped idempotently
+    (and the spent credit handed straight back).  Returns the seq that
+    was duplicated, or None if nothing is retained.
+    """
+    if not client._unacked:
+        return None
+    seq = rng.choice(sorted(client._unacked))
+    client._with_retry(
+        lambda: client._send_payload(client._unacked[seq])
+    )
+    return seq
+
+
+# -- a killable serve subprocess ----------------------------------------------
+
+
+def free_port() -> int:
+    """Bind-and-release to find a free loopback TCP port."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class ServerProcess:
+    """``repro-race serve`` as a killable subprocess.
+
+    Unlike :class:`~repro.serve.server.ServerThread`, this is a real
+    OS process: :meth:`kill` delivers SIGKILL, so no drain, no final
+    checkpoint, no atexit -- the crash the durability layer exists to
+    survive.  Use as a context manager; exiting terminates whatever is
+    still running.
+    """
+
+    def __init__(
+        self,
+        port: int,
+        checkpoint_dir: str,
+        *,
+        checkpoint_interval: int = 4,
+        extra_args: Tuple[str, ...] = (),
+        startup_timeout: float = 20.0,
+    ) -> None:
+        self.port = port
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_interval = checkpoint_interval
+        self.extra_args = tuple(extra_args)
+        self.startup_timeout = startup_timeout
+        self._proc: Optional[subprocess.Popen] = None
+
+    def start(self) -> "ServerProcess":
+        if self._proc is not None and self._proc.poll() is None:
+            raise WorkloadError("server process already running")
+        env = dict(os.environ)
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        )
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        self._proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", str(self.port),
+                "--checkpoint-dir", self.checkpoint_dir,
+                "--checkpoint-interval", str(self.checkpoint_interval),
+                *self.extra_args,
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        self._wait_ready()
+        return self
+
+    def _wait_ready(self) -> None:
+        deadline = time.monotonic() + self.startup_timeout
+        while time.monotonic() < deadline:
+            if self._proc is not None and self._proc.poll() is not None:
+                raise WorkloadError(
+                    f"serve process exited with {self._proc.returncode} "
+                    f"before accepting connections"
+                )
+            try:
+                with socket.create_connection(
+                    ("127.0.0.1", self.port), timeout=0.25
+                ):
+                    return
+            except OSError:
+                time.sleep(0.05)
+        raise WorkloadError(
+            f"serve process not accepting on port {self.port} within "
+            f"{self.startup_timeout}s"
+        )
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid if self._proc is not None else None
+
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL: the process gets no chance to clean up."""
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc.wait()
+
+    def terminate(self, timeout: float = 10.0) -> None:
+        """SIGTERM: the server drains gracefully."""
+        if self._proc is not None and self._proc.poll() is None:
+            self._proc.terminate()
+            try:
+                self._proc.wait(timeout)
+            except subprocess.TimeoutExpired:
+                self.kill()
+
+    def __enter__(self) -> "ServerProcess":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.terminate()
+        return False
+
+
+# -- the soak driver ----------------------------------------------------------
+
+
+def _race_multiset(reports) -> "collections.Counter":
+    return collections.Counter(
+        (r.task, r.loc, r.kind, r.prior_kind) for r in reports
+    )
+
+
+def _local_expected(batch):
+    from repro.engine.ingest import BatchEngine
+
+    engine = BatchEngine()
+    engine.ingest(batch)
+    return _race_multiset(engine.detector.races)
+
+
+def run_soak(
+    seconds: float = 60.0,
+    *,
+    seed: int = 0,
+    accesses: int = 20_000,
+    batch_size: int = 2048,
+    checkpoint_interval: int = 4,
+    log=print,
+) -> Dict[str, Any]:
+    """Randomized kill/corrupt/duplicate rounds for ``seconds`` of
+    wall clock; raises :class:`AssertionError` on the first divergence.
+
+    Each round builds a seeded racegen workload, streams it through a
+    durable session against a subprocess server, SIGKILLs the server
+    at a random batch boundary, restarts it, lets the client resume,
+    and requires the final race multiset to equal an uninterrupted
+    local replay.  Between rounds it also tears checkpoints apart on
+    disk and asserts the typed refusal.
+    """
+    import tempfile
+
+    from repro.engine.benchlib import build_workload, capture
+    from repro.engine.ingest import BatchEngine
+    from repro.engine.snapshot import load_checkpoint, save_checkpoint
+    from repro.serve.client import RaceClient
+
+    rng = random.Random(seed)
+    stats: Dict[str, Any] = {
+        "seed": seed, "rounds": 0, "kills": 0, "reconnects": 0,
+        "duplicates": 0, "corruptions_rejected": 0, "events": 0,
+        "races": 0,
+    }
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        round_seed = rng.randrange(2**32)
+        round_rng = random.Random(round_seed)
+        stats["rounds"] += 1
+        # build_workload is deterministic per shape, so the round's
+        # diversity comes from varying the shape with the round seed.
+        _events, batch, _interner = capture(
+            build_workload(
+                accesses + round_rng.randrange(accesses // 4 + 1),
+                fanout=round_rng.choice((4, 8, 16)),
+            )
+        )
+        expected = _local_expected(batch)
+        pieces = list(batch.slices(batch_size))
+        kill_at = round_rng.randrange(1, max(2, len(pieces)))
+        with tempfile.TemporaryDirectory(prefix="repro-soak-") as ckdir:
+            port = free_port()
+            server = ServerProcess(
+                port, ckdir, checkpoint_interval=checkpoint_interval
+            ).start()
+            try:
+                client = RaceClient(
+                    "127.0.0.1", port, session=f"soak-{round_seed}",
+                    timeout=15.0, max_retries=8, retry_backoff=0.2,
+                ).connect()
+                for k, piece in enumerate(pieces):
+                    if k == kill_at:
+                        server.kill()
+                        stats["kills"] += 1
+                        server = ServerProcess(
+                            port, ckdir,
+                            checkpoint_interval=checkpoint_interval,
+                        ).start()
+                    client.send_batch(piece)
+                    if round_rng.random() < 0.1:
+                        if resend_unacked(client, round_rng) is not None:
+                            stats["duplicates"] += 1
+                summary = client.finish()
+                client.close()
+                stats["reconnects"] += client.reconnects
+                got = _race_multiset(summary.reports)
+                if got != expected:
+                    raise AssertionError(
+                        f"race multiset diverged after kill/resume "
+                        f"(seed={seed}, round_seed={round_seed}, "
+                        f"kill_at={kill_at}): got {sum(got.values())} "
+                        f"reports, expected {sum(expected.values())}"
+                    )
+                stats["events"] += summary.events
+                stats["races"] += sum(got.values())
+            finally:
+                server.terminate()
+
+            # Torn-checkpoint leg: damage what the round left on disk
+            # (or a freshly written checkpoint) and demand refusal.
+            ckpts = [
+                os.path.join(ckdir, f)
+                for f in os.listdir(ckdir)
+                if f.endswith(".ckpt")
+            ]
+            if not ckpts:
+                engine = BatchEngine()
+                engine.ingest(batch)
+                path = os.path.join(ckdir, "synthetic.ckpt")
+                save_checkpoint(engine, path)
+                ckpts = [path]
+            victim = round_rng.choice(ckpts)
+            mode = corrupt_file(victim, round_rng)
+            try:
+                load_checkpoint(victim)
+            except CheckpointError:
+                stats["corruptions_rejected"] += 1
+            else:
+                raise AssertionError(
+                    f"{mode}-corrupted checkpoint {victim} loaded "
+                    f"without error (seed={seed}, round_seed={round_seed})"
+                )
+        log(
+            f"soak round {stats['rounds']}: ok "
+            f"(round_seed={round_seed}, kill_at={kill_at}, "
+            f"reconnects={stats['reconnects']}, "
+            f"events={stats['events']}, races={stats['races']})"
+        )
+    return stats
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.faults",
+        description="randomized kill/corrupt/duplicate soak of the "
+        "checkpoint-resume machinery",
+    )
+    parser.add_argument(
+        "--seconds", type=float, default=60.0,
+        help="wall-clock budget (default: 60)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed; a failing run replays with it (default: 0)",
+    )
+    parser.add_argument("--accesses", type=int, default=20_000)
+    parser.add_argument("--batch-size", type=int, default=2048)
+    parser.add_argument("--checkpoint-interval", type=int, default=4)
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write the stats as JSON"
+    )
+    args = parser.parse_args(argv)
+    try:
+        stats = run_soak(
+            args.seconds,
+            seed=args.seed,
+            accesses=args.accesses,
+            batch_size=args.batch_size,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    except AssertionError as exc:
+        print(f"SOAK FAILURE: {exc}", file=sys.stderr)
+        return 1
+    encoded = json.dumps(stats, sort_keys=True)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fp:
+            fp.write(encoded + "\n")
+    print(encoded)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -58,13 +58,16 @@ counters.  A worker that dies or hangs surfaces as a clean
 
 from __future__ import annotations
 
+import json as _json
 import mmap as _mmaplib
 import multiprocessing as _mp
+import os as _os
 import queue as _queue
 import time as _time
+import zlib as _zlib
 from array import array
 from multiprocessing import shared_memory as _shm
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 try:  # numpy vectorizes validation and worker self-selection
     import numpy as _np
@@ -81,9 +84,16 @@ from repro.engine.batch import (
     EventBatch,
     LocationInterner,
 )
+from repro.engine.snapshot import (
+    pack_state,
+    read_checkpoint_file,
+    unpack_state,
+    write_checkpoint_file,
+)
 from repro.engine.tracefile import map_trace
-from repro.errors import DetectorError, ProgramError
+from repro.errors import CheckpointError, DetectorError, ProgramError
 from repro.obs.registry import MetricsRegistry, get_registry
+from repro.trace import decode_location, encode_location
 
 __all__ = ["ParallelShardedEngine"]
 
@@ -399,6 +409,75 @@ def _worker_ingest_trace(
     return len(ops), hits
 
 
+def _segment_name(shard: int) -> str:
+    return f"shard-{shard}.ckpt"
+
+
+def _shard_to_blob(st: _ShardState) -> bytes:
+    """Serialize one worker's detector state into an RPR2CKPT blob."""
+    lids = array("q")
+    rsup = array("i")
+    wsup = array("i")
+    for lid, (r, w) in st.cells.items():
+        lids.append(lid)
+        rsup.append(-1 if r is None else r)
+        wsup.append(-1 if w is None else w)
+    obj = {
+        "kind": "shard",
+        "shard": st.shard,
+        "num_shards": st.num_shards,
+        "op_index": st.op_index,
+        "accesses": st.accesses,
+        "epoch_hits": st.epoch_hits,
+        "races": [list(r) for r in st.races],
+    }
+    sections = [
+        ("parent", array("i", st.parent)),
+        ("rank", array("i", st.rank)),
+        ("label", array("i", st.label)),
+        ("visited", array("B", st.visited)),
+        ("cell_lid", lids),
+        ("cell_r", rsup),
+        ("cell_w", wsup),
+        ("epoch_key", array("q", st.epoch.keys())),
+        ("epoch_val", array("q", st.epoch.values())),
+    ]
+    return pack_state(obj, sections)
+
+
+def _shard_from_blob(st: _ShardState, blob: bytes) -> None:
+    """Replace ``st`` with the state a blob captured; validated first."""
+    head, arrays = unpack_state(blob)
+    if head.get("kind") != "shard":
+        raise CheckpointError(
+            f"segment holds {head.get('kind')!r} state, not a shard"
+        )
+    if head.get("shard") != st.shard or head.get("num_shards") != st.num_shards:
+        raise CheckpointError(
+            f"segment belongs to shard {head.get('shard')}/"
+            f"{head.get('num_shards')}, this worker is "
+            f"{st.shard}/{st.num_shards}"
+        )
+    try:
+        st.parent = list(arrays["parent"])
+        st.rank = list(arrays["rank"])
+        st.label = list(arrays["label"])
+        st.visited = [bool(x) for x in arrays["visited"]]
+        st.cells = {
+            lid: [None if r < 0 else r, None if w < 0 else w]
+            for lid, r, w in zip(
+                arrays["cell_lid"], arrays["cell_r"], arrays["cell_w"]
+            )
+        }
+        st.epoch = dict(zip(arrays["epoch_key"], arrays["epoch_val"]))
+        st.races = [tuple(r) for r in head["races"]]
+        st.op_index = head["op_index"]
+        st.accesses = head["accesses"]
+        st.epoch_hits = head["epoch_hits"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed shard segment: {exc!r}") from None
+
+
 def _worker_main(shard: int, num_shards: int, cmd_q, res_q) -> None:
     """Command loop of one shard worker process."""
     import traceback
@@ -456,6 +535,27 @@ def _worker_main(shard: int, num_shards: int, cmd_q, res_q) -> None:
                 # Non-destructive snapshot: races so far, no registry
                 # export and no state transition -- ingestion continues.
                 res_q.put(("result", shard, list(state.races), state.accesses))
+            elif tag == "snapshot":
+                blob = _shard_to_blob(state)
+                path = _os.path.join(cmd[1], _segment_name(shard))
+                write_checkpoint_file(path, blob)
+                res_q.put(
+                    (
+                        "result",
+                        shard,
+                        {
+                            "file": _segment_name(shard),
+                            "bytes": len(blob),
+                            "crc": _zlib.crc32(blob),
+                        },
+                    )
+                )
+            elif tag == "restore":
+                blob = read_checkpoint_file(
+                    _os.path.join(cmd[1], _segment_name(shard))
+                )
+                _shard_from_blob(state, blob)
+                res_q.put(("ok", shard, 0))
             elif tag == "reset":
                 state.reset()
                 res_q.put(("ok", shard, 0))
@@ -971,3 +1071,196 @@ class ParallelShardedEngine:
         self._joined = [False]
         self._routed_events = [0] * self.num_workers
         self.events_ingested = 0
+
+    # -- checkpoint / restore ------------------------------------------------
+
+    _MANIFEST = "manifest.json"
+    _MANIFEST_FORMAT = "rpr2ckpt-parallel"
+    _MANIFEST_VERSION = 1
+
+    def save_checkpoint(
+        self, directory: str, *, meta: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Coordinated checkpoint of the whole pool into ``directory``.
+
+        Ingestion is synchronous (every :meth:`ingest` waits for all
+        shard acks), so the broadcast itself is the barrier: when every
+        worker has answered the ``snapshot`` command there are no
+        in-flight events anywhere.  Each worker durably writes its own
+        ``shard-<k>.ckpt`` segment; the parent writes its structural
+        mirror as ``parent.ckpt`` and then commits the checkpoint by
+        atomically writing ``manifest.json``, which records every
+        segment's size and CRC32.  A directory without a complete,
+        consistent manifest is not a checkpoint.
+
+        Returns the manifest dict.
+        """
+        self._require_open()
+        if self._collected is not None:
+            raise ProgramError(
+                "parallel engine already collected; checkpoint before "
+                "races() or call reset() first"
+            )
+        _os.makedirs(directory, exist_ok=True)
+        results = self._broadcast(("snapshot", directory))
+        results.sort(key=lambda msg: msg[1])
+        segments = [
+            {"shard": msg[1], **msg[2]} for msg in results
+        ]
+        parent_blob = pack_state(
+            {
+                "kind": "parent",
+                "num_workers": self.num_workers,
+                "n_threads": self._n_threads,
+                "events_ingested": self.events_ingested,
+                "routed": list(self._routed_events),
+                "interner": (
+                    None
+                    if self.interner is None
+                    else [
+                        encode_location(loc)
+                        for loc in self.interner.locations()
+                    ]
+                ),
+                "meta": meta if meta is not None else {},
+            },
+            [
+                ("halted", array("B", self._halted)),
+                ("joined", array("B", self._joined)),
+            ],
+        )
+        write_checkpoint_file(
+            _os.path.join(directory, "parent.ckpt"), parent_blob
+        )
+        manifest = {
+            "format": self._MANIFEST_FORMAT,
+            "version": self._MANIFEST_VERSION,
+            "num_workers": self.num_workers,
+            "events_ingested": self.events_ingested,
+            "segments": segments,
+            "parent": {
+                "file": "parent.ckpt",
+                "bytes": len(parent_blob),
+                "crc": _zlib.crc32(parent_blob),
+            },
+        }
+        write_checkpoint_file(
+            _os.path.join(directory, self._MANIFEST),
+            _json.dumps(manifest, indent=1, sort_keys=True).encode("utf-8"),
+        )
+        return manifest
+
+    @classmethod
+    def _read_manifest(cls, directory: str) -> Dict[str, Any]:
+        raw = read_checkpoint_file(_os.path.join(directory, cls._MANIFEST))
+        try:
+            manifest = _json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise CheckpointError(
+                f"corrupt parallel checkpoint manifest: {exc}"
+            ) from None
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") != cls._MANIFEST_FORMAT
+        ):
+            raise CheckpointError(
+                f"{directory!r} does not hold a parallel checkpoint"
+            )
+        if manifest.get("version") != cls._MANIFEST_VERSION:
+            raise CheckpointError(
+                f"unsupported parallel checkpoint version "
+                f"{manifest.get('version')}"
+            )
+        return manifest
+
+    @classmethod
+    def _verify_segment(
+        cls, directory: str, entry: Dict[str, Any]
+    ) -> bytes:
+        blob = read_checkpoint_file(_os.path.join(directory, entry["file"]))
+        if len(blob) != entry["bytes"] or _zlib.crc32(blob) != entry["crc"]:
+            raise CheckpointError(
+                f"checkpoint segment {entry['file']!r} does not match its "
+                f"manifest (truncated or corrupted)"
+            )
+        return blob
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        timeout: float = 60.0,
+    ) -> "ParallelShardedEngine":
+        """Re-spawn a pool from a coordinated checkpoint.
+
+        Every segment is verified against the manifest's size and CRC32
+        *before* any worker loads it (and each worker re-validates its
+        own segment's container CRC on read); any mismatch raises
+        :class:`~repro.errors.CheckpointError` -- a damaged checkpoint
+        is never silently loaded.  The restored engine continues exactly
+        where :meth:`save_checkpoint` left off.
+        """
+        manifest = cls._read_manifest(directory)
+        try:
+            num_workers = int(manifest["num_workers"])
+            segment_entries = {
+                int(e["shard"]): e for e in manifest["segments"]
+            }
+            parent_entry = manifest["parent"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed parallel checkpoint manifest: {exc!r}"
+            ) from None
+        if sorted(segment_entries) != list(range(num_workers)):
+            raise CheckpointError(
+                f"manifest lists shards {sorted(segment_entries)} for "
+                f"{num_workers} workers"
+            )
+        parent_blob = cls._verify_segment(directory, parent_entry)
+        for k in range(num_workers):
+            cls._verify_segment(directory, segment_entries[k])
+        head, arrays = unpack_state(parent_blob)
+        if head.get("kind") != "parent":
+            raise CheckpointError(
+                f"parent segment holds {head.get('kind')!r} state"
+            )
+        interner = None
+        if head.get("interner") is not None:
+            interner = LocationInterner()
+            for encoded in head["interner"]:
+                interner.intern(decode_location(encoded))
+        engine = cls(
+            num_workers,
+            interner=interner,
+            registry=registry,
+            timeout=timeout,
+        )
+        try:
+            engine._n_threads = int(head["n_threads"])
+            engine._halted = [bool(x) for x in arrays["halted"]]
+            engine._joined = [bool(x) for x in arrays["joined"]]
+            engine._routed_events = [int(x) for x in head["routed"]]
+            engine.events_ingested = int(head["events_ingested"])
+            if not (
+                len(engine._halted)
+                == len(engine._joined)
+                == engine._n_threads
+            ):
+                raise CheckpointError(
+                    "parent segment thread tables have mismatched lengths"
+                )
+            engine._broadcast(("restore", directory))
+        except CheckpointError:
+            engine.close()
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            engine.close()
+            raise CheckpointError(
+                f"malformed parent segment: {exc!r}"
+            ) from None
+        except BaseException:
+            engine.close()
+            raise
+        return engine

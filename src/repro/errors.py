@@ -19,6 +19,7 @@ __all__ = [
     "DeadTaskError",
     "DetectorError",
     "WorkloadError",
+    "CheckpointError",
     "ServeError",
     "ProtocolError",
 ]
@@ -81,6 +82,15 @@ class DetectorError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received inconsistent parameters."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, or failed validation on load.
+
+    Raised by :mod:`repro.engine.snapshot` whenever a checkpoint file is
+    not exactly what it claims to be -- bad magic, unsupported version,
+    CRC mismatch, truncation, or state that cannot be serialized.  A
+    corrupted checkpoint is *never* silently loaded."""
 
 
 class ServeError(ReproError):

@@ -24,6 +24,7 @@ from repro.serve.client import (
     LoadResult,
     RaceClient,
     RemoteError,
+    TransportError,
     run_load,
     submit_batch,
     submit_program,
@@ -49,6 +50,7 @@ __all__ = [
     "start_metrics_http",
     "RaceClient",
     "ConnectError",
+    "TransportError",
     "RemoteError",
     "ClientSummary",
     "submit_batch",

@@ -24,7 +24,7 @@ import socket
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.reports import RaceReport
 from repro.engine.batch import EventBatch, LocationInterner
@@ -33,6 +33,7 @@ from repro.serve import protocol as wire
 
 __all__ = [
     "ConnectError",
+    "TransportError",
     "RemoteError",
     "ClientSummary",
     "RaceClient",
@@ -46,6 +47,13 @@ __all__ = [
 
 class ConnectError(ServeError):
     """The server could not be reached at all (TCP dial failed)."""
+
+
+class TransportError(ServeError):
+    """The connection died mid-session (send/receive failed, EOF, or
+    a read timeout).  Durable sessions (``session=...``) recover from
+    this transparently by reconnecting and replaying; plain sessions
+    surface it."""
 
 
 class RemoteError(ServeError):
@@ -87,6 +95,15 @@ class RaceClient:
     bound.  RACES frames are decoded as they arrive into
     :attr:`races`; location ids in them are the client's own interned
     ids unless the session ships its table (``ship_locations=True``).
+
+    Passing ``session="some-token"`` makes the session *durable*
+    against a server speaking with ``checkpoint_dir``: every batch is
+    sequenced and retained until the server's ACK says a checkpoint
+    covers it, and a dropped connection is retried with exponential
+    backoff -- reconnect, RESUME, replay everything past the server's
+    durable sequence.  Replayed duplicates are skipped server-side and
+    RACES frames are keyed by sequence, so a resumed stream yields
+    exactly the race reports of an uninterrupted one.
     """
 
     def __init__(
@@ -98,25 +115,50 @@ class RaceClient:
         max_frame: int = wire.DEFAULT_MAX_FRAME,
         interner: Optional[LocationInterner] = None,
         ship_locations: bool = False,
+        session: Optional[str] = None,
+        max_retries: int = 4,
+        retry_backoff: float = 0.05,
     ) -> None:
+        if session is not None and not wire.valid_session_token(session):
+            raise ServeError(f"invalid session token: {session!r}")
         self.host = host
         self.port = port
         self.timeout = timeout
         self.max_frame = max_frame
         self.interner = interner
         self.ship_locations = ship_locations
+        self.session = session
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         self.credit = 0
-        self.races: List[RaceReport] = []
         self.events_sent = 0
         self.batches_sent = 0
+        self.durable_seq = 0  #: highest seq the server has checkpointed
+        self.reconnects = 0
         self._sock: Optional[socket.socket] = None
         self._shipped_locations = 0
         self._finished: Optional[Tuple[int, int]] = None
+        self._next_seq = 1
+        self._unacked: Dict[int, bytes] = {}  # seq -> encoded payload
+        self._races_by_seq: Dict[int, List[RaceReport]] = {}
+        self._races_unseq: List[RaceReport] = []
+
+    @property
+    def races(self) -> List[RaceReport]:
+        """Race reports streamed back so far, in stream order.
+
+        Sequenced RACES frames are keyed by batch seq and *replace* on
+        replay, so a resumed session never double-counts a report."""
+        out = list(self._races_unseq)
+        for seq in sorted(self._races_by_seq):
+            out.extend(self._races_by_seq[seq])
+        return out
 
     # -- connection ----------------------------------------------------------
 
     def connect(self) -> "RaceClient":
-        """Dial the server and complete the HELLO exchange."""
+        """Dial the server and complete the HELLO exchange (plus the
+        RESUME handshake when the session is durable)."""
         if self._sock is not None:
             raise ServeError("client already connected")
         try:
@@ -142,7 +184,73 @@ class RaceClient:
         _version, credit, max_frame = wire.decode_hello_reply(payload)
         self.credit = credit
         self.max_frame = max_frame
+        if self.session is not None:
+            self._resume_handshake()
         return self
+
+    def _resume_handshake(self) -> None:
+        """Send RESUME and fold the server's durable sequence in."""
+        assert self.session is not None
+        self._send_frame(wire.FRAME_RESUME, wire.encode_resume(self.session))
+        while True:
+            ftype, payload = self._pump()
+            if ftype == wire.FRAME_RESUME:
+                durable = wire.decode_resume_reply(payload)
+                break
+            if ftype not in (wire.FRAME_CREDIT, wire.FRAME_ACK):
+                raise ProtocolError(
+                    f"expected RESUME reply, got {wire.FRAME_NAMES[ftype]}"
+                )
+        # The server follows the reply with one snapshot RACES frame
+        # (keyed at the durable seq) covering everything the restored
+        # engine already found; drop our per-seq entries at or below it
+        # so the snapshot replaces rather than double-counts them.
+        for seq in [s for s in self._races_by_seq if s <= durable]:
+            del self._races_by_seq[seq]
+        self._trim_acked(durable)
+        # A brand-new client resuming an existing token continues the
+        # sequence where the checkpoint left it; everything at or below
+        # ``durable_seq`` is already applied server-side.
+        if self._next_seq <= durable:
+            self._next_seq = durable + 1
+
+    def _trim_acked(self, durable: int) -> None:
+        if durable > self.durable_seq:
+            self.durable_seq = durable
+        for seq in [s for s in self._unacked if s <= self.durable_seq]:
+            del self._unacked[seq]
+
+    def _redial(self) -> None:
+        """Reconnect a durable session and replay past the server's
+        durable point (everything not yet covered by a checkpoint)."""
+        self.connect()
+        self.reconnects += 1
+        for seq in sorted(self._unacked):
+            payload = self._unacked[seq]
+            while self.credit <= 0:
+                self._pump()
+            self.credit -= 1
+            self._send_frame(wire.FRAME_BATCH, payload)
+
+    def _with_retry(self, fn: Callable[[], None]) -> None:
+        """Run ``fn``, transparently reconnect-and-replaying a durable
+        session when the transport drops (bounded exponential backoff).
+        Typed server refusals (:class:`RemoteError`) never retry."""
+        attempts = 0
+        while True:
+            try:
+                if self._sock is None and self.session is not None:
+                    self._redial()
+                fn()
+                return
+            except (TransportError, ConnectError):
+                self.close()
+                if self.session is None:
+                    raise
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise
+                time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
 
     def close(self) -> None:
         if self._sock is not None:
@@ -169,7 +277,7 @@ class RaceClient:
         try:
             self._require_sock().sendall(wire.encode_frame(ftype, payload))
         except OSError as exc:
-            raise ServeError(f"send failed: {exc}") from exc
+            raise TransportError(f"send failed: {exc}") from exc
 
     def _recv_exactly(self, n: int) -> bytes:
         sock = self._require_sock()
@@ -179,13 +287,13 @@ class RaceClient:
             try:
                 chunk = sock.recv(n - got)
             except socket.timeout as exc:
-                raise ServeError(
+                raise TransportError(
                     f"no frame from server within {self.timeout}s"
                 ) from exc
             except OSError as exc:
-                raise ServeError(f"receive failed: {exc}") from exc
+                raise TransportError(f"receive failed: {exc}") from exc
             if not chunk:
-                raise ServeError(
+                raise TransportError(
                     "server closed the connection mid-frame"
                 )
             chunks.append(chunk)
@@ -207,7 +315,13 @@ class RaceClient:
         if ftype == wire.FRAME_CREDIT:
             self.credit += wire.decode_credit(payload)
         elif ftype == wire.FRAME_RACES:
-            self.races.extend(wire.decode_races(payload))
+            seq, reports = wire.decode_races(payload)
+            if seq:
+                self._races_by_seq[seq] = reports
+            else:
+                self._races_unseq.extend(reports)
+        elif ftype == wire.FRAME_ACK:
+            self._trim_acked(wire.decode_ack(payload))
         elif ftype == wire.FRAME_ERROR:
             code, message = wire.decode_error(payload)
             self.close()
@@ -221,8 +335,6 @@ class RaceClient:
         session has none outstanding."""
         if self._finished is not None:
             raise ServeError("session already finished (BYE sent)")
-        while self.credit <= 0:
-            self._pump()
         new_locations: Sequence = ()
         if self.ship_locations:
             if self.interner is None:
@@ -232,17 +344,31 @@ class RaceClient:
             table = self.interner.locations()
             new_locations = table[self._shipped_locations:]
             self._shipped_locations = len(table)
-        payload = wire.encode_batch_payload(batch, new_locations)
+        seq = 0
+        if self.session is not None:
+            seq = self._next_seq
+        payload = wire.encode_batch_payload(batch, new_locations, seq=seq)
         if len(payload) > self.max_frame:
             raise ProtocolError(
                 f"batch of {len(batch)} events encodes to {len(payload)} "
                 f"bytes, over the negotiated frame cap of "
                 f"{self.max_frame}; slice it smaller"
             )
-        self.credit -= 1
-        self._send_frame(wire.FRAME_BATCH, payload)
+        if seq:
+            # Retained verbatim until an ACK covers it: a replay after
+            # reconnect must resend the *same bytes* (same seq, same
+            # location-table delta) for server-side dedup to hold.
+            self._next_seq += 1
+            self._unacked[seq] = payload
+        self._with_retry(lambda: self._send_payload(payload))
         self.events_sent += len(batch)
         self.batches_sent += 1
+
+    def _send_payload(self, payload: bytes) -> None:
+        while self.credit <= 0:
+            self._pump()
+        self.credit -= 1
+        self._send_frame(wire.FRAME_BATCH, payload)
 
     def send_batches(
         self, batch: EventBatch, batch_size: int = 8192
@@ -259,24 +385,32 @@ class RaceClient:
         double-counted and raises :class:`ProtocolError`.
         """
         if self._finished is None:
-            self._send_frame(wire.FRAME_BYE)
-            while True:
-                ftype, payload = self._pump()
-                if ftype == wire.FRAME_BYE:
-                    self._finished = wire.decode_bye_summary(payload)
-                    break
-                if ftype not in (wire.FRAME_CREDIT, wire.FRAME_RACES):
-                    raise ProtocolError(
-                        f"unexpected {wire.FRAME_NAMES[ftype]} frame "
-                        f"while draining"
-                    )
+            self._with_retry(self._finish_once)
         events, races = self._finished
-        if events != self.events_sent:
+        if self.session is None and events != self.events_sent:
+            # A resumed session legitimately diverges: the server's
+            # total includes checkpointed events from a prior
+            # connection, while replayed duplicates are skipped.
             raise ProtocolError(
                 f"server ingested {events} events, client sent "
                 f"{self.events_sent}"
             )
         return ClientSummary(events, races, list(self.races))
+
+    def _finish_once(self) -> None:
+        self._send_frame(wire.FRAME_BYE)
+        while True:
+            ftype, payload = self._pump()
+            if ftype == wire.FRAME_BYE:
+                self._finished = wire.decode_bye_summary(payload)
+                return
+            if ftype not in (
+                wire.FRAME_CREDIT, wire.FRAME_RACES, wire.FRAME_ACK
+            ):
+                raise ProtocolError(
+                    f"unexpected {wire.FRAME_NAMES[ftype]} frame "
+                    f"while draining"
+                )
 
 
 # -- replay helpers -----------------------------------------------------------

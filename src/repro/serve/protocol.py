@@ -28,13 +28,29 @@ BATCH     client->   the ``tracefile`` column layout, minus magic:
                      bulk column copies (and, with numpy, zero-copy
                      views for validation), never per-event parsing
 CREDIT    server->   u32 additional BATCH frames the client may send
-RACES     server->   UTF-8 JSON list of race reports (interned
-                     location ids; the client decodes against its
-                     own table)
+RACES     server->   UTF-8 JSON object ``{"seq": n, "reports": [...]}``
+                     with interned location ids; ``seq`` names the
+                     BATCH the reports were found in, so a resuming
+                     client that replays a batch replaces (never
+                     double-counts) its reports.  A bare JSON list
+                     (the v1 shape) is still decoded, with no seq
 ERROR     both       u16 error code + UTF-8 message; sender closes
 BYE       client->   empty (end of stream, drain and summarise)
 BYE       server->   u64 events ingested + u64 races reported
+RESUME    client->   UTF-8 session token (durable session handshake,
+                     sent once, directly after HELLO)
+RESUME    server->   u64 durable sequence number: the highest BATCH
+                     seq captured by a checkpoint (0 = fresh session)
+ACK       server->   u64 durable sequence number, sent after every
+                     background checkpoint; the client drops its
+                     replay buffer up to and including it
 ========  =========  =============================================
+
+Durability (v2): every BATCH carries a u64 sequence number, assigned
+1, 2, 3... by the client.  The server requires contiguous sequencing;
+on a durable session (one that sent RESUME) an already-applied seq is
+*skipped idempotently* (its credit refunded), which is what makes a
+reconnect replay safe, while a gap is an ERR_PROTOCOL.
 
 Like the trace format, the BATCH columns travel in the *sender's*
 byte order with an explicit flag, so the common same-order case is
@@ -84,6 +100,8 @@ __all__ = [
     "FRAME_RACES",
     "FRAME_ERROR",
     "FRAME_BYE",
+    "FRAME_RESUME",
+    "FRAME_ACK",
     "FRAME_NAMES",
     "ERR_PROTOCOL",
     "ERR_VERSION",
@@ -94,7 +112,10 @@ __all__ = [
     "ERR_IDLE_TIMEOUT",
     "ERR_CREDIT_OVERRUN",
     "ERR_SHUTTING_DOWN",
+    "ERR_CHECKPOINT",
     "ERROR_NAMES",
+    "MAX_SESSION_TOKEN",
+    "valid_session_token",
     "encode_frame",
     "parse_frame_header",
     "check_frame_length",
@@ -114,10 +135,17 @@ __all__ = [
     "decode_error",
     "encode_bye_summary",
     "decode_bye_summary",
+    "encode_resume",
+    "decode_resume",
+    "encode_resume_reply",
+    "decode_resume_reply",
+    "encode_ack",
+    "decode_ack",
 ]
 
 PROTOCOL_MAGIC = b"RPRSERVE"
-PROTOCOL_VERSION = 1
+#: v2 added the BATCH sequence number and the RESUME/ACK frames
+PROTOCOL_VERSION = 2
 
 #: default cap on one frame's payload (negotiated down in HELLO)
 DEFAULT_MAX_FRAME = 8 * 1024 * 1024
@@ -126,7 +154,7 @@ _FRAME = struct.Struct("<IBI")
 FRAME_HEADER_SIZE = _FRAME.size
 
 FRAME_HELLO, FRAME_BATCH, FRAME_CREDIT, FRAME_RACES, FRAME_ERROR, \
-    FRAME_BYE = range(1, 7)
+    FRAME_BYE, FRAME_RESUME, FRAME_ACK = range(1, 9)
 
 FRAME_NAMES = {
     FRAME_HELLO: "HELLO",
@@ -135,6 +163,8 @@ FRAME_NAMES = {
     FRAME_RACES: "RACES",
     FRAME_ERROR: "ERROR",
     FRAME_BYE: "BYE",
+    FRAME_RESUME: "RESUME",
+    FRAME_ACK: "ACK",
 }
 
 # -- error codes (carried in ERROR frames) ------------------------------------
@@ -148,6 +178,7 @@ ERR_DETECTOR = 6  #: the event stream violated detector preconditions
 ERR_IDLE_TIMEOUT = 7  #: session produced no frame within the idle window
 ERR_CREDIT_OVERRUN = 8  #: client sent a BATCH with no credit outstanding
 ERR_SHUTTING_DOWN = 9  #: server is draining (SIGTERM)
+ERR_CHECKPOINT = 10  #: RESUME hit a corrupt/unloadable checkpoint
 
 ERROR_NAMES = {
     ERR_PROTOCOL: "protocol",
@@ -159,14 +190,18 @@ ERROR_NAMES = {
     ERR_IDLE_TIMEOUT: "idle-timeout",
     ERR_CREDIT_OVERRUN: "credit-overrun",
     ERR_SHUTTING_DOWN: "shutting-down",
+    ERR_CHECKPOINT: "checkpoint",
 }
 
 _HELLO_C = struct.Struct("<8sII")  # magic, version, client max frame
 _HELLO_S = struct.Struct("<8sIIII")  # magic, version, credit, max frame, flags
-_BATCH_HEADER = struct.Struct("<B7xQQ")  # endian flag, n_events, table_len
+#: endian flag, n_events, table_len, seq -- the sequence number is
+#: appended (v2) so the v1 field offsets are unchanged
+_BATCH_HEADER = struct.Struct("<B7xQQQ")
 _CREDIT = struct.Struct("<I")
 _ERROR = struct.Struct("<H")
 _BYE_S = struct.Struct("<QQ")  # events ingested, races reported
+_SEQ = struct.Struct("<Q")  # RESUME reply / ACK durable sequence number
 
 #: fixed column item sizes (u8 / i32 / i32), as in the trace format
 _OPS_SIZE = array("B").itemsize
@@ -268,13 +303,15 @@ def decode_hello_reply(payload: bytes) -> Tuple[int, int, int]:
 
 
 def encode_batch_payload(
-    batch: EventBatch, new_locations: Sequence = ()
+    batch: EventBatch, new_locations: Sequence = (), seq: int = 0
 ) -> bytes:
     """Serialise one batch (plus the locations newly interned for it).
 
     ``new_locations`` are the table entries whose ids start where the
     receiver's table currently ends; pass ``()`` to keep the table
-    client-side (race reports then name interned ids).
+    client-side (race reports then name interned ids).  ``seq`` is the
+    client-assigned sequence number (1, 2, 3...); the server enforces
+    contiguity and uses it for idempotent replay after a RESUME.
     """
     from repro.trace import encode_location
 
@@ -285,7 +322,7 @@ def encode_batch_payload(
         ).encode("utf-8")
     else:
         table = b""
-    head = _BATCH_HEADER.pack(_native_flag(), len(batch), len(table))
+    head = _BATCH_HEADER.pack(_native_flag(), len(batch), len(table), seq)
     return b"".join(
         (head, table, batch.ops.tobytes(), batch.a.tobytes(),
          batch.b.tobytes())
@@ -294,8 +331,9 @@ def encode_batch_payload(
 
 def decode_batch_payload(
     payload: bytes,
-) -> Tuple[EventBatch, Optional[List]]:
-    """Decode a BATCH payload into ``(batch, new_locations_or_None)``.
+) -> Tuple[EventBatch, Optional[List], int]:
+    """Decode a BATCH payload into ``(batch, new_locations_or_None,
+    seq)``.
 
     The declared column lengths are checked against the payload size
     *before* any column (or the table) is allocated: a header that
@@ -310,7 +348,7 @@ def decode_batch_payload(
             f"truncated BATCH header ({len(payload)} of "
             f"{_BATCH_HEADER.size} bytes)"
         )
-    endian, n_events, table_len = _BATCH_HEADER.unpack_from(payload)
+    endian, n_events, table_len, seq = _BATCH_HEADER.unpack_from(payload)
     if endian not in (0, 1):
         raise ProtocolError(f"bad endianness flag {endian} in BATCH")
     need = _BATCH_HEADER.size + table_len + n_events * _PER_EVENT
@@ -345,7 +383,7 @@ def decode_batch_payload(
     if endian != _native_flag():
         av.byteswap()
         bv.byteswap()
-    return EventBatch(ops, av, bv), locations
+    return EventBatch(ops, av, bv), locations, seq
 
 
 def validate_batch_columns(
@@ -439,15 +477,73 @@ def decode_bye_summary(payload: bytes) -> Tuple[int, int]:
     return events, races
 
 
+# -- RESUME / ACK -------------------------------------------------------------
+
+#: session tokens become checkpoint file names, so they are restricted
+#: to a filesystem- and traversal-safe alphabet
+MAX_SESSION_TOKEN = 128
+_TOKEN_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+def valid_session_token(token: str) -> bool:
+    """Whether ``token`` is safe to use as a checkpoint file stem."""
+    return (
+        0 < len(token) <= MAX_SESSION_TOKEN
+        and not token.startswith(".")
+        and set(token) <= _TOKEN_CHARS
+    )
+
+
+def encode_resume(token: str) -> bytes:
+    if not valid_session_token(token):
+        raise ProtocolError(f"bad session token {token!r}")
+    return token.encode("ascii")
+
+
+def decode_resume(payload: bytes) -> str:
+    try:
+        token = payload.decode("ascii")
+    except UnicodeDecodeError:
+        raise ProtocolError("session token is not ASCII") from None
+    if not valid_session_token(token):
+        raise ProtocolError(f"bad session token {token!r}")
+    return token
+
+
+def encode_resume_reply(durable_seq: int) -> bytes:
+    return _SEQ.pack(durable_seq)
+
+
+def decode_resume_reply(payload: bytes) -> int:
+    if len(payload) != _SEQ.size:
+        raise ProtocolError(
+            f"bad RESUME reply payload length {len(payload)}"
+        )
+    return _SEQ.unpack(payload)[0]
+
+
+def encode_ack(durable_seq: int) -> bytes:
+    return _SEQ.pack(durable_seq)
+
+
+def decode_ack(payload: bytes) -> int:
+    if len(payload) != _SEQ.size:
+        raise ProtocolError(f"bad ACK payload length {len(payload)}")
+    return _SEQ.unpack(payload)[0]
+
+
 # -- RACES --------------------------------------------------------------------
 
 
-def encode_races(reports: Iterable[RaceReport]) -> bytes:
+def encode_races(reports: Iterable[RaceReport], seq: int = 0) -> bytes:
     """JSON-encode race reports with interned location ids.
 
-    ``prior_repr`` is a representative thread id for every built-in
-    detector; anything non-JSON degrades to its ``repr`` rather than
-    failing the stream.
+    ``seq`` names the BATCH these reports were detected in, so a
+    resuming client can key them idempotently.  ``prior_repr`` is a
+    representative thread id for every built-in detector; anything
+    non-JSON degrades to its ``repr`` rather than failing the stream.
     """
     rows = [
         {
@@ -461,17 +557,29 @@ def encode_races(reports: Iterable[RaceReport]) -> bytes:
         for r in reports
     ]
     return json.dumps(
-        rows, separators=(",", ":"), default=repr
+        {"seq": seq, "reports": rows}, separators=(",", ":"), default=repr
     ).encode("utf-8")
 
 
-def decode_races(payload: bytes) -> List[RaceReport]:
+def decode_races(payload: bytes) -> Tuple[int, List[RaceReport]]:
+    """Decode a RACES payload into ``(seq, reports)``.
+
+    A bare JSON list (the v1 shape) is accepted and decodes with
+    ``seq == 0`` (untagged).
+    """
     try:
-        rows = json.loads(payload)
+        obj = json.loads(payload)
     except ValueError as exc:
         raise ProtocolError(f"corrupt RACES payload: {exc}") from None
-    if not isinstance(rows, list):
-        raise ProtocolError("corrupt RACES payload: not a list")
+    if isinstance(obj, dict):
+        rows = obj.get("reports")
+        seq = obj.get("seq", 0)
+        if not isinstance(rows, list) or not isinstance(seq, int):
+            raise ProtocolError("corrupt RACES payload: bad object shape")
+    elif isinstance(obj, list):
+        rows, seq = obj, 0
+    else:
+        raise ProtocolError("corrupt RACES payload: not a list or object")
     out: List[RaceReport] = []
     try:
         for row in rows:
@@ -487,4 +595,4 @@ def decode_races(payload: bytes) -> List[RaceReport]:
             )
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"corrupt RACES payload: {exc!r}") from None
-    return out
+    return seq, out

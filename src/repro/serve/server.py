@@ -48,6 +48,7 @@ dependencies).
 from __future__ import annotations
 
 import asyncio
+import os
 import signal
 import threading
 import time
@@ -59,7 +60,13 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.batch import EventBatch
 from repro.engine.ingest import BatchEngine
-from repro.errors import DetectorError, ProtocolError, ServeError
+from repro.engine.snapshot import load_checkpoint, save_checkpoint
+from repro.errors import (
+    CheckpointError,
+    DetectorError,
+    ProtocolError,
+    ServeError,
+)
 from repro.obs.export import to_prometheus
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.serve import protocol as wire
@@ -83,6 +90,14 @@ class ServeConfig:
     replaces the per-session engines with one shared multi-process
     :class:`~repro.engine.parallel.ParallelShardedEngine` (see
     ``docs/SERVING.md`` for when that trade is right).
+
+    ``checkpoint_dir`` turns on session durability: a session that
+    opens with a RESUME token gets a periodic background checkpoint
+    (every ``checkpoint_interval`` applied batches, plus one at
+    teardown), each acknowledged to the client with an ACK frame so it
+    can trim its replay buffer.  Durable sessions are per-session
+    engines only -- combining ``checkpoint_dir`` with ``jobs > 1`` is
+    rejected at construction.
     """
 
     host: str = "127.0.0.1"
@@ -94,6 +109,8 @@ class ServeConfig:
     hello_timeout: float = 10.0
     drain_timeout: float = 10.0
     jobs: int = 1
+    checkpoint_dir: Optional[str] = None
+    checkpoint_interval: int = 32  #: applied batches between checkpoints
 
 
 class _Metrics:
@@ -177,6 +194,24 @@ class _Metrics:
             "events per BATCH frame", labels=labels,
             buckets=(64, 512, 4096, 16384, 65536, 262144),
         )
+        self.checkpoints = registry.counter(
+            "serve_checkpoints_total",
+            "session checkpoints written", labels=labels,
+        )
+        self.restores = registry.counter(
+            "serve_restores_total",
+            "sessions restored from a checkpoint", labels=labels,
+        )
+        self.checkpoint_seconds = registry.histogram(
+            "serve_checkpoint_seconds",
+            "wall seconds to write one session checkpoint", labels=labels,
+            buckets=(0.001, 0.005, 0.02, 0.1, 0.5, 2.0),
+        )
+        self.duplicates_skipped = registry.counter(
+            "serve_duplicate_batches_total",
+            "already-applied BATCH frames skipped idempotently on resume",
+            labels=labels,
+        )
 
     def observe_depth(self, depth: int) -> None:
         self.queue_depth.set(depth)
@@ -223,6 +258,34 @@ class _SessionEngine:
     @property
     def races_reported(self) -> int:
         return self._races_seen
+
+    def save(self, path: str, meta: Dict[str, Any]) -> int:
+        """Checkpoint the engine durably to ``path`` (see
+        :mod:`repro.engine.snapshot`)."""
+        return save_checkpoint(self._require_open(), path, meta=meta)
+
+    def checkpointed_races(self) -> List:
+        """Every race the restored engine already holds -- streamed as
+        one snapshot RACES frame so a *fresh* client resuming this
+        token still sees the reports its replayed (and skipped)
+        batches would have produced."""
+        return list(self._require_open().detector.races)
+
+    @classmethod
+    def restore(
+        cls, path: str, registry: MetricsRegistry
+    ) -> Tuple["_SessionEngine", Dict[str, Any]]:
+        """Rebuild a session engine from a checkpoint file.
+
+        Races already detected at save time count as *seen*: the
+        client received them (keyed by seq) before the crash, and the
+        replayed batches re-derive nothing older than the checkpoint.
+        """
+        engine, meta = load_checkpoint(path, registry=registry)
+        self = cls.__new__(cls)
+        self._engine = engine
+        self._races_seen = len(engine.detector.races)
+        return self, meta
 
     def close(self) -> None:
         self._engine = None
@@ -315,6 +378,8 @@ class _Session:
     __slots__ = (
         "sid", "writer", "engine", "queue", "queued", "credits",
         "withheld", "write_lock", "failed", "draining", "max_frame",
+        "token", "enqueued_seq", "applied_seq", "durable_seq",
+        "last_table", "busy",
     )
 
     def __init__(
@@ -331,6 +396,12 @@ class _Session:
         self.failed: Optional[BaseException] = None
         self.draining = False
         self.max_frame = max_frame
+        self.token: Optional[str] = None  # durable session id (RESUME)
+        self.enqueued_seq = 0  # highest seq accepted off the wire
+        self.applied_seq = 0  # highest seq the worker has ingested
+        self.durable_seq = 0  # highest seq covered by a checkpoint
+        self.last_table: Optional[int] = None  # table size at applied_seq
+        self.busy = False  # an ingest is running in the executor
 
 
 _BYE = object()  # queue sentinel: client finished its stream
@@ -372,6 +443,16 @@ class RaceServer:
             raise ServeError(
                 f"need at least one job, got {self.config.jobs}"
             )
+        if self.config.checkpoint_interval < 1:
+            raise ServeError(
+                f"checkpoint interval must be positive, got "
+                f"{self.config.checkpoint_interval}"
+            )
+        if self.config.checkpoint_dir is not None and self.config.jobs > 1:
+            raise ServeError(
+                "checkpointing requires per-session engines: "
+                "checkpoint_dir cannot be combined with jobs > 1"
+            )
         self.registry = registry if registry is not None else get_registry()
         self._m = _Metrics(self.registry)
         self._server: Optional[asyncio.base_events.Server] = None
@@ -389,6 +470,8 @@ class RaceServer:
         """Bind and start accepting; returns the bound port."""
         if self._server is not None:
             raise ServeError("server already started")
+        if self.config.checkpoint_dir is not None:
+            os.makedirs(self.config.checkpoint_dir, exist_ok=True)
         self._closed_event = asyncio.Event()
         if self.config.jobs > 1:
             self._shared_engine = _SharedParallelEngine(
@@ -511,6 +594,9 @@ class RaceServer:
                     await consumer
                 except (asyncio.CancelledError, Exception):
                     pass
+            # Durable sessions get one last checkpoint so a clean BYE
+            # (or a drop with an idle worker) loses nothing.
+            await self._final_checkpoint(session)
             # Teardown closes the engine: a vanished client leaves no
             # shadow state behind (the queue and its decoded batches
             # die with the session object).
@@ -533,6 +619,69 @@ class RaceServer:
         if self._shared_engine is not None:
             return self._shared_engine.session_view()
         return _SessionEngine(self.registry)
+
+    # -- durability ----------------------------------------------------------
+
+    def _ckpt_path(self, token: str) -> str:
+        # valid_session_token() already rejects separators and leading
+        # dots, so the join cannot escape the checkpoint directory.
+        assert self.config.checkpoint_dir is not None
+        return os.path.join(self.config.checkpoint_dir, f"{token}.ckpt")
+
+    def _ckpt_meta(self, session: _Session, seq: int) -> Dict[str, Any]:
+        return {
+            "seq": seq,
+            "token": session.token,
+            "ships_table": session.last_table is not None,
+            "table_size": session.last_table or 0,
+        }
+
+    async def _checkpoint(self, session: _Session) -> bool:
+        """Write the session's engine to disk at ``applied_seq`` and ACK
+        it so the client can trim its replay buffer.  A failed write
+        fails the session -- durability was promised, not best-effort."""
+        seq = session.applied_seq
+        start = time.perf_counter()
+        try:
+            await asyncio.get_running_loop().run_in_executor(
+                None, session.engine.save,
+                self._ckpt_path(session.token), self._ckpt_meta(session, seq),
+            )
+        except (CheckpointError, ServeError, OSError) as exc:
+            session.failed = exc
+            await self._send_error(session, wire.ERR_CHECKPOINT, str(exc))
+            return False
+        session.durable_seq = seq
+        self._m.checkpoints.inc()
+        self._m.checkpoint_seconds.observe(time.perf_counter() - start)
+        await self._send(session, wire.FRAME_ACK, wire.encode_ack(seq))
+        return True
+
+    async def _final_checkpoint(self, session: _Session) -> None:
+        """Best-effort checkpoint at teardown.  Skipped if an ingest is
+        still running in the executor (its thread survives consumer
+        cancellation; serializing under it could tear the state) -- the
+        stale checkpoint stays valid and the client simply replays
+        more."""
+        if (
+            session.token is None
+            or session.failed is not None
+            or session.busy
+            or session.engine is None
+            or session.engine.closed
+            or session.applied_seq <= session.durable_seq
+        ):
+            return
+        seq = session.applied_seq
+        try:
+            await asyncio.get_running_loop().run_in_executor(
+                None, session.engine.save,
+                self._ckpt_path(session.token), self._ckpt_meta(session, seq),
+            )
+        except (CheckpointError, ServeError, OSError):
+            return  # the connection is ending either way
+        session.durable_seq = seq
+        self._m.checkpoints.inc()
 
     async def _handshake(
         self, session: _Session, reader: asyncio.StreamReader
@@ -583,6 +732,7 @@ class RaceServer:
         max_frame = session.max_frame
         table_size = 0
         ships_table = False
+        saw_batch = False
         while True:
             try:
                 ftype, payload = await asyncio.wait_for(
@@ -625,7 +775,39 @@ class RaceServer:
                 session.credits -= 1
                 self._m.credit_outstanding.dec()
                 try:
-                    batch, new_locs = wire.decode_batch_payload(payload)
+                    batch, new_locs, seq = wire.decode_batch_payload(payload)
+                except ProtocolError as exc:
+                    await self._send_error(
+                        session, wire.ERR_MALFORMED_BATCH, str(exc)
+                    )
+                    return
+                saw_batch = True
+                if seq == 0:
+                    if session.token is not None:
+                        await self._send_error(
+                            session, wire.ERR_PROTOCOL,
+                            "durable sessions must sequence their batches",
+                        )
+                        return
+                elif session.token is not None and seq <= session.enqueued_seq:
+                    # A replayed batch the crash-surviving engine already
+                    # holds: skip it idempotently (its location-table
+                    # delta included) and hand the credit straight back.
+                    self._m.duplicates_skipped.inc()
+                    session.credits += 1
+                    self._m.credit_outstanding.inc()
+                    await self._send(
+                        session, wire.FRAME_CREDIT, wire.encode_credit(1)
+                    )
+                    continue
+                elif seq != session.enqueued_seq + 1:
+                    await self._send_error(
+                        session, wire.ERR_PROTOCOL,
+                        f"batch seq {seq} breaks contiguity (expected "
+                        f"{session.enqueued_seq + 1})",
+                    )
+                    return
+                try:
                     if new_locs is not None:
                         ships_table = True
                         table_size += len(new_locs)
@@ -637,9 +819,77 @@ class RaceServer:
                         session, wire.ERR_MALFORMED_BATCH, str(exc)
                     )
                     return
+                session.enqueued_seq = max(session.enqueued_seq, seq)
                 session.queued += 1
-                session.queue.put_nowait(batch)
+                session.queue.put_nowait(
+                    (seq, batch, table_size if ships_table else None)
+                )
                 self._m.observe_depth(self._total_depth())
+            elif ftype == wire.FRAME_RESUME:
+                if self.config.checkpoint_dir is None:
+                    await self._send_error(
+                        session, wire.ERR_CHECKPOINT,
+                        "server runs without a checkpoint directory",
+                    )
+                    return
+                if session.token is not None or saw_batch:
+                    # Accepting a late RESUME would swap in the restored
+                    # engine and silently drop whatever this connection
+                    # already streamed.
+                    await self._send_error(
+                        session, wire.ERR_PROTOCOL,
+                        "RESUME must precede the first BATCH",
+                    )
+                    return
+                try:
+                    token = wire.decode_resume(payload)
+                except ProtocolError as exc:
+                    await self._send_error(
+                        session, wire.ERR_PROTOCOL, str(exc)
+                    )
+                    return
+                path = self._ckpt_path(token)
+                if os.path.exists(path):
+                    try:
+                        engine, meta = await asyncio.get_running_loop(
+                        ).run_in_executor(
+                            None, _SessionEngine.restore, path, self.registry
+                        )
+                    except CheckpointError as exc:
+                        # Never silently load a bad checkpoint: the
+                        # client gets a typed refusal and may start a
+                        # fresh session under a new token instead.
+                        await self._send_error(
+                            session, wire.ERR_CHECKPOINT, str(exc)
+                        )
+                        return
+                    old = session.engine
+                    session.engine = engine
+                    if old is not None:
+                        old.close()
+                    durable = int(meta.get("seq", 0))
+                    session.enqueued_seq = durable
+                    session.applied_seq = durable
+                    session.durable_seq = durable
+                    ships_table = bool(meta.get("ships_table", False))
+                    table_size = int(meta.get("table_size", 0) or 0)
+                    session.last_table = table_size if ships_table else None
+                    self._m.restores.inc()
+                session.token = token
+                await self._send(
+                    session, wire.FRAME_RESUME,
+                    wire.encode_resume_reply(session.durable_seq),
+                )
+                if session.durable_seq:
+                    snapshot = session.engine.checkpointed_races()
+                    if snapshot:
+                        self._m.races_streamed.inc(len(snapshot))
+                        await self._send(
+                            session, wire.FRAME_RACES,
+                            wire.encode_races(
+                                snapshot, seq=session.durable_seq
+                            ),
+                        )
             elif ftype == wire.FRAME_BYE:
                 session.queue.put_nowait(_BYE)
                 await consumer
@@ -671,9 +921,10 @@ class RaceServer:
             item = await session.queue.get()
             if item is _BYE:
                 return
-            batch: EventBatch = item
+            seq, batch, table = item
             session.queued -= 1
             start = time.perf_counter()
+            session.busy = True
             try:
                 new_races = await loop.run_in_executor(
                     None, session.engine.ingest, batch
@@ -688,6 +939,10 @@ class RaceServer:
                 # destroy the in-flight ERROR.  The read loop drains
                 # what credit allowed and teardown closes cleanly.
                 return
+            session.busy = False
+            if seq:
+                session.applied_seq = seq
+                session.last_table = table
             m.service_time.observe(time.perf_counter() - start)
             m.batch_events.observe(len(batch))
             m.batches.inc()
@@ -696,8 +951,16 @@ class RaceServer:
             if new_races:
                 m.races_streamed.inc(len(new_races))
                 await self._send(
-                    session, wire.FRAME_RACES, wire.encode_races(new_races)
+                    session, wire.FRAME_RACES,
+                    wire.encode_races(new_races, seq=seq),
                 )
+            if (
+                session.token is not None
+                and seq
+                and seq - session.durable_seq >= self.config.checkpoint_interval
+            ):
+                if not await self._checkpoint(session):
+                    return
             if session.queued >= self.config.queue_high_water:
                 # Above the high-water mark: withhold the grant until
                 # the backlog drains (credit-based backpressure).

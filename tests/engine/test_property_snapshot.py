@@ -1,0 +1,83 @@
+"""Property sweep: checkpoint/kill/restore never changes the verdict.
+
+Random spawn-sync programs (the generator from
+``test_property_differential``) are batched at a random granularity and
+ingested up to a random cut point; the engine is serialized, dropped on
+the floor (the "kill"), deserialized, and fed the rest of the stream.
+The resumed engine must finish in *exactly* the state -- race multiset
+included -- of an engine that never stopped.  Blobs stay in memory here;
+the file/fsync layer has its own exhaustive tests in
+``test_snapshot.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.batch import BatchBuilder
+from repro.engine.ingest import BatchEngine
+from repro.engine.snapshot import engine_from_blob, engine_to_blob, state_digest
+from repro.forkjoin.interpreter import run
+
+from .test_property_differential import _cilk_program, spawn_sync_cases
+
+pytestmark = pytest.mark.engine
+
+
+def _races(engine) -> Counter:
+    return Counter(
+        (r.task, r.loc, r.kind, r.prior_kind, r.op_index)
+        for r in engine.detector.races
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(case=spawn_sync_cases(), data=st.data())
+def test_resume_at_any_batch_boundary_matches_uninterrupted(case, data):
+    tree, plan = case
+    builder = BatchBuilder()
+    run(_cilk_program(tree, plan), observers=[builder])
+    batch = builder.batch
+
+    batch_size = data.draw(
+        st.integers(1, max(1, len(batch))), label="batch_size"
+    )
+    pieces = list(batch.slices(batch_size))
+    cut = data.draw(st.integers(0, len(pieces)), label="cut")
+
+    uninterrupted = BatchEngine(interner=builder.interner)
+    uninterrupted.ingest_all(pieces)
+
+    engine = BatchEngine(interner=builder.interner)
+    engine.ingest_all(pieces[:cut])
+    restored, _meta = engine_from_blob(engine_to_blob(engine))
+    # The restore itself must be exact, not merely race-equivalent.
+    assert state_digest(restored) == state_digest(engine)
+
+    restored.ingest_all(pieces[cut:])
+    assert state_digest(restored) == state_digest(uninterrupted)
+    assert _races(restored) == _races(uninterrupted)
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=spawn_sync_cases(max_leaves=6), data=st.data())
+def test_chained_checkpoints_are_lossless(case, data):
+    """Several save/restore hops in one stream lose nothing either."""
+    tree, plan = case
+    builder = BatchBuilder()
+    run(_cilk_program(tree, plan), observers=[builder])
+    pieces = list(builder.batch.slices(max(1, len(builder.batch) // 5)))
+
+    uninterrupted = BatchEngine(interner=builder.interner)
+    uninterrupted.ingest_all(pieces)
+
+    engine = BatchEngine(interner=builder.interner)
+    for piece in pieces:
+        engine.ingest(piece)
+        if data.draw(st.booleans(), label="hop"):
+            engine, _meta = engine_from_blob(engine_to_blob(engine))
+    assert state_digest(engine) == state_digest(uninterrupted)

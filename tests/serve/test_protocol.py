@@ -126,10 +126,11 @@ class TestHello:
 class TestBatchPayload:
     def test_round_trip_without_table(self):
         batch = small_batch()
-        decoded, locations = wire.decode_batch_payload(
+        decoded, locations, seq = wire.decode_batch_payload(
             wire.encode_batch_payload(batch)
         )
         assert locations is None
+        assert seq == 0
         assert decoded.ops == batch.ops
         assert decoded.a == batch.a
         assert decoded.b == batch.b
@@ -141,13 +142,19 @@ class TestBatchPayload:
         payload = wire.encode_batch_payload(
             builder.batch, builder.interner.locations()
         )
-        decoded, locations = wire.decode_batch_payload(payload)
+        decoded, locations, seq = wire.decode_batch_payload(payload)
         assert locations == ["x", ("tuple", 3)]
+        assert seq == 0
         assert decoded.b == builder.batch.b
+
+    def test_sequence_number_round_trips(self):
+        payload = wire.encode_batch_payload(small_batch(), seq=17)
+        _decoded, _locations, seq = wire.decode_batch_payload(payload)
+        assert seq == 17
 
     def test_empty_batch_round_trips(self):
         empty = EventBatch(array("B"), array("i"), array("i"))
-        decoded, locations = wire.decode_batch_payload(
+        decoded, locations, _seq = wire.decode_batch_payload(
             wire.encode_batch_payload(empty)
         )
         assert len(decoded) == 0 and locations is None
@@ -199,9 +206,9 @@ class TestBatchPayload:
         a_sw.byteswap()
         b_sw.byteswap()
         flag = 1 if sys.byteorder == "little" else 0
-        head = struct.pack("<B7xQQ", flag, len(batch), 0)
+        head = struct.pack("<B7xQQQ", flag, len(batch), 0, 0)
         payload = head + batch.ops.tobytes() + a_sw.tobytes() + b_sw.tobytes()
-        decoded, _ = wire.decode_batch_payload(payload)
+        decoded, _, _ = wire.decode_batch_payload(payload)
         assert decoded.a == batch.a
         assert decoded.b == batch.b
 
@@ -285,14 +292,55 @@ class TestSmallCodecs:
                 prior_kind=AccessKind.WRITE, prior_repr=4, op_index=99,
             ),
         ]
-        decoded = wire.decode_races(wire.encode_races(reports))
+        seq, decoded = wire.decode_races(wire.encode_races(reports, seq=9))
+        assert seq == 9
         assert decoded == reports
+
+    def test_races_accepts_v1_bare_list(self):
+        rows = json.dumps(
+            [
+                {
+                    "loc": 3, "task": 2, "kind": "write",
+                    "prior_kind": "read", "prior_repr": 1, "op_index": 17,
+                }
+            ]
+        ).encode()
+        seq, decoded = wire.decode_races(rows)
+        assert seq == 0
+        assert decoded[0].loc == 3 and decoded[0].task == 2
 
     def test_races_rejects_garbage(self):
         with pytest.raises(ProtocolError, match="corrupt RACES"):
             wire.decode_races(b"not json")
-        with pytest.raises(ProtocolError, match="not a list"):
+        with pytest.raises(ProtocolError, match="bad object shape"):
             wire.decode_races(b"{}")
+        with pytest.raises(ProtocolError, match="not a list or object"):
+            wire.decode_races(b"3")
         row = json.dumps([{"loc": 1}]).encode()
         with pytest.raises(ProtocolError, match="corrupt RACES"):
             wire.decode_races(row)
+
+    def test_resume_and_ack_codecs(self):
+        assert wire.decode_resume(wire.encode_resume("sess-1.a_b")) == (
+            "sess-1.a_b"
+        )
+        assert wire.decode_resume_reply(wire.encode_resume_reply(41)) == 41
+        assert wire.decode_ack(wire.encode_ack(7)) == 7
+        with pytest.raises(ProtocolError):
+            wire.decode_resume_reply(b"xx")
+        with pytest.raises(ProtocolError):
+            wire.decode_ack(b"xx")
+
+    def test_session_token_validation(self):
+        assert wire.valid_session_token("a")
+        assert wire.valid_session_token("A-b_c.9")
+        assert not wire.valid_session_token("")
+        assert not wire.valid_session_token(".hidden")
+        assert not wire.valid_session_token("a/b")  # path separator
+        assert not wire.valid_session_token("a" * 129)
+        with pytest.raises(ProtocolError, match="bad session token"):
+            wire.encode_resume("../escape")
+        with pytest.raises(ProtocolError, match="bad session token"):
+            wire.decode_resume(b"has space")
+        with pytest.raises(ProtocolError, match="not ASCII"):
+            wire.decode_resume(b"\xff\xfe")

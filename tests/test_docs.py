@@ -19,6 +19,7 @@ DOC_FILES = [
     ROOT / "docs" / "OBSERVABILITY.md",
     ROOT / "docs" / "PERFORMANCE.md",
     ROOT / "docs" / "SERVING.md",
+    ROOT / "docs" / "FAULT_TOLERANCE.md",
 ]
 
 BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)

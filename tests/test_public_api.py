@@ -66,6 +66,13 @@ def test_version():
         "repro.engine.tracefile",
         "repro.engine.differential",
         "repro.engine.benchlib",
+        "repro.engine.parallel",
+        "repro.engine.snapshot",
+        "repro.engine.faults",
+        "repro.serve",
+        "repro.serve.protocol",
+        "repro.serve.server",
+        "repro.serve.client",
         "repro.obs",
         "repro.obs.registry",
         "repro.obs.phases",
