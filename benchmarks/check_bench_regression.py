@@ -12,11 +12,21 @@ run overwrote it). The gated series:
   loopback throughput, the steady-state shape of a real deployment.
   Skipped (with a note) when the baseline predates the serving layer,
   so the gate can introduce itself without failing its own PR.
+* ``events_per_sec.depa`` -- the array-native DePa backend behind the
+  vectorized kernel; its own shape test pins the 3x ratio over
+  ``batched``, this gate pins the absolute number.  Skipped (with a
+  note) when the baseline predates the backend.
 * ``checkpoint.save_ms`` / ``checkpoint.restore_ms`` /
   ``checkpoint.resume_replay_overhead`` -- the fault-tolerance layer's
   costs, gated *lower-is-better* with a generous 2x ceiling (these are
   millisecond-scale timings, noisy on shared runners).  Skipped when
   the baseline predates the checkpoint benchmark.
+* ``speedup_parallel_vs_batched`` -- the multi-process tier must keep
+  paying for itself (> 1.0x) in the fresh record.  Skipped (with a
+  note) when the fresh run recorded ``cpu_count`` < 2 or no
+  ``cpu_count`` at all: on a single-core runner the worker pool is
+  pure scheduling overhead and the ratio says nothing about the
+  kernel.
 
 Usage::
 
@@ -40,7 +50,12 @@ TOLERANCE = 0.25
 GATES = (
     (("events_per_sec", "batched"), True),
     (("events_per_sec", "serve_4s"), False),
+    (("events_per_sec", "depa"), False),
 )
+
+#: floor for the fresh ``speedup_parallel_vs_batched`` ratio (only
+#: enforced when the fresh run had at least 2 CPUs to parallelise on)
+PARALLEL_FLOOR = 1.0
 
 #: multiple of the baseline a lower-is-better series may grow to
 LOWER_CEILING = 2.0
@@ -129,7 +144,32 @@ def main(argv) -> int:
             f"({ratio:.2f}x of baseline, ceiling {LOWER_CEILING:.1f}x) "
             f"-> {'OK' if ok else 'REGRESSION'}"
         )
+    failed = _check_parallel_ratio(fresh_rec) or failed
     return 1 if failed else 0
+
+
+def _check_parallel_ratio(fresh_rec) -> bool:
+    """Gate the fresh parallel-over-batched ratio; returns True on
+    failure.  Skipped on single-core runners (see module docstring)."""
+    name = "speedup_parallel_vs_batched"
+    cpus = fresh_rec.get("cpu_count")
+    if not isinstance(cpus, int) or cpus < 2:
+        print(
+            f"{name}: fresh run recorded cpu_count={cpus!r}; skipping "
+            "this gate (no second core to parallelise on)"
+        )
+        return False
+    try:
+        ratio = float(fresh_rec[name])
+    except (KeyError, TypeError, ValueError):
+        print(f"{name}: missing from the fresh record", file=sys.stderr)
+        return True
+    ok = ratio > PARALLEL_FLOOR
+    print(
+        f"{name}: fresh {ratio:.3f}x (floor {PARALLEL_FLOOR:.1f}x, "
+        f"cpu_count {cpus}) -> {'OK' if ok else 'REGRESSION'}"
+    )
+    return not ok
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from repro.bench.metrics import DetectorStats
 from repro.detectors.base import Detector
 from repro.obs.bind import bind_detector
 from repro.obs.registry import MetricsRegistry
+from repro.detectors.depa import DePaDetector
 from repro.detectors.espbags import ESPBagsDetector
 from repro.detectors.fasttrack import FastTrackDetector
 from repro.detectors.lattice2d import Lattice2DDetector
@@ -40,6 +41,7 @@ __all__ = ["DETECTOR_FACTORIES", "measure", "compare_detectors"]
 #: name -> zero-argument factory, for CLI and benchmark parametrisation
 DETECTOR_FACTORIES: Dict[str, Callable[[], Detector]] = {
     "lattice2d": Lattice2DDetector,
+    "depa": DePaDetector,
     "vectorclock": VectorClockDetector,
     "vectorclock-dense": DenseVectorClockDetector,
     "fasttrack": FastTrackDetector,

@@ -119,6 +119,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="lattice2d",
         choices=sorted(DETECTOR_FACTORIES),
     )
+    from repro.engine.ingest import BACKENDS
+
+    p_rep.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        help="compact traces only: let the batch engine pick the "
+        "detector for a named ingest backend (lattice2d: inlined "
+        "union-find kernel; depa: array-native vectorized kernel); "
+        "mutually exclusive with a non-default --detector",
+    )
     p_rep.add_argument("--max-races", type=int, default=20)
     p_rep.add_argument(
         "--shards",
@@ -444,6 +454,13 @@ def _check_jobs(args) -> None:
             "--jobs runs the fixed lattice2d worker kernel; drop "
             f"--detector {args.detector} or use --jobs 1"
         )
+    if args.jobs > 1 and getattr(args, "backend", None) not in (
+        None, "lattice2d",
+    ):
+        raise ReproError(
+            "--jobs runs the fixed lattice2d worker kernel; drop "
+            f"--backend {args.backend} or use --jobs 1"
+        )
 
 
 def _replay_parallel(args) -> int:
@@ -471,15 +488,30 @@ def _replay_compact(args) -> int:
     _check_jobs(args)
     if args.jobs > 1:
         return _replay_parallel(args)
+    if args.backend is not None and args.detector != "lattice2d":
+        raise ReproError(
+            "--backend picks the engine's own detector; drop "
+            f"--detector {args.detector} or drop --backend"
+        )
     batch, interner = read_trace(args.trace)
-    factory = DETECTOR_FACTORIES[args.detector]
-    if args.shards > 1:
+    if args.backend is not None:
+        if args.shards > 1:
+            engine = ShardedBatchEngine(
+                args.shards, backend=args.backend, interner=interner
+            )
+            name = f"{args.backend} backend x{args.shards} shards"
+        else:
+            engine = BatchEngine(backend=args.backend, interner=interner)
+            name = f"{args.backend} backend"
+    elif args.shards > 1:
         engine = ShardedBatchEngine(
-            args.shards, detector_factory=factory, interner=interner
+            args.shards,
+            detector_factory=DETECTOR_FACTORIES[args.detector],
+            interner=interner,
         )
         name = f"{engine.shards[0].name} x{args.shards} shards"
     else:
-        detector = factory()
+        detector = DETECTOR_FACTORIES[args.detector]()
         detector.on_root(0)
         engine = BatchEngine(detector, interner=interner)
         name = detector.name

@@ -9,6 +9,7 @@ harness can swap them freely:
 detector           applicability                                space per location
 ================  ===========================================  =========================
 ``Lattice2D``      any structured fork-join (2D lattices)       Θ(1)  (this paper)
+``DePa``           serial fork-first streams (our interpreter)  Θ(1)  (array-native, DePa-style)
 ``SPBags``         spawn-sync programs only (SP graphs)         Θ(1)  (Feng-Leiserson [12])
 ``ESPBags``        async-finish programs only                   Θ(1)  (Raman et al. [18])
 ``OffsetSpan``     spawn-sync programs only                     Θ(nesting depth) (Mellor-Crummey '91)
@@ -21,6 +22,7 @@ detector           applicability                                space per locati
 """
 
 from repro.detectors.base import Detector, NullObserver, EventTracer
+from repro.detectors.depa import DePaDetector
 from repro.detectors.lattice2d import Lattice2DDetector
 from repro.detectors.vector_clock import VectorClockDetector
 from repro.detectors.vector_clock_dense import DenseVectorClockDetector
@@ -48,6 +50,7 @@ __all__ = [
     "NullObserver",
     "EventTracer",
     "Lattice2DDetector",
+    "DePaDetector",
     "VectorClockDetector",
     "DenseVectorClockDetector",
     "FastTrackDetector",

@@ -6,9 +6,12 @@ Five pieces, layered so each is useful alone:
   opcode / task-id / interned-location arrays) and the
   :class:`BatchBuilder` observer that captures them from a run;
 * :mod:`repro.engine.ingest` -- :class:`BatchEngine`, the tight
-  pre-bound per-batch loop over a detector, and
-  :class:`ShardedBatchEngine`, which partitions the shadow map by
-  location id across independent detector instances;
+  pre-bound per-batch loop over a detector (with named ``backend``
+  selection, :data:`BACKENDS`), and :class:`ShardedBatchEngine`, which
+  partitions the shadow map by location id across independent detector
+  instances;
+* :mod:`repro.engine.vectorized` -- the numpy segment kernel behind
+  the ``depa`` backend: whole batch columns per precedence query;
 * :mod:`repro.engine.parallel` -- :class:`ParallelShardedEngine`, the
   same location partitioning over a persistent pool of worker
   *processes* fed through shared memory and mapped trace files;
@@ -51,11 +54,12 @@ from repro.engine.differential import (
     DEFAULT_DETECTORS,
     DifferentialReport,
     Divergence,
+    cross_check_backend,
     cross_check_parallel,
     cross_check_sharded,
     replay_differential,
 )
-from repro.engine.ingest import BatchEngine, ShardedBatchEngine
+from repro.engine.ingest import BACKENDS, BatchEngine, ShardedBatchEngine
 from repro.engine.parallel import ParallelShardedEngine
 from repro.engine.tracefile import (
     MappedTrace,
@@ -79,6 +83,7 @@ __all__ = [
     "LocationInterner",
     "batch_from_events",
     "events_from_batch",
+    "BACKENDS",
     "BatchEngine",
     "ShardedBatchEngine",
     "ParallelShardedEngine",
@@ -86,6 +91,7 @@ __all__ = [
     "DifferentialReport",
     "Divergence",
     "replay_differential",
+    "cross_check_backend",
     "cross_check_sharded",
     "cross_check_parallel",
     "is_tracefile",

@@ -143,16 +143,25 @@ class EventBatch:
             yield EventBatch(self.ops[lo:hi], self.a[lo:hi], self.b[lo:hi])
 
     def counts(self) -> Dict[str, int]:
-        """Events per opcode name (diagnostics)."""
-        out = dict.fromkeys(OPCODE_NAMES, 0)
-        for op in self.ops:
-            out[OPCODE_NAMES[op]] += 1
+        """Events per opcode name (diagnostics).
+
+        Opcodes outside the known range are tallied under an
+        ``"unknown"`` key rather than crashing the diagnostic -- a
+        corrupt batch should be *reported* here and *rejected* by the
+        ingest paths.
+        """
+        ops = self.ops
+        count = ops.count
+        out = {name: count(op) for op, name in enumerate(OPCODE_NAMES)}
+        unknown = len(ops) - sum(out.values())
+        if unknown:
+            out["unknown"] = unknown
         return out
 
     def access_count(self) -> int:
         """Number of read/write slots."""
         ops = self.ops
-        return sum(1 for op in ops if op == OP_READ or op == OP_WRITE)
+        return ops.count(OP_READ) + ops.count(OP_WRITE)
 
 
 class BatchBuilder:

@@ -17,6 +17,10 @@ The measured contenders, slowest to fastest:
 * ``batched-noobs`` -- the same engine bound to the disabled
   :data:`~repro.obs.registry.NULL_REGISTRY`, isolating what the
   per-batch counters cost (the gate keeps the ratio within 5%);
+* ``depa``      -- :class:`~repro.engine.ingest.BatchEngine` with the
+  array-native ``depa`` backend: the numpy segment kernel over
+  :class:`~repro.detectors.depa.DePaDetector`'s flat columns
+  (cross-checked against the union-find referee every run);
 * ``sharded``   -- :class:`~repro.engine.ingest.ShardedBatchEngine`
   (measures the lifecycle-replication overhead sharding pays for its
   partitioning; it is not expected to win on one core);
@@ -45,6 +49,7 @@ from repro.core.detector import RaceDetector2D
 from repro.engine.batch import BatchBuilder, EventBatch, LocationInterner
 from repro.engine.differential import (
     DEFAULT_DETECTORS,
+    cross_check_backend,
     cross_check_parallel,
     cross_check_sharded,
     replay_differential,
@@ -241,14 +246,23 @@ def run_engine_benchmark(
         engine.ingest_all(batch.slices(batch_size))
         return engine
 
+    def run_depa():
+        engine = BatchEngine(interner=interner, backend="depa")
+        engine.ingest_all(batch.slices(batch_size))
+        return engine
+
     batched_s, batched_noobs_s = _best_of_paired(
         repeats, run_batched, run_batched_noobs
     )
+    # depa's headline is the ratio against batched, so the two are
+    # timed interleaved as well -- drift hits both sides equally.
+    batched_b, depa_s = _best_of_paired(repeats, run_batched, run_depa)
     timings = {
         "replay": _best_of(repeats, run_replay),
         "per-event": _best_of(repeats, run_per_event),
-        "batched": batched_s,
+        "batched": min(batched_s, batched_b),
         "batched-noobs": batched_noobs_s,
+        "depa": depa_s,
         "sharded": _best_of(repeats, run_sharded),
     }
 
@@ -289,6 +303,9 @@ def run_engine_benchmark(
             "batched ingestion changed verdicts: "
             f"{len(batched_races)} vs {len(per_event_races)} reports"
         )
+    depa_agree, _, depa_races = cross_check_backend(
+        batch, interner, backend="depa", batch_size=batch_size
+    )
     shard_agree, _, sharded_races = cross_check_sharded(
         batch, interner, num_shards=shards, batch_size=batch_size
     )
@@ -326,6 +343,9 @@ def run_engine_benchmark(
         "speedup_parallel_vs_batched": round(
             timings["batched"] / timings["parallel"], 3
         ),
+        "speedup_depa_vs_batched": round(
+            timings["batched"] / timings["depa"], 3
+        ),
         # How much the per-batch counters cost when metrics are live,
         # and what a disabled (null) registry costs relative to that.
         # Both engines run the same kernels; the ratio should hug 1.0.
@@ -337,6 +357,7 @@ def run_engine_benchmark(
         "races": {
             "per_event": len(per_event_races),
             "batched": len(batched_races),
+            "depa": len(depa_races),
             "sharded": len(sharded_races),
             "parallel": len(parallel_races),
         },
@@ -344,6 +365,7 @@ def run_engine_benchmark(
             "detectors": list(diff.detectors),
             "races": diff.races,
             "divergences": len(diff.divergences),
+            "depa_agrees": depa_agree,
             "sharded_agrees": shard_agree,
             "parallel_agrees": parallel_agree,
         },

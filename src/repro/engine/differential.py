@@ -55,6 +55,7 @@ __all__ = [
     "replay_differential",
     "cross_check_sharded",
     "cross_check_parallel",
+    "cross_check_backend",
 ]
 
 #: the trio the acceptance gate runs: the paper's detector against the
@@ -249,6 +250,36 @@ def cross_check_sharded(
     sharded_races = sharded.races()
     agree = _flag_multiset(ref_races) == _flag_multiset(sharded_races)
     return agree, ref_races, sharded_races
+
+
+def cross_check_backend(
+    batch: EventBatch,
+    interner: Optional[LocationInterner] = None,
+    *,
+    backend: str = "depa",
+    batch_size: Optional[int] = None,
+) -> Tuple[bool, List[Any], List[Any]]:
+    """An alternative engine backend vs the union-find referee.
+
+    Replays ``batch`` through the default (``lattice2d``) fast kernel
+    and through ``BatchEngine(backend=...)`` and compares the multiset
+    of flagged accesses (the backends may name different prior
+    representatives from the same conflicting set, so reports are
+    compared by ``(task, loc, kind)``).  Returns
+    ``(agree, reference_races, backend_races)``.
+    """
+    ref = BatchEngine(interner=interner)
+    alt = BatchEngine(interner=interner, backend=backend)
+    if batch_size is None:
+        ref.ingest(batch)
+        alt.ingest(batch)
+    else:
+        ref.ingest_all(batch.slices(batch_size))
+        alt.ingest_all(batch.slices(batch_size))
+    ref_races = ref.races()
+    alt_races = alt.races()
+    agree = _flag_multiset(ref_races) == _flag_multiset(alt_races)
+    return agree, ref_races, alt_races
 
 
 def cross_check_parallel(

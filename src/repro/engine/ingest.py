@@ -42,6 +42,7 @@ except ImportError:  # pragma: no cover - numpy is a declared dependency
 
 from repro.core.detector import RaceDetector2D
 from repro.core.reports import AccessKind, RaceReport
+from repro.detectors.depa import DePaDetector
 from repro.engine.batch import (
     OP_FORK,
     OP_HALT,
@@ -52,14 +53,21 @@ from repro.engine.batch import (
     EventBatch,
     LocationInterner,
 )
+from repro.engine.vectorized import ingest_depa
 from repro.errors import DetectorError, ProgramError
 from repro.obs.phases import get_tracer
 from repro.obs.registry import MetricsRegistry, get_registry
 
-__all__ = ["BatchEngine", "ShardedBatchEngine"]
+__all__ = ["BatchEngine", "ShardedBatchEngine", "BACKENDS"]
 
 _READ = AccessKind.READ
 _WRITE = AccessKind.WRITE
+
+#: engine ingest backends selectable by name (``BatchEngine(backend=...)``
+#: and the CLI ``--backend`` flag): the paper's union-find detector
+#: behind the inlined kernel, or the array-native DePa backend behind
+#: the vectorized kernel.
+BACKENDS = ("lattice2d", "depa")
 
 
 def _ingest_generic(det: Any, batch: EventBatch) -> None:
@@ -72,6 +80,7 @@ def _ingest_generic(det: Any, batch: EventBatch) -> None:
     on_write = det.on_write
     read_op, write_op = OP_READ, OP_WRITE
     fork_op, join_op, halt_op = OP_FORK, OP_JOIN, OP_HALT
+    step_op = OP_STEP
     for op, a, b in zip(batch.ops, batch.a, batch.b):
         if op == read_op:
             on_read(a, b)
@@ -83,8 +92,12 @@ def _ingest_generic(det: Any, batch: EventBatch) -> None:
             on_join(a, b)
         elif op == halt_op:
             on_halt(a)
-        else:
+        elif op == step_op:
             on_step(a)
+        else:
+            # Corrupt or hostile batches (e.g. off the serve wire) must
+            # be rejected, not absorbed as step events.
+            raise ProgramError(f"unknown opcode {op}")
 
 
 def _ingest_fast(det: RaceDetector2D, batch: EventBatch) -> None:
@@ -130,6 +143,7 @@ def _ingest_fast(det: RaceDetector2D, batch: EventBatch) -> None:
 
     read_op, write_op = OP_READ, OP_WRITE
     fork_op, join_op, halt_op = OP_FORK, OP_JOIN, OP_HALT
+    step_op = OP_STEP
     kind_read, kind_write = _READ, _WRITE
     n_threads = len(visited)
 
@@ -332,13 +346,15 @@ def _ingest_fast(det: RaceDetector2D, batch: EventBatch) -> None:
                 op_index += 1
                 halted[t] = True
                 visited[t] = False
-            else:  # step
+            elif op == step_op:
                 if t >= n_threads or t < 0:
                     raise DetectorError(f"unknown thread id {t}")
                 if halted[t]:
                     raise DetectorError(f"thread {t} already halted")
                 op_index += 1
                 visited[t] = True
+            else:
+                raise ProgramError(f"unknown opcode {op}")
     finally:
         # Reconcile the deferred bookkeeping even on error, so partially
         # ingested state stays consistent with the per-event semantics.
@@ -362,22 +378,41 @@ def _ingest_fast(det: RaceDetector2D, batch: EventBatch) -> None:
 
 
 def _ingest_batch(det: Any, batch: EventBatch) -> str:
-    """Route a batch to the fast kernel when it applies.
+    """Route a batch to the fastest loop that applies.
 
-    Returns the dispatch path taken (``"kernel"`` or ``"generic"``) so
-    callers can count how often each loop actually runs.
+    Returns the dispatch path taken (``"kernel"``, ``"vectorized"`` or
+    ``"generic"``) so callers can count how often each loop actually
+    runs.
     """
     if type(det) is RaceDetector2D and not det._literal:
         _ingest_fast(det, batch)
         return "kernel"
+    if isinstance(det, DePaDetector):
+        return ingest_depa(det, batch)
     _ingest_generic(det, batch)
     return "generic"
+
+
+_DISPATCH_PATHS = ("kernel", "vectorized", "generic")
 
 
 def _default_detector() -> RaceDetector2D:
     det = RaceDetector2D()
     det.spawn_root()
     return det
+
+
+def _backend_detector(backend: str) -> Any:
+    """A root-announced detector instance for a named engine backend."""
+    if backend == "lattice2d":
+        return _default_detector()
+    if backend == "depa":
+        det = DePaDetector()
+        det.on_root(0)
+        return det
+    raise ProgramError(
+        f"unknown engine backend {backend!r}; expected one of {BACKENDS}"
+    )
 
 
 class BatchEngine:
@@ -391,8 +426,14 @@ class BatchEngine:
         already spawned.  A detector you pass in must already know task
         0 (call ``on_root(0)`` / ``spawn_root`` yourself).  Plain
         :class:`RaceDetector2D` instances (without the Figure-6-literal
-        erratum knob) get the inlined kernel; everything else gets the
-        generic pre-bound loop.
+        erratum knob) get the inlined kernel,
+        :class:`~repro.detectors.depa.DePaDetector` instances get the
+        vectorized kernel; everything else gets the generic pre-bound
+        loop.
+    backend:
+        Alternative to ``detector``: a backend name from
+        :data:`BACKENDS` (``"lattice2d"``, the default, or ``"depa"``).
+        The engine constructs and root-announces the detector itself.
     interner:
         The :class:`LocationInterner` the batches were built with; only
         needed to decode locations in :meth:`races`.
@@ -418,10 +459,17 @@ class BatchEngine:
         self,
         detector: Optional[Any] = None,
         *,
+        backend: Optional[str] = None,
         interner: Optional[LocationInterner] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        self.detector = detector if detector is not None else _default_detector()
+        if detector is not None and backend is not None:
+            raise ProgramError(
+                "pass either a detector instance or a backend name, not both"
+            )
+        if detector is None:
+            detector = _backend_detector(backend or "lattice2d")
+        self.detector = detector
         self.interner = interner
         self.events_ingested = 0
         reg = registry if registry is not None else get_registry()
@@ -443,7 +491,7 @@ class BatchEngine:
                 "batches per dispatch loop",
                 labels={**labels, "path": path},
             )
-            for path in ("kernel", "generic")
+            for path in _DISPATCH_PATHS
         }
 
     def ingest(self, batch: EventBatch) -> int:
@@ -481,6 +529,10 @@ class ShardedBatchEngine:
     See the module docstring for the model.  ``detector_factory`` must
     produce observer-protocol detectors that have *not* seen the root
     yet; the engine announces task 0 to every shard itself.
+    Alternatively pass ``backend`` (a name from :data:`BACKENDS`) to let
+    the engine pick the factory -- sharding composes with the DePa
+    backend unchanged, because every shard still sees the full
+    lifecycle stream and hence the same fork-first structure.
 
     Each incoming batch is split once into per-shard sub-batches
     (lifecycle events replicated, accesses routed by ``lid % shards``)
@@ -509,12 +561,30 @@ class ShardedBatchEngine:
         num_shards: int,
         *,
         detector_factory: Optional[Callable[[], Any]] = None,
+        backend: Optional[str] = None,
         interner: Optional[LocationInterner] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_shards < 1:
             raise ProgramError(f"need at least one shard, got {num_shards}")
-        factory = detector_factory if detector_factory is not None else RaceDetector2D
+        if detector_factory is not None and backend is not None:
+            raise ProgramError(
+                "pass either a detector factory or a backend name, not both"
+            )
+        if detector_factory is None:
+            if backend is None:
+                factory: Callable[[], Any] = RaceDetector2D
+            elif backend == "lattice2d":
+                factory = RaceDetector2D
+            elif backend == "depa":
+                factory = DePaDetector
+            else:
+                raise ProgramError(
+                    f"unknown engine backend {backend!r}; "
+                    f"expected one of {BACKENDS}"
+                )
+        else:
+            factory = detector_factory
         self.num_shards = num_shards
         self.shards: List[Any] = [factory() for _ in range(num_shards)]
         for det in self.shards:
@@ -540,7 +610,7 @@ class ShardedBatchEngine:
                 "per-shard sub-batches per dispatch loop",
                 labels={**labels, "path": path},
             )
-            for path in ("kernel", "generic")
+            for path in _DISPATCH_PATHS
         }
         # The routing counters partition every incoming event exactly
         # once: an access counts against its owner shard, a lifecycle

@@ -1,0 +1,306 @@
+"""numpy batch kernel for the DePa backend.
+
+:func:`ingest_depa` drives a :class:`~repro.detectors.depa.DePaDetector`
+through an :class:`~repro.engine.batch.EventBatch` by *segments*: the
+maximal runs of read/write events between structural events (fork,
+join, halt -- and step, which is rare and handled scalar).  Within a
+segment the acting task is fixed (the stack top) and no precedence
+relation changes, so every event's verdict is a pure function of the
+cell state at the segment start:
+
+* a read races iff the location's write supremum exists and is
+  unordered;
+* a write races with the read supremum first, else the write supremum
+  (at most one report per write);
+* a clean access folds the cell to the acting task, a racing access
+  leaves the old value -- and since the acting task is the same for the
+  whole segment, the fold lands on the same value no matter how many
+  events repeat it.
+
+That constancy is the batch-level form of the access-epoch idea the
+union-find kernel uses per event: repeats of the same ``(loc, task,
+kind)`` triple inside a segment need no re-checking, so the kernel
+answers the whole segment with a handful of array operations -- one
+gather of the read/write cells, one vectorized precedence query, and
+one scatter for the folds.  Racing events still produce one report
+*per occurrence*, exactly like the per-event path.
+
+The precedence query leans on the detector's flat columns and two
+fork-first invariants: a task is live iff it is on the stack, and the
+stack's absorbed halt intervals are globally sorted.  The ``LIVE``
+sentinel (-1) lands inside the permanent ``[-2, -1]`` guard interval of
+the ``g_lo``/``g_hi`` columns, so "live" and "absorbed halt" are the
+*same* test; in the steady state where the absorbed set is one range
+contiguous with the guard, the whole query is a scalar-threshold
+compare, and otherwise one ``searchsorted`` answers every "is this
+prior ordered?" question in the segment at once.
+
+Validation is hoisted to batch level: opcodes and location ids are
+checked in one comparison each, and the acting task of every access
+row is checked against a pure-Python *stack simulation* of the batch's
+structural events (forks allocate ids in detector order, halts pop).
+Only when the simulation or the comparison disagrees with the batch --
+a corrupt or hostile stream -- does the kernel fall back to per-segment
+checks so the offending event raises its exact scalar error.
+
+Zero-copy numpy views of the detector's ``array`` columns are rebuilt
+when the columns may have resized and never outlive the ingest call --
+a held view would make ``array`` refuse to grow.  Cells are pre-grown
+once per batch (to the batch's largest location id), so the cell views
+stay valid across every segment and scalar span of the call.
+
+Without numpy, or for tiny batches where the array overhead loses,
+everything falls back to the detector's scalar methods with identical
+results.
+"""
+
+from __future__ import annotations
+
+try:  # optional: the scalar fallback keeps the backend available
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
+from repro.core.reports import AccessKind, RaceReport
+from repro.detectors.depa import DePaDetector
+from repro.engine.batch import (
+    OP_FORK,
+    OP_HALT,
+    OP_JOIN,
+    OP_READ,
+    OP_STEP,
+    OP_WRITE,
+    EventBatch,
+)
+from repro.errors import ProgramError
+
+__all__ = ["ingest_depa", "HAVE_NUMPY"]
+
+HAVE_NUMPY = _np is not None
+
+#: segments shorter than this go through the scalar methods -- numpy
+#: call overhead dominates below a few dozen events.
+_SCALAR_CUTOFF = 24
+
+_READ = AccessKind.READ
+_WRITE = AccessKind.WRITE
+
+
+def _scalar_span(det: DePaDetector, batch: EventBatch, s: int, e: int) -> None:
+    """Drive events ``[s, e)`` through the detector's scalar methods."""
+    ops, col_a, col_b = batch.ops, batch.a, batch.b
+    for i in range(s, e):
+        op = ops[i]
+        a = col_a[i]
+        if op == OP_READ:
+            det.on_read(a, col_b[i])
+        elif op == OP_WRITE:
+            det.on_write(a, col_b[i])
+        elif op == OP_FORK:
+            det.on_fork(a, col_b[i])
+        elif op == OP_JOIN:
+            det.on_join(a, col_b[i])
+        elif op == OP_HALT:
+            det.on_halt(a)
+        elif op == OP_STEP:
+            det.on_step(a)
+        else:
+            raise ProgramError(f"unknown opcode {op}")
+
+
+def _run_segment(
+    det, r_all, col_a, col_b, cell_r, cell_w, batch, s, e, checked
+) -> None:
+    """Process one pure read/write segment ``[s, e)``.
+
+    ``checked`` is True when the batch-level stack simulation already
+    validated every access row's acting task; otherwise the segment
+    re-checks before trusting the vectorized verdicts.
+    """
+    if e - s < _SCALAR_CUTOFF or not det._stack:
+        # Tiny segment, or no current task (the scalar replay raises
+        # the precise DetectorError for the latter).
+        _scalar_span(det, batch, s, e)
+        return
+    t = det._stack[-1]
+    if not checked and not (col_a[s:e] == t).all():
+        # Some event names a task that is not the stack top: replay
+        # scalar so the offending event raises its exact error.
+        _scalar_span(det, batch, s, e)
+        return
+    locs = col_b[s:e]
+    r_pre = cell_r.take(locs)
+    w_pre = cell_w.take(locs)
+    # Vectorized ``ordered``: a prior is ordered iff its halt_seq falls
+    # inside an absorbed interval of the stack.  Live priors carry
+    # halt_seq == LIVE == -1, which lands inside the permanent [-2, -1]
+    # guard interval -- correct, because live tasks are on the stack
+    # (fork-first) and hence ordered.  Empty lanes (pre == -1) are
+    # gathered with mode="clip", landing on the root -- live (hence
+    # ordered, hence not racing) for as long as the stack is non-empty,
+    # exactly the right verdict for "no prior".
+    halt_seq = _np.frombuffer(det._halt_seq, dtype=_np.int64)
+    hs_r = halt_seq.take(r_pre, mode="clip")
+    hs_w = halt_seq.take(w_pre, mode="clip")
+    g_lo, g_hi = det._g_lo, det._g_hi
+    if g_lo[-1] <= 0:
+        # The absorbed set is one range contiguous with the guard --
+        # [-2, g_hi[-1]] -- which is the steady state once joins
+        # coalesce (a second interval would have to start above the
+        # first's non-negative hi).  The whole precedence query is a
+        # threshold compare, and two scalar maxima decide the clean
+        # case without building any mask.
+        hi = g_hi[-1]
+        if int(hs_r.max()) <= hi and int(hs_w.max()) <= hi:
+            cell_r[locs[r_all[s:e]]] = t
+            cell_w[locs[~r_all[s:e]]] = t
+            det.op_index += e - s
+            return
+        unord_r = hs_r > hi
+        unord_w = hs_w > hi
+    else:
+        glo = _np.frombuffer(g_lo, dtype=_np.int64)
+        ghi = _np.frombuffer(g_hi, dtype=_np.int64)
+        idx = glo.searchsorted(hs_r, side="right")
+        idx -= 1
+        unord_r = ~(hs_r <= ghi[idx])
+        idx = glo.searchsorted(hs_w, side="right")
+        idx -= 1
+        unord_w = ~(hs_w <= ghi[idx])
+        if not unord_r.any() and not unord_w.any():
+            cell_r[locs[r_all[s:e]]] = t
+            cell_w[locs[~r_all[s:e]]] = t
+            det.op_index += e - s
+            return
+    r_mask = r_all[s:e]
+    w_mask = ~r_mask
+    read_racy = r_mask & unord_w
+    wr_racy = w_mask & unord_r
+    ww_racy = w_mask & unord_w & ~wr_racy
+    racy = read_racy | wr_racy | ww_racy
+    if bool(racy.any()):
+        races = det.races
+        base = det.op_index
+        for k in map(int, _np.flatnonzero(racy)):
+            if read_racy[k]:
+                kind, prior_kind, prior = _READ, _WRITE, int(w_pre[k])
+            elif wr_racy[k]:
+                kind, prior_kind, prior = _WRITE, _READ, int(r_pre[k])
+            else:
+                kind, prior_kind, prior = _WRITE, _WRITE, int(w_pre[k])
+            races.append(
+                RaceReport(
+                    loc=int(locs[k]),
+                    task=t,
+                    kind=kind,
+                    prior_kind=prior_kind,
+                    prior_repr=prior,
+                    op_index=base + k + 1,
+                )
+            )
+    cell_r[locs[r_mask & ~unord_r]] = t
+    cell_w[locs[w_mask & ~unord_w]] = t
+    det.op_index += e - s
+
+
+def ingest_depa(det: DePaDetector, batch: EventBatch) -> str:
+    """Ingest one batch; returns the dispatch path actually taken
+    (``"vectorized"`` or ``"generic"`` for the scalar fallback)."""
+    n = len(batch)
+    if _np is None or n < _SCALAR_CUTOFF:
+        _scalar_span(det, batch, 0, n)
+        return "generic"
+    ops = _np.frombuffer(batch.ops, dtype=_np.uint8)
+    if int(ops.max(initial=0)) > OP_WRITE:
+        bad = int(ops[ops > OP_WRITE][0])
+        raise ProgramError(f"unknown opcode {bad}")
+    col_a = _np.frombuffer(batch.a, dtype=_np.int32)
+    col_b = _np.frombuffer(batch.b, dtype=_np.int32)
+    # Validate location ids for the whole batch up front (halt/step
+    # rows legitimately carry b == -1, so only access rows count);
+    # segments can then gather cells without re-checking.
+    acc = ops >= OP_READ
+    bad_loc = (col_b < 0) & acc
+    if bool(bad_loc.any()):
+        mn = int(col_b[bad_loc].min())
+        raise ProgramError(f"negative location id {mn} in batch")
+    r_all = ops == OP_READ
+    # Pre-grow the cell columns to the batch's largest b value (an
+    # over-approximation of the largest location id -- structural
+    # events put task ids there, which are comparatively few), so the
+    # zero-copy cell views below stay valid for the whole call.
+    det._ensure_loc(int(col_b.max(initial=0)))
+    cell_r = _np.frombuffer(det._cell_r, dtype=_np.int64)
+    cell_w = _np.frombuffer(det._cell_w, dtype=_np.int64)
+    # Structural events (plus the rare steps) are the segment barriers;
+    # their columns are pulled into plain ints once, up front.
+    barriers = _np.flatnonzero(ops < OP_READ)
+    b_pos = barriers.tolist()
+    b_op = ops[barriers].tolist()
+    b_a = col_a[barriers].tolist()
+    b_b = col_b[barriers].tolist()
+    # Simulate the fork-first stack over the barriers (forks allocate
+    # the next detector id, halts pop) to learn every segment's acting
+    # task, then validate all access rows in one vectorized compare.
+    # Any disagreement -- structural or per-access -- drops ``checked``
+    # and the segments re-check themselves so the offending event
+    # raises its exact scalar error.
+    sim = list(det._stack)
+    nxt = det.thread_count
+    tops = []
+    lens = []
+    checked = True
+    pos = 0
+    for end, op, a in zip(b_pos, b_op, b_a):
+        if end > pos:
+            if not sim:
+                checked = False
+                break
+            tops.append(sim[-1])
+            lens.append(end - pos)
+        if not sim or sim[-1] != a:
+            checked = False
+            break
+        if op == OP_FORK:
+            sim.append(nxt)
+            nxt += 1
+        elif op == OP_HALT:
+            sim.pop()
+        pos = end + 1
+    else:
+        if pos < n:
+            if sim:
+                tops.append(sim[-1])
+                lens.append(n - pos)
+            else:
+                checked = False
+    if checked and tops:
+        expected = _np.repeat(
+            _np.asarray(tops, dtype=_np.int32),
+            _np.asarray(lens, dtype=_np.int64),
+        )
+        if not _np.array_equal(col_a[acc], expected):
+            checked = False
+    on_fork, on_join = det.on_fork, det.on_join
+    on_halt, on_step = det.on_halt, det.on_step
+    pos = 0
+    for end, op, a, b in zip(b_pos, b_op, b_a, b_b):
+        if end > pos:
+            _run_segment(
+                det, r_all, col_a, col_b, cell_r, cell_w, batch,
+                pos, end, checked,
+            )
+        if op == OP_FORK:
+            on_fork(a, b)
+        elif op == OP_JOIN:
+            on_join(a, b)
+        elif op == OP_HALT:
+            on_halt(a)
+        else:
+            on_step(a)
+        pos = end + 1
+    if pos < n:
+        _run_segment(
+            det, r_all, col_a, col_b, cell_r, cell_w, batch, pos, n, checked
+        )
+    return "vectorized"

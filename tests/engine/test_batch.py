@@ -65,6 +65,21 @@ class TestEventBatch:
         assert batch.counts()["fork"] == 1
         assert batch.counts()["write"] == 1
         assert batch.access_count() == 2
+        assert "unknown" not in batch.counts()
+
+    def test_counts_reports_unknown_opcodes_without_crashing(self):
+        """A corrupt batch must still be *describable*: the diagnostic
+        tallies out-of-range opcodes under a typed key instead of
+        raising IndexError (rejection is the ingest paths' job)."""
+        batch = EventBatch()
+        batch.append(OP_READ, 0, 0)
+        batch.append(99, 0, 0)
+        batch.append(250, 0, 0)
+        counts = batch.counts()
+        assert counts["read"] == 1
+        assert counts["unknown"] == 2
+        assert sum(counts.values()) == len(batch)
+        assert batch.access_count() == 1  # unknown rows are not accesses
 
 
 class TestCaptureAndRoundTrip:

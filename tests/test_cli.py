@@ -116,6 +116,27 @@ class TestCommands:
         assert main(["replay", trace, "--shards", "3"]) == 1
         assert "x3 shards" in capsys.readouterr().out
 
+    def test_replay_compact_depa_backend(self, program_file, tmp_path, capsys):
+        trace = str(tmp_path / "run.rtrc")
+        main(["record", program_file, "--compact", "-o", trace])
+        capsys.readouterr()
+        assert main(["replay", trace, "--backend", "depa"]) == 1
+        out = capsys.readouterr().out
+        assert "depa backend" in out and "1 race(s)" in out and "'x'" in out
+        assert main(["replay", trace, "--backend", "depa", "--shards", "2"]) == 1
+        assert "x2 shards" in capsys.readouterr().out
+
+    def test_replay_backend_misuse_errors(self, program_file, tmp_path, capsys):
+        trace = str(tmp_path / "run.rtrc")
+        main(["record", program_file, "--compact", "-o", trace])
+        capsys.readouterr()
+        assert main(
+            ["replay", trace, "--backend", "depa", "--detector", "fasttrack"]
+        ) == 2
+        assert "--backend" in capsys.readouterr().err
+        assert main(["replay", trace, "--backend", "depa", "--jobs", "2"]) == 2
+        assert "lattice2d" in capsys.readouterr().err
+
     def test_replay_compact_parallel(self, program_file, tmp_path, capsys):
         trace = str(tmp_path / "run.rtrc")
         main(["record", program_file, "--compact", "-o", trace])
