@@ -16,6 +16,13 @@ run overwrote it). The gated series:
   vectorized kernel; its own shape test pins the 3x ratio over
   ``batched``, this gate pins the absolute number.  Skipped (with a
   note) when the baseline predates the backend.
+* ``events_per_sec.predict`` -- the sound race-prediction engine (shb
+  vector clocks plus candidate-pair windows).  Skipped (with a note)
+  when the baseline predates prediction, so the gate can introduce
+  itself without failing its own PR.  The fresh record must also carry
+  ``differential.predict_sound`` == true: a prediction engine that
+  stopped covering the observed races is a correctness bug, not a
+  perf trade.
 * ``checkpoint.save_ms`` / ``checkpoint.restore_ms`` /
   ``checkpoint.resume_replay_overhead`` -- the fault-tolerance layer's
   costs, gated *lower-is-better* with a generous 2x ceiling (these are
@@ -51,6 +58,7 @@ GATES = (
     (("events_per_sec", "batched"), True),
     (("events_per_sec", "serve_4s"), False),
     (("events_per_sec", "depa"), False),
+    (("events_per_sec", "predict"), False),
 )
 
 #: floor for the fresh ``speedup_parallel_vs_batched`` ratio (only
@@ -145,6 +153,7 @@ def main(argv) -> int:
             f"-> {'OK' if ok else 'REGRESSION'}"
         )
     failed = _check_parallel_ratio(fresh_rec) or failed
+    failed = _check_predict_sound(fresh_rec) or failed
     return 1 if failed else 0
 
 
@@ -170,6 +179,23 @@ def _check_parallel_ratio(fresh_rec) -> bool:
         f"cpu_count {cpus}) -> {'OK' if ok else 'REGRESSION'}"
     )
     return not ok
+
+
+def _check_predict_sound(fresh_rec) -> bool:
+    """Gate the fresh prediction-soundness verdict; returns True on
+    failure.  Skipped when the fresh record predates prediction (the
+    self-introduction case; a fresh record from current code always
+    carries the key)."""
+    name = "differential.predict_sound"
+    differential = fresh_rec.get("differential")
+    if not isinstance(differential, dict) or "predict_sound" not in (
+        differential
+    ):
+        print(f"{name}: not in the fresh record; skipping this gate")
+        return False
+    sound = differential["predict_sound"]
+    print(f"{name}: {sound} -> {'OK' if sound is True else 'REGRESSION'}")
+    return sound is not True
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from repro.detectors.fasttrack import FastTrackDetector
 from repro.detectors.lattice2d import Lattice2DDetector
 from repro.detectors.naive import NaiveDetector
 from repro.detectors.offsetspan import OffsetSpanDetector
+from repro.detectors.shb import SHBDetector
 from repro.detectors.spbags import SPBagsDetector
 from repro.detectors.vector_clock import VectorClockDetector
 from repro.detectors.vector_clock_dense import DenseVectorClockDetector
@@ -48,6 +49,7 @@ DETECTOR_FACTORIES: Dict[str, Callable[[], Detector]] = {
     "spbags": SPBagsDetector,
     "espbags": ESPBagsDetector,
     "offsetspan": OffsetSpanDetector,
+    "shb": SHBDetector,
     "naive": NaiveDetector,
 }
 

@@ -129,6 +129,15 @@ def build_parser() -> argparse.ArgumentParser:
         "union-find kernel; depa: array-native vectorized kernel); "
         "mutually exclusive with a non-default --detector",
     )
+    p_rep.add_argument(
+        "--predict",
+        action="store_true",
+        help="sound race prediction: replay under the shb engine and "
+        "report every racing pair feasible in some reordering of the "
+        "trace, not just the observed interleaving (see "
+        "docs/PREDICTION.md); mutually exclusive with --backend, a "
+        "non-default --detector, and --jobs",
+    )
     p_rep.add_argument("--max-races", type=int, default=20)
     p_rep.add_argument(
         "--shards",
@@ -277,6 +286,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-interval", type=int, default=32, metavar="N",
         help="applied batches between background checkpoints of a "
         "durable session (default: 32)",
+    )
+    p_sv.add_argument(
+        "--predict",
+        action="store_true",
+        help="serve sessions in sound race-prediction mode (shb): "
+        "stream one report per feasibly-reorderable racing pair "
+        "instead of observed-order races (incompatible with --jobs > 1 "
+        "and --checkpoint-dir; see docs/PREDICTION.md)",
     )
     p_sv.add_argument(
         "--metrics-port", type=int, metavar="PORT",
@@ -485,6 +502,25 @@ def _replay_compact(args) -> int:
 
     if args.shards < 1:
         raise ReproError(f"need at least one shard, got {args.shards}")
+    if args.predict:
+        if args.backend is not None:
+            raise ReproError(
+                "--predict runs the engine's own shb prediction "
+                f"detector; drop --backend {args.backend} or drop "
+                "--predict"
+            )
+        if args.detector != "lattice2d":
+            raise ReproError(
+                "--predict runs the engine's own shb prediction "
+                f"detector; drop --detector {args.detector} or drop "
+                "--predict"
+            )
+        if args.jobs > 1:
+            raise ReproError(
+                "--jobs runs the fixed lattice2d worker kernel; drop "
+                "--predict (or use --shards to partition prediction "
+                "in-process)"
+            )
     _check_jobs(args)
     if args.jobs > 1:
         return _replay_parallel(args)
@@ -494,7 +530,16 @@ def _replay_compact(args) -> int:
             f"--detector {args.detector} or drop --backend"
         )
     batch, interner = read_trace(args.trace)
-    if args.backend is not None:
+    if args.predict:
+        if args.shards > 1:
+            engine = ShardedBatchEngine(
+                args.shards, predict=True, interner=interner
+            )
+            name = f"shb predict x{args.shards} shards"
+        else:
+            engine = BatchEngine(predict=True, interner=interner)
+            name = "shb predict"
+    elif args.backend is not None:
         if args.shards > 1:
             engine = ShardedBatchEngine(
                 args.shards, backend=args.backend, interner=interner
@@ -648,7 +693,8 @@ def _bench_engine(args) -> int:
         f"differential: {diff['divergences']} divergence(s) across "
         f"{', '.join(diff['detectors'])}; sharded agrees: "
         f"{diff['sharded_agrees']}; parallel agrees: "
-        f"{diff['parallel_agrees']}"
+        f"{diff['parallel_agrees']}; predict sound: "
+        f"{diff['predict_sound']}"
     )
     if args.json:
         import json
@@ -680,6 +726,7 @@ def _serve(args) -> int:
         jobs=args.jobs,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_interval=args.checkpoint_interval,
+        predict=args.predict,
     )
 
     async def _run() -> int:
@@ -718,10 +765,11 @@ def _serve(args) -> int:
                 if config.checkpoint_dir is not None
                 else ""
             )
+            mode = ", predict mode (shb)" if config.predict else ""
             print(
                 f"serving RPRSERVE on {config.host}:{port} "
                 f"(credit window {config.credit_window}, "
-                f"jobs {config.jobs}{durability}); SIGTERM drains"
+                f"jobs {config.jobs}{durability}{mode}); SIGTERM drains"
             )
             await server.serve_forever()
         finally:
@@ -922,7 +970,14 @@ def _dispatch(args) -> int:
         from repro.forkjoin.replay import replay_events
         from repro.trace import load_events
 
-        detector = DETECTOR_FACTORIES[args.detector]()
+        if args.predict and args.detector != "lattice2d":
+            raise ReproError(
+                "--predict runs the shb prediction detector; drop "
+                f"--detector {args.detector} or drop --predict"
+            )
+        detector = DETECTOR_FACTORIES[
+            "shb" if args.predict else args.detector
+        ]()
         events = load_events(args.trace)
         ex2 = replay_events(events, observers=[detector])
         print(

@@ -16,6 +16,8 @@ detector           applicability                                space per locati
 ``VectorClock``    anything (generic happens-before)            Θ(n)  (DJIT+-style, [13], sparse)
 ``DenseVectorClock``  anything                                  Θ(n)  dense numpy clocks (textbook)
 ``FastTrack``      anything (epoch-optimised vector clocks)     Θ(1)..Θ(n) adaptive [13]
+``SHB``            anything; *predicts* racing pairs across     Θ(width) frontier windows
+                   feasible reorderings (docs/PREDICTION.md)
 ``Naive``          anything (explicit access sets + DFS)        Θ(accesses)
 ``oracle``         offline, from recorded events                exact ground truth
 ================  ===========================================  =========================
@@ -31,6 +33,7 @@ from repro.detectors.spbags import SPBagsDetector
 from repro.detectors.espbags import ESPBagsDetector
 from repro.detectors.naive import NaiveDetector
 from repro.detectors.offsetspan import OffsetSpanDetector
+from repro.detectors.shb import SHBDetector
 from repro.detectors.offline2d import (
     OfflineRace,
     detect_races_on_lattice,
@@ -58,6 +61,7 @@ __all__ = [
     "ESPBagsDetector",
     "NaiveDetector",
     "OffsetSpanDetector",
+    "SHBDetector",
     "OfflineRace",
     "detect_races_on_lattice",
     "visit_order",

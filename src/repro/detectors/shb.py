@@ -1,0 +1,243 @@
+"""SHB-style sound race *prediction* from one logged trace.
+
+Every other detector in this package answers "did the observed
+interleaving race?": each access is compared against a per-location
+*summary* (a supremum task, an epoch, a bag) and flagged at most once.
+That summary is what makes them constant-space -- and what makes them
+blind to races whose witnesses the summary already discarded.  The
+SHB family (schedulable-happens-before; Roemer/Genc/Bond and the
+rv-predict line of work, PAPERS.md) asks the stronger question: *which
+access pairs race in some feasible reordering of the logged trace?*
+
+In this repo's lock-free fork/halt/join model the answer is exact and
+cheap: with no locks, happens-before is purely structural (program
+order plus fork and join edges), so a feasible reordering can permute
+exactly the HB-unordered events -- and therefore *every* conflicting
+HB-unordered pair is a predictable race, and nothing else is.  Sound
+and complete prediction reduces to enumerating those pairs:
+
+* Each task carries a **vector timestamp** with the epoch
+  optimisation: a task's own component ticks only at its *release*
+  points (a fork; nothing else releases here -- join is a pure
+  acquire, and a halt is terminal).  All accesses between two releases
+  share one epoch ``(task, tick)`` and are indistinguishable to every
+  other task, so one O(1) component compare
+  (``clock_of(later)[task] >= tick``) decides order for a whole run of
+  accesses.
+* Per location and access kind, the detector keeps a **candidate
+  window** in the spirit of rv-predict's windowed pair search: the
+  epochs of prior accesses still HB-*maximal* for their kind.  An
+  entry dominated by a newer same-kind entry is pruned -- sound
+  because the trace linearises HB, so any later access unordered with
+  the pruned entry is also unordered with its dominator.  The window
+  is thus the HB-frontier (an antichain), bounded by the width of the
+  task graph rather than the trace length.
+* An incoming access scans the conflicting window(s) and reports **one
+  race per unordered entry** -- the pair enumeration, not a
+  first-report summary.  This is where prediction visibly exceeds the
+  observed-order detectors: they emit at most one report per access,
+  and they can miss pairs entirely when both of a pair's endpoints
+  were folded out of the supremum (see ``docs/PREDICTION.md`` for a
+  worked trace that lattice2d *and* fasttrack miss).
+
+The soundness half -- never report an infeasible pair -- is the
+invariant the differential harness checks mechanically: predicted
+races must be a superset (as a multiset of flagged accesses) of what
+the observed-order detectors report, and every reported pair is
+HB-unordered by the vector-clock algebra above.
+
+The detector is structure-generic: unlike ``depa``/``spbags`` it
+accepts any structured fork/halt/join stream, not just serial
+fork-first ones.  Hostile streams get the family's typed posture:
+:class:`~repro.errors.DetectorError` at the exact ``op_index`` of the
+offending event, same messages as the 2D detector.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.reports import AccessKind, RaceReport
+from repro.detectors.base import Detector
+from repro.errors import DetectorError
+
+__all__ = ["SHBDetector"]
+
+
+class SHBDetector(Detector):
+    """Predictive race detector over epoch vector clocks (see module
+    docstring).
+
+    ``races`` holds one :class:`~repro.core.reports.RaceReport` per
+    conflicting HB-unordered *pair*, with ``prior_repr`` naming the
+    earlier accessor task -- so the same access can appear in several
+    reports, one per partner.
+    """
+
+    name = "shb"
+
+    #: values of the per-task ``_state`` column
+    _LIVE, _HALTED, _JOINED = 0, 1, 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._state = array("b")
+        # Sparse vector clocks, one dict per task; freed at join (the
+        # joined task's final clock is merged into the joiner and never
+        # read again).
+        self._clock: List[Optional[Dict[int, int]]] = []
+        # loc -> (read window, write window); each window is a list of
+        # (task, tick) epochs forming the HB-frontier for that kind.
+        self._windows: Dict[
+            Hashable, Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]
+        ] = {}
+        self._peak_window = 0
+        self.op_index = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _check_alive(self, t: int) -> None:
+        if t < 0 or t >= len(self._state):
+            raise DetectorError(f"unknown thread id {t}")
+        if self._state[t]:
+            raise DetectorError(f"thread {t} already halted")
+
+    # -- structural events ---------------------------------------------------
+
+    def on_root(self, root: int) -> None:
+        tid = len(self._state)
+        self._state.append(self._LIVE)
+        self._clock.append({tid: 1})
+        if tid != root:
+            raise DetectorError(
+                f"root id mismatch: interpreter says {root}, detector "
+                f"allocated {tid}"
+            )
+
+    def on_fork(self, parent: int, child: Optional[int] = None) -> int:
+        self._check_alive(parent)
+        self.op_index += 1
+        pc = self._clock[parent]
+        assert pc is not None  # live tasks always hold a clock
+        # The child inherits the parent's snapshot *before* the tick:
+        # everything the parent did so far happens-before the child,
+        # everything after the fork does not.
+        cc = dict(pc)
+        tid = len(self._state)
+        cc[tid] = 1
+        self._state.append(self._LIVE)
+        self._clock.append(cc)
+        pc[parent] += 1  # the fork is a release point for the parent
+        if child is not None and child != tid:
+            raise DetectorError(
+                f"fork id mismatch: interpreter says {child}, detector "
+                f"allocated {tid}"
+            )
+        return tid
+
+    def on_halt(self, t: int) -> None:
+        self._check_alive(t)
+        self.op_index += 1
+        self._state[t] = self._HALTED
+        # The final clock stays parked until the joiner merges it.
+
+    def on_join(self, joiner: int, joined: int) -> None:
+        self._check_alive(joiner)
+        if joined < 0 or joined >= len(self._state):
+            raise DetectorError(f"unknown thread id {joined}")
+        st = self._state[joined]
+        if st == self._LIVE:
+            raise DetectorError(f"joining running thread {joined}")
+        if st == self._JOINED:
+            raise DetectorError(f"thread {joined} joined twice")
+        self.op_index += 1
+        self._state[joined] = self._JOINED
+        jc = self._clock[joiner]
+        oc = self._clock[joined]
+        assert jc is not None and oc is not None
+        for task, tick in oc.items():
+            if tick > jc.get(task, 0):
+                jc[task] = tick
+        self._clock[joined] = None  # never read again; free it
+
+    def on_step(self, t: int) -> None:
+        self._check_alive(t)
+        self.op_index += 1
+
+    # -- accesses ------------------------------------------------------------
+
+    def on_read(self, task: int, loc: Hashable, label: str = "") -> None:
+        self._access(task, loc, AccessKind.READ, label)
+
+    def on_write(self, task: int, loc: Hashable, label: str = "") -> None:
+        self._access(task, loc, AccessKind.WRITE, label)
+
+    def _access(
+        self, t: int, loc: Hashable, kind: AccessKind, label: str
+    ) -> None:
+        self._check_alive(t)
+        self.op_index += 1
+        win = self._windows.get(loc)
+        if win is None:
+            win = ([], [])
+            self._windows[loc] = win
+        reads, writes = win
+        vc = self._clock[t]
+        assert vc is not None
+        get = vc.get
+        # One report per conflicting HB-unordered window entry: reads
+        # race prior writes; writes race prior reads and prior writes.
+        if kind is AccessKind.WRITE:
+            for u, c in reads:
+                if u != t and get(u, 0) < c:
+                    self.races.append(
+                        RaceReport(
+                            loc=loc, task=t, kind=kind,
+                            prior_kind=AccessKind.READ, prior_repr=u,
+                            op_index=self.op_index, label=label,
+                        )
+                    )
+            own = writes
+        else:
+            own = reads
+        for u, c in writes:
+            if u != t and get(u, 0) < c:
+                self.races.append(
+                    RaceReport(
+                        loc=loc, task=t, kind=kind,
+                        prior_kind=AccessKind.WRITE, prior_repr=u,
+                        op_index=self.op_index, label=label,
+                    )
+                )
+        # Fold this access into its kind's window: prune entries it
+        # dominates (they can never race anything this one would not),
+        # keep the unordered frontier, append the current epoch.
+        keep = [e for e in own if e[0] != t and get(e[0], 0) < e[1]]
+        keep.append((t, vc[t]))
+        own[:] = keep
+        size = len(reads) + len(writes)
+        if size > self._peak_window:
+            self._peak_window = size
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def thread_count(self) -> int:
+        return len(self._state)
+
+    def shadow_peak_per_location(self) -> int:
+        return self._peak_window
+
+    def shadow_total_entries(self) -> int:
+        return sum(
+            len(reads) + len(writes)
+            for reads, writes in self._windows.values()
+        )
+
+    def metadata_entries(self) -> int:
+        # The state column plus every live clock's components.
+        clocks = sum(
+            len(vc) for vc in self._clock if vc is not None
+        )
+        return len(self._state) + clocks

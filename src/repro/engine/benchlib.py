@@ -21,6 +21,14 @@ The measured contenders, slowest to fastest:
   array-native ``depa`` backend: the numpy segment kernel over
   :class:`~repro.detectors.depa.DePaDetector`'s flat columns
   (cross-checked against the union-find referee every run);
+* ``predict``   -- :class:`~repro.engine.ingest.BatchEngine` in sound
+  race-prediction mode (:class:`~repro.detectors.shb.SHBDetector`):
+  vector-clock epochs plus per-location candidate windows, reporting
+  every feasibly-reorderable racing pair.  Strictly more work per
+  access than the observed-order paths; its soundness invariant
+  (predicted races include everything lattice2d *and* depa observe) is
+  cross-checked every run and recorded as ``differential.
+  predict_sound``;
 * ``sharded``   -- :class:`~repro.engine.ingest.ShardedBatchEngine`
   (measures the lifecycle-replication overhead sharding pays for its
   partitioning; it is not expected to win on one core);
@@ -51,6 +59,7 @@ from repro.engine.differential import (
     DEFAULT_DETECTORS,
     cross_check_backend,
     cross_check_parallel,
+    cross_check_predict,
     cross_check_sharded,
     replay_differential,
 )
@@ -251,6 +260,11 @@ def run_engine_benchmark(
         engine.ingest_all(batch.slices(batch_size))
         return engine
 
+    def run_predict():
+        engine = BatchEngine(interner=interner, predict=True)
+        engine.ingest_all(batch.slices(batch_size))
+        return engine
+
     batched_s, batched_noobs_s = _best_of_paired(
         repeats, run_batched, run_batched_noobs
     )
@@ -263,6 +277,7 @@ def run_engine_benchmark(
         "batched": min(batched_s, batched_b),
         "batched-noobs": batched_noobs_s,
         "depa": depa_s,
+        "predict": _best_of(repeats, run_predict),
         "sharded": _best_of(repeats, run_sharded),
     }
 
@@ -312,6 +327,9 @@ def run_engine_benchmark(
     parallel_agree, _, parallel_races = cross_check_parallel(
         batch, interner, num_workers=jobs
     )
+    predict_sound, predicted_races, _ = cross_check_predict(
+        batch, interner, batch_size=batch_size
+    )
     diff = replay_differential(batch, interner, detectors)
 
     record: Dict[str, Any] = {
@@ -358,6 +376,7 @@ def run_engine_benchmark(
             "per_event": len(per_event_races),
             "batched": len(batched_races),
             "depa": len(depa_races),
+            "predict": len(predicted_races),
             "sharded": len(sharded_races),
             "parallel": len(parallel_races),
         },
@@ -368,6 +387,7 @@ def run_engine_benchmark(
             "depa_agrees": depa_agree,
             "sharded_agrees": shard_agree,
             "parallel_agrees": parallel_agree,
+            "predict_sound": predict_sound,
         },
     }
     return record

@@ -22,6 +22,12 @@ Two comparisons are provided:
   unsharded reference, on the race multiset *and* the per-shard routing
   counters (the parent's routing decisions vs what each worker's kernel
   actually consumed).
+* :func:`cross_check_predict` -- the sound-prediction engine
+  (``BatchEngine(predict=True)``) vs the observed-order backends.
+  Prediction enumerates racing *pairs* across feasible reorderings, so
+  equality is the wrong gate; the soundness invariant is inclusion:
+  every access an observed-order detector flags must also be flagged
+  by prediction (multiset ``<=`` on ``(task, loc, kind)``).
 
 Both operate on interned batches, so detectors hash dense ints; the
 verdict only depends on ordering structure, never on what a location
@@ -56,6 +62,7 @@ __all__ = [
     "cross_check_sharded",
     "cross_check_parallel",
     "cross_check_backend",
+    "cross_check_predict",
 ]
 
 #: the trio the acceptance gate runs: the paper's detector against the
@@ -280,6 +287,51 @@ def cross_check_backend(
     alt_races = alt.races()
     agree = _flag_multiset(ref_races) == _flag_multiset(alt_races)
     return agree, ref_races, alt_races
+
+
+def cross_check_predict(
+    batch: EventBatch,
+    interner: Optional[LocationInterner] = None,
+    *,
+    observed: Sequence[str] = ("lattice2d", "depa"),
+    batch_size: Optional[int] = None,
+) -> Tuple[bool, List[Any], Dict[str, List[Any]]]:
+    """The prediction engine vs the observed-order backends.
+
+    Replays ``batch`` through ``BatchEngine(predict=True)`` and through
+    one ``BatchEngine(backend=name)`` per ``observed`` name, then
+    asserts the soundness invariant *predicted races include every
+    observed race*: for each observed backend, its multiset of flagged
+    ``(task, loc, kind)`` accesses must be ``<=`` the predicted
+    multiset.  (Prediction reports one race per feasibly-reorderable
+    pair, so it may legitimately exceed the observed set -- that
+    surplus is the point.)
+
+    ``observed`` defaults to both engine backends; pass
+    ``("lattice2d",)`` for traces that are structured but not serial
+    fork-first, which the ``depa`` backend rejects by design.  Returns
+    ``(sound, predicted_races, observed_races_by_backend)``.
+    """
+    pred = BatchEngine(interner=interner, predict=True)
+    if batch_size is None:
+        pred.ingest(batch)
+    else:
+        pred.ingest_all(batch.slices(batch_size))
+    predicted_races = pred.races()
+    predicted = _flag_multiset(predicted_races)
+    sound = True
+    observed_races: Dict[str, List[Any]] = {}
+    for name in observed:
+        ref = BatchEngine(interner=interner, backend=name)
+        if batch_size is None:
+            ref.ingest(batch)
+        else:
+            ref.ingest_all(batch.slices(batch_size))
+        races = ref.races()
+        observed_races[name] = races
+        if not _flag_multiset(races) <= predicted:
+            sound = False
+    return sound, predicted_races, observed_races
 
 
 def cross_check_parallel(

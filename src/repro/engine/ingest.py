@@ -43,6 +43,7 @@ except ImportError:  # pragma: no cover - numpy is a declared dependency
 from repro.core.detector import RaceDetector2D
 from repro.core.reports import AccessKind, RaceReport
 from repro.detectors.depa import DePaDetector
+from repro.detectors.shb import SHBDetector
 from repro.engine.batch import (
     OP_FORK,
     OP_HALT,
@@ -377,23 +378,57 @@ def _ingest_fast(det: RaceDetector2D, batch: EventBatch) -> None:
             shadow.peak_entries_per_loc = peak
 
 
+def _ingest_predict(det: SHBDetector, batch: EventBatch) -> None:
+    """The predict-mode ingest path: batch-level validation, then the
+    generic loop over the SHB detector.
+
+    The candidate-pair window must never silently absorb rows the
+    columnar accounting does not recognise, so the batch's
+    ``counts()``/``access_count()`` are reconciled *once, up front*:
+    a batch carrying any unknown opcode is rejected whole -- naming the
+    first offending row -- before a single event mutates the window.
+    (Bad *thread ids* are still per-event conditions and raise
+    :class:`~repro.errors.DetectorError` mid-stream at the exact
+    ``op_index``, like every other detector.)
+    """
+    counts = batch.counts()
+    accesses = counts.get("read", 0) + counts.get("write", 0)
+    if accesses != batch.access_count():
+        raise ProgramError(
+            f"inconsistent batch accounting: counts() sees {accesses} "
+            f"accesses but access_count() reports {batch.access_count()}"
+        )
+    if counts.get("unknown"):
+        for i, op in enumerate(batch.ops):
+            if op < OP_FORK or op > OP_WRITE:
+                raise ProgramError(
+                    f"unknown opcode {op} at batch row {i}; predict mode "
+                    "rejects the batch before any row reaches the "
+                    "candidate-pair window"
+                )
+    _ingest_generic(det, batch)
+
+
 def _ingest_batch(det: Any, batch: EventBatch) -> str:
     """Route a batch to the fastest loop that applies.
 
-    Returns the dispatch path taken (``"kernel"``, ``"vectorized"`` or
-    ``"generic"``) so callers can count how often each loop actually
-    runs.
+    Returns the dispatch path taken (``"kernel"``, ``"vectorized"``,
+    ``"predict"`` or ``"generic"``) so callers can count how often each
+    loop actually runs.
     """
     if type(det) is RaceDetector2D and not det._literal:
         _ingest_fast(det, batch)
         return "kernel"
     if isinstance(det, DePaDetector):
         return ingest_depa(det, batch)
+    if isinstance(det, SHBDetector):
+        _ingest_predict(det, batch)
+        return "predict"
     _ingest_generic(det, batch)
     return "generic"
 
 
-_DISPATCH_PATHS = ("kernel", "vectorized", "generic")
+_DISPATCH_PATHS = ("kernel", "vectorized", "predict", "generic")
 
 
 def _default_detector() -> RaceDetector2D:
@@ -434,6 +469,12 @@ class BatchEngine:
         Alternative to ``detector``: a backend name from
         :data:`BACKENDS` (``"lattice2d"``, the default, or ``"depa"``).
         The engine constructs and root-announces the detector itself.
+    predict:
+        Alternative to both: run the engine in sound race-*prediction*
+        mode over a fresh :class:`~repro.detectors.shb.SHBDetector`
+        (one report per feasibly-reorderable racing pair rather than
+        one per flagged access; see ``docs/PREDICTION.md``).  Mutually
+        exclusive with ``detector`` and ``backend``.
     interner:
         The :class:`LocationInterner` the batches were built with; only
         needed to decode locations in :meth:`races`.
@@ -460,6 +501,7 @@ class BatchEngine:
         detector: Optional[Any] = None,
         *,
         backend: Optional[str] = None,
+        predict: bool = False,
         interner: Optional[LocationInterner] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
@@ -467,6 +509,14 @@ class BatchEngine:
             raise ProgramError(
                 "pass either a detector instance or a backend name, not both"
             )
+        if predict and (detector is not None or backend is not None):
+            raise ProgramError(
+                "predict mode constructs its own shb detector; drop the "
+                "detector/backend argument or drop predict=True"
+            )
+        if predict:
+            detector = SHBDetector()
+            detector.on_root(0)
         if detector is None:
             detector = _backend_detector(backend or "lattice2d")
         self.detector = detector
@@ -562,6 +612,7 @@ class ShardedBatchEngine:
         *,
         detector_factory: Optional[Callable[[], Any]] = None,
         backend: Optional[str] = None,
+        predict: bool = False,
         interner: Optional[LocationInterner] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
@@ -571,6 +622,17 @@ class ShardedBatchEngine:
             raise ProgramError(
                 "pass either a detector factory or a backend name, not both"
             )
+        if predict and (detector_factory is not None or backend is not None):
+            raise ProgramError(
+                "predict mode constructs its own shb detectors; drop the "
+                "factory/backend argument or drop predict=True"
+            )
+        if predict:
+            # Sharding composes with prediction unchanged: lifecycle
+            # events replicate to every shard, so each shard's vector
+            # clocks see the full happens-before structure and its
+            # windows cover exactly its own locations.
+            detector_factory = SHBDetector
         if detector_factory is None:
             if backend is None:
                 factory: Callable[[], Any] = RaceDetector2D

@@ -98,6 +98,15 @@ class ServeConfig:
     can trim its replay buffer.  Durable sessions are per-session
     engines only -- combining ``checkpoint_dir`` with ``jobs > 1`` is
     rejected at construction.
+
+    ``predict`` switches every session engine into sound
+    race-*prediction* mode (``BatchEngine(predict=True)``): clients
+    receive one RACES report per feasibly-reorderable racing pair
+    instead of one per observed-order flagged access (see
+    ``docs/PREDICTION.md``).  Prediction is per-session only, and the
+    checkpoint format captures the union-find engine's state, so
+    ``predict`` is rejected in combination with ``jobs > 1`` or
+    ``checkpoint_dir``.
     """
 
     host: str = "127.0.0.1"
@@ -111,6 +120,7 @@ class ServeConfig:
     jobs: int = 1
     checkpoint_dir: Optional[str] = None
     checkpoint_interval: int = 32  #: applied batches between checkpoints
+    predict: bool = False  #: serve shb prediction instead of observed races
 
 
 class _Metrics:
@@ -229,8 +239,12 @@ class _SessionEngine:
 
     shared = False
 
-    def __init__(self, registry: MetricsRegistry) -> None:
-        self._engine: Optional[BatchEngine] = BatchEngine(registry=registry)
+    def __init__(
+        self, registry: MetricsRegistry, *, predict: bool = False
+    ) -> None:
+        self._engine: Optional[BatchEngine] = BatchEngine(
+            registry=registry, predict=predict
+        )
         self._races_seen = 0
 
     @property
@@ -453,6 +467,17 @@ class RaceServer:
                 "checkpointing requires per-session engines: "
                 "checkpoint_dir cannot be combined with jobs > 1"
             )
+        if self.config.predict and self.config.jobs > 1:
+            raise ServeError(
+                "prediction runs per-session engines: predict cannot "
+                "be combined with jobs > 1"
+            )
+        if self.config.predict and self.config.checkpoint_dir is not None:
+            raise ServeError(
+                "predict sessions are not checkpointable (the snapshot "
+                "format captures the union-find engine): drop "
+                "checkpoint_dir or drop predict"
+            )
         self.registry = registry if registry is not None else get_registry()
         self._m = _Metrics(self.registry)
         self._server: Optional[asyncio.base_events.Server] = None
@@ -618,7 +643,7 @@ class RaceServer:
     def _make_engine(self):
         if self._shared_engine is not None:
             return self._shared_engine.session_view()
-        return _SessionEngine(self.registry)
+        return _SessionEngine(self.registry, predict=self.config.predict)
 
     # -- durability ----------------------------------------------------------
 

@@ -1,0 +1,292 @@
+"""Adversarial tests for the SHB prediction detector.
+
+Three fronts, matching the three ways prediction goes wrong:
+
+* **Completeness against the observed-order detectors**: hand-built
+  traces with a feasibly-reorderable race that the supremum-folding
+  detectors (lattice2d *and* fasttrack) provably miss -- prediction
+  must find it.
+* **Soundness**: pairs ordered by fork/join edges (directly or
+  transitively) must never be reported, no matter how the trace
+  interleaves other work between them.
+* **Hostile streams**: malformed input raises the family's typed
+  errors at the exact ``op_index``, and a batch carrying an unknown
+  opcode is rejected *whole* before any row reaches the candidate-pair
+  window (the ``counts()``/``access_count()`` reconciliation in the
+  predict ingest path).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.reports import AccessKind
+from repro.detectors.fasttrack import FastTrackDetector
+from repro.detectors.shb import SHBDetector
+from repro.engine.batch import (
+    OP_FORK,
+    OP_HALT,
+    OP_JOIN,
+    OP_READ,
+    OP_WRITE,
+    EventBatch,
+)
+from repro.engine.ingest import BatchEngine
+from repro.errors import DetectorError, ProgramError
+
+pytestmark = pytest.mark.predict
+
+X = 0  # the shared location, as a dense interned id
+
+
+def make_batch(events) -> EventBatch:
+    batch = EventBatch()
+    for op, a, b in events:
+        batch.ops.append(op)
+        batch.a.append(a)
+        batch.b.append(b)
+    return batch
+
+
+def drive(det, events) -> None:
+    for op, a, b in events:
+        if op == OP_READ:
+            det.on_read(a, b)
+        elif op == OP_WRITE:
+            det.on_write(a, b)
+        elif op == OP_FORK:
+            det.on_fork(a, b)
+        elif op == OP_JOIN:
+            det.on_join(a, b)
+        elif op == OP_HALT:
+            det.on_halt(a)
+
+
+def pairs(races):
+    """The reported (accessor, partner) pairs."""
+    return Counter((r.task, r.prior_repr) for r in races)
+
+
+def flags(races):
+    return Counter((r.task, r.loc, r.kind) for r in races)
+
+
+#: A structured (but not fork-first) trace where tasks 1 and 3 both
+#: write ``X`` while mutually unordered -- a race feasible in any
+#: reordering that runs task 1 late -- yet *no* observed-order
+#: detector reports the pair: lattice2d's racing write keeps the old
+#: supremum (task 1 is discarded at its own racing write), and
+#: fasttrack's write epoch is overwritten by task 0's write before
+#: task 3 ever runs.  Both end up comparing task 3 against task 0,
+#: which is ordered, and stay silent.
+REORDERING_TRACE = [
+    (OP_FORK, 0, 1),
+    (OP_FORK, 0, 2),
+    (OP_WRITE, 2, X),
+    (OP_HALT, 2, -1),
+    (OP_WRITE, 1, X),   # races task 2's write; every detector sees this
+    (OP_HALT, 1, -1),
+    (OP_JOIN, 0, 2),
+    (OP_WRITE, 0, X),   # races task 1 (unjoined); lattice2d misses it
+    (OP_FORK, 0, 3),
+    (OP_WRITE, 3, X),   # races task 1; ONLY prediction sees this pair
+    (OP_HALT, 3, -1),
+    (OP_JOIN, 0, 3),
+    (OP_JOIN, 0, 1),
+    (OP_HALT, 0, -1),
+]
+
+
+class TestPredictionCompleteness:
+    def test_finds_the_pair_every_observed_detector_misses(self):
+        shb = SHBDetector()
+        shb.on_root(0)
+        drive(shb, REORDERING_TRACE)
+        assert pairs(shb.races) == Counter(
+            {(1, 2): 1, (0, 1): 1, (3, 1): 1}
+        )
+
+    def test_lattice2d_and_fasttrack_miss_it(self):
+        """Pin the gap: the engines' own detectors stay silent on the
+        (3, 1) pair -- if one ever learns to see it, this documents
+        that prediction stopped being strictly stronger here."""
+        observed = BatchEngine()
+        observed.ingest(make_batch(REORDERING_TRACE))
+        assert (3, X, AccessKind.WRITE) not in flags(observed.races())
+
+        ft = FastTrackDetector()
+        ft.on_root(0)
+        drive(ft, REORDERING_TRACE)
+        assert (3, X, AccessKind.WRITE) not in flags(ft.races)
+
+    def test_predicted_multiset_covers_both(self):
+        shb = SHBDetector()
+        shb.on_root(0)
+        drive(shb, REORDERING_TRACE)
+        predicted = flags(shb.races)
+
+        observed = BatchEngine()
+        observed.ingest(make_batch(REORDERING_TRACE))
+        assert flags(observed.races()) <= predicted
+
+        ft = FastTrackDetector()
+        ft.on_root(0)
+        drive(ft, REORDERING_TRACE)
+        assert flags(ft.races) <= predicted
+
+    def test_one_report_per_racing_pair(self):
+        """Two halted-unjoined readers, then a write: the observed
+        detectors keep one read supremum and report the write once;
+        prediction enumerates both pairs."""
+        trace = [
+            (OP_FORK, 0, 1),
+            (OP_READ, 1, X),
+            (OP_HALT, 1, -1),
+            (OP_FORK, 0, 2),
+            (OP_READ, 2, X),
+            (OP_HALT, 2, -1),
+            (OP_WRITE, 0, X),
+            (OP_JOIN, 0, 1),
+            (OP_JOIN, 0, 2),
+            (OP_HALT, 0, -1),
+        ]
+        shb = SHBDetector()
+        shb.on_root(0)
+        drive(shb, trace)
+        assert pairs(shb.races) == Counter({(0, 1): 1, (0, 2): 1})
+
+        observed = BatchEngine()
+        observed.ingest(make_batch(trace))
+        assert len(observed.races()) == 1
+        assert flags(observed.races()) <= flags(shb.races)
+
+
+class TestPredictionSoundness:
+    def test_join_ordered_pair_is_infeasible(self):
+        """The write pair (1, then 0-after-join) is ordered in *every*
+        reordering -- prediction must stay silent."""
+        trace = [
+            (OP_FORK, 0, 1),
+            (OP_WRITE, 1, X),
+            (OP_HALT, 1, -1),
+            (OP_JOIN, 0, 1),
+            (OP_WRITE, 0, X),
+            (OP_HALT, 0, -1),
+        ]
+        shb = SHBDetector()
+        shb.on_root(0)
+        drive(shb, trace)
+        assert shb.races == []
+
+    def test_transitive_order_through_fork_after_join(self):
+        """Task 2 inherits the join edge at its fork: 1's write
+        happens-before 2's in every feasible schedule."""
+        trace = [
+            (OP_FORK, 0, 1),
+            (OP_WRITE, 1, X),
+            (OP_HALT, 1, -1),
+            (OP_JOIN, 0, 1),
+            (OP_FORK, 0, 2),
+            (OP_WRITE, 2, X),
+            (OP_HALT, 2, -1),
+            (OP_JOIN, 0, 2),
+            (OP_HALT, 0, -1),
+        ]
+        shb = SHBDetector()
+        shb.on_root(0)
+        drive(shb, trace)
+        assert shb.races == []
+
+    def test_parent_prefix_precedes_child(self):
+        trace = [
+            (OP_WRITE, 0, X),
+            (OP_FORK, 0, 1),
+            (OP_WRITE, 1, X),
+            (OP_HALT, 1, -1),
+            (OP_JOIN, 0, 1),
+            (OP_HALT, 0, -1),
+        ]
+        shb = SHBDetector()
+        shb.on_root(0)
+        drive(shb, trace)
+        assert shb.races == []
+
+    def test_same_task_never_races_itself(self):
+        shb = SHBDetector()
+        shb.on_root(0)
+        drive(shb, [(OP_WRITE, 0, X), (OP_WRITE, 0, X), (OP_READ, 0, X)])
+        assert shb.races == []
+
+
+class TestHostileStreams:
+    def _after_prefix(self):
+        """A detector three events in (fork, child write, child halt)."""
+        det = SHBDetector()
+        det.on_root(0)
+        drive(det, [(OP_FORK, 0, 1), (OP_WRITE, 1, X), (OP_HALT, 1, -1)])
+        assert det.op_index == 3
+        return det
+
+    def test_unknown_thread_id_at_exact_op_index(self):
+        det = self._after_prefix()
+        with pytest.raises(DetectorError, match="unknown thread id 5"):
+            det.on_read(5, X)
+        assert det.op_index == 3  # the bad event was never counted
+
+    def test_halted_thread_at_exact_op_index(self):
+        det = self._after_prefix()
+        with pytest.raises(DetectorError, match="thread 1 already halted"):
+            det.on_write(1, X)
+        assert det.op_index == 3
+
+    def test_joining_running_thread(self):
+        det = SHBDetector()
+        det.on_root(0)
+        det.on_fork(0, 1)
+        with pytest.raises(DetectorError, match="joining running thread 1"):
+            det.on_join(0, 1)
+        assert det.op_index == 1
+
+    def test_double_join(self):
+        det = self._after_prefix()
+        det.on_join(0, 1)
+        with pytest.raises(DetectorError, match="thread 1 joined twice"):
+            det.on_join(0, 1)
+        assert det.op_index == 4
+
+    def test_fork_id_mismatch(self):
+        det = SHBDetector()
+        det.on_root(0)
+        with pytest.raises(DetectorError, match="fork id mismatch"):
+            det.on_fork(0, 7)
+
+    def test_root_id_mismatch(self):
+        with pytest.raises(DetectorError, match="root id mismatch"):
+            SHBDetector().on_root(3)
+
+    def test_bad_opcode_rejects_the_whole_batch(self):
+        """Valid-prefix-then-bad-row: the predict ingest path must
+        reconcile the batch's counts up front and reject it atomically
+        -- no prefix row may have reached the window."""
+        batch = make_batch(
+            [(OP_FORK, 0, 1), (OP_WRITE, 1, X), (9, 1, X)]
+        )
+        assert batch.counts().get("unknown") == 1
+        engine = BatchEngine(predict=True)
+        with pytest.raises(
+            ProgramError, match="unknown opcode 9 at batch row 2"
+        ):
+            engine.ingest(batch)
+        det = engine.detector
+        assert det.op_index == 0
+        assert det.races == []
+        assert det.shadow_total_entries() == 0
+        assert det.thread_count == 1  # only the root; the fork never ran
+
+    def test_predict_excludes_detector_and_backend(self):
+        with pytest.raises(ProgramError, match="predict"):
+            BatchEngine(SHBDetector(), predict=True)
+        with pytest.raises(ProgramError, match="predict"):
+            BatchEngine(backend="depa", predict=True)

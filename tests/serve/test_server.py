@@ -11,10 +11,12 @@ from __future__ import annotations
 import struct
 import time
 from array import array
+from collections import Counter
 
 import pytest
 
 from repro.engine.batch import OP_JOIN, OP_WRITE, EventBatch
+from repro.engine.ingest import BatchEngine
 from repro.errors import ProtocolError, ServeError
 from repro.obs.registry import MetricsRegistry
 from repro.serve import (
@@ -373,3 +375,39 @@ class TestConfigValidation:
                 assert client.max_frame == 4096
                 with pytest.raises(ProtocolError, match="slice it smaller"):
                     client.send_batch(batch)
+
+
+@pytest.mark.predict
+class TestPredictMode:
+    def test_predict_session_streams_pair_reports(self, small_workload):
+        """A predict-mode server runs the shb engine per session: the
+        served reports match a local predict replay exactly, and they
+        cover everything the observed-order engine flags."""
+        batch, _interner = small_workload
+        predict_engine = BatchEngine(predict=True)
+        predict_engine.ingest(batch)
+        local_predicted = race_multiset(predict_engine.races())
+        assert local_predicted, "workload should carry predictable races"
+
+        with make_server(predict=True) as srv:
+            summary = submit_batch("127.0.0.1", srv.port, batch)
+        assert summary.events == len(batch)
+        assert race_multiset(summary.reports) == local_predicted
+
+        observed = Counter()
+        for (task, loc, kind, _prior), n in local_race_multiset(batch).items():
+            observed[(task, loc, kind)] += n
+        predicted = Counter(
+            (r.task, r.loc, r.kind) for r in summary.reports
+        )
+        assert observed <= predicted
+
+    def test_predict_rejects_shared_parallel_mode(self):
+        with pytest.raises(ServeError, match="jobs"):
+            ServerThread(ServeConfig(predict=True, jobs=2)).start()
+
+    def test_predict_rejects_checkpointing(self, tmp_path):
+        with pytest.raises(ServeError, match="checkpoint"):
+            ServerThread(
+                ServeConfig(predict=True, checkpoint_dir=str(tmp_path))
+            ).start()

@@ -137,6 +137,37 @@ class TestCommands:
         assert main(["replay", trace, "--backend", "depa", "--jobs", "2"]) == 2
         assert "lattice2d" in capsys.readouterr().err
 
+    def test_replay_predict(self, program_file, tmp_path, capsys):
+        trace = str(tmp_path / "run.rtrc")
+        main(["record", program_file, "--compact", "-o", trace])
+        capsys.readouterr()
+        assert main(["replay", trace, "--predict"]) == 1
+        out = capsys.readouterr().out
+        assert "shb predict" in out and "1 race(s)" in out and "'x'" in out
+        assert main(["replay", trace, "--predict", "--shards", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "shb predict" in out and "x2 shards" in out
+
+    def test_replay_predict_jsonl(self, program_file, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        main(["record", program_file, "-o", trace])
+        capsys.readouterr()
+        assert main(["replay", trace, "--predict"]) == 1
+        assert "1 race(s)" in capsys.readouterr().out
+
+    def test_replay_predict_misuse_errors(self, program_file, tmp_path, capsys):
+        trace = str(tmp_path / "run.rtrc")
+        main(["record", program_file, "--compact", "-o", trace])
+        capsys.readouterr()
+        assert main(["replay", trace, "--predict", "--backend", "depa"]) == 2
+        assert "--backend" in capsys.readouterr().err
+        assert main(
+            ["replay", trace, "--predict", "--detector", "fasttrack"]
+        ) == 2
+        assert "--detector" in capsys.readouterr().err
+        assert main(["replay", trace, "--predict", "--jobs", "2"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
     def test_replay_compact_parallel(self, program_file, tmp_path, capsys):
         trace = str(tmp_path / "run.rtrc")
         main(["record", program_file, "--compact", "-o", trace])

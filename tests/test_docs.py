@@ -20,6 +20,7 @@ DOC_FILES = [
     ROOT / "docs" / "PERFORMANCE.md",
     ROOT / "docs" / "SERVING.md",
     ROOT / "docs" / "FAULT_TOLERANCE.md",
+    ROOT / "docs" / "PREDICTION.md",
 ]
 
 BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
