@@ -12,9 +12,13 @@ outright, with the race multiset and the parent-vs-worker routing
 counters in exact agreement.
 
 The array-native tier rides it too: ``depa`` (the numpy segment kernel
-over the DePa detector's flat columns) must beat ``batched`` by 3x on
-the same sliced feed, with the union-find kernel acting as referee
-(``differential.depa_agrees``) on every run.
+over the DePa detector's flat columns) must clear a 2.8x hysteresis
+floor over ``batched`` on the best-of ratio, with the 4x target
+asserted only on the median of the interleaved repeats -- one noisy
+run cannot flip the gate either way.  The union-find kernel acts as
+referee (``differential.depa_agrees``) on every run, and the
+depa-native process pool (``depa_parallel``) rides the same record
+with its own referee (``differential.depa_parallel_agrees``).
 
 The measured record is written to ``BENCH_engine.json`` at the repo
 root so the perf trajectory accumulates across revisions.
@@ -75,11 +79,30 @@ def test_parallel_beats_batched(record):
 
 
 @pytest.mark.shape
-def test_depa_beats_batched_by_3x(record):
-    """The array-native backend's acceptance bar: >= 3x over the
-    union-find kernel on the same sliced feed, with the union-find
-    referee agreeing on every verdict (checked below)."""
-    assert record["speedup_depa_vs_batched"] >= 3.0, record["seconds"]
+def test_depa_beats_batched_with_hysteresis(record):
+    """The array-native backend's acceptance bar, with hysteresis.
+
+    The best-of ratio only has to clear a 2.8x floor (the old hard 3x
+    gate sat one noisy repeat away from a false failure); the real 4x
+    target is asserted on the median over the interleaved repeats,
+    which a single outlier sample cannot move."""
+    assert record["speedup_depa_vs_batched"] >= 2.8, record["seconds"]
+    assert record["speedup_depa_vs_batched_median"] >= 4.0, record
+
+
+@pytest.mark.shape
+def test_depa_parallel_beats_depa(record):
+    """The depa-native pool must pay for itself over serial depa.
+
+    Same single-core softening as the lattice2d parallel gate: the
+    ratio is recorded but not asserted when there is no second core
+    (the depa workers have no validation work to shed, so a 1-core
+    pool is pure scheduling overhead)."""
+    assert "depa_parallel" in record["events_per_sec"]  # key always emitted
+    cpus = record["cpu_count"]
+    if not isinstance(cpus, int) or cpus < 2:
+        pytest.skip(f"cpu_count={cpus!r}: no second core to parallelise on")
+    assert record["speedup_depa_parallel_vs_depa"] >= 1.0, record["seconds"]
 
 
 @pytest.mark.shape
@@ -103,12 +126,14 @@ def test_fast_paths_change_no_verdicts(record):
     assert races["batched"] == races["per_event"] == races["sharded"]
     assert races["parallel"] == races["per_event"]
     assert races["depa"] == races["per_event"]
+    assert races["depa_parallel"] == races["per_event"]
     assert races["per_event"] > 0  # the workload seeds real races
     diff = record["differential"]
     assert diff["divergences"] == 0
     assert diff["depa_agrees"] is True
     assert diff["sharded_agrees"] is True
     assert diff["parallel_agrees"] is True
+    assert diff["depa_parallel_agrees"] is True
     assert len(set(diff["races"].values())) == 1  # trio agrees on the count
 
 
@@ -119,3 +144,5 @@ def test_record_is_written_and_loadable(record):
     # The regression gate's cpu_count softening relies on every fresh
     # record carrying the field.
     assert "cpu_count" in stored
+    # Absolute ev/s numbers mean little across hosts without these.
+    assert stored["versions"]["python"]

@@ -13,7 +13,11 @@ The numbers merge into ``BENCH_engine.json`` (read-modify-write: the
 engine benchmark owns the record and runs first in CI) as
 ``events_per_sec.serve_1s/_4s/_16s`` plus the headline
 ``serve_vs_batched_overhead`` ratio, which the CI regression gate
-tracks alongside the batched series.
+tracks alongside the batched series.  A fourth series,
+``serve_depa_1s``, replays the single-session load over a
+depa-negotiated session (v3 HELLO ``backend="depa"``) so the record
+shows what backend negotiation buys on the wire; its differential
+(served depa races == local lattice2d races) is asserted on every run.
 """
 
 from __future__ import annotations
@@ -63,16 +67,23 @@ def _time_batched(batch) -> float:
     return best
 
 
-def _time_served(port: int, batch, sessions: int) -> float:
+def _time_served(
+    port: int, batch, sessions: int, backend: str = None
+) -> tuple:
+    """Best-of load-generator seconds plus the races of the last run
+    (identical across runs: every session replays the same batch)."""
     best = float("inf")
+    races = 0
     for _ in range(REPEATS):
         result = run_load(
             "127.0.0.1", port, batch,
             sessions=sessions, batch_size=BATCH_SIZE, timeout=120.0,
+            backend=backend,
         )
         assert result.events == sessions * len(batch)
         best = min(best, result.seconds)
-    return best
+        races = result.races
+    return best, races
 
 
 @pytest.fixture(scope="module")
@@ -81,12 +92,22 @@ def record():
     batched_s = _time_batched(batch)
     eps = {"batched_reference": len(batch) / batched_s}
     seconds = {"batched_reference": batched_s}
+    reference = BatchEngine()
+    reference.ingest(batch)
+    local_races = len(reference.detector.races)
     with ServerThread(registry=MetricsRegistry()) as srv:
         for sessions in SESSION_COUNTS:
-            served_s = _time_served(srv.port, batch, sessions)
+            served_s, _ = _time_served(srv.port, batch, sessions)
             key = f"serve_{sessions}s"
             seconds[key] = served_s
             eps[key] = sessions * len(batch) / served_s
+        # The depa-negotiated session rides the same server: the v3
+        # HELLO requests the backend per session, nothing is restarted.
+        depa_s, depa_races = _time_served(
+            srv.port, batch, 1, backend="depa"
+        )
+        seconds["serve_depa_1s"] = depa_s
+        eps["serve_depa_1s"] = len(batch) / depa_s
     rec = {
         "bench": "serve",
         "workload": {
@@ -99,6 +120,10 @@ def record():
         "events_per_sec": eps,
         "serve_vs_batched_overhead": eps["batched_reference"]
         / eps["serve_1s"],
+        "differential": {
+            "serve_depa_agrees": depa_races == local_races,
+            "races": {"local": local_races, "serve_depa": depa_races},
+        },
     }
 
     # Merge into the engine record: bench_engine_batch.py rewrites the
@@ -114,6 +139,9 @@ def record():
         {k: v for k, v in seconds.items() if k.startswith("serve_")}
     )
     stored["serve_vs_batched_overhead"] = rec["serve_vs_batched_overhead"]
+    stored.setdefault("differential", {})["serve_depa_agrees"] = rec[
+        "differential"
+    ]["serve_depa_agrees"]
     RECORD_PATH.write_text(
         json.dumps(stored, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
@@ -126,7 +154,8 @@ def record():
                 "events/sec": f"{eps[name]:,.0f}",
             }
             for name in (
-                "batched_reference", "serve_1s", "serve_4s", "serve_16s"
+                "batched_reference", "serve_1s", "serve_4s",
+                "serve_16s", "serve_depa_1s",
             )
         ],
         title=f"serving layer vs direct ingest ({ACCESSES // 1000}k accesses)",
@@ -148,9 +177,21 @@ def test_concurrent_sessions_sustain_throughput(record):
     assert eps["serve_16s"] >= 0.5 * eps["serve_1s"], record["seconds"]
 
 
+@pytest.mark.shape
+def test_depa_session_changes_no_verdicts(record):
+    """A depa-negotiated session must stream the exact race count a
+    local lattice2d engine finds -- negotiation moves work, never
+    verdicts."""
+    assert record["differential"]["serve_depa_agrees"] is True, record[
+        "differential"
+    ]
+
+
 def test_record_merged_into_engine_record(record):
     stored = json.loads(RECORD_PATH.read_text(encoding="utf-8"))
     assert "serve_4s" in stored["events_per_sec"]
+    assert "serve_depa_1s" in stored["events_per_sec"]
+    assert stored["differential"]["serve_depa_agrees"] is True
     assert stored["serve_vs_batched_overhead"] == pytest.approx(
         record["serve_vs_batched_overhead"]
     )

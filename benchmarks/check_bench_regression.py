@@ -13,9 +13,19 @@ run overwrote it). The gated series:
   Skipped (with a note) when the baseline predates the serving layer,
   so the gate can introduce itself without failing its own PR.
 * ``events_per_sec.depa`` -- the array-native DePa backend behind the
-  vectorized kernel; its own shape test pins the 3x ratio over
-  ``batched``, this gate pins the absolute number.  Skipped (with a
-  note) when the baseline predates the backend.
+  vectorized kernel; its own shape test pins the ratio over
+  ``batched`` (2.8x floor, 4x on the multi-run median), this gate pins
+  the absolute number.  Skipped (with a note) when the baseline
+  predates the backend.
+* ``events_per_sec.depa_parallel`` -- the depa-native process pool --
+  and ``events_per_sec.serve_depa_1s`` -- a depa-negotiated serve
+  session's loopback throughput.  Both self-introducing: skipped (with
+  a note) when the baseline predates them, matching the convention
+  every tier above followed.  The fresh
+  ``speedup_depa_parallel_vs_depa`` ratio is additionally gated >= 1.0,
+  with the same ``cpu_count`` < 2 softening as the lattice2d pool
+  (depa workers shed no validation work, so a single-core pool is pure
+  scheduling overhead).
 * ``events_per_sec.predict`` -- the sound race-prediction engine (shb
   vector clocks plus candidate-pair windows).  Skipped (with a note)
   when the baseline predates prediction, so the gate can introduce
@@ -58,6 +68,8 @@ GATES = (
     (("events_per_sec", "batched"), True),
     (("events_per_sec", "serve_4s"), False),
     (("events_per_sec", "depa"), False),
+    (("events_per_sec", "depa_parallel"), False),
+    (("events_per_sec", "serve_depa_1s"), False),
     (("events_per_sec", "predict"), False),
 )
 
@@ -153,6 +165,7 @@ def main(argv) -> int:
             f"-> {'OK' if ok else 'REGRESSION'}"
         )
     failed = _check_parallel_ratio(fresh_rec) or failed
+    failed = _check_depa_parallel_ratio(fresh_rec) or failed
     failed = _check_predict_sound(fresh_rec) or failed
     return 1 if failed else 0
 
@@ -174,6 +187,35 @@ def _check_parallel_ratio(fresh_rec) -> bool:
         print(f"{name}: missing from the fresh record", file=sys.stderr)
         return True
     ok = ratio > PARALLEL_FLOOR
+    print(
+        f"{name}: fresh {ratio:.3f}x (floor {PARALLEL_FLOOR:.1f}x, "
+        f"cpu_count {cpus}) -> {'OK' if ok else 'REGRESSION'}"
+    )
+    return not ok
+
+
+def _check_depa_parallel_ratio(fresh_rec) -> bool:
+    """Gate the fresh depa-pool-over-serial-depa ratio; returns True on
+    failure.  Self-introducing (skipped when the fresh record predates
+    the depa pool) and skipped on single-core runners, like the
+    lattice2d parallel gate."""
+    name = "speedup_depa_parallel_vs_depa"
+    if name not in fresh_rec:
+        print(f"{name}: not in the fresh record; skipping this gate")
+        return False
+    cpus = fresh_rec.get("cpu_count")
+    if not isinstance(cpus, int) or cpus < 2:
+        print(
+            f"{name}: fresh run recorded cpu_count={cpus!r}; skipping "
+            "this gate (no second core to parallelise on)"
+        )
+        return False
+    try:
+        ratio = float(fresh_rec[name])
+    except (TypeError, ValueError):
+        print(f"{name}: unreadable in the fresh record", file=sys.stderr)
+        return True
+    ok = ratio >= PARALLEL_FLOOR
     print(
         f"{name}: fresh {ratio:.3f}x (floor {PARALLEL_FLOOR:.1f}x, "
         f"cpu_count {cpus}) -> {'OK' if ok else 'REGRESSION'}"

@@ -296,6 +296,12 @@ def build_parser() -> argparse.ArgumentParser:
         "and --checkpoint-dir; see docs/PREDICTION.md)",
     )
     p_sv.add_argument(
+        "--backend", default="lattice2d", metavar="NAME",
+        help="default engine backend for sessions (lattice2d or depa; "
+        "default: lattice2d); v3 clients may request a different one "
+        "per session in their HELLO",
+    )
+    p_sv.add_argument(
         "--metrics-port", type=int, metavar="PORT",
         help="also serve the live Prometheus snapshot on "
         "http://HOST:PORT/metrics (stdlib http.server thread)",
@@ -336,6 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub2.add_argument(
         "--timeout", type=float, default=60.0,
         help="per-socket-operation timeout in seconds (default: 60)",
+    )
+    p_sub2.add_argument(
+        "--backend", metavar="NAME",
+        help="request this engine backend for the session(s) via the "
+        "v3 HELLO (lattice2d or depa); the server refuses names it "
+        "cannot honour with a typed error",
     )
     p_sub2.add_argument(
         "--session", metavar="TOKEN",
@@ -727,6 +739,7 @@ def _serve(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_interval=args.checkpoint_interval,
         predict=args.predict,
+        backend=args.backend,
     )
 
     async def _run() -> int:
@@ -769,7 +782,8 @@ def _serve(args) -> int:
             print(
                 f"serving RPRSERVE on {config.host}:{port} "
                 f"(credit window {config.credit_window}, "
-                f"jobs {config.jobs}{durability}{mode}); SIGTERM drains"
+                f"jobs {config.jobs}, backend {config.backend}"
+                f"{durability}{mode}); SIGTERM drains"
             )
             await server.serve_forever()
         finally:
@@ -815,7 +829,7 @@ def _submit(args) -> int:
             result = run_load(
                 args.host, args.port, batch,
                 sessions=args.sessions, batch_size=args.batch_size,
-                timeout=args.timeout,
+                timeout=args.timeout, backend=args.backend,
             )
             print(
                 f"{args.sessions} sessions x {len(batch)} events from "
@@ -829,7 +843,7 @@ def _submit(args) -> int:
             with RaceClient(
                 args.host, args.port, timeout=args.timeout,
                 interner=interner, ship_locations=args.ship_locations,
-                session=args.session,
+                session=args.session, backend=args.backend,
             ) as client:
                 client.send_batches(batch, args.batch_size)
                 summary = client.finish()
@@ -838,6 +852,7 @@ def _submit(args) -> int:
                 args.host, args.port, batch, interner=interner,
                 batch_size=args.batch_size,
                 ship_locations=args.ship_locations, timeout=args.timeout,
+                backend=args.backend,
             )
         reports = summary.reports
         if not args.ship_locations and interner is not None:

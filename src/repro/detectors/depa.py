@@ -59,7 +59,7 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_right
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.reports import AccessKind, RaceReport
 from repro.detectors.base import Detector
@@ -135,13 +135,16 @@ class DePaDetector(Detector):
         self._g_hi = array("q", [LIVE])
         self._seg_start = array("i")
         # Intervals owned by halted-but-unjoined tasks, flat per task.
-        self._iv: List[Optional[List[int]]] = []
+        self._iv: List[Optional[Sequence[int]]] = []
         # -- shadow cells --
-        # Dense int locations (the engine's interned lids) live in two
-        # flat columns; anything else (per-event replay with raw
-        # locations) falls back to a dict of [r, w] cells.
-        self._cell_r = array("q")  # lid -> read supremum task, -1 none
-        self._cell_w = array("q")
+        # Dense int locations (the engine's interned lids) live in one
+        # interleaved flat column: lid's read supremum at 2*lid, its
+        # write supremum at 2*lid + 1, -1 for none.  One column means
+        # the batch kernel can answer any mix of read/write cell
+        # questions with a single gather.  Anything else (per-event
+        # replay with raw locations) falls back to a dict of [r, w]
+        # cells.
+        self._cells = array("q")
         self._cells_obj: Dict[Hashable, List[Optional[int]]] = {}
         self.op_index = 0
 
@@ -170,12 +173,11 @@ class DePaDetector(Detector):
             )
 
     def _ensure_loc(self, lid: int) -> None:
-        cr = self._cell_r
-        if lid >= len(cr):
-            grow = max(lid + 1, 2 * len(cr)) - len(cr)
-            pad = _EMPTY_Q * grow
-            cr.extend(pad)
-            self._cell_w.extend(pad)
+        cells = self._cells
+        need = 2 * (lid + 1)
+        if need > len(cells):
+            grow = max(need, 2 * len(cells)) - len(cells)
+            cells.extend(_EMPTY_Q * grow)
 
     # -- structural events ---------------------------------------------------
 
@@ -311,6 +313,157 @@ class DePaDetector(Detector):
             self._require_top(t, "step")
         self.op_index += 1
 
+    # -- bulk structural runs ------------------------------------------------
+    #
+    # The numpy kernel applies maximal same-opcode runs of *pre-validated*
+    # structural events through these instead of one scalar call per
+    # event.  "Pre-validated" means the kernel's stack simulation has
+    # already proven every event's acting task is the stack top (and,
+    # for forks, that the child ids match the allocation order), so the
+    # per-event checks and the incremental interval edits can be
+    # replaced by one amortized state update.  Results are exactly what
+    # the same run of scalar calls would leave behind.
+
+    def _bulk_forks(self, k: int) -> None:
+        """Apply ``k`` consecutive pre-validated forks at once: allocate
+        the ids, push them, and grow every per-task column in one
+        extend instead of ``k`` appends."""
+        tid = len(self._halt_seq)
+        self._halt_seq.extend(_EMPTY_Q * k)  # LIVE == -1
+        self._state.frombytes(bytes(k))  # _LIVE == 0
+        seg = len(self._g_lo)
+        self._seg_start.extend(array("i", [seg]) * k)
+        self._iv.extend([None] * k)
+        self._stack.extend(range(tid, tid + k))
+        self.op_index += k
+
+    def _bulk_leaf_triples(self, k: int) -> None:
+        """Apply ``k`` consecutive pre-validated (fork, ..., halt) leaf
+        triples' structural effects at once.
+
+        Each triple forks one child that halts before the next fork, so
+        the stack and the global interval columns end exactly where
+        they started; all that remains is allocating the ``k`` child
+        ids as already-halted tasks parking their own one-point halt
+        intervals.  The caller accounts for the access rows between
+        each fork and halt separately."""
+        h = self._halt_count
+        self._halt_seq.extend(array("q", range(h, h + k)))
+        self._state.frombytes(b"\x01" * k)  # _HALTED
+        seg = len(self._g_lo)
+        self._seg_start.extend(array("i", [seg]) * k)
+        self._iv.extend(zip(range(h, h + k), range(h, h + k)))
+        self._halt_count = h + k
+        self.op_index += 2 * k
+
+    def _bulk_halts(self, k: int) -> None:
+        """Apply ``k`` consecutive pre-validated halts at once.
+
+        Sequential halts each capture ``g[seg:]`` and truncate the
+        global columns; a run pops an ancestor suffix of the stack, so
+        the captures are nested slices of the *initial* columns and one
+        final truncation replaces ``k`` incremental deletes."""
+        stack = self._stack
+        g_lo, g_hi = self._g_lo, self._g_hi
+        halt_seq, state = self._halt_seq, self._state
+        seg_start, iv_all = self._seg_start, self._iv
+        h = self._halt_count
+        end = len(g_lo)
+        for i in range(k):
+            t = stack[-1 - i]
+            hseq = h + i
+            halt_seq[t] = hseq
+            state[t] = self._HALTED
+            seg = seg_start[t]
+            if seg == end:
+                iv_all[t] = [hseq, hseq]
+                continue
+            iv: List[int] = []
+            for j in range(seg, end):
+                iv.append(g_lo[j])
+                iv.append(g_hi[j])
+            if iv[-1] == hseq - 1:
+                iv[-1] = hseq
+            else:
+                iv.append(hseq)
+                iv.append(hseq)
+            iv_all[t] = iv
+            end = seg
+        del stack[-k:]
+        del g_lo[end:]
+        del g_hi[end:]
+        self._halt_count = h + k
+        self.op_index += k
+
+    def _bulk_joins(self, joiner: int, joined: Sequence[int]) -> bool:
+        """Apply a run of pre-validated joins by ``joiner`` at once.
+
+        The join *targets* are not covered by the kernel's stack
+        simulation, so they are fully validated here first; on any
+        violation nothing is mutated and False is returned -- the
+        caller replays the run scalar so the offending event raises
+        its exact error at its exact ``op_index``.  On success the
+        joiner's absorbed intervals and every child's parked intervals
+        are coalesced in one k-way merge instead of one incremental
+        merge per join."""
+        state = self._state
+        n_tasks = len(state)
+        halted = self._HALTED
+        iv_all = self._iv
+        g_lo, g_hi = self._g_lo, self._g_hi
+        seg = self._seg_start[joiner]
+        # Validate and collect in one pass; nothing is mutated until
+        # every target has passed (a revisited target reads _JOINED and
+        # fails, which doubles as the intra-run duplicate check).
+        pairs: List[Tuple[int, int]] = [
+            (g_lo[i], g_hi[i]) for i in range(seg, len(g_lo))
+        ]
+        done = 0
+        points: List[int] = []
+        for t in joined:
+            if t < 0 or t >= n_tasks or state[t] != halted:
+                for u in joined[:done]:
+                    state[u] = halted
+                return False
+            iv = iv_all[t] or ()
+            if len(iv) == 2 and iv[0] == iv[1]:
+                # One-point parked interval (a leaf child): collect the
+                # point instead of materializing a pair.
+                points.append(iv[0])
+            else:
+                for j in range(0, len(iv), 2):
+                    pairs.append((iv[j], iv[j + 1]))
+            state[t] = self._JOINED
+            done += 1
+        for t in joined:
+            iv_all[t] = None
+        if points:
+            mn = min(points)
+            mx = max(points)
+            if mx - mn == len(points) - 1:
+                # Halt seqs are globally unique, so a hull exactly as
+                # wide as the count proves the points are contiguous --
+                # the standard fanout round (k leaf children joined
+                # together) collapses to one interval before the merge.
+                pairs.append((mn, mx))
+            else:
+                pairs.extend((h, h) for h in points)
+        pairs.sort()
+        del g_lo[seg:]
+        del g_hi[seg:]
+        cur_lo, cur_hi = pairs[0]
+        for lo, hi in pairs[1:]:
+            if lo == cur_hi + 1:
+                cur_hi = hi
+            else:
+                g_lo.append(cur_lo)
+                g_hi.append(cur_hi)
+                cur_lo, cur_hi = lo, hi
+        g_lo.append(cur_lo)
+        g_hi.append(cur_hi)
+        self.op_index += len(joined)
+        return True
+
     # -- the precedence query ------------------------------------------------
 
     def ordered(self, x: int) -> bool:
@@ -331,8 +484,10 @@ class DePaDetector(Detector):
     def _cell(self, loc: Hashable):
         """(read_sup, write_sup) for ``loc``; -1/None when absent."""
         if type(loc) is int and loc >= 0:
-            if loc < len(self._cell_r):
-                return self._cell_r[loc], self._cell_w[loc]
+            i = loc + loc
+            cells = self._cells
+            if i < len(cells):
+                return cells[i], cells[i + 1]
             return -1, -1
         cell = self._cells_obj.get(loc)
         if cell is None:
@@ -345,10 +500,7 @@ class DePaDetector(Detector):
     def _store(self, loc: Hashable, kind_slot: int, t: int) -> None:
         if type(loc) is int and loc >= 0:
             self._ensure_loc(loc)
-            if kind_slot == 0:
-                self._cell_r[loc] = t
-            else:
-                self._cell_w[loc] = t
+            self._cells[loc + loc + kind_slot] = t
             return
         cell = self._cells_obj.get(loc)
         if cell is None:
@@ -421,8 +573,9 @@ class DePaDetector(Detector):
     def shadow_peak_per_location(self) -> int:
         # Cells only ever gain entries, so current == peak.
         peak = 0
-        for r, w in zip(self._cell_r, self._cell_w):
-            n = (r >= 0) + (w >= 0)
+        cells = self._cells
+        for i in range(0, len(cells), 2):
+            n = (cells[i] >= 0) + (cells[i + 1] >= 0)
             if n > peak:
                 peak = n
                 if peak == 2:
@@ -437,8 +590,8 @@ class DePaDetector(Detector):
         return peak
 
     def shadow_total_entries(self) -> int:
-        n = len(self._cell_r)
-        total = (n - self._cell_r.count(-1)) + (n - self._cell_w.count(-1))
+        cells = self._cells
+        total = len(cells) - cells.count(-1)
         for cell in self._cells_obj.values():
             total += (cell[0] is not None) + (cell[1] is not None)
         return total

@@ -340,6 +340,7 @@ def cross_check_parallel(
     *,
     num_workers: int = 4,
     batch_size: Optional[int] = None,
+    backend: str = "lattice2d",
 ) -> Tuple[bool, List[Any], List[Any]]:
     """Multi-process engine vs the serial fast path on one trace.
 
@@ -348,12 +349,17 @@ def cross_check_parallel(
     both (a) the same multiset of flagged accesses and (b) exact
     agreement between the parent's per-shard routing counters and the
     access counts each worker's kernel reports having consumed.
+    ``backend`` selects the worker kernel (``"lattice2d"`` or
+    ``"depa"``); the reference stays the serial lattice2d engine either
+    way, so a depa pool is checked against the exact union-find answer.
     Returns ``(agree, reference_races, parallel_races)``.
     """
     from repro.engine.parallel import ParallelShardedEngine
 
     ref = BatchEngine(interner=interner)
-    with ParallelShardedEngine(num_workers, interner=interner) as par:
+    with ParallelShardedEngine(
+        num_workers, interner=interner, backend=backend
+    ) as par:
         if batch_size is None:
             ref.ingest(batch)
             par.ingest(batch)

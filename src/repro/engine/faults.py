@@ -15,6 +15,12 @@ guarantees documented in ``docs/FAULT_TOLERANCE.md``:
   local replay.
 * **Duplicated frames** -- :func:`resend_unacked` replays a batch the
   server may already hold; sequence-number dedup must absorb it.
+* **Backend negotiation under faults** -- every round also replays the
+  workload over a depa-negotiated session (v3 HELLO) against the same
+  server and requires the exact local race multiset, then asserts that
+  a *durable* depa session is refused with a typed ``ERR_CHECKPOINT``
+  at the RESUME handshake -- non-checkpointable backends must never be
+  silently swapped for one that is.
 
 :func:`run_soak` drives randomized rounds of all three for a bounded
 wall-clock budget; ``python -m repro.engine.faults`` is the entry the
@@ -262,13 +268,14 @@ def run_soak(
     from repro.engine.benchlib import build_workload, capture
     from repro.engine.ingest import BatchEngine
     from repro.engine.snapshot import load_checkpoint, save_checkpoint
-    from repro.serve.client import RaceClient
+    from repro.serve import protocol as wire
+    from repro.serve.client import RaceClient, RemoteError
 
     rng = random.Random(seed)
     stats: Dict[str, Any] = {
         "seed": seed, "rounds": 0, "kills": 0, "reconnects": 0,
         "duplicates": 0, "corruptions_rejected": 0, "events": 0,
-        "races": 0,
+        "races": 0, "depa_sessions": 0, "depa_resume_refusals": 0,
     }
     deadline = time.monotonic() + seconds
     while time.monotonic() < deadline:
@@ -321,6 +328,54 @@ def run_soak(
                     )
                 stats["events"] += summary.events
                 stats["races"] += sum(got.values())
+
+                # Depa leg: a depa-negotiated session (v3 HELLO) against
+                # the same, possibly-restarted server must stream the
+                # exact local multiset -- negotiation moves work, never
+                # verdicts, kills included.
+                depa_client = RaceClient(
+                    "127.0.0.1", port, timeout=15.0, backend="depa"
+                ).connect()
+                try:
+                    for piece in pieces:
+                        depa_client.send_batch(piece)
+                    depa_summary = depa_client.finish()
+                finally:
+                    depa_client.close()
+                got_depa = _race_multiset(depa_summary.reports)
+                if got_depa != expected:
+                    raise AssertionError(
+                        f"depa session race multiset diverged "
+                        f"(seed={seed}, round_seed={round_seed}): got "
+                        f"{sum(got_depa.values())} reports, expected "
+                        f"{sum(expected.values())}"
+                    )
+                stats["depa_sessions"] += 1
+
+                # A *durable* depa session must be refused typed at the
+                # RESUME handshake: the backend is not checkpointable
+                # and must never be silently swapped for one that is.
+                try:
+                    leak = RaceClient(
+                        "127.0.0.1", port,
+                        session=f"soak-depa-{round_seed}",
+                        timeout=15.0, backend="depa",
+                    ).connect()
+                except RemoteError as exc:
+                    if exc.code != wire.ERR_CHECKPOINT:
+                        raise AssertionError(
+                            f"durable depa session refused with code "
+                            f"{exc.code}, expected ERR_CHECKPOINT "
+                            f"(seed={seed}, round_seed={round_seed})"
+                        )
+                    stats["depa_resume_refusals"] += 1
+                else:
+                    leak.close()
+                    raise AssertionError(
+                        f"durable depa session was accepted -- RESUME on "
+                        f"a non-checkpointable backend must be refused "
+                        f"(seed={seed}, round_seed={round_seed})"
+                    )
             finally:
                 server.terminate()
 

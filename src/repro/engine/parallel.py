@@ -75,6 +75,7 @@ except ImportError:  # pragma: no cover - numpy is a declared dependency
     _np = None
 
 from repro.core.reports import AccessKind, RaceReport
+from repro.detectors.depa import DePaDetector
 from repro.engine.batch import (
     OP_FORK,
     OP_HALT,
@@ -84,6 +85,7 @@ from repro.engine.batch import (
     EventBatch,
     LocationInterner,
 )
+from repro.engine.vectorized import ingest_depa
 from repro.engine.snapshot import (
     pack_state,
     read_checkpoint_file,
@@ -152,6 +154,77 @@ class _ShardState:
         self.op_index = 0
         self.accesses = 0
         self.epoch_hits = 0
+
+    def race_tuples(self) -> list:
+        return self.races
+
+
+class _DepaShardState:
+    """One worker's detector state for the array-native ``depa``
+    backend: an exact :class:`~repro.detectors.depa.DePaDetector`
+    driven by the vectorized segment kernel over the worker's
+    sub-stream (full structure plus own accesses).
+
+    Selection never disturbs the fork-first structural skeleton --
+    dropping another shard's accesses cannot change which task sits on
+    top of the serial stack -- so a depa-compatible stream stays
+    depa-compatible on every sub-stream and verdicts match the serial
+    backend per location.
+    """
+
+    __slots__ = ("shard", "num_shards", "det", "accesses", "epoch_hits")
+
+    def __init__(self, shard: int, num_shards: int) -> None:
+        self.shard = shard
+        self.num_shards = num_shards
+        self.reset()
+
+    def reset(self) -> None:
+        det = DePaDetector()
+        det.on_root(0)
+        self.det = det
+        self.accesses = 0
+        self.epoch_hits = 0  # no epoch cache on this backend
+
+    def race_tuples(self) -> list:
+        """Reports in the parallel wire format (kind encoded 0/1)."""
+        return [
+            (
+                r.loc,
+                r.task,
+                0 if r.kind is _READ else 1,
+                0 if r.prior_kind is _READ else 1,
+                r.prior_repr,
+                r.op_index,
+            )
+            for r in self.det.races
+        ]
+
+
+def _make_shard_state(backend: str, shard: int, num_shards: int):
+    if backend == "depa":
+        return _DepaShardState(shard, num_shards)
+    return _ShardState(shard, num_shards)
+
+
+def _shard_ingest(st, ops, a_col, b_col) -> Tuple[int, int]:
+    """Run the backend's kernel over one selected sub-stream; returns
+    ``(events_selected, epoch_cache_hits)``."""
+    if type(st) is _DepaShardState:
+        n_sel = len(ops)
+        if n_sel:
+            if _np is not None:
+                acc = int(
+                    (_np.frombuffer(ops, dtype=_np.uint8) >= OP_READ).sum()
+                )
+            else:
+                read_op = OP_READ
+                acc = sum(1 for op in ops if op >= read_op)
+            ingest_depa(st.det, EventBatch(ops, a_col, b_col))
+            st.accesses += acc
+        return n_sel, 0
+    hits = _relaxed_ingest(st, ops, a_col, b_col)
+    return len(ops), hits
 
 
 def _relaxed_ingest(st: _ShardState, ops, a_col, b_col) -> int:
@@ -287,7 +360,7 @@ def _relaxed_ingest(st: _ShardState, ops, a_col, b_col) -> int:
     return hits
 
 
-def _select_np(st: _ShardState, ops_np, a_np, b_np):
+def _select_np(st, ops_np, a_np, b_np):
     """Self-select this shard's sub-stream with one vectorized mask."""
     if st.num_shards == 1:
         mask = None
@@ -306,7 +379,7 @@ def _select_np(st: _ShardState, ops_np, a_np, b_np):
     )
 
 
-def _select_py(st: _ShardState, ops, a_col, b_col):
+def _select_py(st, ops, a_col, b_col):
     """Per-event fallback selection (no numpy)."""
     if st.num_shards == 1:
         return ops, a_col, b_col
@@ -327,7 +400,7 @@ def _select_py(st: _ShardState, ops, a_col, b_col):
     return sub_ops, sub_a, sub_b
 
 
-def _worker_ingest_shm(st: _ShardState, name: str, n: int) -> Tuple[int, int]:
+def _worker_ingest_shm(st, name: str, n: int) -> Tuple[int, int]:
     """Attach a shared-memory segment, ingest this shard's share."""
     seg = _shm.SharedMemory(name=name)
     a_off = _pad4(n)
@@ -355,12 +428,11 @@ def _worker_ingest_shm(st: _ShardState, name: str, n: int) -> Tuple[int, int]:
             ops, a_col, b_col = _select_py(st, ops_all, a_all, b_all)
     finally:
         seg.close()
-    hits = _relaxed_ingest(st, ops, a_col, b_col)
-    return len(ops), hits
+    return _shard_ingest(st, ops, a_col, b_col)
 
 
 def _worker_ingest_trace(
-    st: _ShardState,
+    st,
     path: str,
     n: int,
     ops_off: int,
@@ -405,16 +477,22 @@ def _worker_ingest_trace(
                 ops, a_col, b_col = _select_py(st, ops_all, a_all, b_all)
         finally:
             mm.close()
-    hits = _relaxed_ingest(st, ops, a_col, b_col)
-    return len(ops), hits
+    return _shard_ingest(st, ops, a_col, b_col)
 
 
 def _segment_name(shard: int) -> str:
     return f"shard-{shard}.ckpt"
 
 
-def _shard_to_blob(st: _ShardState) -> bytes:
+def _shard_to_blob(st) -> bytes:
     """Serialize one worker's detector state into an RPR2CKPT blob."""
+    if type(st) is _DepaShardState:
+        # The parent refuses first; this guard keeps a direct command
+        # from silently writing a lattice2d-shaped segment.
+        raise CheckpointError(
+            "depa shard state cannot be checkpointed; only the "
+            "lattice2d backend supports parallel checkpoints"
+        )
     lids = array("q")
     rsup = array("i")
     wsup = array("i")
@@ -445,7 +523,7 @@ def _shard_to_blob(st: _ShardState) -> bytes:
     return pack_state(obj, sections)
 
 
-def _shard_from_blob(st: _ShardState, blob: bytes) -> None:
+def _shard_from_blob(st: "_ShardState", blob: bytes) -> None:
     """Replace ``st`` with the state a blob captured; validated first."""
     head, arrays = unpack_state(blob)
     if head.get("kind") != "shard":
@@ -478,7 +556,7 @@ def _shard_from_blob(st: _ShardState, blob: bytes) -> None:
         raise CheckpointError(f"malformed shard segment: {exc!r}") from None
 
 
-def _worker_main(shard: int, num_shards: int, cmd_q, res_q) -> None:
+def _worker_main(shard: int, num_shards: int, backend: str, cmd_q, res_q) -> None:
     """Command loop of one shard worker process."""
     import traceback
 
@@ -499,7 +577,7 @@ def _worker_main(shard: int, num_shards: int, cmd_q, res_q) -> None:
         "accesses served from the access-epoch cache",
         labels=labels,
     )
-    state = _ShardState(shard, num_shards)
+    state = _make_shard_state(backend, shard, num_shards)
     while True:
         try:
             cmd = cmd_q.get()
@@ -526,7 +604,7 @@ def _worker_main(shard: int, num_shards: int, cmd_q, res_q) -> None:
                     (
                         "result",
                         shard,
-                        state.races,
+                        state.race_tuples(),
                         state.accesses,
                         registry.export_state(),
                     )
@@ -534,7 +612,9 @@ def _worker_main(shard: int, num_shards: int, cmd_q, res_q) -> None:
             elif tag == "peek":
                 # Non-destructive snapshot: races so far, no registry
                 # export and no state transition -- ingestion continues.
-                res_q.put(("result", shard, list(state.races), state.accesses))
+                res_q.put(
+                    ("result", shard, state.race_tuples(), state.accesses)
+                )
             elif tag == "snapshot":
                 blob = _shard_to_blob(state)
                 path = _os.path.join(cmd[1], _segment_name(shard))
@@ -596,6 +676,12 @@ class ParallelShardedEngine:
     timeout:
         Seconds to wait on any single worker reply before declaring the
         pool wedged (:class:`DetectorError`).
+    backend:
+        Per-worker kernel, a name from
+        :data:`~repro.engine.ingest.BACKENDS`: ``"lattice2d"`` (the
+        default relaxed union-find kernel) or ``"depa"`` (the
+        array-native segment kernel; requires fork-first serial
+        streams and does not support checkpoints).
     """
 
     def __init__(
@@ -605,11 +691,20 @@ class ParallelShardedEngine:
         interner: Optional[LocationInterner] = None,
         registry: Optional[MetricsRegistry] = None,
         timeout: float = 60.0,
+        backend: str = "lattice2d",
     ) -> None:
+        from repro.engine.ingest import BACKENDS
+
         if num_workers < 1:
             raise ProgramError(
                 f"need at least one worker, got {num_workers}"
             )
+        if backend not in BACKENDS:
+            raise ProgramError(
+                f"unknown engine backend {backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
+        self.backend = backend
         self.num_workers = num_workers
         self.interner = interner
         self.timeout = timeout
@@ -670,7 +765,7 @@ class ParallelShardedEngine:
                 res_q = ctx.Queue()
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(k, num_workers, cmd_q, res_q),
+                    args=(k, num_workers, backend, cmd_q, res_q),
                     name=f"repro-shard-{k}",
                     daemon=True,
                 )
@@ -1093,9 +1188,18 @@ class ParallelShardedEngine:
         segment's size and CRC32.  A directory without a complete,
         consistent manifest is not a checkpoint.
 
-        Returns the manifest dict.
+        Returns the manifest dict.  Pools running the ``depa`` backend
+        refuse with a typed :class:`~repro.errors.CheckpointError`
+        (never a silent fallback): the depa interval columns have no
+        checkpoint codec yet.
         """
         self._require_open()
+        if self.backend != "lattice2d":
+            raise CheckpointError(
+                f"parallel {self.backend!r} shard state cannot be "
+                "checkpointed; only the lattice2d backend supports "
+                "parallel checkpoints"
+            )
         if self._collected is not None:
             raise ProgramError(
                 "parallel engine already collected; checkpoint before "
@@ -1136,6 +1240,7 @@ class ParallelShardedEngine:
             "format": self._MANIFEST_FORMAT,
             "version": self._MANIFEST_VERSION,
             "num_workers": self.num_workers,
+            "backend": self.backend,
             "events_ingested": self.events_ingested,
             "segments": segments,
             "parent": {
@@ -1203,6 +1308,13 @@ class ParallelShardedEngine:
         where :meth:`save_checkpoint` left off.
         """
         manifest = cls._read_manifest(directory)
+        backend = manifest.get("backend", "lattice2d")
+        if backend != "lattice2d":
+            raise CheckpointError(
+                f"parallel checkpoint claims backend {backend!r}; only "
+                "lattice2d pools can be checkpointed, so this manifest "
+                "was not written by save_checkpoint"
+            )
         try:
             num_workers = int(manifest["num_workers"])
             segment_entries = {

@@ -96,6 +96,14 @@ class RaceClient:
     :attr:`races`; location ids in them are the client's own interned
     ids unless the session ships its table (``ship_locations=True``).
 
+    Passing ``backend="depa"`` (or any name the server knows) requests
+    an engine backend for the session via the v3 HELLO; the grant is
+    readable as :attr:`negotiated_backend` after :meth:`connect`.  A
+    pre-negotiation (v2) server answers with a v2-shaped reply, which
+    is fine when no backend was requested but raises
+    :class:`~repro.errors.ServeError` when one was -- a requested
+    backend is a requirement, never silently downgraded.
+
     Passing ``session="some-token"`` makes the session *durable*
     against a server speaking with ``checkpoint_dir``: every batch is
     sequenced and retained until the server's ACK says a checkpoint
@@ -118,6 +126,7 @@ class RaceClient:
         session: Optional[str] = None,
         max_retries: int = 4,
         retry_backoff: float = 0.05,
+        backend: Optional[str] = None,
     ) -> None:
         if session is not None and not wire.valid_session_token(session):
             raise ServeError(f"invalid session token: {session!r}")
@@ -130,6 +139,8 @@ class RaceClient:
         self.session = session
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.backend = backend
+        self.negotiated_backend: Optional[str] = None
         self.credit = 0
         self.events_sent = 0
         self.batches_sent = 0
@@ -170,7 +181,10 @@ class RaceClient:
                 f"cannot connect to {self.host}:{self.port}: {exc}"
             ) from exc
         self._sock = sock
-        self._send_frame(wire.FRAME_HELLO, wire.encode_hello(self.max_frame))
+        self._send_frame(
+            wire.FRAME_HELLO,
+            wire.encode_hello(self.max_frame, backend=self.backend),
+        )
         ftype, payload = self._recv_frame()
         if ftype == wire.FRAME_ERROR:
             code, message = wire.decode_error(payload)
@@ -181,7 +195,18 @@ class RaceClient:
             raise ProtocolError(
                 f"expected HELLO reply, got {wire.FRAME_NAMES[ftype]}"
             )
-        _version, credit, max_frame = wire.decode_hello_reply(payload)
+        version, credit, max_frame, granted = wire.decode_hello_reply(
+            payload
+        )
+        if self.backend is not None and granted != self.backend:
+            # A v2 server replies without a backend field; either way a
+            # requested backend is a requirement, not a preference.
+            self.close()
+            raise ServeError(
+                f"requested the {self.backend!r} backend but the "
+                f"server (protocol v{version}) granted {granted!r}"
+            )
+        self.negotiated_backend = granted
         self.credit = credit
         self.max_frame = max_frame
         if self.session is not None:
@@ -425,11 +450,12 @@ def submit_batch(
     batch_size: int = 8192,
     ship_locations: bool = False,
     timeout: float = 30.0,
+    backend: Optional[str] = None,
 ) -> ClientSummary:
     """Replay one in-memory batch over a fresh session."""
     with RaceClient(
         host, port, timeout=timeout, interner=interner,
-        ship_locations=ship_locations,
+        ship_locations=ship_locations, backend=backend,
     ) as client:
         client.send_batches(batch, batch_size)
         return client.finish()
@@ -510,6 +536,7 @@ def run_load(
     sessions: int = 4,
     batch_size: int = 8192,
     timeout: float = 60.0,
+    backend: Optional[str] = None,
 ) -> LoadResult:
     """Drive ``sessions`` concurrent connections, each replaying
     ``batch``, and measure aggregate wall-clock throughput.
@@ -517,11 +544,13 @@ def run_load(
     All sessions connect and handshake first, then start streaming
     together off a barrier so the measured window is pure streaming.
     The first session failure is re-raised after every thread joins.
+    ``backend`` is requested per session via the v3 HELLO (see
+    :class:`RaceClient`).
     """
     if sessions < 1:
         raise ServeError(f"need at least one session, got {sessions}")
     clients = [
-        RaceClient(host, port, timeout=timeout).connect()
+        RaceClient(host, port, timeout=timeout, backend=backend).connect()
         for _ in range(sessions)
     ]
     barrier = threading.Barrier(sessions + 1)

@@ -16,9 +16,12 @@ Frame types and their payloads:
 type      direction  payload
 ========  =========  =============================================
 HELLO     client->   magic ``RPRSERVE`` + u32 version + u32 max
-                     frame size the client is willing to receive
+                     frame size the client is willing to receive;
+                     v3 appends a 16-byte NUL-padded requested
+                     engine backend name (all-NUL = server default)
 HELLO     server->   magic + u32 version + u32 initial credit +
-                     u32 effective max frame size + u32 flags (0)
+                     u32 effective max frame size + u32 flags (0);
+                     v3 appends the 16-byte *negotiated* backend
 BATCH     client->   the ``tracefile`` column layout, minus magic:
                      u8 endian flag, u64 n_events, u64 table byte
                      length, the (optional) location-table JSON,
@@ -45,6 +48,16 @@ ACK       server->   u64 durable sequence number, sent after every
                      background checkpoint; the client drops its
                      replay buffer up to and including it
 ========  =========  =============================================
+
+Backend negotiation (v3): the client HELLO may append a 16-byte
+NUL-padded ASCII engine backend name (``lattice2d``, ``depa``, or
+all-NUL for the server default); the server's reply appends the
+backend the session actually got.  The reply always mirrors the
+*client's* version and payload shape, so a v2 client talking to a v3
+server sees a byte-identical v2 exchange -- negotiation is purely
+additive.  A backend the server cannot honour (unknown, or
+incompatible with its configuration) is refused with a typed
+``ERR_BACKEND`` ERROR frame before the session starts.
 
 Durability (v2): every BATCH carries a u64 sequence number, assigned
 1, 2, 3... by the client.  The server requires contiguous sequencing;
@@ -92,6 +105,8 @@ from repro.errors import ProtocolError
 __all__ = [
     "PROTOCOL_MAGIC",
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
+    "BACKEND_NAME_SIZE",
     "DEFAULT_MAX_FRAME",
     "FRAME_HEADER_SIZE",
     "FRAME_HELLO",
@@ -113,6 +128,7 @@ __all__ = [
     "ERR_CREDIT_OVERRUN",
     "ERR_SHUTTING_DOWN",
     "ERR_CHECKPOINT",
+    "ERR_BACKEND",
     "ERROR_NAMES",
     "MAX_SESSION_TOKEN",
     "valid_session_token",
@@ -144,8 +160,15 @@ __all__ = [
 ]
 
 PROTOCOL_MAGIC = b"RPRSERVE"
-#: v2 added the BATCH sequence number and the RESUME/ACK frames
-PROTOCOL_VERSION = 2
+#: v2 added the BATCH sequence number and the RESUME/ACK frames;
+#: v3 added engine-backend negotiation in HELLO
+PROTOCOL_VERSION = 3
+#: oldest client version the server still speaks (v2 HELLOs get a
+#: v2-shaped reply, so pre-negotiation clients run unchanged)
+MIN_PROTOCOL_VERSION = 2
+
+#: fixed width of the NUL-padded backend name field in v3 HELLO frames
+BACKEND_NAME_SIZE = 16
 
 #: default cap on one frame's payload (negotiated down in HELLO)
 DEFAULT_MAX_FRAME = 8 * 1024 * 1024
@@ -179,6 +202,7 @@ ERR_IDLE_TIMEOUT = 7  #: session produced no frame within the idle window
 ERR_CREDIT_OVERRUN = 8  #: client sent a BATCH with no credit outstanding
 ERR_SHUTTING_DOWN = 9  #: server is draining (SIGTERM)
 ERR_CHECKPOINT = 10  #: RESUME hit a corrupt/unloadable checkpoint
+ERR_BACKEND = 11  #: requested engine backend refused (v3 negotiation)
 
 ERROR_NAMES = {
     ERR_PROTOCOL: "protocol",
@@ -191,10 +215,15 @@ ERROR_NAMES = {
     ERR_CREDIT_OVERRUN: "credit-overrun",
     ERR_SHUTTING_DOWN: "shutting-down",
     ERR_CHECKPOINT: "checkpoint",
+    ERR_BACKEND: "backend",
 }
 
 _HELLO_C = struct.Struct("<8sII")  # magic, version, client max frame
 _HELLO_S = struct.Struct("<8sIIII")  # magic, version, credit, max frame, flags
+#: the v3 shapes append a 16-byte NUL-padded backend name; v2 and v3
+#: HELLOs are told apart by payload length alone
+_HELLO_C3 = struct.Struct("<8sII16s")
+_HELLO_S3 = struct.Struct("<8sIIII16s")
 #: endian flag, n_events, table_len, seq -- the sequence number is
 #: appended (v2) so the v1 field offsets are unchanged
 _BATCH_HEADER = struct.Struct("<B7xQQQ")
@@ -258,45 +287,124 @@ def check_payload_crc(payload: bytes, crc: int) -> None:
 # -- HELLO --------------------------------------------------------------------
 
 
-def encode_hello(max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
-    return _HELLO_C.pack(PROTOCOL_MAGIC, PROTOCOL_VERSION, max_frame)
+def _pack_backend(backend: Optional[str]) -> bytes:
+    """The 16-byte field value for a backend name (``None`` = all-NUL,
+    meaning "server default")."""
+    name = backend or ""
+    try:
+        raw = name.encode("ascii")
+    except UnicodeEncodeError:
+        raise ProtocolError(
+            f"backend name {name!r} is not ASCII"
+        ) from None
+    if len(raw) > BACKEND_NAME_SIZE:
+        raise ProtocolError(
+            f"backend name {name!r} exceeds {BACKEND_NAME_SIZE} bytes"
+        )
+    if b"\x00" in raw:
+        raise ProtocolError(f"backend name {name!r} contains NUL")
+    return raw  # struct "16s" NUL-pads on pack
 
 
-def decode_hello(payload: bytes) -> Tuple[int, int]:
-    """Returns ``(version, client_max_frame)``; checks the magic only
-    (version mismatches are the *server's* call, so it can answer with
-    a precise ERROR frame)."""
-    if len(payload) != _HELLO_C.size:
+def _unpack_backend(raw: bytes) -> Optional[str]:
+    name = raw.rstrip(b"\x00")
+    if not name:
+        return None
+    if b"\x00" in name:
+        raise ProtocolError("backend name field has embedded NUL")
+    try:
+        return name.decode("ascii")
+    except UnicodeDecodeError:
+        raise ProtocolError("backend name field is not ASCII") from None
+
+
+def encode_hello(
+    max_frame: int = DEFAULT_MAX_FRAME,
+    backend: Optional[str] = None,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    """The client HELLO.  ``backend`` requests an engine backend for
+    the session (v3); ``None`` keeps the server default.  ``version``
+    pins an older wire shape -- a v2 HELLO cannot carry a backend."""
+    if version >= 3:
+        return _HELLO_C3.pack(
+            PROTOCOL_MAGIC, version, max_frame, _pack_backend(backend)
+        )
+    if backend is not None:
+        raise ProtocolError(
+            f"protocol v{version} HELLO cannot carry a backend request"
+        )
+    return _HELLO_C.pack(PROTOCOL_MAGIC, version, max_frame)
+
+
+def decode_hello(payload: bytes) -> Tuple[int, int, Optional[str]]:
+    """Returns ``(version, client_max_frame, requested_backend)``;
+    checks the magic only (version mismatches are the *server's* call,
+    so it can answer with a precise ERROR frame).  A v2-sized payload
+    decodes with ``requested_backend = None``."""
+    if len(payload) == _HELLO_C.size:
+        magic, version, max_frame = _HELLO_C.unpack(payload)
+        backend = None
+    elif len(payload) == _HELLO_C3.size:
+        magic, version, max_frame, raw = _HELLO_C3.unpack(payload)
+        backend = _unpack_backend(raw)
+    else:
         raise ProtocolError(
             f"bad HELLO payload length {len(payload)}"
         )
-    magic, version, max_frame = _HELLO_C.unpack(payload)
     if magic != PROTOCOL_MAGIC:
         raise ProtocolError(f"bad protocol magic {magic!r}")
-    return version, max_frame
+    return version, max_frame, backend
 
 
-def encode_hello_reply(credit: int, max_frame: int) -> bytes:
-    return _HELLO_S.pack(
-        PROTOCOL_MAGIC, PROTOCOL_VERSION, credit, max_frame, 0
-    )
+def encode_hello_reply(
+    credit: int,
+    max_frame: int,
+    version: int = PROTOCOL_VERSION,
+    backend: Optional[str] = None,
+) -> bytes:
+    """The server HELLO reply, mirroring the *client's* ``version``
+    and payload shape; ``backend`` names the backend the session got
+    (v3 only)."""
+    if version >= 3:
+        return _HELLO_S3.pack(
+            PROTOCOL_MAGIC, version, credit, max_frame, 0,
+            _pack_backend(backend),
+        )
+    return _HELLO_S.pack(PROTOCOL_MAGIC, version, credit, max_frame, 0)
 
 
-def decode_hello_reply(payload: bytes) -> Tuple[int, int, int]:
-    """Returns ``(version, initial_credit, max_frame)``."""
-    if len(payload) != _HELLO_S.size:
+def decode_hello_reply(
+    payload: bytes,
+) -> Tuple[int, int, int, Optional[str]]:
+    """Returns ``(version, initial_credit, max_frame, backend)``.
+
+    Both the v2 and v3 reply shapes are accepted; a v2-sized reply
+    (from a pre-negotiation server) decodes with ``backend = None``.
+    """
+    if len(payload) == _HELLO_S.size:
+        magic, version, credit, max_frame, _flags = _HELLO_S.unpack(
+            payload
+        )
+        backend = None
+    elif len(payload) == _HELLO_S3.size:
+        magic, version, credit, max_frame, _flags, raw = (
+            _HELLO_S3.unpack(payload)
+        )
+        backend = _unpack_backend(raw)
+    else:
         raise ProtocolError(
             f"bad HELLO reply payload length {len(payload)}"
         )
-    magic, version, credit, max_frame, _flags = _HELLO_S.unpack(payload)
     if magic != PROTOCOL_MAGIC:
         raise ProtocolError(f"bad protocol magic {magic!r}")
-    if version != PROTOCOL_VERSION:
+    if not MIN_PROTOCOL_VERSION <= version <= PROTOCOL_VERSION:
         raise ProtocolError(
             f"server speaks protocol version {version}, "
-            f"client speaks {PROTOCOL_VERSION}"
+            f"client speaks {MIN_PROTOCOL_VERSION}"
+            f"..{PROTOCOL_VERSION}"
         )
-    return version, credit, max_frame
+    return version, credit, max_frame, backend
 
 
 # -- BATCH --------------------------------------------------------------------

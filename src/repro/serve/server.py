@@ -5,9 +5,12 @@ protocol (:mod:`repro.serve.protocol`).  Each accepted connection is a
 *session*:
 
 * the client leads with HELLO; the server negotiates the protocol
-  version and the frame-size cap and answers with the session's
-  initial **credit** -- the number of BATCH frames the client may have
-  outstanding;
+  version, the frame-size cap, and (v3) the session's **engine
+  backend** -- a v3 HELLO may request ``lattice2d`` or ``depa`` and
+  gets the negotiated name echoed in the reply, while a v2 HELLO gets
+  a byte-identical v2 exchange and the server-default backend; the
+  reply carries the session's initial **credit** -- the number of
+  BATCH frames the client may have outstanding;
 * BATCH frames are decoded (header-vs-payload bound check *before*
   allocation, CRC already verified at the framing layer), column-
   validated, and queued for the session's ingest worker;
@@ -59,7 +62,7 @@ from itertools import count
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.batch import EventBatch
-from repro.engine.ingest import BatchEngine
+from repro.engine.ingest import BACKENDS, BatchEngine
 from repro.engine.snapshot import load_checkpoint, save_checkpoint
 from repro.errors import (
     CheckpointError,
@@ -107,6 +110,14 @@ class ServeConfig:
     checkpoint format captures the union-find engine's state, so
     ``predict`` is rejected in combination with ``jobs > 1`` or
     ``checkpoint_dir``.
+
+    ``backend`` names the engine backend sessions get by default (one
+    of :data:`~repro.engine.ingest.BACKENDS`); a v3 client may request
+    a different one per session in its HELLO.  The ``depa`` backend is
+    not checkpointable and has no prediction mode, so a non-default
+    ``backend`` is rejected in combination with ``checkpoint_dir`` or
+    ``predict`` (and a per-session *request* for it on such a server
+    is refused with a typed ``ERR_BACKEND`` frame).
     """
 
     host: str = "127.0.0.1"
@@ -121,6 +132,7 @@ class ServeConfig:
     checkpoint_dir: Optional[str] = None
     checkpoint_interval: int = 32  #: applied batches between checkpoints
     predict: bool = False  #: serve shb prediction instead of observed races
+    backend: str = "lattice2d"  #: default engine backend for sessions
 
 
 class _Metrics:
@@ -222,6 +234,14 @@ class _Metrics:
             "already-applied BATCH frames skipped idempotently on resume",
             labels=labels,
         )
+        self.sessions_backend = {
+            name: registry.counter(
+                "serve_sessions_backend_total",
+                "sessions by negotiated engine backend",
+                labels={**labels, "backend": name},
+            )
+            for name in BACKENDS
+        }
 
     def observe_depth(self, depth: int) -> None:
         self.queue_depth.set(depth)
@@ -240,11 +260,20 @@ class _SessionEngine:
     shared = False
 
     def __init__(
-        self, registry: MetricsRegistry, *, predict: bool = False
+        self,
+        registry: MetricsRegistry,
+        *,
+        predict: bool = False,
+        backend: str = "lattice2d",
     ) -> None:
-        self._engine: Optional[BatchEngine] = BatchEngine(
-            registry=registry, predict=predict
-        )
+        # BatchEngine treats backend and predict as mutually exclusive;
+        # the handshake already refused predict+non-default-backend
+        # sessions, so exactly one of the two reaches the engine here.
+        if backend != "lattice2d":
+            engine = BatchEngine(registry=registry, backend=backend)
+        else:
+            engine = BatchEngine(registry=registry, predict=predict)
+        self._engine: Optional[BatchEngine] = engine
         self._races_seen = 0
 
     @property
@@ -318,10 +347,17 @@ class _SharedParallelEngine:
 
     shared = True
 
-    def __init__(self, jobs: int, registry: MetricsRegistry) -> None:
+    def __init__(
+        self,
+        jobs: int,
+        registry: MetricsRegistry,
+        backend: str = "lattice2d",
+    ) -> None:
         from repro.engine.parallel import ParallelShardedEngine
 
-        self._engine = ParallelShardedEngine(jobs, registry=registry)
+        self._engine = ParallelShardedEngine(
+            jobs, registry=registry, backend=backend
+        )
         self._lock = threading.Lock()
         self._seen: _Counter = _Counter()
         self._events = 0
@@ -393,7 +429,7 @@ class _Session:
         "sid", "writer", "engine", "queue", "queued", "credits",
         "withheld", "write_lock", "failed", "draining", "max_frame",
         "token", "enqueued_seq", "applied_seq", "durable_seq",
-        "last_table", "busy",
+        "last_table", "busy", "backend",
     )
 
     def __init__(
@@ -416,6 +452,7 @@ class _Session:
         self.durable_seq = 0  # highest seq covered by a checkpoint
         self.last_table: Optional[int] = None  # table size at applied_seq
         self.busy = False  # an ingest is running in the executor
+        self.backend = "lattice2d"  # negotiated engine backend (v3)
 
 
 _BYE = object()  # queue sentinel: client finished its stream
@@ -478,6 +515,24 @@ class RaceServer:
                 "format captures the union-find engine): drop "
                 "checkpoint_dir or drop predict"
             )
+        if self.config.backend not in BACKENDS:
+            raise ServeError(
+                f"unknown serve backend {self.config.backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
+        if self.config.backend != "lattice2d":
+            if self.config.checkpoint_dir is not None:
+                raise ServeError(
+                    f"the {self.config.backend!r} backend is not "
+                    "checkpointable: drop checkpoint_dir or use the "
+                    "lattice2d backend"
+                )
+            if self.config.predict:
+                raise ServeError(
+                    f"the {self.config.backend!r} backend has no "
+                    "prediction mode: drop predict or use the "
+                    "lattice2d backend"
+                )
         self.registry = registry if registry is not None else get_registry()
         self._m = _Metrics(self.registry)
         self._server: Optional[asyncio.base_events.Server] = None
@@ -500,7 +555,7 @@ class RaceServer:
         self._closed_event = asyncio.Event()
         if self.config.jobs > 1:
             self._shared_engine = _SharedParallelEngine(
-                self.config.jobs, self.registry
+                self.config.jobs, self.registry, self.config.backend
             )
         try:
             self._server = await asyncio.start_server(
@@ -599,7 +654,7 @@ class RaceServer:
                 return
             if not await self._handshake(session, reader):
                 return
-            session.engine = self._make_engine()
+            session.engine = self._make_engine(session.backend)
             session.credits = self.config.credit_window
             self._m.credit_outstanding.inc(session.credits)
             consumer = asyncio.ensure_future(self._consume(session))
@@ -640,10 +695,14 @@ class RaceServer:
             if task is not None:
                 self._handlers.discard(task)
 
-    def _make_engine(self):
+    def _make_engine(self, backend: str):
         if self._shared_engine is not None:
+            # The handshake refused any request that disagrees with the
+            # shared pool's backend, so the view always matches.
             return self._shared_engine.session_view()
-        return _SessionEngine(self.registry, predict=self.config.predict)
+        return _SessionEngine(
+            self.registry, predict=self.config.predict, backend=backend
+        )
 
     # -- durability ----------------------------------------------------------
 
@@ -728,19 +787,52 @@ class RaceServer:
                 f"expected HELLO, got {wire.FRAME_NAMES[ftype]}",
             )
             return False
-        version, client_max = wire.decode_hello(payload)
-        if version != wire.PROTOCOL_VERSION:
+        version, client_max, requested = wire.decode_hello(payload)
+        if not (
+            wire.MIN_PROTOCOL_VERSION <= version <= wire.PROTOCOL_VERSION
+        ):
             await self._send_error(
                 session, wire.ERR_VERSION,
-                f"server speaks protocol version "
-                f"{wire.PROTOCOL_VERSION}, client sent {version}",
+                f"server speaks protocol versions "
+                f"{wire.MIN_PROTOCOL_VERSION}..{wire.PROTOCOL_VERSION}, "
+                f"client sent {version}",
             )
             return False
+        backend = requested if requested is not None else self.config.backend
+        if backend not in BACKENDS:
+            await self._send_error(
+                session, wire.ERR_BACKEND,
+                f"unknown engine backend {backend!r}; "
+                f"expected one of {BACKENDS}",
+            )
+            return False
+        if self._shared_engine is not None and backend != self.config.backend:
+            await self._send_error(
+                session, wire.ERR_BACKEND,
+                f"this server runs one shared {self.config.backend!r} "
+                f"pool (jobs > 1); it cannot give this session a "
+                f"{backend!r} engine",
+            )
+            return False
+        if self.config.predict and backend != "lattice2d":
+            await self._send_error(
+                session, wire.ERR_BACKEND,
+                f"this server runs prediction sessions, which the "
+                f"{backend!r} backend does not support",
+            )
+            return False
+        session.backend = backend
+        self._m.sessions_backend[backend].inc()
         max_frame = min(self.config.max_frame, client_max)
         session.max_frame = max_frame
+        # The reply mirrors the client's version and wire shape: a v2
+        # client sees a byte-identical v2 exchange.
         await self._send(
             session, wire.FRAME_HELLO,
-            wire.encode_hello_reply(self.config.credit_window, max_frame),
+            wire.encode_hello_reply(
+                self.config.credit_window, max_frame, version=version,
+                backend=backend if version >= 3 else None,
+            ),
         )
         return True
 
@@ -855,6 +947,16 @@ class RaceServer:
                     await self._send_error(
                         session, wire.ERR_CHECKPOINT,
                         "server runs without a checkpoint directory",
+                    )
+                    return
+                if session.backend != "lattice2d":
+                    # Restoring would silently swap the negotiated
+                    # engine for a lattice2d one; refuse instead.
+                    await self._send_error(
+                        session, wire.ERR_CHECKPOINT,
+                        f"the {session.backend!r} backend is not "
+                        "checkpointable; durable sessions require the "
+                        "lattice2d backend",
                     )
                     return
                 if session.token is not None or saw_batch:

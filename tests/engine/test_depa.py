@@ -255,6 +255,54 @@ class TestVectorizedKernel:
             ingest_depa(det, make_batch(rows))
         assert det.op_index == 43  # everything before the bad join landed
 
+    @pytest.mark.parametrize("fanout", [64, 256])
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 10_000])
+    def test_deep_fanout_structural_runs_match_per_event(
+        self, fanout, batch_size
+    ):
+        """Deep-fanout rounds produce long same-opcode structural runs
+        (``fanout`` forks, then ``fanout`` joins back to back) -- the
+        rows the vectorized structural dispatch turns into bulk column
+        updates.  Every batch size must leave the detector in exactly
+        the per-event state, reports down to ``op_index``."""
+        body = bulk_access_program(2, fanout, 6, racy_rounds=(0,))
+        events, batch, interner = capture(body)
+        ref = DePaDetector()
+        ref.on_root(0)
+        from repro.engine.benchlib import drive_per_event
+
+        drive_per_event(events, ref)
+
+        engine = BatchEngine(backend="depa", interner=interner)
+        engine.ingest_all(batch.slices(batch_size))
+
+        assert report_keys(engine.races()) == report_keys(ref.races)
+        assert len(ref.races) > 0
+        det = engine.detector
+        assert det.op_index == ref.op_index
+        assert det._halt_seq == ref._halt_seq
+        assert det._state == ref._state
+        assert list(det._g_lo) == list(ref._g_lo)
+        assert list(det._g_hi) == list(ref._g_hi)
+
+    def test_corrupt_row_inside_structural_run_raises_at_op_index(self):
+        """A hostile row buried inside a long structural run must
+        surface the scalar path's typed error at its exact position,
+        with every earlier row of the run already applied."""
+        rows = []
+        for k in range(1, 65):  # 64 leaf bursts: fork, access, halt
+            rows += [(OP_FORK, 0, k), (OP_WRITE, k, 3), (OP_HALT, k, -1)]
+        rows += [(OP_JOIN, 0, k) for k in range(1, 33)]
+        corrupt_at = len(rows)
+        rows.append((OP_JOIN, 0, 999))  # never forked
+        rows += [(OP_JOIN, 0, k) for k in range(33, 65)]
+
+        det = DePaDetector()
+        det.on_root(0)
+        with pytest.raises(DetectorError, match="unknown thread"):
+            ingest_depa(det, make_batch(rows))
+        assert det.op_index == corrupt_at  # run applied up to the row
+
     def test_step_rows_are_barriers(self):
         """Steps are rare and scalar; a batch mixing them in still
         matches per-event replay."""

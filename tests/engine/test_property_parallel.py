@@ -4,9 +4,12 @@ Random spawn-sync programs (the generator from the differential sweep)
 replayed through :class:`ParallelShardedEngine` at 1/2/4/8 workers must
 flag exactly the accesses the serial :class:`BatchEngine` flags -- same
 multiset, same counts -- and the parent's routing counters must match
-what the workers report consuming.  Pools are built once per worker
-count and reset between examples; per-example process spawning would
-drown the sweep in fork latency.
+what the workers report consuming.  The ``backend="depa"`` tier rides
+the same sweep at 1/2/4 workers: depa workers run the segment kernel
+over their selected sub-streams and must still merge to the serial
+lattice2d multiset.  Pools are built once per (worker count, backend)
+and reset between examples; per-example process spawning would drown
+the sweep in fork latency.
 """
 
 from __future__ import annotations
@@ -40,12 +43,15 @@ def _flag_multiset(races):
 def pool():
     engines = {}
 
-    def get(workers: int) -> ParallelShardedEngine:
-        if workers not in engines:
-            engines[workers] = ParallelShardedEngine(
-                workers, registry=MetricsRegistry()
+    def get(
+        workers: int, backend: str = "lattice2d"
+    ) -> ParallelShardedEngine:
+        key = (workers, backend)
+        if key not in engines:
+            engines[key] = ParallelShardedEngine(
+                workers, registry=MetricsRegistry(), backend=backend
             )
-        engine = engines[workers]
+        engine = engines[key]
         engine.reset()
         return engine
 
@@ -77,6 +83,26 @@ def test_parallel_equals_serial(pool, case, workers):
     assert _flag_multiset(races) == _flag_multiset(ref.races())
     assert len(races) == len(ref.races())
     assert engine.routing_counts() == engine.worker_access_counts()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    case=spawn_sync_cases(max_leaves=8),
+    workers=st.sampled_from((1, 2, 4)),
+)
+def test_depa_parallel_equals_serial(pool, case, workers):
+    """The depa-native worker tier: every worker runs the segment
+    kernel over its selected sub-stream, and the merged multiset must
+    equal the serial lattice2d engine's."""
+    batch = _capture(case)
+    ref = BatchEngine(registry=MetricsRegistry())
+    ref.ingest(batch)
+
+    engine = pool(workers, backend="depa")
+    engine.ingest(batch)
+    races = engine.races()
+    assert _flag_multiset(races) == _flag_multiset(ref.races())
+    assert len(races) == len(ref.races())
 
 
 @settings(max_examples=15, deadline=None)

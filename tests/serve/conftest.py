@@ -49,19 +49,32 @@ class RawConn:
     hostile-client tests the well-behaved :class:`RaceClient` cannot
     express."""
 
-    def __init__(self, port: int, hello: bool = True, timeout: float = 10.0):
+    def __init__(
+        self,
+        port: int,
+        hello: bool = True,
+        timeout: float = 10.0,
+        backend: str = None,
+        version: int = wire.PROTOCOL_VERSION,
+    ):
         self.sock = socket.create_connection(
             ("127.0.0.1", port), timeout=timeout
         )
         self.credit = 0
         self.max_frame = wire.DEFAULT_MAX_FRAME
+        self.backend = None
         if hello:
             self.send(
-                wire.encode_frame(wire.FRAME_HELLO, wire.encode_hello())
+                wire.encode_frame(
+                    wire.FRAME_HELLO,
+                    wire.encode_hello(backend=backend, version=version),
+                )
             )
             ftype, payload = self.recv_frame()
             assert ftype == wire.FRAME_HELLO, wire.FRAME_NAMES[ftype]
-            _, self.credit, self.max_frame = wire.decode_hello_reply(payload)
+            _, self.credit, self.max_frame, self.backend = (
+                wire.decode_hello_reply(payload)
+            )
 
     def send(self, data: bytes) -> None:
         self.sock.sendall(data)

@@ -88,16 +88,53 @@ class TestFraming:
 
 class TestHello:
     def test_client_hello_round_trip(self):
-        version, max_frame = wire.decode_hello(wire.encode_hello(4096))
+        version, max_frame, backend = wire.decode_hello(
+            wire.encode_hello(4096)
+        )
         assert version == wire.PROTOCOL_VERSION
         assert max_frame == 4096
+        assert backend is None  # all-NUL field = server default
+
+    def test_client_hello_backend_round_trip(self):
+        version, max_frame, backend = wire.decode_hello(
+            wire.encode_hello(4096, backend="depa")
+        )
+        assert version == wire.PROTOCOL_VERSION
+        assert (max_frame, backend) == (4096, "depa")
+
+    def test_v2_client_hello_still_decodes(self):
+        payload = wire.encode_hello(4096, version=2)
+        assert len(payload) == 16  # the frozen v2 wire shape
+        version, max_frame, backend = wire.decode_hello(payload)
+        assert (version, max_frame, backend) == (2, 4096, None)
+
+    def test_v2_hello_cannot_carry_a_backend(self):
+        with pytest.raises(ProtocolError, match="backend"):
+            wire.encode_hello(4096, backend="depa", version=2)
+
+    def test_backend_name_bounds(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            wire.encode_hello(4096, backend="x" * 17)
+        with pytest.raises(ProtocolError, match="ASCII"):
+            wire.encode_hello(4096, backend="dépa")
 
     def test_server_reply_round_trip(self):
-        version, credit, max_frame = wire.decode_hello_reply(
-            wire.encode_hello_reply(8, 65536)
+        version, credit, max_frame, backend = wire.decode_hello_reply(
+            wire.encode_hello_reply(8, 65536, backend="lattice2d")
         )
         assert version == wire.PROTOCOL_VERSION
         assert (credit, max_frame) == (8, 65536)
+        assert backend == "lattice2d"
+
+    def test_v2_server_reply_still_decodes(self):
+        payload = wire.encode_hello_reply(8, 65536, version=2)
+        assert len(payload) == 24  # the frozen v2 wire shape
+        version, credit, max_frame, backend = wire.decode_hello_reply(
+            payload
+        )
+        assert (version, credit, max_frame, backend) == (
+            2, 8, 65536, None
+        )
 
     def test_bad_magic_rejected(self):
         payload = struct.pack("<8sII", b"NOTMAGIC", 1, 4096)
@@ -113,7 +150,7 @@ class TestHello:
 
     def test_version_left_to_the_server_on_client_hello(self):
         payload = struct.pack("<8sII", wire.PROTOCOL_MAGIC, 99, 4096)
-        version, _ = wire.decode_hello(payload)
+        version, _, _ = wire.decode_hello(payload)
         assert version == 99  # decoded, not rejected: the server answers
 
     def test_bad_lengths_rejected(self):

@@ -337,6 +337,162 @@ class TestSharedParallelMode:
             assert exc_info.value.code == wire.ERR_DETECTOR
 
 
+class TestBackendNegotiation:
+    def test_depa_session_matches_local_replay(self, small_workload):
+        """A v3 HELLO requesting depa gets a depa engine and streams
+        the exact race multiset of a local lattice2d replay."""
+        batch, _ = small_workload
+        local = local_race_multiset(batch)
+        registry = MetricsRegistry()
+        with make_server(registry) as srv:
+            with RaceClient(
+                "127.0.0.1", srv.port, backend="depa"
+            ) as client:
+                client.send_batches(batch, 1024)
+                summary = client.finish()
+            assert client.negotiated_backend == "depa"
+        assert race_multiset(summary.reports) == local
+        assert counter_value(
+            registry, "serve_sessions_backend_total", backend="depa"
+        ) == 1
+
+    def test_v2_client_runs_unchanged(self, small_workload):
+        """A pre-negotiation client -- v2 HELLO, v2 reply decode -- must
+        complete a full session byte-identically to before."""
+        batch, _ = small_workload
+        local = local_race_multiset(batch)
+        with make_server() as srv:
+            with RawConn(srv.port, version=2) as conn:
+                assert conn.backend is None  # v2-shaped reply
+                conn.send_frame(
+                    wire.FRAME_BATCH, wire.encode_batch_payload(batch)
+                )
+                conn.send_frame(wire.FRAME_BYE)
+                reports = []
+                while True:
+                    ftype, payload = conn.recv_frame()
+                    if ftype == wire.FRAME_RACES:
+                        _seq, rows = wire.decode_races(payload)
+                        reports.extend(rows)
+                    elif ftype == wire.FRAME_BYE:
+                        events, _races = wire.decode_bye_summary(payload)
+                        break
+                    else:
+                        assert ftype == wire.FRAME_CREDIT
+        assert events == len(batch)
+        assert race_multiset(reports) == local
+
+    def test_unknown_backend_refused_with_typed_error(self):
+        with make_server() as srv:
+            with pytest.raises(RemoteError) as exc_info:
+                RaceClient(
+                    "127.0.0.1", srv.port, backend="quantum"
+                ).connect()
+            assert exc_info.value.code == wire.ERR_BACKEND
+
+    def test_shared_pool_refuses_mismatched_backend(self, small_workload):
+        """jobs > 1 serves one pool of one backend; a session asking
+        for a different one is refused, a matching ask is granted."""
+        batch, _ = small_workload
+        with make_server(jobs=2) as srv:
+            with pytest.raises(RemoteError) as exc_info:
+                RaceClient(
+                    "127.0.0.1", srv.port, backend="depa"
+                ).connect()
+            assert exc_info.value.code == wire.ERR_BACKEND
+            with RaceClient(
+                "127.0.0.1", srv.port, backend="lattice2d"
+            ) as client:
+                client.send_batches(batch, 1024)
+                client.finish()
+            assert client.negotiated_backend == "lattice2d"
+
+    def test_depa_shared_pool_round_trips(self, small_workload):
+        batch, _ = small_workload
+        local = local_race_multiset(batch)
+        with make_server(jobs=2, backend="depa") as srv:
+            with RaceClient(
+                "127.0.0.1", srv.port, backend="depa"
+            ) as client:
+                client.send_batches(batch, 1024)
+                summary = client.finish()
+        assert race_multiset(summary.reports) == local
+
+    def test_predict_server_refuses_depa_request(self):
+        with make_server(predict=True) as srv:
+            with pytest.raises(RemoteError) as exc_info:
+                RaceClient(
+                    "127.0.0.1", srv.port, backend="depa"
+                ).connect()
+            assert exc_info.value.code == wire.ERR_BACKEND
+
+    def test_depa_session_refuses_resume(self, tmp_path):
+        """Durable sessions need checkpointable engines: a depa session
+        sending RESUME gets a typed checkpoint refusal, never a silent
+        engine swap."""
+        with make_server(checkpoint_dir=str(tmp_path)) as srv:
+            with pytest.raises(RemoteError) as exc_info:
+                RaceClient(
+                    "127.0.0.1", srv.port, backend="depa",
+                    session="tok-1",
+                ).connect()
+            assert exc_info.value.code == wire.ERR_CHECKPOINT
+
+    def test_requested_backend_is_required_not_preferred(self):
+        """Against a pre-negotiation (v2-replying) server, a client
+        that requested a backend refuses the session instead of
+        silently running lattice2d."""
+        import socket
+        import threading
+
+        srv_sock = socket.socket()
+        srv_sock.bind(("127.0.0.1", 0))
+        srv_sock.listen(1)
+        port = srv_sock.getsockname()[1]
+
+        def serve_one():
+            conn, _ = srv_sock.accept()
+            got = b""
+            while len(got) < wire.FRAME_HEADER_SIZE:
+                got += conn.recv(64)
+            length, _ftype, _crc = wire.parse_frame_header(got)
+            while len(got) < wire.FRAME_HEADER_SIZE + length:
+                got += conn.recv(64)
+            conn.sendall(
+                wire.encode_frame(
+                    wire.FRAME_HELLO,
+                    wire.encode_hello_reply(
+                        8, wire.DEFAULT_MAX_FRAME, version=2
+                    ),
+                )
+            )
+            conn.recv(1)
+            conn.close()
+
+        thread = threading.Thread(target=serve_one, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(ServeError, match="granted"):
+                RaceClient(
+                    "127.0.0.1", port, backend="depa", timeout=10.0
+                ).connect()
+        finally:
+            srv_sock.close()
+            thread.join(5.0)
+
+    def test_config_backend_validation(self, tmp_path):
+        with pytest.raises(ServeError, match="unknown serve backend"):
+            ServerThread(ServeConfig(backend="nope")).start()
+        with pytest.raises(ServeError, match="prediction"):
+            ServerThread(
+                ServeConfig(backend="depa", predict=True)
+            ).start()
+        with pytest.raises(ServeError, match="checkpoint"):
+            ServerThread(
+                ServeConfig(backend="depa", checkpoint_dir=str(tmp_path))
+            ).start()
+
+
 class TestMetricsEndpoint:
     def test_prometheus_snapshot_over_http(self, small_workload):
         import urllib.request
