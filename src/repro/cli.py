@@ -9,6 +9,9 @@ Usage examples::
     repro-race record prog.py --compact -o t.rtrc   # engine trace format
     repro-race replay t.rtrc --shards 4   # batched/sharded fast path
     repro-race replay t.rtrc --jobs 4     # multi-process shard workers
+    repro-race compress t.rtrc -o t.rpr2trz         # block-dedup container
+    repro-race replay t.rpr2trz           # memoized, never decompresses
+    repro-race decompress t.rpr2trz -o back.rtrc    # byte-identical
     repro-race diff t.rtrc                # differential detector check
     repro-race bench-engine --accesses 100000       # ingestion throughput
     repro-race stats t.rtrc --format prom # metrics + phase timings
@@ -161,6 +164,46 @@ def build_parser() -> argparse.ArgumentParser:
         "default: 1, in-process)",
     )
 
+    p_cz = sub.add_parser(
+        "compress",
+        help="compress a trace into the block-dedup RPR2TRZ container "
+        "(replay/stats/diff/submit all accept it directly)",
+    )
+    p_cz.add_argument(
+        "trace", nargs="?",
+        help="trace file from `record` (JSONL or compact; auto-"
+        "detected); omit when using --racegen-loops",
+    )
+    p_cz.add_argument(
+        "-o", "--output", required=True, metavar="TRACEZ",
+        help="compressed trace file to write",
+    )
+    from repro.compress import DEFAULT_BLOCK_WIDTH
+
+    p_cz.add_argument(
+        "--block-width", type=int, default=DEFAULT_BLOCK_WIDTH,
+        help="events per dedup block (default: "
+        f"{DEFAULT_BLOCK_WIDTH}; loop bodies whose period divides "
+        "this dedup perfectly)",
+    )
+    p_cz.add_argument(
+        "--racegen-loops", type=int, metavar="ACCESSES",
+        help="generate a repetitive racegen loop workload of roughly "
+        "this many accesses and compress it, instead of reading a "
+        "trace file",
+    )
+
+    p_dz = sub.add_parser(
+        "decompress",
+        help="expand an RPR2TRZ container back to the compact trace "
+        "format, byte-identically",
+    )
+    p_dz.add_argument("trace", help="compressed trace file from `compress`")
+    p_dz.add_argument(
+        "-o", "--output", required=True, metavar="TRACE",
+        help="compact trace file to write",
+    )
+
     p_diff = sub.add_parser(
         "diff",
         help="replay one trace through several detectors in lockstep and "
@@ -198,6 +241,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="worker processes for the parallel contender (default: 4)",
+    )
+    p_be.add_argument(
+        "--loop-fanout", type=int, default=4,
+        help="workers in the repetitive loops workload the compressed "
+        "contender runs on (default: 4)",
+    )
+    p_be.add_argument(
+        "--loop-pattern", type=int, default=64,
+        help="access-pattern period of the loops workload; keep it a "
+        "divisor of the block width for perfect dedup (default: 64)",
     )
     p_be.add_argument(
         "--json", metavar="PATH", help="also write the full record as JSON"
@@ -321,6 +374,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--racegen", type=int, metavar="ACCESSES",
         help="generate a racegen bulk workload of roughly this many "
         "accesses instead of reading a trace file",
+    )
+    p_sub2.add_argument(
+        "--racegen-loops", type=int, metavar="ACCESSES",
+        help="generate a repetitive racegen loop workload of roughly "
+        "this many accesses instead of reading a trace file",
+    )
+    p_sub2.add_argument(
+        "--compress", action="store_true",
+        help="negotiate the v4 CBATCH frame and ship the trace in "
+        "block-dedup compressed form (the server detects over it "
+        "without decompressing); the connection fails with a typed "
+        "error if the server cannot honour it",
     )
     p_sub2.add_argument("--host", default="127.0.0.1")
     p_sub2.add_argument("--port", type=int, default=7521)
@@ -494,14 +559,25 @@ def _check_jobs(args) -> None:
 
 def _replay_parallel(args) -> int:
     from repro.engine.parallel import ParallelShardedEngine
+    from repro.engine.tracefile import is_compressed_tracefile
 
     with ParallelShardedEngine(args.jobs) as engine:
-        engine.ingest_trace(args.trace)
+        if is_compressed_tracefile(args.trace):
+            # The workers mmap raw column files; a compressed trace is
+            # expanded once in the parent and shipped whole.
+            from repro.engine.tracefile import read_trace
+
+            batch, _interner = read_trace(args.trace)
+            engine.ingest(batch)
+            feed = "decompressed, multi-process"
+        else:
+            engine.ingest_trace(args.trace)
+            feed = "mmap, multi-process"
         races = engine.races()
         events = engine.events_ingested
     print(
         f"lattice2d x{args.jobs} workers: replayed {events} events "
-        f"(mmap, multi-process), {len(races)} race(s)"
+        f"({feed}), {len(races)} race(s)"
     )
     for report in races[: args.max_races]:
         print(f"  {report}")
@@ -510,7 +586,7 @@ def _replay_parallel(args) -> int:
 
 def _replay_compact(args) -> int:
     from repro.engine.ingest import BatchEngine, ShardedBatchEngine
-    from repro.engine.tracefile import read_trace
+    from repro.engine.tracefile import is_compressed_tracefile, read_trace
 
     if args.shards < 1:
         raise ReproError(f"need at least one shard, got {args.shards}")
@@ -541,7 +617,14 @@ def _replay_compact(args) -> int:
             "--backend picks the engine's own detector; drop "
             f"--detector {args.detector} or drop --backend"
         )
-    batch, interner = read_trace(args.trace)
+    ctrace = None
+    if is_compressed_tracefile(args.trace):
+        from repro.compress import read_tracez
+
+        ctrace, interner = read_tracez(args.trace)
+        batch = None
+    else:
+        batch, interner = read_trace(args.trace)
     if args.predict:
         if args.shards > 1:
             engine = ShardedBatchEngine(
@@ -572,15 +655,76 @@ def _replay_compact(args) -> int:
         detector.on_root(0)
         engine = BatchEngine(detector, interner=interner)
         name = detector.name
-    engine.ingest_all(batch.slices(args.batch_size))
+    if ctrace is not None:
+        engine.ingest_compressed(ctrace)
+        feed = "compressed, memoized"
+    else:
+        engine.ingest_all(batch.slices(args.batch_size))
+        feed = "batched"
     races = engine.races()
     print(
-        f"{name}: replayed {engine.events_ingested} events (batched), "
+        f"{name}: replayed {engine.events_ingested} events ({feed}), "
         f"{len(races)} race(s)"
     )
     for report in races[: args.max_races]:
         print(f"  {report}")
     return 1 if races else 0
+
+
+def _compress_cmd(args) -> int:
+    import io
+
+    from repro.compress import compress, write_tracez
+    from repro.engine.tracefile import write_trace
+
+    if args.block_width < 1:
+        raise ReproError(
+            f"block width must be positive, got {args.block_width}"
+        )
+    if args.racegen_loops is not None:
+        if args.trace:
+            raise ReproError(
+                "pass a trace file or --racegen-loops, not both"
+            )
+        from repro.engine.benchlib import build_loop_workload, capture
+
+        _events, batch, interner = capture(
+            build_loop_workload(args.racegen_loops)
+        )
+        source = f"racegen-loops[{args.racegen_loops}]"
+    elif args.trace:
+        batch, interner = _load_batch(args.trace)
+        source = args.trace
+    else:
+        raise ReproError("compress needs a trace file or --racegen-loops N")
+    ctrace = compress(batch, args.block_width)
+    write_tracez(args.output, ctrace, interner)
+    raw_buf = io.BytesIO()
+    write_trace(raw_buf, batch, interner)
+    raw_bytes = len(raw_buf.getvalue())
+    import os
+
+    z_bytes = os.path.getsize(args.output)
+    print(
+        f"compressed {len(batch)} events from {source} to {args.output}: "
+        f"{len(ctrace.blocks)} unique block(s) covering "
+        f"{ctrace.block_count()} (width {ctrace.block_width}), "
+        f"{z_bytes} bytes vs {raw_bytes} compact "
+        f"({raw_bytes / z_bytes:.2f}x)"
+    )
+    return 0
+
+
+def _decompress_cmd(args) -> int:
+    from repro.compress import read_tracez
+    from repro.engine.tracefile import write_trace
+
+    ctrace, interner = read_tracez(args.trace)
+    count = write_trace(args.output, ctrace.decompress(), interner)
+    print(
+        f"decompressed {count} events from {args.trace} to {args.output}"
+    )
+    return 0
 
 
 def _diff_trace(args) -> int:
@@ -609,8 +753,17 @@ def _stats(args) -> int:
         to_prometheus,
     )
 
+    from repro.engine.tracefile import is_compressed_tracefile
+
     registry = get_registry()
-    batch, interner = _load_batch(args.trace)
+    ctrace = None
+    if is_compressed_tracefile(args.trace):
+        from repro.compress import read_tracez
+
+        ctrace, interner = read_tracez(args.trace)
+        batch = ctrace.decompress() if args.jobs > 1 else None
+    else:
+        batch, interner = _load_batch(args.trace)
     factory = DETECTOR_FACTORIES[args.detector]
     if args.shards < 1:
         raise ReproError(f"need at least one shard, got {args.shards}")
@@ -638,7 +791,10 @@ def _stats(args) -> int:
                     registry, det,
                     {"detector": det.name, "shard": str(k)},
                 )
-            engine.ingest_all(batch.slices(args.batch_size))
+            if ctrace is not None:
+                engine.ingest_compressed(ctrace)
+            else:
+                engine.ingest_all(batch.slices(args.batch_size))
         else:
             detector = factory()
             detector.on_root(0)
@@ -646,7 +802,10 @@ def _stats(args) -> int:
                 detector, interner=interner, registry=registry
             )
             bind_detector(registry, detector, {"detector": detector.name})
-            engine.ingest_all(batch.slices(args.batch_size))
+            if ctrace is not None:
+                engine.ingest_compressed(ctrace)
+            else:
+                engine.ingest_all(batch.slices(args.batch_size))
         races = engine.races()
     finally:
         set_tracer(previous_tracer)
@@ -691,6 +850,8 @@ def _bench_engine(args) -> int:
         batch_size=args.batch_size,
         repeats=args.repeats,
         jobs=args.jobs,
+        loop_fanout=args.loop_fanout,
+        loop_pattern=args.loop_pattern,
     )
     title = (
         f"engine ingestion ({record['workload']['accesses']} accesses, "
@@ -706,7 +867,11 @@ def _bench_engine(args) -> int:
         f"{', '.join(diff['detectors'])}; sharded agrees: "
         f"{diff['sharded_agrees']}; parallel agrees: "
         f"{diff['parallel_agrees']}; predict sound: "
-        f"{diff['predict_sound']}"
+        f"{diff['predict_sound']}; compressed agrees: "
+        f"{diff['compressed_agrees']} "
+        f"({record['compression_ratio']}x smaller, "
+        f"{record['speedup_compressed_vs_batched']}x faster than "
+        f"batched on loops)"
     )
     if args.json:
         import json
@@ -813,16 +978,27 @@ def _submit(args) -> int:
             "--session tags one durable stream; it cannot be combined "
             "with --sessions load generation"
         )
+    if args.racegen is not None and args.racegen_loops is not None:
+        raise ReproError("pass --racegen or --racegen-loops, not both")
     if args.racegen is not None:
         from repro.engine.benchlib import build_workload, capture
 
         _events, batch, interner = capture(build_workload(args.racegen))
         source = f"racegen[{args.racegen}]"
+    elif args.racegen_loops is not None:
+        from repro.engine.benchlib import build_loop_workload, capture
+
+        _events, batch, interner = capture(
+            build_loop_workload(args.racegen_loops)
+        )
+        source = f"racegen-loops[{args.racegen_loops}]"
     elif args.trace:
         batch, interner = _load_batch(args.trace)
         source = args.trace
     else:
-        raise ReproError("submit needs a trace file or --racegen N")
+        raise ReproError(
+            "submit needs a trace file, --racegen N or --racegen-loops N"
+        )
     target = f"{args.host}:{args.port}"
     try:
         if args.sessions > 1:
@@ -830,6 +1006,7 @@ def _submit(args) -> int:
                 args.host, args.port, batch,
                 sessions=args.sessions, batch_size=args.batch_size,
                 timeout=args.timeout, backend=args.backend,
+                compress=args.compress,
             )
             print(
                 f"{args.sessions} sessions x {len(batch)} events from "
@@ -844,15 +1021,19 @@ def _submit(args) -> int:
                 args.host, args.port, timeout=args.timeout,
                 interner=interner, ship_locations=args.ship_locations,
                 session=args.session, backend=args.backend,
+                compress=args.compress,
             ) as client:
-                client.send_batches(batch, args.batch_size)
+                if args.compress:
+                    client.send_batches_compressed(batch)
+                else:
+                    client.send_batches(batch, args.batch_size)
                 summary = client.finish()
         else:
             summary = submit_batch(
                 args.host, args.port, batch, interner=interner,
                 batch_size=args.batch_size,
                 ship_locations=args.ship_locations, timeout=args.timeout,
-                backend=args.backend,
+                backend=args.backend, compress=args.compress,
             )
         reports = summary.reports
         if not args.ship_locations and interner is not None:
@@ -1002,6 +1183,10 @@ def _dispatch(args) -> int:
         for report in detector.races[: args.max_races]:
             print(f"  {report}")
         return 1 if detector.races else 0
+    if args.command == "compress":
+        return _compress_cmd(args)
+    if args.command == "decompress":
+        return _decompress_cmd(args)
     if args.command == "diff":
         return _diff_trace(args)
     if args.command == "stats":

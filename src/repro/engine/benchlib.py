@@ -56,16 +56,19 @@ impossible by construction.
 from __future__ import annotations
 
 import gc
+import io
 import os
 import statistics
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.compress import compress as compress_trace, write_tracez
 from repro.core.detector import RaceDetector2D
 from repro.engine.batch import BatchBuilder, EventBatch, LocationInterner
 from repro.engine.differential import (
     DEFAULT_DETECTORS,
     cross_check_backend,
+    cross_check_compressed,
     cross_check_parallel,
     cross_check_predict,
     cross_check_sharded,
@@ -73,6 +76,7 @@ from repro.engine.differential import (
 )
 from repro.engine.ingest import BatchEngine, ShardedBatchEngine
 from repro.engine.parallel import ParallelShardedEngine
+from repro.engine.tracefile import write_trace
 from repro.obs.registry import NULL_REGISTRY
 from repro.events import (
     Event,
@@ -83,10 +87,11 @@ from repro.events import (
     StepEvent,
     WriteEvent,
 )
-from repro.workloads.racegen import bulk_access_program
+from repro.workloads.racegen import bulk_access_program, loop_program
 
 __all__ = [
     "build_workload",
+    "build_loop_workload",
     "capture",
     "drive_per_event",
     "run_engine_benchmark",
@@ -113,6 +118,22 @@ def build_workload(
         accesses_per_task,
         racy_rounds=racy_rounds,
     )
+
+
+def build_loop_workload(
+    accesses: int = 100_000,
+    *,
+    fanout: int = 4,
+    pattern: int = 64,
+    racy: bool = True,
+) -> Callable:
+    """The compressed path's standard traffic: a ``racegen`` loop
+    program sized to roughly ``accesses`` memory accesses.  The
+    ``pattern`` default divides the compressor's block width, so the
+    interior of every worker's run dedups to a handful of unique
+    blocks (the workload the ``--loops`` CLI knobs expose)."""
+    loops = max(1, accesses // (fanout * pattern))
+    return loop_program(fanout, loops, pattern, racy=racy)
 
 
 def capture(body: Callable):
@@ -225,6 +246,8 @@ def run_engine_benchmark(
     batch_size: int = 8192,
     repeats: int = 3,
     jobs: int = 4,
+    loop_fanout: int = 4,
+    loop_pattern: int = 64,
     detectors: Sequence[str] = DEFAULT_DETECTORS,
 ) -> Dict[str, Any]:
     """Measure every ingestion path on one workload; return the record.
@@ -345,6 +368,58 @@ def run_engine_benchmark(
         )
     n = len(batch)
 
+    # -- the compressed path ------------------------------------------------
+    # Measured on its natural traffic: the deliberately repetitive
+    # ``racegen`` loop workload (same access budget), where block dedup
+    # actually bites.  Raw batched ingestion over the expanded stream
+    # vs memoized ingestion over the compressed form, interleaved so
+    # drift hits both sides equally.
+    loop_body = build_loop_workload(
+        accesses, fanout=loop_fanout, pattern=loop_pattern, racy=racy
+    )
+    _, loop_batch, loop_interner = capture(loop_body)
+    ctrace = compress_trace(loop_batch, registry=NULL_REGISTRY)
+
+    def run_batched_loops():
+        engine = BatchEngine(interner=loop_interner)
+        engine.ingest_all(loop_batch.slices(batch_size))
+        return engine
+
+    def run_compressed():
+        # A fresh engine per run: the memo starts cold every repeat, so
+        # the timing includes the scan-and-record misses.
+        engine = BatchEngine(interner=loop_interner)
+        engine.ingest_compressed(ctrace)
+        return engine
+
+    comp_samples = _paired_samples(
+        max(repeats, 5), run_batched_loops, run_compressed
+    )
+    loop_timings = {
+        "batched_loops": min(a for a, _ in comp_samples),
+        "compressed": min(b for _, b in comp_samples),
+    }
+    compressed_ratio_median = statistics.median(
+        a / b for a, b in comp_samples
+    )
+    n_loop = len(loop_batch)
+    raw_buf = io.BytesIO()
+    write_trace(raw_buf, loop_batch, loop_interner)
+    z_buf = io.BytesIO()
+    write_tracez(z_buf, ctrace, loop_interner)
+    raw_bytes = len(raw_buf.getvalue())
+    z_bytes = len(z_buf.getvalue())
+    memo_engine = run_compressed()
+    memo = memo_engine._memo
+    compressed_races = memo_engine.races()
+    comp_agree_loops, _, _ = cross_check_compressed(
+        loop_batch, loop_interner
+    )
+    # The bulk workload barely repeats, so this leg checks the memo's
+    # fallback discipline rather than its cache.
+    comp_agree_bulk, _, _ = cross_check_compressed(batch, interner)
+    compressed_agrees = comp_agree_loops and comp_agree_bulk
+
     # Correctness gates: the fast paths must report exactly what the
     # reference does, and the detector trio must agree per access.
     # (Labels are dropped on the batched path, so compare everything
@@ -392,9 +467,41 @@ def run_engine_benchmark(
         "shards": shards,
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
-        "seconds": {k: round(v, 6) for k, v in timings.items()},
+        "workload_loops": {
+            "generator": "racegen.loop_program",
+            "accesses": loop_batch.access_count(),
+            "events": n_loop,
+            "fanout": loop_fanout,
+            "pattern": loop_pattern,
+            "unique_blocks": len(ctrace.blocks),
+            "expanded_blocks": ctrace.block_count(),
+            "block_width": ctrace.block_width,
+            "raw_bytes": raw_bytes,
+            "compressed_bytes": z_bytes,
+        },
+        "seconds": {
+            **{k: round(v, 6) for k, v in timings.items()},
+            **{k: round(v, 6) for k, v in loop_timings.items()},
+        },
         "events_per_sec": {
-            k: round(n / v) for k, v in timings.items() if v > 0
+            **{k: round(n / v) for k, v in timings.items() if v > 0},
+            **{
+                k: round(n_loop / v)
+                for k, v in loop_timings.items()
+                if v > 0
+            },
+        },
+        "compression_ratio": round(raw_bytes / z_bytes, 3),
+        "speedup_compressed_vs_batched": round(
+            loop_timings["batched_loops"] / loop_timings["compressed"], 3
+        ),
+        "speedup_compressed_vs_batched_median": round(
+            compressed_ratio_median, 3
+        ),
+        "memo": {
+            "hits": memo.hits,
+            "misses": memo.misses,
+            "fallbacks": memo.fallbacks,
         },
         "speedup_batched_vs_per_event": round(
             timings["per-event"] / timings["batched"], 3
@@ -428,6 +535,7 @@ def run_engine_benchmark(
             "sharded": len(sharded_races),
             "parallel": len(parallel_races),
             "depa_parallel": len(depa_par_races),
+            "compressed": len(compressed_races),
         },
         "differential": {
             "detectors": list(diff.detectors),
@@ -438,6 +546,7 @@ def run_engine_benchmark(
             "parallel_agrees": parallel_agree,
             "depa_parallel_agrees": depa_par_agree,
             "predict_sound": predict_sound,
+            "compressed_agrees": compressed_agrees,
         },
         "versions": _versions(),
     }
@@ -465,14 +574,22 @@ def _versions() -> Dict[str, Any]:
 def format_record(record: Dict[str, Any]) -> List[Dict[str, Any]]:
     """Rows for :func:`repro.bench.tables.format_table`."""
     base = record["seconds"]["per-event"]
+    # The loops contenders run a different (loop-shaped) workload, so
+    # their reference is the raw batched ingestion of that same stream,
+    # not the main workload's per-event loop.
+    loop_base = record["seconds"].get("batched_loops")
     rows = []
     for name, secs in record["seconds"].items():
+        if name in ("batched_loops", "compressed") and loop_base:
+            ratio = f"{loop_base / secs:.2f}x vs batched_loops"
+        else:
+            ratio = f"{base / secs:.2f}x"
         rows.append(
             {
                 "path": name,
                 "seconds": round(secs, 4),
                 "events/s": record["events_per_sec"][name],
-                "vs per-event": f"{base / secs:.2f}x",
+                "vs per-event": ratio,
             }
         )
     return rows

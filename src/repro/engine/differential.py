@@ -63,6 +63,7 @@ __all__ = [
     "cross_check_parallel",
     "cross_check_backend",
     "cross_check_predict",
+    "cross_check_compressed",
 ]
 
 #: the trio the acceptance gate runs: the paper's detector against the
@@ -332,6 +333,65 @@ def cross_check_predict(
         if not _flag_multiset(races) <= predicted:
             sound = False
     return sound, predicted_races, observed_races
+
+
+def cross_check_compressed(
+    batch: EventBatch,
+    interner: Optional[LocationInterner] = None,
+    *,
+    block_width: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    num_shards: int = 4,
+) -> Tuple[bool, List[Any], Dict[str, List[Any]]]:
+    """Memoized detection over the compressed form vs the raw fast path.
+
+    Compresses ``batch`` (:func:`repro.compress.blocks.compress`) and
+    replays the compressed trace -- never decompressed -- through the
+    memoized ingest of a ``lattice2d`` engine, a ``depa`` engine, and a
+    :class:`ShardedBatchEngine`, comparing each against the raw batched
+    referee's multiset of flagged accesses.  The serial paths must also
+    agree on exact report order and stream positions (``op_index``),
+    which is the memo's replay-exactness claim; sharded positions are
+    per-shard, so that engine is held to the multiset only.  Returns
+    ``(agree, reference_races, compressed_races_by_path)``.
+    """
+    from repro.compress.blocks import compress as _compress
+
+    if block_width is None:
+        ctrace = _compress(batch)
+    else:
+        ctrace = _compress(batch, block_width)
+    ref = BatchEngine(interner=interner)
+    if batch_size is None:
+        ref.ingest(batch)
+    else:
+        ref.ingest_all(batch.slices(batch_size))
+    ref_races = ref.races()
+    reference = _flag_multiset(ref_races)
+
+    def exact(races: Sequence[Any]) -> List[Tuple[Any, ...]]:
+        return [
+            (r.task, r.loc, r.kind, r.prior_kind, r.op_index) for r in races
+        ]
+
+    agree = True
+    by_path: Dict[str, List[Any]] = {}
+    for backend in ("lattice2d", "depa"):
+        engine = BatchEngine(interner=interner, backend=backend)
+        engine.ingest_compressed(ctrace)
+        races = engine.races()
+        by_path[backend] = races
+        if _flag_multiset(races) != reference:
+            agree = False
+        if backend == "lattice2d" and exact(races) != exact(ref_races):
+            agree = False
+    sharded = ShardedBatchEngine(num_shards, interner=interner)
+    sharded.ingest_compressed(ctrace)
+    races = sharded.races()
+    by_path["sharded"] = races
+    if _flag_multiset(races) != reference:
+        agree = False
+    return agree, ref_races, by_path
 
 
 def cross_check_parallel(

@@ -112,9 +112,8 @@ def resend_unacked(client, rng: random.Random) -> Optional[int]:
     if not client._unacked:
         return None
     seq = rng.choice(sorted(client._unacked))
-    client._with_retry(
-        lambda: client._send_payload(client._unacked[seq])
-    )
+    ftype, payload = client._unacked[seq]
+    client._with_retry(lambda: client._send_payload(ftype, payload))
     return seq
 
 

@@ -46,21 +46,26 @@ from array import array
 from typing import IO, Optional, Tuple, Union
 
 from repro.engine.batch import EventBatch, LocationInterner
-from repro.errors import ProgramError
+from repro.errors import TraceError
 from repro.trace import decode_location, encode_location
 
 __all__ = [
     "MAGIC",
+    "MAGIC_COMPRESSED",
     "VERSION",
     "write_trace",
     "read_trace",
     "record_trace",
     "is_tracefile",
+    "is_compressed_tracefile",
     "map_trace",
     "MappedTrace",
 ]
 
 MAGIC = b"RPR2TRC\x01"
+#: magic of the grammar-compressed container (:mod:`repro.compress`);
+#: defined here so the magic-sniffing dispatch below owns both formats
+MAGIC_COMPRESSED = b"RPR2TRZ\x01"
 VERSION = 1
 
 _HEADER = struct.Struct("<8sB3xIQQ")
@@ -73,10 +78,7 @@ def write_trace(
     if isinstance(fp, str):
         with open(fp, "wb") as handle:
             return write_trace(handle, batch, interner)
-    table = json.dumps(
-        [encode_location(loc) for loc in interner.locations()],
-        separators=(",", ":"),
-    ).encode("utf-8")
+    table = _encode_table(interner)
     endian = 0 if sys.byteorder == "little" else 1
     fp.write(_HEADER.pack(MAGIC, endian, VERSION, len(batch), len(table)))
     fp.write(table)
@@ -110,41 +112,48 @@ def _bytes_remaining(fp: IO[bytes]) -> Union[int, None]:
 def _check_header(head: bytes) -> Tuple[int, int, int]:
     """Unpack + validate a header; returns (endian, n_events, table_len)."""
     if len(head) < _HEADER.size:
-        raise ProgramError("truncated engine trace header")
+        raise TraceError("truncated engine trace header")
     magic, endian, version, n_events, table_len = _HEADER.unpack(head)
     if magic != MAGIC:
-        raise ProgramError(f"not an engine trace (magic {magic!r})")
+        raise TraceError(f"not an engine trace (magic {magic!r})")
     if version != VERSION:
-        raise ProgramError(f"unsupported engine trace version {version}")
+        raise TraceError(f"unsupported engine trace version {version}")
     if endian not in (0, 1):
-        raise ProgramError(f"bad endianness flag {endian} in engine trace")
+        raise TraceError(f"bad endianness flag {endian} in engine trace")
     return endian, n_events, table_len
 
 
 def _check_bound(n_events: int, table_len: int, remaining: int) -> None:
     need = table_len + n_events * _PER_EVENT
     if need > remaining:
-        raise ProgramError(
+        raise TraceError(
             f"truncated or lying engine trace: header claims {need} "
             f"payload bytes ({n_events} events, {table_len}-byte "
             f"table) but only {remaining} remain"
         )
 
 
+def _encode_table(interner: LocationInterner) -> bytes:
+    return json.dumps(
+        [encode_location(loc) for loc in interner.locations()],
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
 def _decode_table(raw_table: bytes) -> LocationInterner:
     try:
         table = json.loads(raw_table.decode("utf-8"))
     except ValueError as exc:
-        raise ProgramError(
+        raise TraceError(
             f"corrupt engine trace location table: {exc}"
         ) from None
     if not isinstance(table, list):
-        raise ProgramError("corrupt engine trace location table: not a list")
+        raise TraceError("corrupt engine trace location table: not a list")
     interner = LocationInterner()
     for encoded in table:
         interner.intern(decode_location(encoded))
     if len(interner) != len(table):
-        raise ProgramError("duplicate locations in trace table")
+        raise TraceError("duplicate locations in trace table")
     return interner
 
 
@@ -166,12 +175,21 @@ def read_trace(
 ) -> Tuple[EventBatch, LocationInterner]:
     """Read a trace file back into ``(batch, interner)``.
 
+    This is the one magic-sniffing entry point for both container
+    formats: raw ``RPR2TRC`` traces are read directly, compressed
+    ``RPR2TRZ`` traces (:mod:`repro.compress`) are read and
+    decompressed, and anything else raises a typed
+    :class:`~repro.errors.TraceError` -- never a ``ValueError`` or a
+    bare ``struct`` error.  Callers that want the compressed trace
+    *without* decompression use
+    :func:`repro.compress.container.read_tracez` directly.
+
     Every header field is validated before it sizes an allocation: a
     corrupt or adversarial ``n_events`` / ``table_len`` is rejected
     against the actual bytes remaining on a seekable stream rather
     than handed to ``read()``, and every corruption mode (bad magic,
     bad version, bad endian flag, truncated table or payload, a
-    header that lies about lengths) raises :class:`ProgramError`.
+    header that lies about lengths) raises :class:`TraceError`.
 
     Real files are ``mmap``\\ ed, so each column is built with a single
     copy out of the page cache and a foreign-endian payload is swapped
@@ -181,9 +199,32 @@ def read_trace(
     if isinstance(fp, str):
         with open(fp, "rb") as handle:
             return read_trace(handle)
+    head = fp.read(len(MAGIC))
+    try:
+        fp.seek(-len(head), 1)
+        consumed = b""
+    except (AttributeError, OSError, ValueError):
+        # Unseekable stream (pipe, socket): pass the consumed prefix
+        # down so the chosen reader stitches its header back together.
+        consumed = head
+    if head == MAGIC_COMPRESSED:
+        from repro.compress.container import read_tracez
+
+        ctrace, interner = read_tracez(fp, head=consumed)
+        return ctrace.decompress(), interner
+    if len(head) == len(MAGIC) and head != MAGIC:
+        raise TraceError(f"not an engine trace (magic {head!r})")
+    return _read_trace_raw(fp, consumed)
+
+
+def _read_trace_raw(
+    fp: IO[bytes], head: bytes = b""
+) -> Tuple[EventBatch, LocationInterner]:
+    """The raw ``RPR2TRC`` read path (``head``: already-consumed
+    prefix of an unseekable stream)."""
     mapped = _try_mmap(fp)
     if mapped is None:
-        return _read_trace_stream(fp)
+        return _read_trace_stream(fp, head)
     mm, base = mapped
     try:
         view = memoryview(mm)
@@ -220,16 +261,18 @@ def read_trace(
 
 
 def _read_trace_stream(
-    fp: IO[bytes]
+    fp: IO[bytes], head: bytes = b""
 ) -> Tuple[EventBatch, LocationInterner]:
     """The ``read()``-based path for streams that cannot be mapped."""
-    endian, n_events, table_len = _check_header(fp.read(_HEADER.size))
+    endian, n_events, table_len = _check_header(
+        head + fp.read(_HEADER.size - len(head))
+    )
     remaining = _bytes_remaining(fp)
     if remaining is not None:
         _check_bound(n_events, table_len, remaining)
     raw_table = fp.read(table_len)
     if len(raw_table) != table_len:
-        raise ProgramError("truncated engine trace location table")
+        raise TraceError("truncated engine trace location table")
     interner = _decode_table(raw_table)
     ops = array("B")
     av = array("i")
@@ -238,7 +281,7 @@ def _read_trace_stream(
         want = n_events * column.itemsize
         raw = fp.read(want)
         if len(raw) != want:
-            raise ProgramError("truncated engine trace payload")
+            raise TraceError("truncated engine trace payload")
         column.frombytes(raw)
     if endian != _native_flag():
         # In place on the one materialized array -- never via an
@@ -283,7 +326,7 @@ class MappedTrace:
             self._fp.close()
             self._fp = None
             self._mm = None
-            raise ProgramError("truncated engine trace header") from None
+            raise TraceError("truncated engine trace header") from None
         try:
             view = memoryview(self._mm)
             try:
@@ -321,12 +364,12 @@ class MappedTrace:
         if stop is None:
             stop = self.n_events
         if not 0 <= start <= stop <= self.n_events:
-            raise ProgramError(
+            raise TraceError(
                 f"bad trace slice [{start}:{stop}) of "
                 f"{self.n_events} events"
             )
         if self._mm is None:
-            raise ProgramError(f"mapped trace {self.path!r} is closed")
+            raise TraceError(f"mapped trace {self.path!r} is closed")
         mv = memoryview(self._mm)
         try:
             # Slices take their own buffer on the mmap, so the parent
@@ -391,9 +434,20 @@ class MappedTrace:
         )
 
 
-def map_trace(path: str) -> MappedTrace:
-    """Map a trace file without materializing its columns; see
-    :class:`MappedTrace`."""
+def map_trace(path: str):
+    """Map a trace file without materializing its raw columns.
+
+    The same magic-sniffing dispatch as :func:`read_trace`: raw
+    ``RPR2TRC`` files yield a :class:`MappedTrace`, compressed
+    ``RPR2TRZ`` files a
+    :class:`~repro.compress.container.MappedCompressedTrace` (same
+    ``n_events`` / ``interner`` / ``batch()`` / context-manager
+    surface), and unknown magic raises
+    :class:`~repro.errors.TraceError` via the header check."""
+    if is_compressed_tracefile(path):
+        from repro.compress.container import MappedCompressedTrace
+
+        return MappedCompressedTrace(path)
     return MappedTrace(path)
 
 
@@ -408,10 +462,20 @@ def record_trace(body, *args, path: Union[str, IO[bytes]]) -> int:
     return write_trace(path, builder.batch, builder.interner)
 
 
-def is_tracefile(path: str) -> bool:
-    """Cheap sniff: does ``path`` start with the engine-trace magic?"""
+def _sniff(path: str) -> bytes:
     try:
         with open(path, "rb") as handle:
-            return handle.read(len(MAGIC)) == MAGIC
+            return handle.read(len(MAGIC))
     except OSError:
-        return False
+        return b""
+
+
+def is_tracefile(path: str) -> bool:
+    """Cheap sniff: does ``path`` start with either engine-trace magic
+    (raw ``RPR2TRC`` or compressed ``RPR2TRZ``)?"""
+    return _sniff(path) in (MAGIC, MAGIC_COMPRESSED)
+
+
+def is_compressed_tracefile(path: str) -> bool:
+    """Cheap sniff: is ``path`` a compressed ``RPR2TRZ`` container?"""
+    return _sniff(path) == MAGIC_COMPRESSED

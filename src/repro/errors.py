@@ -17,6 +17,7 @@ __all__ = [
     "NotATwoDimensionalLattice",
     "ProgramError",
     "DeadTaskError",
+    "TraceError",
     "DetectorError",
     "WorkloadError",
     "CheckpointError",
@@ -74,6 +75,17 @@ class ProgramError(ReproError):
 
 class DeadTaskError(ProgramError):
     """An operation was attempted on a task that already halted."""
+
+
+class TraceError(ProgramError):
+    """A trace container is not exactly what it claims to be.
+
+    Raised by the trace readers (:mod:`repro.engine.tracefile`,
+    :mod:`repro.compress.container`) on unknown magic, unsupported
+    versions, truncation, CRC mismatches, or headers that lie about
+    section lengths.  Subclasses :class:`ProgramError` so existing
+    ``except ProgramError`` call sites keep catching container
+    corruption; new code should catch this type."""
 
 
 class DetectorError(ReproError):

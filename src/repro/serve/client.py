@@ -104,6 +104,14 @@ class RaceClient:
     :class:`~repro.errors.ServeError` when one was -- a requested
     backend is a requirement, never silently downgraded.
 
+    Passing ``compress=True`` requests the v4 CBATCH feature in the
+    HELLO: :meth:`send_compressed` then ships
+    :class:`~repro.compress.CompressedTrace` frames the server ingests
+    via its memoized kernel without expanding.  Like a requested
+    backend, the feature is a requirement -- a server that cannot
+    grant it (pre-v4, shared pool, prediction) fails the connect with
+    a typed error rather than silently receiving raw batches.
+
     Passing ``session="some-token"`` makes the session *durable*
     against a server speaking with ``checkpoint_dir``: every batch is
     sequenced and retained until the server's ACK says a checkpoint
@@ -127,6 +135,7 @@ class RaceClient:
         max_retries: int = 4,
         retry_backoff: float = 0.05,
         backend: Optional[str] = None,
+        compress: bool = False,
     ) -> None:
         if session is not None and not wire.valid_session_token(session):
             raise ServeError(f"invalid session token: {session!r}")
@@ -140,6 +149,7 @@ class RaceClient:
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
         self.backend = backend
+        self.compress = compress
         self.negotiated_backend: Optional[str] = None
         self.credit = 0
         self.events_sent = 0
@@ -150,7 +160,8 @@ class RaceClient:
         self._shipped_locations = 0
         self._finished: Optional[Tuple[int, int]] = None
         self._next_seq = 1
-        self._unacked: Dict[int, bytes] = {}  # seq -> encoded payload
+        #: seq -> (frame type, encoded payload), retained for replay
+        self._unacked: Dict[int, Tuple[int, bytes]] = {}
         self._races_by_seq: Dict[int, List[RaceReport]] = {}
         self._races_unseq: List[RaceReport] = []
 
@@ -183,7 +194,10 @@ class RaceClient:
         self._sock = sock
         self._send_frame(
             wire.FRAME_HELLO,
-            wire.encode_hello(self.max_frame, backend=self.backend),
+            wire.encode_hello(
+                self.max_frame, backend=self.backend,
+                features=wire.FLAG_CBATCH if self.compress else 0,
+            ),
         )
         ftype, payload = self._recv_frame()
         if ftype == wire.FRAME_ERROR:
@@ -195,8 +209,8 @@ class RaceClient:
             raise ProtocolError(
                 f"expected HELLO reply, got {wire.FRAME_NAMES[ftype]}"
             )
-        version, credit, max_frame, granted = wire.decode_hello_reply(
-            payload
+        version, credit, max_frame, granted, features = (
+            wire.decode_hello_reply(payload)
         )
         if self.backend is not None and granted != self.backend:
             # A v2 server replies without a backend field; either way a
@@ -205,6 +219,14 @@ class RaceClient:
             raise ServeError(
                 f"requested the {self.backend!r} backend but the "
                 f"server (protocol v{version}) granted {granted!r}"
+            )
+        if self.compress and not features & wire.FLAG_CBATCH:
+            # Same contract as a backend request: compression was
+            # asked for, so a reply without the grant fails loudly.
+            self.close()
+            raise ServeError(
+                f"requested compressed (CBATCH) ingestion but the "
+                f"server (protocol v{version}) did not grant it"
             )
         self.negotiated_backend = granted
         self.credit = credit
@@ -251,11 +273,11 @@ class RaceClient:
         self.connect()
         self.reconnects += 1
         for seq in sorted(self._unacked):
-            payload = self._unacked[seq]
+            ftype, payload = self._unacked[seq]
             while self.credit <= 0:
                 self._pump()
             self.credit -= 1
-            self._send_frame(wire.FRAME_BATCH, payload)
+            self._send_frame(ftype, payload)
 
     def _with_retry(self, fn: Callable[[], None]) -> None:
         """Run ``fn``, transparently reconnect-and-replaying a durable
@@ -355,23 +377,25 @@ class RaceClient:
 
     # -- streaming -----------------------------------------------------------
 
+    def _table_delta(self) -> Sequence:
+        if not self.ship_locations:
+            return ()
+        if self.interner is None:
+            raise ServeError(
+                "ship_locations needs the session's interner"
+            )
+        table = self.interner.locations()
+        new_locations = table[self._shipped_locations:]
+        self._shipped_locations = len(table)
+        return new_locations
+
     def send_batch(self, batch: EventBatch) -> None:
         """Push one BATCH frame, waiting for credit first if the
         session has none outstanding."""
         if self._finished is not None:
             raise ServeError("session already finished (BYE sent)")
-        new_locations: Sequence = ()
-        if self.ship_locations:
-            if self.interner is None:
-                raise ServeError(
-                    "ship_locations needs the session's interner"
-                )
-            table = self.interner.locations()
-            new_locations = table[self._shipped_locations:]
-            self._shipped_locations = len(table)
-        seq = 0
-        if self.session is not None:
-            seq = self._next_seq
+        new_locations = self._table_delta()
+        seq = self._next_seq if self.session is not None else 0
         payload = wire.encode_batch_payload(batch, new_locations, seq=seq)
         if len(payload) > self.max_frame:
             raise ProtocolError(
@@ -379,21 +403,52 @@ class RaceClient:
                 f"bytes, over the negotiated frame cap of "
                 f"{self.max_frame}; slice it smaller"
             )
+        self._send_sequenced(wire.FRAME_BATCH, payload, seq)
+        self.events_sent += len(batch)
+        self.batches_sent += 1
+
+    def send_compressed(self, ctrace) -> None:
+        """Push one :class:`~repro.compress.CompressedTrace` as a
+        CBATCH frame (requires ``compress=True`` at connect).
+
+        Credit, sequencing, and replay-on-reconnect follow
+        :meth:`send_batch` exactly -- CBATCH frames live in the same
+        sequence space, so a durable session may mix the two.
+        """
+        if self._finished is not None:
+            raise ServeError("session already finished (BYE sent)")
+        if not self.compress:
+            raise ServeError(
+                "send_compressed needs a session connected with "
+                "compress=True"
+            )
+        new_locations = self._table_delta()
+        seq = self._next_seq if self.session is not None else 0
+        payload = wire.encode_cbatch_payload(ctrace, new_locations, seq=seq)
+        if len(payload) > self.max_frame:
+            raise ProtocolError(
+                f"compressed trace of {len(ctrace)} events encodes to "
+                f"{len(payload)} bytes, over the negotiated frame cap "
+                f"of {self.max_frame}; compress smaller slices"
+            )
+        self._send_sequenced(wire.FRAME_CBATCH, payload, seq)
+        self.events_sent += len(ctrace)
+        self.batches_sent += 1
+
+    def _send_sequenced(self, ftype: int, payload: bytes, seq: int) -> None:
         if seq:
             # Retained verbatim until an ACK covers it: a replay after
             # reconnect must resend the *same bytes* (same seq, same
             # location-table delta) for server-side dedup to hold.
             self._next_seq += 1
-            self._unacked[seq] = payload
-        self._with_retry(lambda: self._send_payload(payload))
-        self.events_sent += len(batch)
-        self.batches_sent += 1
+            self._unacked[seq] = (ftype, payload)
+        self._with_retry(lambda: self._send_payload(ftype, payload))
 
-    def _send_payload(self, payload: bytes) -> None:
+    def _send_payload(self, ftype: int, payload: bytes) -> None:
         while self.credit <= 0:
             self._pump()
         self.credit -= 1
-        self._send_frame(wire.FRAME_BATCH, payload)
+        self._send_frame(ftype, payload)
 
     def send_batches(
         self, batch: EventBatch, batch_size: int = 8192
@@ -401,6 +456,22 @@ class RaceClient:
         """Slice ``batch`` and push every piece."""
         for piece in batch.slices(batch_size):
             self.send_batch(piece)
+
+    def send_batches_compressed(
+        self,
+        batch: EventBatch,
+        batch_size: int = 65536,
+        block_width: Optional[int] = None,
+    ) -> None:
+        """Slice ``batch``, compress each piece, and push it as a
+        CBATCH frame.  The default slice is wider than
+        :meth:`send_batches`'s because compression shrinks the wire
+        frame well below the slice's raw size."""
+        from repro.compress import DEFAULT_BLOCK_WIDTH, compress
+
+        width = block_width if block_width else DEFAULT_BLOCK_WIDTH
+        for piece in batch.slices(batch_size):
+            self.send_compressed(compress(piece, width))
 
     def finish(self) -> ClientSummary:
         """Send BYE, drain the stream, and return the session summary.
@@ -451,13 +522,22 @@ def submit_batch(
     ship_locations: bool = False,
     timeout: float = 30.0,
     backend: Optional[str] = None,
+    compress: bool = False,
 ) -> ClientSummary:
-    """Replay one in-memory batch over a fresh session."""
+    """Replay one in-memory batch over a fresh session.
+
+    ``compress=True`` negotiates the v4 CBATCH feature and ships each
+    slice grammar-compressed; the server ingests it via its memoized
+    kernel without expanding."""
     with RaceClient(
         host, port, timeout=timeout, interner=interner,
         ship_locations=ship_locations, backend=backend,
+        compress=compress,
     ) as client:
-        client.send_batches(batch, batch_size)
+        if compress:
+            client.send_batches_compressed(batch, max(batch_size, 65536))
+        else:
+            client.send_batches(batch, batch_size)
         return client.finish()
 
 
@@ -469,12 +549,31 @@ def submit_trace(
     batch_size: int = 8192,
     ship_locations: bool = False,
     timeout: float = 30.0,
+    compress: bool = False,
 ) -> ClientSummary:
-    """Replay a trace file (compact ``.rpr2trc`` or JSONL) over a
-    fresh session."""
-    from repro.engine.batch import batch_from_events
-    from repro.engine.tracefile import is_tracefile, read_trace
+    """Replay a trace file (compact ``.rpr2trc``, compressed
+    ``.rpr2trz``, or JSONL) over a fresh session.
 
+    With ``compress=True`` a compressed container is shipped in its
+    stored form -- one CBATCH per container, never expanded on either
+    side -- and raw inputs are compressed slice by slice."""
+    from repro.engine.batch import batch_from_events
+    from repro.engine.tracefile import (
+        is_compressed_tracefile,
+        is_tracefile,
+        read_trace,
+    )
+
+    if compress and is_compressed_tracefile(path):
+        from repro.compress import read_tracez
+
+        ctrace, interner = read_tracez(path)
+        with RaceClient(
+            host, port, timeout=timeout, interner=interner,
+            ship_locations=ship_locations, compress=True,
+        ) as client:
+            client.send_compressed(ctrace)
+            return client.finish()
     if is_tracefile(path):
         batch, interner = read_trace(path)
     else:
@@ -483,7 +582,7 @@ def submit_trace(
         batch, interner = batch_from_events(load_events(path))
     return submit_batch(
         host, port, batch, interner=interner, batch_size=batch_size,
-        ship_locations=ship_locations, timeout=timeout,
+        ship_locations=ship_locations, timeout=timeout, compress=compress,
     )
 
 
@@ -537,6 +636,7 @@ def run_load(
     batch_size: int = 8192,
     timeout: float = 60.0,
     backend: Optional[str] = None,
+    compress: bool = False,
 ) -> LoadResult:
     """Drive ``sessions`` concurrent connections, each replaying
     ``batch``, and measure aggregate wall-clock throughput.
@@ -544,13 +644,16 @@ def run_load(
     All sessions connect and handshake first, then start streaming
     together off a barrier so the measured window is pure streaming.
     The first session failure is re-raised after every thread joins.
-    ``backend`` is requested per session via the v3 HELLO (see
-    :class:`RaceClient`).
+    ``backend`` is requested per session via the v3 HELLO and
+    ``compress`` the v4 CBATCH feature (see :class:`RaceClient`).
     """
     if sessions < 1:
         raise ServeError(f"need at least one session, got {sessions}")
     clients = [
-        RaceClient(host, port, timeout=timeout, backend=backend).connect()
+        RaceClient(
+            host, port, timeout=timeout, backend=backend,
+            compress=compress,
+        ).connect()
         for _ in range(sessions)
     ]
     barrier = threading.Barrier(sessions + 1)
@@ -560,7 +663,10 @@ def run_load(
     def drive(k: int, client: RaceClient) -> None:
         try:
             barrier.wait()
-            client.send_batches(batch, batch_size)
+            if compress:
+                client.send_batches_compressed(batch)
+            else:
+                client.send_batches(batch, batch_size)
             summaries[k] = client.finish()
         except BaseException as exc:
             errors.append(exc)

@@ -18,10 +18,14 @@ type      direction  payload
 HELLO     client->   magic ``RPRSERVE`` + u32 version + u32 max
                      frame size the client is willing to receive;
                      v3 appends a 16-byte NUL-padded requested
-                     engine backend name (all-NUL = server default)
+                     engine backend name (all-NUL = server default);
+                     v4 additionally appends u32 feature flags
+                     (bit 0 = the client wants to send CBATCH)
 HELLO     server->   magic + u32 version + u32 initial credit +
                      u32 effective max frame size + u32 flags (0);
-                     v3 appends the 16-byte *negotiated* backend
+                     v3 appends the 16-byte *negotiated* backend;
+                     v4 additionally appends u32 feature flags
+                     (bit 0 = CBATCH granted for this session)
 BATCH     client->   the ``tracefile`` column layout, minus magic:
                      u8 endian flag, u64 n_events, u64 table byte
                      length, the (optional) location-table JSON,
@@ -30,7 +34,20 @@ BATCH     client->   the ``tracefile`` column layout, minus magic:
                      RPR2TRC file stores, so server-side decode is
                      bulk column copies (and, with numpy, zero-copy
                      views for validation), never per-event parsing
+CBATCH    client->   a grammar-compressed batch (v4, only after the
+                     HELLO exchange granted the CBATCH feature bit):
+                     u8 endian flag, u32 block width, u64 expanded
+                     event count, u64 unique block count, u64 rule
+                     count, u64 table byte length, u64 seq, the
+                     (optional) location-table JSON, u32 per-block
+                     lengths, then the unique blocks' ``ops``/``a``/
+                     ``b`` columns concatenated block-major, and the
+                     ``(u32 block id, u32 repeat)`` rule pairs --
+                     the :class:`repro.compress.CompressedTrace`
+                     shape on the wire, ingested server-side by the
+                     memoized kernel without ever expanding
 CREDIT    server->   u32 additional BATCH frames the client may send
+                     (CBATCH frames spend the same credit)
 RACES     server->   UTF-8 JSON object ``{"seq": n, "reports": [...]}``
                      with interned location ids; ``seq`` names the
                      BATCH the reports were found in, so a resuming
@@ -58,6 +75,16 @@ server sees a byte-identical v2 exchange -- negotiation is purely
 additive.  A backend the server cannot honour (unknown, or
 incompatible with its configuration) is refused with a typed
 ``ERR_BACKEND`` ERROR frame before the session starts.
+
+Compression negotiation (v4): a v4 client HELLO carries u32 feature
+flags; :data:`FLAG_CBATCH` requests permission to send CBATCH frames.
+The server's v4 reply echoes the bit only if it can honour it (a
+shared multi-process pool or a prediction server cannot ingest
+compressed traces and answers with a typed ``ERR_COMPRESS`` ERROR
+frame instead -- a requested feature is negotiated exactly like a
+requested backend, never silently dropped).  A v2/v3 HELLO has no
+flags field and a v4 reply to it carries none, so the exchange stays
+byte-identical for older clients.
 
 Durability (v2): every BATCH carries a u64 sequence number, assigned
 1, 2, 3... by the client.  The server requires contiguous sequencing;
@@ -109,8 +136,10 @@ __all__ = [
     "BACKEND_NAME_SIZE",
     "DEFAULT_MAX_FRAME",
     "FRAME_HEADER_SIZE",
+    "FLAG_CBATCH",
     "FRAME_HELLO",
     "FRAME_BATCH",
+    "FRAME_CBATCH",
     "FRAME_CREDIT",
     "FRAME_RACES",
     "FRAME_ERROR",
@@ -129,6 +158,7 @@ __all__ = [
     "ERR_SHUTTING_DOWN",
     "ERR_CHECKPOINT",
     "ERR_BACKEND",
+    "ERR_COMPRESS",
     "ERROR_NAMES",
     "MAX_SESSION_TOKEN",
     "valid_session_token",
@@ -142,6 +172,8 @@ __all__ = [
     "decode_hello_reply",
     "encode_batch_payload",
     "decode_batch_payload",
+    "encode_cbatch_payload",
+    "decode_cbatch_payload",
     "validate_batch_columns",
     "encode_credit",
     "decode_credit",
@@ -161,14 +193,19 @@ __all__ = [
 
 PROTOCOL_MAGIC = b"RPRSERVE"
 #: v2 added the BATCH sequence number and the RESUME/ACK frames;
-#: v3 added engine-backend negotiation in HELLO
-PROTOCOL_VERSION = 3
+#: v3 added engine-backend negotiation in HELLO; v4 added HELLO
+#: feature flags and the CBATCH compressed-batch frame
+PROTOCOL_VERSION = 4
 #: oldest client version the server still speaks (v2 HELLOs get a
 #: v2-shaped reply, so pre-negotiation clients run unchanged)
 MIN_PROTOCOL_VERSION = 2
 
 #: fixed width of the NUL-padded backend name field in v3 HELLO frames
 BACKEND_NAME_SIZE = 16
+
+#: v4 HELLO feature bit: the client wants to send CBATCH frames (and
+#: the server, echoing it, commits to ingesting them)
+FLAG_CBATCH = 1
 
 #: default cap on one frame's payload (negotiated down in HELLO)
 DEFAULT_MAX_FRAME = 8 * 1024 * 1024
@@ -177,7 +214,7 @@ _FRAME = struct.Struct("<IBI")
 FRAME_HEADER_SIZE = _FRAME.size
 
 FRAME_HELLO, FRAME_BATCH, FRAME_CREDIT, FRAME_RACES, FRAME_ERROR, \
-    FRAME_BYE, FRAME_RESUME, FRAME_ACK = range(1, 9)
+    FRAME_BYE, FRAME_RESUME, FRAME_ACK, FRAME_CBATCH = range(1, 10)
 
 FRAME_NAMES = {
     FRAME_HELLO: "HELLO",
@@ -188,6 +225,7 @@ FRAME_NAMES = {
     FRAME_BYE: "BYE",
     FRAME_RESUME: "RESUME",
     FRAME_ACK: "ACK",
+    FRAME_CBATCH: "CBATCH",
 }
 
 # -- error codes (carried in ERROR frames) ------------------------------------
@@ -203,6 +241,7 @@ ERR_CREDIT_OVERRUN = 8  #: client sent a BATCH with no credit outstanding
 ERR_SHUTTING_DOWN = 9  #: server is draining (SIGTERM)
 ERR_CHECKPOINT = 10  #: RESUME hit a corrupt/unloadable checkpoint
 ERR_BACKEND = 11  #: requested engine backend refused (v3 negotiation)
+ERR_COMPRESS = 12  #: CBATCH feature refused, or a malformed CBATCH frame
 
 ERROR_NAMES = {
     ERR_PROTOCOL: "protocol",
@@ -216,6 +255,7 @@ ERROR_NAMES = {
     ERR_SHUTTING_DOWN: "shutting-down",
     ERR_CHECKPOINT: "checkpoint",
     ERR_BACKEND: "backend",
+    ERR_COMPRESS: "compress",
 }
 
 _HELLO_C = struct.Struct("<8sII")  # magic, version, client max frame
@@ -224,9 +264,21 @@ _HELLO_S = struct.Struct("<8sIIII")  # magic, version, credit, max frame, flags
 #: HELLOs are told apart by payload length alone
 _HELLO_C3 = struct.Struct("<8sII16s")
 _HELLO_S3 = struct.Struct("<8sIIII16s")
+#: the v4 shapes append u32 feature flags after the backend name;
+#: like v3, the shape is told apart by payload length alone
+_HELLO_C4 = struct.Struct("<8sII16sI")
+_HELLO_S4 = struct.Struct("<8sIIII16sI")
 #: endian flag, n_events, table_len, seq -- the sequence number is
 #: appended (v2) so the v1 field offsets are unchanged
 _BATCH_HEADER = struct.Struct("<B7xQQQ")
+#: endian flag, block width, expanded n_events, n_blocks, n_rules,
+#: table_len, seq -- the CBATCH (v4) header
+_CBATCH_HEADER = struct.Struct("<B3xIQQQQQ")
+_CBATCH_LEN = struct.Struct("<I")  # one per-block length entry
+_CBATCH_RULE = struct.Struct("<II")  # (block id, repeat count)
+#: ceiling on a CBATCH block width -- mirrors the RPR2TRZ container's
+#: bound, rejecting absurd widths before the length table is read
+_MAX_CBATCH_WIDTH = 2 ** 20
 _CREDIT = struct.Struct("<I")
 _ERROR = struct.Struct("<H")
 _BYE_S = struct.Struct("<QQ")  # events ingested, races reported
@@ -322,10 +374,22 @@ def encode_hello(
     max_frame: int = DEFAULT_MAX_FRAME,
     backend: Optional[str] = None,
     version: int = PROTOCOL_VERSION,
+    features: int = 0,
 ) -> bytes:
     """The client HELLO.  ``backend`` requests an engine backend for
-    the session (v3); ``None`` keeps the server default.  ``version``
-    pins an older wire shape -- a v2 HELLO cannot carry a backend."""
+    the session (v3); ``None`` keeps the server default.  ``features``
+    is the v4 flag word (:data:`FLAG_CBATCH`).  ``version`` pins an
+    older wire shape -- a v2 HELLO cannot carry a backend, and a v2/v3
+    HELLO cannot carry feature flags."""
+    if version >= 4:
+        return _HELLO_C4.pack(
+            PROTOCOL_MAGIC, version, max_frame, _pack_backend(backend),
+            features,
+        )
+    if features:
+        raise ProtocolError(
+            f"protocol v{version} HELLO cannot carry feature flags"
+        )
     if version >= 3:
         return _HELLO_C3.pack(
             PROTOCOL_MAGIC, version, max_frame, _pack_backend(backend)
@@ -337,16 +401,23 @@ def encode_hello(
     return _HELLO_C.pack(PROTOCOL_MAGIC, version, max_frame)
 
 
-def decode_hello(payload: bytes) -> Tuple[int, int, Optional[str]]:
-    """Returns ``(version, client_max_frame, requested_backend)``;
-    checks the magic only (version mismatches are the *server's* call,
-    so it can answer with a precise ERROR frame).  A v2-sized payload
-    decodes with ``requested_backend = None``."""
+def decode_hello(payload: bytes) -> Tuple[int, int, Optional[str], int]:
+    """Returns ``(version, client_max_frame, requested_backend,
+    features)``; checks the magic only (version mismatches are the
+    *server's* call, so it can answer with a precise ERROR frame).  A
+    v2-sized payload decodes with ``requested_backend = None``; a
+    pre-v4 payload decodes with ``features = 0``."""
+    features = 0
     if len(payload) == _HELLO_C.size:
         magic, version, max_frame = _HELLO_C.unpack(payload)
         backend = None
     elif len(payload) == _HELLO_C3.size:
         magic, version, max_frame, raw = _HELLO_C3.unpack(payload)
+        backend = _unpack_backend(raw)
+    elif len(payload) == _HELLO_C4.size:
+        magic, version, max_frame, raw, features = _HELLO_C4.unpack(
+            payload
+        )
         backend = _unpack_backend(raw)
     else:
         raise ProtocolError(
@@ -354,7 +425,7 @@ def decode_hello(payload: bytes) -> Tuple[int, int, Optional[str]]:
         )
     if magic != PROTOCOL_MAGIC:
         raise ProtocolError(f"bad protocol magic {magic!r}")
-    return version, max_frame, backend
+    return version, max_frame, backend, features
 
 
 def encode_hello_reply(
@@ -362,10 +433,20 @@ def encode_hello_reply(
     max_frame: int,
     version: int = PROTOCOL_VERSION,
     backend: Optional[str] = None,
+    features: int = 0,
 ) -> bytes:
     """The server HELLO reply, mirroring the *client's* ``version``
     and payload shape; ``backend`` names the backend the session got
-    (v3 only)."""
+    (v3+) and ``features`` the granted v4 flag word."""
+    if version >= 4:
+        return _HELLO_S4.pack(
+            PROTOCOL_MAGIC, version, credit, max_frame, 0,
+            _pack_backend(backend), features,
+        )
+    if features:
+        raise ProtocolError(
+            f"protocol v{version} HELLO reply cannot carry feature flags"
+        )
     if version >= 3:
         return _HELLO_S3.pack(
             PROTOCOL_MAGIC, version, credit, max_frame, 0,
@@ -376,12 +457,15 @@ def encode_hello_reply(
 
 def decode_hello_reply(
     payload: bytes,
-) -> Tuple[int, int, int, Optional[str]]:
-    """Returns ``(version, initial_credit, max_frame, backend)``.
+) -> Tuple[int, int, int, Optional[str], int]:
+    """Returns ``(version, initial_credit, max_frame, backend,
+    features)``.
 
-    Both the v2 and v3 reply shapes are accepted; a v2-sized reply
-    (from a pre-negotiation server) decodes with ``backend = None``.
+    The v2, v3, and v4 reply shapes are all accepted; a v2-sized reply
+    (from a pre-negotiation server) decodes with ``backend = None``,
+    and a pre-v4 reply with ``features = 0``.
     """
+    features = 0
     if len(payload) == _HELLO_S.size:
         magic, version, credit, max_frame, _flags = _HELLO_S.unpack(
             payload
@@ -390,6 +474,11 @@ def decode_hello_reply(
     elif len(payload) == _HELLO_S3.size:
         magic, version, credit, max_frame, _flags, raw = (
             _HELLO_S3.unpack(payload)
+        )
+        backend = _unpack_backend(raw)
+    elif len(payload) == _HELLO_S4.size:
+        magic, version, credit, max_frame, _flags, raw, features = (
+            _HELLO_S4.unpack(payload)
         )
         backend = _unpack_backend(raw)
     else:
@@ -404,7 +493,7 @@ def decode_hello_reply(
             f"client speaks {MIN_PROTOCOL_VERSION}"
             f"..{PROTOCOL_VERSION}"
         )
-    return version, credit, max_frame, backend
+    return version, credit, max_frame, backend, features
 
 
 # -- BATCH --------------------------------------------------------------------
@@ -492,6 +581,167 @@ def decode_batch_payload(
         av.byteswap()
         bv.byteswap()
     return EventBatch(ops, av, bv), locations, seq
+
+
+def encode_cbatch_payload(
+    ctrace, new_locations: Sequence = (), seq: int = 0
+) -> bytes:
+    """Serialise one :class:`~repro.compress.CompressedTrace` (plus
+    the locations newly interned for it) as a CBATCH payload.
+
+    The wire shape is the RPR2TRZ section layout minus the per-section
+    CRCs (the framing layer already CRCs the whole payload): header,
+    optional location-table JSON, u32 per-block lengths, the unique
+    blocks' three columns concatenated, then the ``(block id, repeat)``
+    rule pairs.  ``seq`` follows the BATCH discipline exactly --
+    CBATCH frames share the session's one sequence space.
+    """
+    from repro.trace import encode_location
+
+    if new_locations:
+        table = json.dumps(
+            [encode_location(loc) for loc in new_locations],
+            separators=(",", ":"),
+        ).encode("utf-8")
+    else:
+        table = b""
+    blocks = ctrace.blocks
+    head = _CBATCH_HEADER.pack(
+        _native_flag(), ctrace.block_width, ctrace.n_events,
+        len(blocks), len(ctrace.rules), len(table), seq,
+    )
+    lengths = b"".join(_CBATCH_LEN.pack(len(block)) for block in blocks)
+    rules = b"".join(
+        _CBATCH_RULE.pack(bid, rep) for bid, rep in ctrace.rules
+    )
+    return b"".join(
+        [head, table, lengths]
+        + [block.ops.tobytes() for block in blocks]
+        + [block.a.tobytes() for block in blocks]
+        + [block.b.tobytes() for block in blocks]
+        + [rules]
+    )
+
+
+def decode_cbatch_payload(payload: bytes):
+    """Decode a CBATCH payload into ``(ctrace, new_locations_or_None,
+    seq)`` without expanding it.
+
+    Validation order mirrors :func:`decode_batch_payload` and the
+    RPR2TRZ reader: the header's *fixed-size* claims (table, length
+    section, rules) are bounded against the payload before anything is
+    allocated, each declared block length must satisfy ``0 < len <=
+    block_width``, and only then is the exact payload size recomputed
+    from the now-trusted lengths and required to match -- a header that
+    lies about any count is rejected outright.  Rules must reference
+    existing blocks with positive repeats and expand to exactly the
+    declared event count, so a decoded trace is structurally sound
+    before it reaches an engine.
+    """
+    from repro.compress.blocks import CompressedTrace
+    from repro.trace import decode_location
+
+    if len(payload) < _CBATCH_HEADER.size:
+        raise ProtocolError(
+            f"truncated CBATCH header ({len(payload)} of "
+            f"{_CBATCH_HEADER.size} bytes)"
+        )
+    (
+        endian, block_width, n_events, n_blocks, n_rules, table_len, seq,
+    ) = _CBATCH_HEADER.unpack_from(payload)
+    if endian not in (0, 1):
+        raise ProtocolError(f"bad endianness flag {endian} in CBATCH")
+    if not 0 < block_width <= _MAX_CBATCH_WIDTH:
+        raise ProtocolError(
+            f"implausible CBATCH block width {block_width}"
+        )
+    fixed_need = (
+        _CBATCH_HEADER.size + table_len
+        + n_blocks * _CBATCH_LEN.size + n_rules * _CBATCH_RULE.size
+    )
+    if fixed_need > len(payload):
+        raise ProtocolError(
+            f"lying CBATCH header: {n_blocks} blocks, {n_rules} rules "
+            f"and a {table_len}-byte table need at least {fixed_need} "
+            f"payload bytes, frame carries {len(payload)}"
+        )
+    view = memoryview(payload)
+    table_off = _CBATCH_HEADER.size
+    len_off = table_off + table_len
+    ops_off = len_off + n_blocks * _CBATCH_LEN.size
+    lengths = array("I")
+    lengths.frombytes(view[len_off:ops_off])
+    if sys.byteorder != "little":
+        lengths.byteswap()
+    for i, length in enumerate(lengths):
+        if not 0 < length <= block_width:
+            raise ProtocolError(
+                f"CBATCH block {i} claims {length} events "
+                f"(width {block_width})"
+            )
+    total = sum(lengths)
+    need = fixed_need + total * _PER_EVENT
+    if need != len(payload):
+        raise ProtocolError(
+            f"lying CBATCH header: blocks sum to {total} events, "
+            f"needing {need} payload bytes, frame carries {len(payload)}"
+        )
+    locations: Optional[List] = None
+    if table_len:
+        try:
+            entries = json.loads(bytes(view[table_off:len_off]))
+        except ValueError as exc:
+            raise ProtocolError(
+                f"corrupt CBATCH location table: {exc}"
+            ) from None
+        if not isinstance(entries, list):
+            raise ProtocolError(
+                "corrupt CBATCH location table: not a list"
+            )
+        locations = [decode_location(entry) for entry in entries]
+    a_off = ops_off + total * _OPS_SIZE
+    b_off = a_off + total * _INT_SIZE
+    rule_off = b_off + total * _INT_SIZE
+    foreign = endian != _native_flag()
+    blocks: List[EventBatch] = []
+    o, a, b = ops_off, a_off, b_off
+    for length in lengths:
+        ops = array("B")
+        av = array("i")
+        bv = array("i")
+        ops.frombytes(view[o: o + length])
+        av.frombytes(view[a: a + length * _INT_SIZE])
+        bv.frombytes(view[b: b + length * _INT_SIZE])
+        if foreign:
+            av.byteswap()
+            bv.byteswap()
+        blocks.append(EventBatch(ops, av, bv))
+        o += length
+        a += length * _INT_SIZE
+        b += length * _INT_SIZE
+    rules: List[Tuple[int, int]] = []
+    expanded = 0
+    for i in range(n_rules):
+        bid, rep = _CBATCH_RULE.unpack_from(
+            payload, rule_off + i * _CBATCH_RULE.size
+        )
+        if bid >= n_blocks:
+            raise ProtocolError(
+                f"CBATCH rule {i} references block {bid} of {n_blocks}"
+            )
+        if rep < 1:
+            raise ProtocolError(f"CBATCH rule {i} has zero repeat count")
+        if rules and rules[-1][0] == bid:
+            rules[-1] = (bid, rules[-1][1] + rep)
+        else:
+            rules.append((bid, rep))
+        expanded += rep * lengths[bid]
+    if expanded != n_events:
+        raise ProtocolError(
+            f"CBATCH rules expand to {expanded} events but the header "
+            f"claims {n_events}"
+        )
+    return CompressedTrace(block_width, blocks, rules), locations, seq
 
 
 def validate_batch_columns(

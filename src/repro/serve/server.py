@@ -13,7 +13,12 @@ protocol (:mod:`repro.serve.protocol`).  Each accepted connection is a
   BATCH frames the client may have outstanding;
 * BATCH frames are decoded (header-vs-payload bound check *before*
   allocation, CRC already verified at the framing layer), column-
-  validated, and queued for the session's ingest worker;
+  validated, and queued for the session's ingest worker; a v4 session
+  that negotiated the CBATCH feature bit may send grammar-compressed
+  CBATCH frames instead, which are validated per *unique block* and
+  ingested by the memoized kernel
+  (:meth:`~repro.engine.ingest.BatchEngine.ingest_compressed`) without
+  ever being expanded;
 * the worker feeds each batch to the session's engine -- an isolated
   :class:`~repro.engine.ingest.BatchEngine` per session by default, or
   one *shared* :class:`~repro.engine.parallel.ParallelShardedEngine`
@@ -173,6 +178,15 @@ class _Metrics:
         self.batches = registry.counter(
             "serve_batches_total", "BATCH frames ingested", labels=labels
         )
+        self.cbatches = registry.counter(
+            "serve_cbatches_total",
+            "compressed CBATCH frames ingested", labels=labels,
+        )
+        self.compressed_bytes = registry.counter(
+            "serve_compressed_bytes_total",
+            "CBATCH payload bytes received (compressed wire bytes)",
+            labels=labels,
+        )
         self.events = registry.counter(
             "serve_events_total", "events ingested over the wire",
             labels=labels,
@@ -289,6 +303,16 @@ class _SessionEngine:
         """Feed one batch; returns the races it newly detected."""
         engine = self._require_open()
         engine.ingest(batch)
+        races = engine.detector.races
+        new = list(races[self._races_seen:])
+        self._races_seen = len(races)
+        return new
+
+    def ingest_compressed(self, ctrace) -> List:
+        """Feed one compressed trace via the memoized kernel (never
+        expanding it); returns the races it newly detected."""
+        engine = self._require_open()
+        engine.ingest_compressed(ctrace)
         races = engine.detector.races
         new = list(races[self._races_seen:])
         self._races_seen = len(races)
@@ -429,7 +453,7 @@ class _Session:
         "sid", "writer", "engine", "queue", "queued", "credits",
         "withheld", "write_lock", "failed", "draining", "max_frame",
         "token", "enqueued_seq", "applied_seq", "durable_seq",
-        "last_table", "busy", "backend",
+        "last_table", "busy", "backend", "cbatch",
     )
 
     def __init__(
@@ -453,6 +477,7 @@ class _Session:
         self.last_table: Optional[int] = None  # table size at applied_seq
         self.busy = False  # an ingest is running in the executor
         self.backend = "lattice2d"  # negotiated engine backend (v3)
+        self.cbatch = False  # CBATCH feature granted (v4)
 
 
 _BYE = object()  # queue sentinel: client finished its stream
@@ -787,7 +812,9 @@ class RaceServer:
                 f"expected HELLO, got {wire.FRAME_NAMES[ftype]}",
             )
             return False
-        version, client_max, requested = wire.decode_hello(payload)
+        version, client_max, requested, features = wire.decode_hello(
+            payload
+        )
         if not (
             wire.MIN_PROTOCOL_VERSION <= version <= wire.PROTOCOL_VERSION
         ):
@@ -821,6 +848,26 @@ class RaceServer:
                 f"{backend!r} backend does not support",
             )
             return False
+        if features & wire.FLAG_CBATCH and version >= 4:
+            # Compression is negotiated exactly like a backend: a
+            # request the server cannot honour is a typed refusal,
+            # never a silent downgrade the client discovers mid-stream.
+            if self._shared_engine is not None:
+                await self._send_error(
+                    session, wire.ERR_COMPRESS,
+                    "this server runs one shared multi-process pool "
+                    "(jobs > 1); compressed ingestion requires "
+                    "per-session engines",
+                )
+                return False
+            if self.config.predict:
+                await self._send_error(
+                    session, wire.ERR_COMPRESS,
+                    "prediction sessions ingest raw batches; drop the "
+                    "compress request or use an observed-order server",
+                )
+                return False
+            session.cbatch = True
         session.backend = backend
         self._m.sessions_backend[backend].inc()
         max_frame = min(self.config.max_frame, client_max)
@@ -832,6 +879,10 @@ class RaceServer:
             wire.encode_hello_reply(
                 self.config.credit_window, max_frame, version=version,
                 backend=backend if version >= 3 else None,
+                features=(
+                    wire.FLAG_CBATCH
+                    if version >= 4 and session.cbatch else 0
+                ),
             ),
         )
         return True
@@ -882,7 +933,14 @@ class RaceServer:
                 if ftype == wire.FRAME_BYE:
                     return
                 continue
-            if ftype == wire.FRAME_BATCH:
+            if ftype in (wire.FRAME_BATCH, wire.FRAME_CBATCH):
+                if ftype == wire.FRAME_CBATCH and not session.cbatch:
+                    await self._send_error(
+                        session, wire.ERR_COMPRESS,
+                        "CBATCH on a session that did not negotiate "
+                        "the compression feature",
+                    )
+                    return
                 if session.credits <= 0:
                     await self._send_error(
                         session, wire.ERR_CREDIT_OVERRUN,
@@ -892,7 +950,15 @@ class RaceServer:
                 session.credits -= 1
                 self._m.credit_outstanding.dec()
                 try:
-                    batch, new_locs, seq = wire.decode_batch_payload(payload)
+                    if ftype == wire.FRAME_CBATCH:
+                        batch, new_locs, seq = wire.decode_cbatch_payload(
+                            payload
+                        )
+                        self._m.compressed_bytes.inc(len(payload))
+                    else:
+                        batch, new_locs, seq = wire.decode_batch_payload(
+                            payload
+                        )
                 except ProtocolError as exc:
                     await self._send_error(
                         session, wire.ERR_MALFORMED_BATCH, str(exc)
@@ -928,9 +994,15 @@ class RaceServer:
                     if new_locs is not None:
                         ships_table = True
                         table_size += len(new_locs)
-                    wire.validate_batch_columns(
-                        batch, table_size if ships_table else None
-                    )
+                    bound = table_size if ships_table else None
+                    if isinstance(batch, EventBatch):
+                        wire.validate_batch_columns(batch, bound)
+                    else:
+                        # Compressed: validating each unique block once
+                        # covers every repeat -- the dedup that makes
+                        # ingestion cheap makes validation cheap too.
+                        for block in batch.blocks:
+                            wire.validate_batch_columns(block, bound)
                 except ProtocolError as exc:
                     await self._send_error(
                         session, wire.ERR_MALFORMED_BATCH, str(exc)
@@ -1052,9 +1124,13 @@ class RaceServer:
             session.queued -= 1
             start = time.perf_counter()
             session.busy = True
+            compressed = not isinstance(batch, EventBatch)
             try:
                 new_races = await loop.run_in_executor(
-                    None, session.engine.ingest, batch
+                    None,
+                    session.engine.ingest_compressed
+                    if compressed else session.engine.ingest,
+                    batch,
                 )
             except (DetectorError, ServeError) as exc:
                 session.failed = exc
@@ -1072,7 +1148,7 @@ class RaceServer:
                 session.last_table = table
             m.service_time.observe(time.perf_counter() - start)
             m.batch_events.observe(len(batch))
-            m.batches.inc()
+            (m.cbatches if compressed else m.batches).inc()
             m.events.inc(len(batch))
             m.observe_depth(self._total_depth())
             if new_races:

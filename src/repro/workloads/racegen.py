@@ -29,6 +29,7 @@ __all__ = [
     "with_injected_race",
     "conflicting_pair_program",
     "bulk_access_program",
+    "loop_program",
     "INJECTED_LOC",
 ]
 
@@ -108,6 +109,57 @@ def bulk_access_program(
                 yield _join(handle)
 
     main.__name__ = f"bulk_{rounds}x{fanout}x{accesses_per_task}"
+    return main
+
+
+def loop_program(
+    fanout: int = 4,
+    loops: int = 100,
+    pattern: int = 64,
+    *,
+    n_shared: int = 4,
+    racy: bool = False,
+) -> Body:
+    """A deliberately repetitive, block-structured workload -- the
+    compressed-trace subsystem's standard traffic generator (the CLI
+    ``--loops`` knob).
+
+    The root forks ``fanout`` workers back-to-back and joins them in
+    reverse.  Each worker runs ``loops`` iterations of one fixed
+    ``pattern``-length access run whose locations depend only on the
+    position *within* the pattern -- every iteration emits exactly the
+    same ``(op, task, loc)`` columns, so a worker's whole run is a
+    stream with period ``pattern``.  Whenever ``pattern`` divides the
+    compressor's block width, the run's interior blocks are bit-identical
+    and the trace collapses to a handful of unique blocks plus
+    run-length rules (see :mod:`repro.compress`).
+
+    The accesses are race-free by construction: each worker writes only
+    its own private locations and reads a shared read-only pool.  With
+    ``racy=True`` the first two workers additionally write one common
+    location once, after their loops, seeding exactly one racing pair.
+
+    Total accesses: ``fanout * loops * pattern`` (plus two if racy).
+    """
+
+    def worker(self: TaskHandle, wid: int) -> Iterator:
+        for _ in range(loops):
+            for k in range(pattern):
+                if k % 4 == 3:
+                    yield _read(("shared", k % n_shared))
+                else:
+                    yield _write(("private", wid, k))
+        if racy and wid < 2:
+            yield _write(("racy",), label=f"loop-racer-{wid}")
+
+    def main(self: TaskHandle) -> Iterator:
+        handles = []
+        for wid in range(fanout):
+            handles.append((yield _fork(worker, wid)))
+        for handle in reversed(handles):
+            yield _join(handle)
+
+    main.__name__ = f"loops_{fanout}x{loops}x{pattern}"
     return main
 
 

@@ -56,6 +56,7 @@ class RawConn:
         timeout: float = 10.0,
         backend: str = None,
         version: int = wire.PROTOCOL_VERSION,
+        features: int = 0,
     ):
         self.sock = socket.create_connection(
             ("127.0.0.1", port), timeout=timeout
@@ -63,16 +64,20 @@ class RawConn:
         self.credit = 0
         self.max_frame = wire.DEFAULT_MAX_FRAME
         self.backend = None
+        self.features = 0
         if hello:
             self.send(
                 wire.encode_frame(
                     wire.FRAME_HELLO,
-                    wire.encode_hello(backend=backend, version=version),
+                    wire.encode_hello(
+                        backend=backend, version=version,
+                        features=features,
+                    ),
                 )
             )
             ftype, payload = self.recv_frame()
             assert ftype == wire.FRAME_HELLO, wire.FRAME_NAMES[ftype]
-            _, self.credit, self.max_frame, self.backend = (
+            _, self.credit, self.max_frame, self.backend, self.features = (
                 wire.decode_hello_reply(payload)
             )
 

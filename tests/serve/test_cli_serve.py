@@ -81,7 +81,7 @@ class TestSubmit:
 
     def test_needs_a_source(self, capsys):
         assert main(["submit"]) == 2
-        assert "trace file or --racegen" in capsys.readouterr().err
+        assert "trace file, --racegen" in capsys.readouterr().err
 
 
 class TestExitCodes:

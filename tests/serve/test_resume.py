@@ -147,7 +147,7 @@ class TestResumeInProcess:
                     client.send_batch(piece)
                     if client._unacked and rng.random() < 0.5:
                         seq = rng.choice(sorted(client._unacked))
-                        client._send_payload(client._unacked[seq])
+                        client._send_payload(*client._unacked[seq])
                         duplicated += 1
                 assert duplicated > 0
                 summary = client.finish()

@@ -21,6 +21,7 @@ DOC_FILES = [
     ROOT / "docs" / "SERVING.md",
     ROOT / "docs" / "FAULT_TOLERANCE.md",
     ROOT / "docs" / "PREDICTION.md",
+    ROOT / "docs" / "COMPRESSION.md",
 ]
 
 BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)

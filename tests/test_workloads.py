@@ -197,3 +197,38 @@ class TestRaceInjection:
         clean = Lattice2DDetector()
         run(conflicting_pair_program(ordered=True), observers=[clean])
         assert clean.races == []
+
+
+class TestLoopProgram:
+    """The repetitive loop workload feeding the compressed-trace
+    subsystem (the CLI ``--loops``/``--racegen-loops`` knobs)."""
+
+    def test_access_count_and_block_periodicity(self):
+        from repro.compress import compress
+        from repro.engine.benchlib import capture
+        from repro.workloads.racegen import loop_program
+
+        fanout, loops, pattern = 3, 10, 8
+        _events, batch, _ = capture(loop_program(fanout, loops, pattern))
+        accesses = sum(1 for op in batch.ops if op >= 4)  # READ/WRITE
+        assert accesses == fanout * loops * pattern
+        # Each worker's run is periodic in ``pattern``, so compressing
+        # at the period collapses the interior to a handful of blocks.
+        ctrace = compress(batch, pattern)
+        assert len(ctrace.blocks) <= ctrace.block_count() // 2
+        assert ctrace.decompress().ops.tobytes() == batch.ops.tobytes()
+
+    def test_race_free_by_default(self):
+        from repro.workloads.racegen import loop_program
+
+        det = Lattice2DDetector()
+        run(loop_program(3, 4, 8), observers=[det])
+        assert det.races == []
+
+    def test_racy_seeds_exactly_one_pair(self):
+        from repro.workloads.racegen import loop_program
+
+        det = Lattice2DDetector()
+        run(loop_program(3, 4, 8, racy=True), observers=[det])
+        assert len(det.races) == 1
+        assert det.races[0].label == "loop-racer-1"
