@@ -18,6 +18,14 @@ tracks alongside the batched series.  A fourth series,
 depa-negotiated session (v3 HELLO ``backend="depa"``) so the record
 shows what backend negotiation buys on the wire; its differential
 (served depa races == local lattice2d races) is asserted on every run.
+
+The multi-node tier rides the same harness: ``serve_multinode_2w`` and
+``serve_multinode_4w`` replay the single-session load through a
+:class:`ClusterThread` gateway sharding by location across 2 and 4
+engine worker processes (``docs/SCALE_OUT.md``).  On a single-core
+bench host these legs measure routing overhead, not speedup, so no
+ratio is gated -- but ``differential.serve_multinode_agrees`` (gateway
+races == local races at every worker count) is asserted on every run.
 """
 
 from __future__ import annotations
@@ -33,13 +41,20 @@ from repro.bench.tables import print_table
 from repro.engine.benchlib import build_workload, capture
 from repro.engine.ingest import BatchEngine
 from repro.obs.registry import MetricsRegistry
-from repro.serve import ServeConfig, ServerThread, run_load
+from repro.serve import (
+    ClusterConfig,
+    ClusterThread,
+    ServeConfig,
+    ServerThread,
+    run_load,
+)
 
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 ACCESSES = 100_000
 BATCH_SIZE = 16384
 SESSION_COUNTS = (1, 4, 16)
+MULTINODE_WORKERS = (2, 4)
 REPEATS = 3
 
 pytestmark = [pytest.mark.engine, pytest.mark.serve]
@@ -108,6 +123,21 @@ def record():
         )
         seconds["serve_depa_1s"] = depa_s
         eps["serve_depa_1s"] = len(batch) / depa_s
+    # The multi-node legs each get a fresh gateway: worker processes
+    # are part of what is being measured, not amortisable fixtures.
+    multinode_races = {}
+    for workers in MULTINODE_WORKERS:
+        with ClusterThread(
+            ClusterConfig(workers=workers), registry=MetricsRegistry()
+        ) as cluster:
+            served_s, races = _time_served(cluster.port, batch, 1)
+            key = f"serve_multinode_{workers}w"
+            seconds[key] = served_s
+            eps[key] = len(batch) / served_s
+            multinode_races[workers] = races
+    multinode_agrees = all(
+        races == local_races for races in multinode_races.values()
+    )
     rec = {
         "bench": "serve",
         "workload": {
@@ -122,7 +152,14 @@ def record():
         / eps["serve_1s"],
         "differential": {
             "serve_depa_agrees": depa_races == local_races,
-            "races": {"local": local_races, "serve_depa": depa_races},
+            "serve_multinode_agrees": multinode_agrees,
+            "races": {
+                "local": local_races,
+                "serve_depa": depa_races,
+                "serve_multinode": {
+                    str(w): r for w, r in multinode_races.items()
+                },
+            },
         },
     }
 
@@ -142,6 +179,7 @@ def record():
     stored.setdefault("differential", {})["serve_depa_agrees"] = rec[
         "differential"
     ]["serve_depa_agrees"]
+    stored["differential"]["serve_multinode_agrees"] = multinode_agrees
     RECORD_PATH.write_text(
         json.dumps(stored, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
@@ -156,6 +194,7 @@ def record():
             for name in (
                 "batched_reference", "serve_1s", "serve_4s",
                 "serve_16s", "serve_depa_1s",
+                "serve_multinode_2w", "serve_multinode_4w",
             )
         ],
         title=f"serving layer vs direct ingest ({ACCESSES // 1000}k accesses)",
@@ -187,11 +226,23 @@ def test_depa_session_changes_no_verdicts(record):
     ]
 
 
+@pytest.mark.shape
+def test_multinode_gateway_changes_no_verdicts(record):
+    """Sharding by location across worker processes is exact: every
+    worker count streams back the local lattice2d race count."""
+    assert record["differential"]["serve_multinode_agrees"] is True, record[
+        "differential"
+    ]
+
+
 def test_record_merged_into_engine_record(record):
     stored = json.loads(RECORD_PATH.read_text(encoding="utf-8"))
     assert "serve_4s" in stored["events_per_sec"]
     assert "serve_depa_1s" in stored["events_per_sec"]
+    assert "serve_multinode_2w" in stored["events_per_sec"]
+    assert "serve_multinode_4w" in stored["events_per_sec"]
     assert stored["differential"]["serve_depa_agrees"] is True
+    assert stored["differential"]["serve_multinode_agrees"] is True
     assert stored["serve_vs_batched_overhead"] == pytest.approx(
         record["serve_vs_batched_overhead"]
     )

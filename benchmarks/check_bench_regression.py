@@ -33,6 +33,15 @@ run overwrote it). The gated series:
   ``differential.predict_sound`` == true: a prediction engine that
   stopped covering the observed races is a correctness bug, not a
   perf trade.
+* ``events_per_sec.serve_multinode_2w`` / ``_4w`` -- the
+  location-sharded gateway's single-session loopback throughput over 2
+  and 4 engine worker processes (``docs/SCALE_OUT.md``).  Both
+  self-introducing (skipped with a note when the baseline predates the
+  multi-node tier).  No speedup floor: the bench host is single-core,
+  so worker processes measure routing overhead, not parallelism.  The
+  fresh record must instead carry
+  ``differential.serve_multinode_agrees`` == true -- a gateway that
+  changed race verdicts is a correctness bug, not a perf trade.
 * ``events_per_sec.compressed`` -- memoized detection over the
   grammar-compressed loops workload.  Self-introducing (skipped with a
   note when the baseline predates the compressed subsystem).  The
@@ -77,6 +86,8 @@ GATES = (
     (("events_per_sec", "depa"), False),
     (("events_per_sec", "depa_parallel"), False),
     (("events_per_sec", "serve_depa_1s"), False),
+    (("events_per_sec", "serve_multinode_2w"), False),
+    (("events_per_sec", "serve_multinode_4w"), False),
     (("events_per_sec", "predict"), False),
     (("events_per_sec", "compressed"), False),
 )
@@ -180,6 +191,7 @@ def main(argv) -> int:
     failed = _check_depa_parallel_ratio(fresh_rec) or failed
     failed = _check_predict_sound(fresh_rec) or failed
     failed = _check_compressed(fresh_rec) or failed
+    failed = _check_multinode_agrees(fresh_rec) or failed
     return 1 if failed else 0
 
 
@@ -251,6 +263,24 @@ def _check_predict_sound(fresh_rec) -> bool:
     sound = differential["predict_sound"]
     print(f"{name}: {sound} -> {'OK' if sound is True else 'REGRESSION'}")
     return sound is not True
+
+
+def _check_multinode_agrees(fresh_rec) -> bool:
+    """Gate the fresh multi-node differential verdict; returns True on
+    failure.  Self-introducing: skipped when the fresh record predates
+    the gateway tier.  Throughput gives the gateway no cover -- a
+    record that carries the tier must certify the race multisets
+    agreed at every measured worker count."""
+    name = "differential.serve_multinode_agrees"
+    differential = fresh_rec.get("differential")
+    if not isinstance(differential, dict) or (
+        "serve_multinode_agrees" not in differential
+    ):
+        print(f"{name}: not in the fresh record; skipping this gate")
+        return False
+    agrees = differential["serve_multinode_agrees"]
+    print(f"{name}: {agrees} -> {'OK' if agrees is True else 'REGRESSION'}")
+    return agrees is not True
 
 
 def _check_compressed(fresh_rec) -> bool:

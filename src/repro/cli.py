@@ -359,6 +359,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="also serve the live Prometheus snapshot on "
         "http://HOST:PORT/metrics (stdlib http.server thread)",
     )
+    p_sv.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="serve as a location-sharded gateway over N engine worker "
+        "processes (multi-node scale-out; accesses route to worker "
+        "lid %% N and a killed worker is respawned with its sessions "
+        "migrated -- see docs/SCALE_OUT.md); incompatible with --jobs, "
+        "--predict, and a non-default --backend (default: 1, single "
+        "node)",
+    )
+    p_sv.add_argument(
+        "--log-dir", metavar="DIR",
+        help="with --workers: capture each worker's stdout/stderr as "
+        "DIR/worker-K.log (CI uploads these on failure)",
+    )
 
     p_sub2 = sub.add_parser(
         "submit",
@@ -893,6 +907,11 @@ def _serve(args) -> int:
         start_metrics_http,
     )
 
+    if args.workers > 1:
+        return _serve_cluster(args)
+    if args.log_dir is not None:
+        raise ReproError("--log-dir only applies with --workers > 1")
+
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -951,6 +970,93 @@ def _serve(args) -> int:
                 f"{durability}{mode}); SIGTERM drains"
             )
             await server.serve_forever()
+        finally:
+            if httpd is not None:
+                httpd.shutdown()
+        return 0
+
+    return asyncio.run(_run())
+
+
+def _serve_cluster(args) -> int:
+    import asyncio
+
+    from repro.serve import (
+        EXIT_BIND_FAILURE,
+        ClusterConfig,
+        RaceCluster,
+        start_metrics_http,
+    )
+
+    if args.jobs > 1:
+        raise ReproError(
+            "--workers shards across processes already; it cannot be "
+            "combined with --jobs > 1"
+        )
+    if args.predict:
+        raise ReproError(
+            "the gateway serves observed-order detection only: "
+            "--predict cannot be combined with --workers > 1"
+        )
+    if args.backend != "lattice2d":
+        raise ReproError(
+            f"the gateway's workers default to lattice2d (clients may "
+            f"still request {args.backend!r} per session in their "
+            f"HELLO); drop --backend or --workers"
+        )
+
+    config = ClusterConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        credit_window=args.credit_window,
+        queue_high_water=args.queue_high_water,
+        max_frame=args.max_frame,
+        idle_timeout=args.idle_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        log_dir=args.log_dir,
+    )
+
+    async def _run() -> int:
+        cluster = RaceCluster(config)
+        try:
+            port = await cluster.start()
+        except OSError as exc:
+            print(
+                f"error: cannot bind {config.host}:{config.port}: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_BIND_FAILURE
+        cluster.install_signal_handlers()
+        httpd = None
+        try:
+            if args.metrics_port is not None:
+                try:
+                    httpd = start_metrics_http(
+                        args.metrics_port, cluster.registry,
+                        host=config.host,
+                    )
+                except OSError as exc:
+                    print(
+                        f"error: cannot bind metrics port "
+                        f"{args.metrics_port}: {exc}",
+                        file=sys.stderr,
+                    )
+                    await cluster.shutdown()
+                    return EXIT_BIND_FAILURE
+                print(
+                    f"metrics on http://{config.host}:"
+                    f"{httpd.server_port}/metrics"
+                )
+            ports = ", ".join(str(w.port) for w in cluster.workers)
+            print(
+                f"serving RPRSERVE on {config.host}:{port} as a "
+                f"gateway over {config.workers} engine workers "
+                f"(ports {ports}; credit window {config.credit_window}); "
+                f"SIGTERM drains"
+            )
+            await cluster.serve_forever()
         finally:
             if httpd is not None:
                 httpd.shutdown()

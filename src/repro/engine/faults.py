@@ -13,6 +13,14 @@ guarantees documented in ``docs/FAULT_TOLERANCE.md``:
   the no-cleanup crash.  A durable client resuming against a restarted
   server must end with exactly the race multiset of an uninterrupted
   local replay.
+* **Worker kills** (the ``kill_worker`` leg) -- the same workload is
+  streamed through a 2-worker :class:`~repro.serve.cluster.RaceCluster`
+  gateway and a random *engine worker* is SIGKILLed at a random batch
+  boundary mid-stream; the supervisor respawns it, the gateway's links
+  RESUME their ``(session, shard)`` checkpoints and replay unacked
+  slices, and the client's final race multiset must again equal the
+  uninterrupted local replay (migration under kill, see
+  ``docs/SCALE_OUT.md``).
 * **Duplicated frames** -- :func:`resend_unacked` replays a batch the
   server may already hold; sequence-number dedup must absorb it.
 * **Backend negotiation under faults** -- every round also replays the
@@ -243,6 +251,10 @@ def _local_expected(batch):
     return _race_multiset(engine.detector.races)
 
 
+#: the fault legs :func:`run_soak` knows how to drive
+SOAK_LEGS = ("kill_server", "kill_worker")
+
+
 def run_soak(
     seconds: float = 60.0,
     *,
@@ -250,17 +262,26 @@ def run_soak(
     accesses: int = 20_000,
     batch_size: int = 2048,
     checkpoint_interval: int = 4,
+    legs: Tuple[str, ...] = SOAK_LEGS,
+    log_dir: Optional[str] = None,
     log=print,
 ) -> Dict[str, Any]:
     """Randomized kill/corrupt/duplicate rounds for ``seconds`` of
     wall clock; raises :class:`AssertionError` on the first divergence.
 
-    Each round builds a seeded racegen workload, streams it through a
-    durable session against a subprocess server, SIGKILLs the server
-    at a random batch boundary, restarts it, lets the client resume,
-    and requires the final race multiset to equal an uninterrupted
-    local replay.  Between rounds it also tears checkpoints apart on
-    disk and asserts the typed refusal.
+    Each ``kill_server`` round builds a seeded racegen workload,
+    streams it through a durable session against a subprocess server,
+    SIGKILLs the server at a random batch boundary, restarts it, lets
+    the client resume, and requires the final race multiset to equal
+    an uninterrupted local replay.  Between rounds it also tears
+    checkpoints apart on disk and asserts the typed refusal.
+
+    Each ``kill_worker`` round streams the same workload through a
+    2-worker gateway (:class:`~repro.serve.cluster.RaceCluster`) and
+    SIGKILLs a random *engine worker* at the same batch boundary; the
+    respawn/RESUME/replay machinery must deliver the identical
+    multiset.  ``legs`` selects which families run; ``log_dir``
+    captures the cluster workers' stdout/stderr for CI artifacts.
     """
     import tempfile
 
@@ -269,12 +290,24 @@ def run_soak(
     from repro.engine.snapshot import load_checkpoint, save_checkpoint
     from repro.serve import protocol as wire
     from repro.serve.client import RaceClient, RemoteError
+    from repro.obs.registry import MetricsRegistry
+    from repro.serve.cluster import ClusterConfig, ClusterThread
 
+    for leg in legs:
+        if leg not in SOAK_LEGS:
+            raise WorkloadError(
+                f"unknown soak leg {leg!r}; expected a subset of "
+                f"{SOAK_LEGS}"
+            )
+    if not legs:
+        raise WorkloadError("need at least one soak leg")
     rng = random.Random(seed)
     stats: Dict[str, Any] = {
-        "seed": seed, "rounds": 0, "kills": 0, "reconnects": 0,
-        "duplicates": 0, "corruptions_rejected": 0, "events": 0,
-        "races": 0, "depa_sessions": 0, "depa_resume_refusals": 0,
+        "seed": seed, "legs": list(legs), "rounds": 0, "kills": 0,
+        "reconnects": 0, "duplicates": 0, "corruptions_rejected": 0,
+        "events": 0, "races": 0, "depa_sessions": 0,
+        "depa_resume_refusals": 0, "worker_kills": 0,
+        "worker_respawns": 0, "cluster_events": 0, "cluster_races": 0,
     }
     deadline = time.monotonic() + seconds
     while time.monotonic() < deadline:
@@ -292,6 +325,54 @@ def run_soak(
         expected = _local_expected(batch)
         pieces = list(batch.slices(batch_size))
         kill_at = round_rng.randrange(1, max(2, len(pieces)))
+
+        if "kill_worker" in legs:
+            victim = round_rng.randrange(2)
+            with ClusterThread(
+                ClusterConfig(
+                    workers=2,
+                    checkpoint_interval=checkpoint_interval,
+                    log_dir=log_dir,
+                ),
+                # A private registry per round: the respawn counters
+                # below must count this round's kills only.
+                registry=MetricsRegistry(),
+            ) as cluster:
+                gw_client = RaceClient(
+                    "127.0.0.1", cluster.port, timeout=30.0
+                ).connect()
+                for k, piece in enumerate(pieces):
+                    if k == kill_at:
+                        cluster.kill_worker(victim)
+                        stats["worker_kills"] += 1
+                    gw_client.send_batch(piece)
+                gw_summary = gw_client.finish()
+                gw_client.close()
+                assert cluster.cluster is not None
+                stats["worker_respawns"] += sum(
+                    c.value
+                    for c in cluster.cluster._m.respawns
+                )
+            got_gw = _race_multiset(gw_summary.reports)
+            if got_gw != expected:
+                raise AssertionError(
+                    f"gateway race multiset diverged after worker kill "
+                    f"(seed={seed}, round_seed={round_seed}, "
+                    f"kill_at={kill_at}, victim={victim}): got "
+                    f"{sum(got_gw.values())} reports, expected "
+                    f"{sum(expected.values())}"
+                )
+            stats["cluster_events"] += gw_summary.events
+            stats["cluster_races"] += sum(got_gw.values())
+
+        if "kill_server" not in legs:
+            log(
+                f"soak round {stats['rounds']}: ok "
+                f"(round_seed={round_seed}, kill_at={kill_at}, "
+                f"worker_kills={stats['worker_kills']}, "
+                f"cluster_events={stats['cluster_events']})"
+            )
+            continue
         with tempfile.TemporaryDirectory(prefix="repro-soak-") as ckdir:
             port = free_port()
             server = ServerProcess(
@@ -406,7 +487,8 @@ def run_soak(
             f"soak round {stats['rounds']}: ok "
             f"(round_seed={round_seed}, kill_at={kill_at}, "
             f"reconnects={stats['reconnects']}, "
-            f"events={stats['events']}, races={stats['races']})"
+            f"events={stats['events']}, races={stats['races']}, "
+            f"worker_kills={stats['worker_kills']})"
         )
     return stats
 
@@ -432,6 +514,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--batch-size", type=int, default=2048)
     parser.add_argument("--checkpoint-interval", type=int, default=4)
     parser.add_argument(
+        "--legs", default=",".join(SOAK_LEGS), metavar="LEGS",
+        help="comma-separated fault legs to run "
+        f"(default: {','.join(SOAK_LEGS)})",
+    )
+    parser.add_argument(
+        "--log-dir", metavar="DIR",
+        help="capture cluster worker stdout/stderr as DIR/worker-K.log "
+        "(kill_worker leg; CI uploads these on failure)",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", help="also write the stats as JSON"
     )
     args = parser.parse_args(argv)
@@ -442,8 +534,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             accesses=args.accesses,
             batch_size=args.batch_size,
             checkpoint_interval=args.checkpoint_interval,
+            legs=tuple(
+                leg.strip() for leg in args.legs.split(",") if leg.strip()
+            ),
+            log_dir=args.log_dir,
         )
-    except AssertionError as exc:
+    except (AssertionError, WorkloadError) as exc:
         print(f"SOAK FAILURE: {exc}", file=sys.stderr)
         return 1
     encoded = json.dumps(stats, sort_keys=True)

@@ -615,6 +615,68 @@ class BatchEngine:
         return [replace(r, loc=location(r.loc)) for r in reports]
 
 
+def split_batch(batch: EventBatch, n_shards: int) -> List[EventBatch]:
+    """Partition one batch into ``n_shards`` per-location sub-batches.
+
+    Accesses go to shard ``lid % n_shards``; structural events (fork,
+    join, halt -- everything below ``OP_READ``) are replicated to every
+    shard so each one sees the full series-parallel skeleton.  Because
+    a race is always witnessed at a single location, running each
+    sub-batch through an independent detector finds exactly the races
+    of the whole batch (the per-location argument of the paper, §3-4).
+
+    The shard-index column is computed once, vectorized, and each
+    sub-batch is materialized with bulk ``array`` copies -- no
+    per-event Python dispatch.  Falls back to a plain loop for tiny
+    batches or when numpy is unavailable.  This is both the in-process
+    routing step of :class:`ShardedBatchEngine` and the network-level
+    routing step of the :mod:`repro.serve.cluster` gateway.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    if _np is None or len(batch) < 128:
+        return _split_batch_py(batch, n_shards)
+    ops_np = _np.frombuffer(batch.ops, dtype=_np.uint8)
+    a_np = _np.frombuffer(batch.a, dtype=_np.int32)
+    b_np = _np.frombuffer(batch.b, dtype=_np.int32)
+    # One pass for the routing column: accesses go to lid % K, the
+    # structural rest is replicated to every shard.
+    structural = ops_np < OP_READ
+    shard = b_np % n_shards
+    subs: List[EventBatch] = []
+    for k in range(n_shards):
+        mask = structural | (shard == k)
+        subs.append(
+            EventBatch(
+                array("B", ops_np[mask].tobytes()),
+                array("i", a_np[mask].tobytes()),
+                array("i", b_np[mask].tobytes()),
+            )
+        )
+    return subs
+
+
+def _split_batch_py(batch: EventBatch, n_shards: int) -> List[EventBatch]:
+    """Per-event fallback split (small batches, no numpy)."""
+    subs = [EventBatch() for _ in range(n_shards)]
+    appends = [
+        (sub.ops.append, sub.a.append, sub.b.append) for sub in subs
+    ]
+    read_op, write_op = OP_READ, OP_WRITE
+    for op, a, b in zip(batch.ops, batch.a, batch.b):
+        if op == read_op or op == write_op:
+            ap_op, ap_a, ap_b = appends[b % n_shards]
+            ap_op(op)
+            ap_a(a)
+            ap_b(b)
+        else:
+            for ap_op, ap_a, ap_b in appends:
+                ap_op(op)
+                ap_a(a)
+                ap_b(b)
+    return subs
+
+
 class ShardedBatchEngine:
     """Shadow-map partitioning over independent detector instances.
 
@@ -739,56 +801,14 @@ class ShardedBatchEngine:
         return loc_id % self.num_shards
 
     def split(self, batch: EventBatch) -> List[EventBatch]:
-        """Partition one batch into per-shard sub-batches.
-
-        The shard-index column is computed once, vectorized, and each
-        sub-batch is materialized with bulk ``array`` copies -- no
-        per-event Python dispatch (the routing cost that used to make
-        sharding slower than it needed to be).  Falls back to a plain
-        loop for tiny batches or when numpy is unavailable.
-        """
-        n_shards = self.num_shards
-        if _np is None or len(batch) < 128:
-            return self._split_py(batch)
-        ops_np = _np.frombuffer(batch.ops, dtype=_np.uint8)
-        a_np = _np.frombuffer(batch.a, dtype=_np.int32)
-        b_np = _np.frombuffer(batch.b, dtype=_np.int32)
-        # One pass for the routing column: accesses go to lid % K, the
-        # structural rest is replicated to every shard.
-        structural = ops_np < OP_READ
-        shard = b_np % n_shards
-        subs: List[EventBatch] = []
-        for k in range(n_shards):
-            mask = structural | (shard == k)
-            subs.append(
-                EventBatch(
-                    array("B", ops_np[mask].tobytes()),
-                    array("i", a_np[mask].tobytes()),
-                    array("i", b_np[mask].tobytes()),
-                )
-            )
-        return subs
+        """Partition one batch into per-shard sub-batches (see
+        :func:`split_batch` -- the same routine the cluster gateway
+        uses to route column slices over the network)."""
+        return split_batch(batch, self.num_shards)
 
     def _split_py(self, batch: EventBatch) -> List[EventBatch]:
         """Per-event fallback split (small batches, no numpy)."""
-        subs = [EventBatch() for _ in range(self.num_shards)]
-        appends = [
-            (sub.ops.append, sub.a.append, sub.b.append) for sub in subs
-        ]
-        n_shards = self.num_shards
-        read_op, write_op = OP_READ, OP_WRITE
-        for op, a, b in zip(batch.ops, batch.a, batch.b):
-            if op == read_op or op == write_op:
-                ap_op, ap_a, ap_b = appends[b % n_shards]
-                ap_op(op)
-                ap_a(a)
-                ap_b(b)
-            else:
-                for ap_op, ap_a, ap_b in appends:
-                    ap_op(op)
-                    ap_a(a)
-                    ap_b(b)
-        return subs
+        return _split_batch_py(batch, self.num_shards)
 
     def ingest(self, batch: EventBatch) -> int:
         """Route one batch: accesses to their shard, lifecycle to all."""

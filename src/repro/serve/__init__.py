@@ -11,13 +11,23 @@ protocol walk-through and deployment guidance:
   :class:`ServerThread` for loopback serving from synchronous code);
 * :mod:`repro.serve.client` -- the blocking client
   (:class:`RaceClient`), trace/program replay helpers, and the
-  multi-connection load generator (:func:`run_load`).
+  multi-connection load generator (:func:`run_load`);
+* :mod:`repro.serve.cluster` -- the multi-node tier: a
+  location-sharded gateway (:class:`RaceCluster`) routing column
+  slices across N engine worker processes, with migration under
+  worker kill (see ``docs/SCALE_OUT.md``).
 
 The ``repro-race serve`` / ``submit`` CLI subcommands front these; the
 distinct exit codes they use live here so tests and scripts can name
 them.
 """
 
+from repro.serve.cluster import (
+    ClusterConfig,
+    ClusterThread,
+    RaceCluster,
+    WorkerProcess,
+)
 from repro.serve.client import (
     ClientSummary,
     ConnectError,
@@ -48,6 +58,10 @@ __all__ = [
     "RaceServer",
     "ServerThread",
     "start_metrics_http",
+    "ClusterConfig",
+    "RaceCluster",
+    "ClusterThread",
+    "WorkerProcess",
     "RaceClient",
     "ConnectError",
     "TransportError",

@@ -151,6 +151,9 @@ class RaceClient:
         self.backend = backend
         self.compress = compress
         self.negotiated_backend: Optional[str] = None
+        #: engine workers behind the server (v5 HELLO reply; 1 when a
+        #: pre-v5 server didn't say, or when there's truly one engine)
+        self.negotiated_workers = 1
         self.credit = 0
         self.events_sent = 0
         self.batches_sent = 0
@@ -209,7 +212,7 @@ class RaceClient:
             raise ProtocolError(
                 f"expected HELLO reply, got {wire.FRAME_NAMES[ftype]}"
             )
-        version, credit, max_frame, granted, features = (
+        version, credit, max_frame, granted, features, workers = (
             wire.decode_hello_reply(payload)
         )
         if self.backend is not None and granted != self.backend:
@@ -229,6 +232,7 @@ class RaceClient:
                 f"server (protocol v{version}) did not grant it"
             )
         self.negotiated_backend = granted
+        self.negotiated_workers = workers
         self.credit = credit
         self.max_frame = max_frame
         if self.session is not None:

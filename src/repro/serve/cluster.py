@@ -1,0 +1,1120 @@
+"""Multi-node serving: a location-sharded gateway over engine workers.
+
+:class:`RaceCluster` is a stateless *gateway* tier in front of N
+engine **worker** processes, each an ordinary ``repro-race serve``
+(:class:`~repro.serve.server.RaceServer`) with its own per-session
+:class:`~repro.engine.ingest.BatchEngine`.  Clients speak the same
+RPRSERVE protocol they would to a single node -- the v5 HELLO reply
+simply says how many workers answered (:data:`negotiated_workers` on
+the client), and a v2..v4 client gets its usual byte-identical
+exchange.
+
+Routing is the per-location argument of the paper lifted to the
+network layer: a race is always witnessed at one memory location, so
+hash-sharding accesses by ``lid % N`` across independent detectors is
+*exact*, not approximate.  The gateway runs the same vectorized
+:func:`~repro.engine.ingest.split_batch` that
+:class:`~repro.engine.ingest.ShardedBatchEngine` uses in-process and
+ships whole column slices to the workers -- structural events (fork,
+join, halt) are replicated to every worker so each one holds the full
+series-parallel skeleton.  CBATCH frames are expanded at the gateway
+and routed as raw slices (block structure does not survive sharding,
+the same reason ``ShardedBatchEngine.ingest_compressed`` expands).
+
+**Migration under kill.**  Each client session opens one *durable*
+worker session per shard, keyed ``gw{nonce}-{sid}-s{k}`` -- that is
+the ``(session, shard)`` key of the issue -- against workers running
+with a checkpoint directory.  The gateway retains every routed slice
+until the owning worker's checkpoint ACK covers it (the durable
+session log).  When a worker is SIGKILLed, a supervisor task respawns
+it on the same port and each affected link reconnects, RESUMEs its
+``(session, shard)`` token, and replays the unacked slices; replayed
+duplicates are skipped idempotently server-side and RACES frames are
+keyed by sequence, so the client's final race multiset is exactly
+that of an uninterrupted run.  Sessions on a non-checkpointable
+backend (``depa``) use plain worker sessions instead and a worker
+kill surfaces as a typed ``ERR_DETECTOR`` -- recovery is a lattice2d
+feature, negotiated, never silently substituted.
+
+Client-side durability (RESUME *from* a client) is refused with a
+typed ``ERR_CHECKPOINT``: through the gateway, durability is an
+inter-node concern -- the gateway masks worker failures, and a
+client that needs its own crash recovery talks to a single node.
+
+Everything is observable through :mod:`repro.obs` under
+``component="cluster"``: per-worker routed-access counters, unacked
+(replay-log) gauges, respawn counters, queue depths, credit stalls.
+
+:class:`ClusterThread` is the synchronous harness (tests, benchmarks,
+docs); ``python -m repro.serve.cluster`` is a self-checking loopback
+smoke run used by CI.  See ``docs/SCALE_OUT.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, List, Optional
+
+from repro.engine.batch import EventBatch
+from repro.engine.ingest import BACKENDS, split_batch
+from repro.errors import ProtocolError, ServeError, WorkloadError
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.serve import protocol as wire
+from repro.serve.client import (
+    ConnectError,
+    RaceClient,
+    RemoteError,
+    TransportError,
+)
+from repro.serve.server import _read_frame
+
+__all__ = [
+    "ClusterConfig",
+    "WorkerProcess",
+    "RaceCluster",
+    "ClusterThread",
+]
+
+#: RACES frames are forwarded in fixed-size chunks keyed by chunk
+#: index: chunk *i* is streamed at seq ``i + 1`` and *replaces* the
+#: client's previous copy of that chunk (the per-seq replacement the
+#: durable protocol already defines).  The merged race list only ever
+#: grows, so an update resends just the trailing partial chunk plus
+#: anything new -- O(delta), and every frame stays far below the
+#: negotiated cap no matter how racy the workload.
+_RACES_CHUNK = 2048
+
+
+@dataclass
+class ClusterConfig:
+    """Tunables for one :class:`RaceCluster`.
+
+    ``workers`` is the engine fan-out: accesses go to worker
+    ``lid % workers``.  ``checkpoint_dir`` roots the workers'
+    durability (worker *k* writes under ``<dir>/worker-k``); ``None``
+    uses a private temporary directory that lives as long as the
+    cluster.  ``log_dir`` captures each worker's stdout/stderr as
+    ``worker-k.log`` (CI uploads these on failure); ``None`` discards
+    them.  The ``link_*`` knobs govern the gateway's worker links:
+    a killed worker must respawn within the link's bounded
+    exponential-backoff budget (default ~8 retries at 0.25s base,
+    comfortably past a Python process restart).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = pick a free port (read it from ``cluster.port``)
+    workers: int = 2
+    credit_window: int = 8
+    queue_high_water: int = 6
+    max_frame: int = wire.DEFAULT_MAX_FRAME
+    idle_timeout: float = 30.0
+    hello_timeout: float = 10.0
+    drain_timeout: float = 10.0
+    checkpoint_dir: Optional[str] = None
+    checkpoint_interval: int = 8  #: applied slices between worker checkpoints
+    log_dir: Optional[str] = None
+    link_timeout: float = 15.0
+    link_retries: int = 8
+    link_backoff: float = 0.25
+    worker_startup_timeout: float = 20.0
+
+
+class _ClusterMetrics:
+    """The gateway instrument bundle (one lookup at cluster start)."""
+
+    def __init__(self, registry: MetricsRegistry, workers: int) -> None:
+        labels = {"component": "cluster"}
+        self.sessions_total = registry.counter(
+            "cluster_sessions_total", "client sessions accepted",
+            labels=labels,
+        )
+        self.sessions_active = registry.gauge(
+            "cluster_sessions_active", "sessions currently open",
+            labels=labels,
+        )
+        self.batches = registry.counter(
+            "cluster_batches_total",
+            "BATCH/CBATCH frames routed", labels=labels,
+        )
+        self.events = registry.counter(
+            "cluster_events_total", "events ingested over the wire",
+            labels=labels,
+        )
+        # The routing counters partition every incoming event exactly
+        # once, mirroring ShardedBatchEngine: an access counts against
+        # its owner worker, a replicated lifecycle event counts once.
+        self.routed = [
+            registry.counter(
+                "cluster_routed_accesses_total",
+                "accesses routed to this worker (lid % workers)",
+                labels={**labels, "worker": str(k)},
+            )
+            for k in range(workers)
+        ]
+        self.lifecycle = registry.counter(
+            "cluster_lifecycle_events_total",
+            "lifecycle events replicated to every worker (counted once)",
+            labels=labels,
+        )
+        self.unacked = [
+            registry.gauge(
+                "cluster_worker_unacked_slices",
+                "slices retained for replay until this worker's "
+                "checkpoint ACK covers them",
+                labels={**labels, "worker": str(k)},
+            )
+            for k in range(workers)
+        ]
+        self.respawns = [
+            registry.counter(
+                "cluster_worker_respawns_total",
+                "times the supervisor restarted this worker after a "
+                "crash (resharding: respawn-in-place)",
+                labels={**labels, "worker": str(k)},
+            )
+            for k in range(workers)
+        ]
+        self.races_streamed = registry.counter(
+            "cluster_races_streamed_total",
+            "race reports forwarded to clients", labels=labels,
+        )
+        self.credit_stalls = registry.counter(
+            "cluster_credit_stalls_total",
+            "credit grants withheld at the queue high-water mark",
+            labels=labels,
+        )
+        self.queue_depth = registry.gauge(
+            "cluster_queue_depth",
+            "batches queued across all sessions", labels=labels,
+        )
+        self.errors = {
+            name: registry.counter(
+                "cluster_errors_total",
+                "ERROR frames sent, by code",
+                labels={**labels, "code": name},
+            )
+            for name in wire.ERROR_NAMES.values()
+        }
+
+
+class WorkerProcess:
+    """One engine worker: ``repro-race serve`` as a killable subprocess.
+
+    Like :class:`repro.engine.faults.ServerProcess` but with its
+    stdout/stderr captured to ``log_path`` (CI uploads worker logs on
+    failure).  ``kill()`` is SIGKILL -- the no-cleanup crash the
+    migration machinery exists to survive.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        port: int,
+        checkpoint_dir: str,
+        *,
+        checkpoint_interval: int = 8,
+        log_path: Optional[str] = None,
+        startup_timeout: float = 20.0,
+    ) -> None:
+        self.index = index
+        self.port = port
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_interval = checkpoint_interval
+        self.log_path = log_path
+        self.startup_timeout = startup_timeout
+        self._proc: Optional[subprocess.Popen] = None
+        self._log_handle = None
+
+    def start(self) -> "WorkerProcess":
+        if self._proc is not None and self._proc.poll() is None:
+            raise WorkloadError(f"worker {self.index} already running")
+        env = dict(os.environ)
+        src = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        if self.log_path is not None:
+            self._log_handle = open(self.log_path, "ab")
+            out = self._log_handle
+        else:
+            out = subprocess.DEVNULL
+        self._proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", str(self.port),
+                "--checkpoint-dir", self.checkpoint_dir,
+                "--checkpoint-interval", str(self.checkpoint_interval),
+            ],
+            stdout=out,
+            stderr=out,
+            env=env,
+        )
+        self._wait_ready()
+        return self
+
+    def _wait_ready(self) -> None:
+        import socket as _socket
+
+        deadline = time.monotonic() + self.startup_timeout
+        while time.monotonic() < deadline:
+            if self._proc is not None and self._proc.poll() is not None:
+                raise WorkloadError(
+                    f"worker {self.index} exited with "
+                    f"{self._proc.returncode} before accepting connections"
+                )
+            try:
+                with _socket.create_connection(
+                    ("127.0.0.1", self.port), timeout=0.25
+                ):
+                    return
+            except OSError:
+                time.sleep(0.05)
+        raise WorkloadError(
+            f"worker {self.index} not accepting on port {self.port} "
+            f"within {self.startup_timeout}s"
+        )
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid if self._proc is not None else None
+
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL: the worker gets no chance to clean up."""
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc.wait()
+        if self._log_handle is not None:
+            self._log_handle.close()
+            self._log_handle = None
+
+    def terminate(self, timeout: float = 10.0) -> None:
+        """SIGTERM: the worker drains gracefully."""
+        if self._proc is not None and self._proc.poll() is None:
+            self._proc.terminate()
+            try:
+                self._proc.wait(timeout)
+            except subprocess.TimeoutExpired:
+                self.kill()
+        if self._log_handle is not None:
+            self._log_handle.close()
+            self._log_handle = None
+
+
+class _GatewaySession:
+    """Book-keeping for one live client connection at the gateway."""
+
+    __slots__ = (
+        "sid", "writer", "queue", "queued", "credits", "withheld",
+        "write_lock", "failed", "draining", "max_frame", "links",
+        "events", "races_total", "races_forwarded", "backend", "cbatch",
+    )
+
+    def __init__(
+        self, sid: int, writer: asyncio.StreamWriter, max_frame: int
+    ) -> None:
+        self.sid = sid
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.queued = 0
+        self.credits = 0
+        self.withheld = 0
+        self.write_lock = asyncio.Lock()
+        self.failed: Optional[BaseException] = None
+        self.draining = False
+        self.max_frame = max_frame
+        self.links: List[RaceClient] = []
+        self.events = 0  #: events this client streamed (its BYE total)
+        self.races_total = 0
+        self.races_forwarded = 0  #: merged reports already chunked out
+        self.backend = "lattice2d"
+        self.cbatch = False
+
+
+_BYE = object()  # queue sentinel: client finished its stream
+
+
+class RaceCluster:
+    """The location-sharded gateway (see the module docstring).
+
+    ``start()`` spawns the worker subprocesses, binds the gateway
+    listener, and launches the supervisor; ``shutdown()`` drains
+    sessions, terminates the workers, and removes a private
+    checkpoint directory if one was created.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        if self.config.workers < 1:
+            raise ServeError(
+                f"need at least one worker, got {self.config.workers}"
+            )
+        if self.config.credit_window < 1:
+            raise ServeError(
+                f"credit window must be positive, got "
+                f"{self.config.credit_window}"
+            )
+        if self.config.checkpoint_interval < 1:
+            raise ServeError(
+                f"checkpoint interval must be positive, got "
+                f"{self.config.checkpoint_interval}"
+            )
+        self.registry = registry if registry is not None else get_registry()
+        self._m = _ClusterMetrics(self.registry, self.config.workers)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._sessions: Dict[int, _GatewaySession] = {}
+        self._handlers: set = set()
+        self._ids = count(1)
+        self._closing = False
+        self._closed_event: Optional[asyncio.Event] = None
+        self._supervisor: Optional[asyncio.Task] = None
+        self._tempdir = None  # TemporaryDirectory when no checkpoint_dir
+        self._nonce = os.urandom(4).hex()  # keeps (session, shard)
+        # tokens from colliding with a previous gateway's checkpoints
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(8, 4 * self.config.workers),
+            thread_name_prefix="repro-cluster",
+        )
+        self.workers: List[WorkerProcess] = []
+        self.port: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ckpt_root(self) -> str:
+        if self.config.checkpoint_dir is not None:
+            return self.config.checkpoint_dir
+        if self._tempdir is None:
+            import tempfile
+
+            self._tempdir = tempfile.TemporaryDirectory(
+                prefix="repro-cluster-"
+            )
+        return self._tempdir.name
+
+    def _spawn_worker(self, k: int, port: int) -> WorkerProcess:
+        root = self._ckpt_root()
+        ckdir = os.path.join(root, f"worker-{k}")
+        os.makedirs(ckdir, exist_ok=True)
+        log_path = None
+        if self.config.log_dir is not None:
+            os.makedirs(self.config.log_dir, exist_ok=True)
+            log_path = os.path.join(self.config.log_dir, f"worker-{k}.log")
+        return WorkerProcess(
+            k, port, ckdir,
+            checkpoint_interval=self.config.checkpoint_interval,
+            log_path=log_path,
+            startup_timeout=self.config.worker_startup_timeout,
+        ).start()
+
+    async def start(self) -> int:
+        """Spawn the workers, bind the gateway; returns the bound port."""
+        from repro.engine.faults import free_port
+
+        if self._server is not None:
+            raise ServeError("cluster already started")
+        self._closed_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            for k in range(self.config.workers):
+                port = free_port()
+                worker = await loop.run_in_executor(
+                    self._executor, self._spawn_worker, k, port
+                )
+                self.workers.append(worker)
+            self._server = await asyncio.start_server(
+                self._handle, self.config.host, self.config.port
+            )
+        except BaseException:
+            self._teardown_workers()
+            raise
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._supervisor = asyncio.ensure_future(self._supervise())
+        return self.port
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain (CLI mode)."""
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(self.shutdown())
+            )
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        if self._closed_event is None:
+            raise ServeError("cluster not started")
+        await self._closed_event.wait()
+
+    async def _supervise(self) -> None:
+        """Respawn crashed workers on their original port (the
+        respawn-in-place resharding strategy: shard *k* stays pinned to
+        worker *k*, so no slice ever changes owner and the links'
+        RESUME tokens stay valid)."""
+        loop = asyncio.get_running_loop()
+        while not self._closing:
+            for k, worker in enumerate(self.workers):
+                if self._closing or worker.alive():
+                    continue
+                try:
+                    self.workers[k] = await loop.run_in_executor(
+                        self._executor, self._spawn_worker, k, worker.port
+                    )
+                except WorkloadError:
+                    continue  # retried on the next sweep
+                self._m.respawns[k].inc()
+            await asyncio.sleep(0.2)
+
+    def kill_worker(self, k: int) -> None:
+        """SIGKILL worker ``k`` (fault injection; the supervisor will
+        respawn it and the live links will migrate)."""
+        self.workers[k].kill()
+
+    def _teardown_workers(self) -> None:
+        for worker in self.workers:
+            worker.terminate()
+        self.workers = []
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, let live sessions finish,
+        then terminate the workers."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._supervisor is not None:
+            self._supervisor.cancel()
+            try:
+                await self._supervisor
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for session in list(self._sessions.values()):
+            session.draining = True
+        if self._handlers:
+            done, pending = await asyncio.wait(
+                self._handlers, timeout=self.config.drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending)
+        self._teardown_workers()
+        self._executor.shutdown(wait=False)
+        if self._closed_event is not None:
+            self._closed_event.set()
+
+    # -- wire helpers --------------------------------------------------------
+
+    async def _send(
+        self, session: _GatewaySession, ftype: int, payload: bytes = b""
+    ) -> None:
+        async with session.write_lock:
+            session.writer.write(wire.encode_frame(ftype, payload))
+            await session.writer.drain()
+
+    async def _send_error(
+        self, session: _GatewaySession, code: int, message: str
+    ) -> None:
+        self._m.errors[wire.ERROR_NAMES[code]].inc()
+        try:
+            await self._send(
+                session, wire.FRAME_ERROR, wire.encode_error(code, message)
+            )
+        except (ConnectionError, RuntimeError):
+            pass  # the peer is already gone; teardown continues
+
+    # -- session lifecycle ---------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        sid = next(self._ids)
+        session = _GatewaySession(sid, writer, self.config.max_frame)
+        self._sessions[sid] = session
+        self._m.sessions_total.inc()
+        self._m.sessions_active.inc()
+        consumer: Optional[asyncio.Task] = None
+        try:
+            if self._closing:
+                await self._send_error(
+                    session, wire.ERR_SHUTTING_DOWN, "gateway is draining"
+                )
+                return
+            if not await self._handshake(session, reader):
+                return
+            session.credits = self.config.credit_window
+            consumer = asyncio.ensure_future(self._consume(session))
+            await self._read_loop(session, reader, consumer)
+        except asyncio.CancelledError:
+            raise
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass  # client vanished mid-frame; teardown below
+        except ProtocolError as exc:
+            await self._send_error(session, wire.ERR_PROTOCOL, str(exc))
+        finally:
+            if consumer is not None:
+                consumer.cancel()
+                try:
+                    await consumer
+                except (asyncio.CancelledError, Exception):
+                    pass
+            self._close_links(session)
+            session.credits = 0
+            del self._sessions[sid]
+            self._m.sessions_active.dec()
+            self._m.queue_depth.set(self._total_depth())
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            if task is not None:
+                self._handlers.discard(task)
+
+    def _close_links(self, session: _GatewaySession) -> None:
+        for link in session.links:
+            link.close()
+        session.links = []
+
+    async def _handshake(
+        self, session: _GatewaySession, reader: asyncio.StreamReader
+    ) -> bool:
+        try:
+            ftype, payload = await asyncio.wait_for(
+                _read_frame(reader, wire.DEFAULT_MAX_FRAME),
+                self.config.hello_timeout,
+            )
+        except asyncio.TimeoutError:
+            await self._send_error(
+                session, wire.ERR_IDLE_TIMEOUT, "no HELLO within timeout"
+            )
+            return False
+        if ftype != wire.FRAME_HELLO:
+            await self._send_error(
+                session, wire.ERR_PROTOCOL,
+                f"expected HELLO, got {wire.FRAME_NAMES[ftype]}",
+            )
+            return False
+        version, client_max, requested, features = wire.decode_hello(payload)
+        if not (
+            wire.MIN_PROTOCOL_VERSION <= version <= wire.PROTOCOL_VERSION
+        ):
+            await self._send_error(
+                session, wire.ERR_VERSION,
+                f"gateway speaks protocol versions "
+                f"{wire.MIN_PROTOCOL_VERSION}..{wire.PROTOCOL_VERSION}, "
+                f"client sent {version}",
+            )
+            return False
+        if requested is not None and requested not in BACKENDS:
+            await self._send_error(
+                session, wire.ERR_BACKEND,
+                f"unknown engine backend {requested!r}; "
+                f"expected one of {BACKENDS}",
+            )
+            return False
+        if features & wire.FLAG_CBATCH and version >= 4:
+            # Grantable unconditionally: the gateway expands CBATCH
+            # frames itself and routes raw slices (block structure
+            # does not survive sharding).
+            session.cbatch = True
+        # One durable worker session per shard -- the (session, shard)
+        # key.  Non-checkpointable backends get plain links: kill
+        # recovery is a lattice2d feature, never silently substituted.
+        durable = requested is None or requested == "lattice2d"
+        try:
+            session.links = await self._connect_links(
+                session.sid, requested, durable
+            )
+        except RemoteError as exc:
+            # A worker refused the session (e.g. unknown backend
+            # variant): forward the typed refusal verbatim.
+            await self._send_error(session, exc.code, exc.remote_message)
+            return False
+        except (ConnectError, TransportError, ServeError) as exc:
+            await self._send_error(
+                session, wire.ERR_DETECTOR,
+                f"engine worker unavailable: {exc}",
+            )
+            return False
+        session.backend = session.links[0].negotiated_backend or "lattice2d"
+        max_frame = min(self.config.max_frame, client_max)
+        session.max_frame = max_frame
+        # The reply mirrors the client's version and wire shape; only
+        # a v5 reply has room for the worker count.
+        await self._send(
+            session, wire.FRAME_HELLO,
+            wire.encode_hello_reply(
+                self.config.credit_window, max_frame, version=version,
+                backend=session.backend if version >= 3 else None,
+                features=(
+                    wire.FLAG_CBATCH
+                    if version >= 4 and session.cbatch else 0
+                ),
+                workers=self.config.workers if version >= 5 else 1,
+            ),
+        )
+        return True
+
+    async def _connect_links(
+        self, sid: int, backend: Optional[str], durable: bool
+    ) -> List[RaceClient]:
+        """Open one worker session per shard, concurrently."""
+        loop = asyncio.get_running_loop()
+
+        def dial(k: int) -> RaceClient:
+            token = (
+                f"gw{self._nonce}-{sid}-s{k}" if durable else None
+            )
+            return RaceClient(
+                "127.0.0.1", self.workers[k].port,
+                timeout=self.config.link_timeout,
+                session=token,
+                max_retries=self.config.link_retries,
+                retry_backoff=self.config.link_backoff,
+                backend=backend,
+            ).connect()
+
+        futures = [
+            loop.run_in_executor(self._executor, dial, k)
+            for k in range(self.config.workers)
+        ]
+        results = await asyncio.gather(*futures, return_exceptions=True)
+        links: List[RaceClient] = []
+        failure: Optional[BaseException] = None
+        for result in results:
+            if isinstance(result, BaseException):
+                failure = failure if failure is not None else result
+            else:
+                links.append(result)
+        if failure is not None:
+            for link in links:
+                link.close()
+            raise failure
+        return links
+
+    async def _read_loop(
+        self,
+        session: _GatewaySession,
+        reader: asyncio.StreamReader,
+        consumer: asyncio.Task,
+    ) -> None:
+        max_frame = session.max_frame
+        table_size = 0
+        ships_table = False
+        enqueued_seq = 0
+        while True:
+            try:
+                ftype, payload = await asyncio.wait_for(
+                    _read_frame(reader, max_frame),
+                    self.config.idle_timeout,
+                )
+            except asyncio.TimeoutError:
+                await self._send_error(
+                    session, wire.ERR_IDLE_TIMEOUT,
+                    f"no frame within {self.config.idle_timeout}s",
+                )
+                return
+            except ProtocolError as exc:
+                code = (
+                    wire.ERR_FRAME_TOO_LARGE
+                    if "exceeds" in str(exc)
+                    else wire.ERR_BAD_CRC
+                    if "CRC" in str(exc)
+                    else wire.ERR_PROTOCOL
+                )
+                await self._send_error(session, code, str(exc))
+                return
+            if session.failed is not None:
+                # The consumer already sent ERROR; drain what credit
+                # allowed (closing early raises an RST that can destroy
+                # the in-flight ERROR) and end on BYE or EOF.
+                if ftype == wire.FRAME_BYE:
+                    return
+                continue
+            if ftype in (wire.FRAME_BATCH, wire.FRAME_CBATCH):
+                if ftype == wire.FRAME_CBATCH and not session.cbatch:
+                    await self._send_error(
+                        session, wire.ERR_COMPRESS,
+                        "CBATCH on a session that did not negotiate "
+                        "the compression feature",
+                    )
+                    return
+                if session.credits <= 0:
+                    await self._send_error(
+                        session, wire.ERR_CREDIT_OVERRUN,
+                        "BATCH with no credit outstanding",
+                    )
+                    return
+                session.credits -= 1
+                try:
+                    if ftype == wire.FRAME_CBATCH:
+                        batch, new_locs, seq = wire.decode_cbatch_payload(
+                            payload
+                        )
+                    else:
+                        batch, new_locs, seq = wire.decode_batch_payload(
+                            payload
+                        )
+                except ProtocolError as exc:
+                    await self._send_error(
+                        session, wire.ERR_MALFORMED_BATCH, str(exc)
+                    )
+                    return
+                if seq and seq != enqueued_seq + 1:
+                    await self._send_error(
+                        session, wire.ERR_PROTOCOL,
+                        f"batch seq {seq} breaks contiguity (expected "
+                        f"{enqueued_seq + 1})",
+                    )
+                    return
+                try:
+                    if new_locs is not None:
+                        ships_table = True
+                        table_size += len(new_locs)
+                    bound = table_size if ships_table else None
+                    if isinstance(batch, EventBatch):
+                        wire.validate_batch_columns(batch, bound)
+                    else:
+                        for block in batch.blocks:
+                            wire.validate_batch_columns(block, bound)
+                except ProtocolError as exc:
+                    await self._send_error(
+                        session, wire.ERR_MALFORMED_BATCH, str(exc)
+                    )
+                    return
+                enqueued_seq = max(enqueued_seq, seq)
+                session.queued += 1
+                session.queue.put_nowait(
+                    (batch, new_locs if new_locs else None)
+                )
+                self._m.queue_depth.set(self._total_depth())
+            elif ftype == wire.FRAME_RESUME:
+                # Through the gateway, durability is inter-node: the
+                # gateway masks worker failures.  Client-side RESUME
+                # would need the gateway itself to be durable -- refuse
+                # typed, never accept-and-forget.
+                await self._send_error(
+                    session, wire.ERR_CHECKPOINT,
+                    "client-side durable sessions are not available "
+                    "through the gateway (worker durability is "
+                    "inter-node); connect to a single node for RESUME",
+                )
+                return
+            elif ftype == wire.FRAME_BYE:
+                session.queue.put_nowait(_BYE)
+                await consumer
+                if session.failed is None:
+                    await self._send(
+                        session, wire.FRAME_BYE,
+                        wire.encode_bye_summary(
+                            session.events, session.races_total
+                        ),
+                    )
+                return
+            else:
+                await self._send_error(
+                    session, wire.ERR_PROTOCOL,
+                    f"unexpected {wire.FRAME_NAMES[ftype]} frame",
+                )
+                return
+
+    def _total_depth(self) -> int:
+        return sum(s.queued for s in self._sessions.values())
+
+    # -- routing -------------------------------------------------------------
+
+    def _merged_races(self, session: _GatewaySession) -> List:
+        """Every report streamed back by every link, in (worker, seq)
+        order -- deterministic, and stable under replay because a
+        link's replayed RACES frames *replace* identical content."""
+        merged: List = []
+        for link in session.links:
+            merged.extend(link.races)
+        return merged
+
+    async def _forward_races(self, session: _GatewaySession) -> None:
+        """Stream the merged race list to the client, chunked at
+        ``_RACES_CHUNK`` with each chunk keyed by its index (see the
+        constant's comment); resends only chunks that changed."""
+        merged = self._merged_races(session)
+        if len(merged) == session.races_forwarded:
+            session.races_total = len(merged)
+            return
+        first_dirty = session.races_forwarded // _RACES_CHUNK
+        for i in range(first_dirty, -(-len(merged) // _RACES_CHUNK)):
+            chunk = merged[i * _RACES_CHUNK: (i + 1) * _RACES_CHUNK]
+            await self._send(
+                session, wire.FRAME_RACES,
+                wire.encode_races(chunk, seq=i + 1),
+            )
+        self._m.races_streamed.inc(len(merged) - session.races_forwarded)
+        session.races_forwarded = len(merged)
+        session.races_total = len(merged)
+
+    async def _consume(self, session: _GatewaySession) -> None:
+        """The session's routing worker: dequeue, split by location,
+        ship a slice to every worker link, forward the new races, and
+        return credit (or stall at the high-water mark)."""
+        loop = asyncio.get_running_loop()
+        n = self.config.workers
+        while True:
+            item = await session.queue.get()
+            if item is _BYE:
+                await self._finish_links(session)
+                return
+            batch, _new_locs = item
+            session.queued -= 1
+            try:
+                if not isinstance(batch, EventBatch):
+                    # CBATCH: expand once at the edge, route raw slices.
+                    batch = await loop.run_in_executor(
+                        self._executor, batch.decompress
+                    )
+                subs = await loop.run_in_executor(
+                    self._executor, split_batch, batch, n
+                )
+                await asyncio.gather(*[
+                    loop.run_in_executor(
+                        self._executor, session.links[k].send_batch, subs[k]
+                    )
+                    for k in range(n)
+                ])
+            except RemoteError as exc:
+                session.failed = exc
+                await self._send_error(session, exc.code, exc.remote_message)
+                return
+            except (
+                TransportError, ConnectError, ServeError, ProtocolError
+            ) as exc:
+                session.failed = exc
+                await self._send_error(
+                    session, wire.ERR_DETECTOR,
+                    f"engine worker lost mid-stream: {exc}",
+                )
+                return
+            lifecycle = len(batch) - batch.access_count()
+            self._m.lifecycle.inc(lifecycle)
+            for k in range(n):
+                self._m.routed[k].inc(len(subs[k]) - lifecycle)
+                self._m.unacked[k].set(len(session.links[k]._unacked))
+            session.events += len(batch)
+            self._m.events.inc(len(batch))
+            self._m.batches.inc()
+            self._m.queue_depth.set(self._total_depth())
+            await self._forward_races(session)
+            if session.queued >= self.config.queue_high_water:
+                session.withheld += 1
+                self._m.credit_stalls.inc()
+            elif not session.draining:
+                grant = 1 + session.withheld
+                session.withheld = 0
+                session.credits += grant
+                await self._send(
+                    session, wire.FRAME_CREDIT, wire.encode_credit(grant)
+                )
+
+    async def _finish_links(self, session: _GatewaySession) -> None:
+        """BYE fan-out: close every worker session, then forward the
+        final merged race list."""
+        loop = asyncio.get_running_loop()
+        try:
+            await asyncio.gather(*[
+                loop.run_in_executor(self._executor, link.finish)
+                for link in session.links
+            ])
+        except RemoteError as exc:
+            session.failed = exc
+            await self._send_error(session, exc.code, exc.remote_message)
+            return
+        except (
+            TransportError, ConnectError, ServeError, ProtocolError
+        ) as exc:
+            session.failed = exc
+            await self._send_error(
+                session, wire.ERR_DETECTOR,
+                f"engine worker lost during drain: {exc}",
+            )
+            return
+        await self._forward_races(session)
+
+
+class ClusterThread:
+    """A :class:`RaceCluster` on a private event loop in a daemon
+    thread -- loopback multi-node serving for synchronous callers::
+
+        cluster = ClusterThread(ClusterConfig(workers=2))
+        port = cluster.start()
+        ... RaceClient("127.0.0.1", port) ...
+        cluster.stop()
+
+    ``kill_worker(k)`` SIGKILLs worker *k* from the calling thread
+    (fault injection); the cluster's supervisor respawns it.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.registry = registry
+        self.cluster: Optional[RaceCluster] = None
+        self.port: Optional[int] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-cluster", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced to start()/stop()
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.cluster = RaceCluster(self.config, registry=self.registry)
+        try:
+            self.port = await self.cluster.start()
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.cluster.serve_forever()
+
+    def start(self, timeout: float = 60.0) -> int:
+        """Start the thread; returns the gateway's bound port."""
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ServeError("cluster thread did not come up")
+        if self._error is not None:
+            raise self._error
+        assert self.port is not None
+        return self.port
+
+    def kill_worker(self, k: int) -> None:
+        """SIGKILL worker ``k``; the supervisor respawns it."""
+        assert self.cluster is not None
+        self.cluster.kill_worker(k)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully drain and join the cluster thread."""
+        if self._loop is not None and self._thread.is_alive():
+            assert self.cluster is not None
+            asyncio.run_coroutine_threadsafe(
+                self.cluster.shutdown(), self._loop
+            )
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ClusterThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Self-checking loopback smoke run (the CI multinode step):
+    build a racegen workload, stream it through a gateway, and require
+    the exact race multiset of a serial local replay."""
+    import argparse
+    import json
+    from collections import Counter
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.cluster",
+        description="loopback multi-node smoke: gateway-sharded "
+        "detection must equal a serial local replay",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--events", type=int, default=100_000)
+    parser.add_argument("--batch-size", type=int, default=16_384)
+    parser.add_argument(
+        "--kill-worker", action="store_true",
+        help="SIGKILL a worker mid-stream and require migration",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write the stats as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.engine.benchlib import build_workload, capture
+    from repro.engine.ingest import BatchEngine
+
+    _events, batch, _interner = capture(build_workload(args.events))
+    local = BatchEngine()
+    local.ingest(batch)
+    expected = Counter(
+        (r.task, r.loc, r.kind, r.prior_kind) for r in local.detector.races
+    )
+    start = time.perf_counter()
+    with ClusterThread(ClusterConfig(workers=args.workers)) as cluster:
+        client = RaceClient("127.0.0.1", cluster.port).connect()
+        pieces = list(batch.slices(args.batch_size))
+        kill_at = len(pieces) // 2 if args.kill_worker else -1
+        for k, piece in enumerate(pieces):
+            if k == kill_at:
+                cluster.kill_worker(args.workers - 1)
+            client.send_batch(piece)
+        summary = client.finish()
+        client.close()
+        workers_seen = client.negotiated_workers
+    elapsed = time.perf_counter() - start
+    got = Counter(
+        (r.task, r.loc, r.kind, r.prior_kind) for r in summary.reports
+    )
+    stats = {
+        "workers": args.workers,
+        "negotiated_workers": workers_seen,
+        "events": summary.events,
+        "races": sum(got.values()),
+        "expected_races": sum(expected.values()),
+        "killed": args.kill_worker,
+        "seconds": round(elapsed, 3),
+        "agrees": got == expected,
+    }
+    encoded = json.dumps(stats, sort_keys=True)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fp:
+            fp.write(encoded + "\n")
+    print(encoded)
+    if not stats["agrees"] or workers_seen != args.workers:
+        print("MULTINODE SMOKE FAILURE", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -25,7 +25,9 @@ HELLO     server->   magic + u32 version + u32 initial credit +
                      u32 effective max frame size + u32 flags (0);
                      v3 appends the 16-byte *negotiated* backend;
                      v4 additionally appends u32 feature flags
-                     (bit 0 = CBATCH granted for this session)
+                     (bit 0 = CBATCH granted for this session);
+                     v5 additionally appends u32 engine worker count
+                     (1 on a single-node server, N behind a gateway)
 BATCH     client->   the ``tracefile`` column layout, minus magic:
                      u8 endian flag, u64 n_events, u64 table byte
                      length, the (optional) location-table JSON,
@@ -85,6 +87,14 @@ frame instead -- a requested feature is negotiated exactly like a
 requested backend, never silently dropped).  A v2/v3 HELLO has no
 flags field and a v4 reply to it carries none, so the exchange stays
 byte-identical for older clients.
+
+Scale-out (v5): a v5 client HELLO is byte-identical to a v4 one (only
+the version field says 5); the server's v5 reply appends a u32 engine
+**worker count** -- the fan-out of the multi-node gateway tier
+(:mod:`repro.serve.cluster`), or 1 on a single-node server.  Like v3
+and v4, the reply mirrors the client's version: a v4 client talking
+to a gateway sees a byte-identical v4 exchange and simply doesn't
+learn the topology.  See ``docs/SCALE_OUT.md``.
 
 Durability (v2): every BATCH carries a u64 sequence number, assigned
 1, 2, 3... by the client.  The server requires contiguous sequencing;
@@ -194,8 +204,10 @@ __all__ = [
 PROTOCOL_MAGIC = b"RPRSERVE"
 #: v2 added the BATCH sequence number and the RESUME/ACK frames;
 #: v3 added engine-backend negotiation in HELLO; v4 added HELLO
-#: feature flags and the CBATCH compressed-batch frame
-PROTOCOL_VERSION = 4
+#: feature flags and the CBATCH compressed-batch frame; v5 added the
+#: worker-count field to the server HELLO reply (the multi-node
+#: gateway tier advertises its fan-out; a single-node server says 1)
+PROTOCOL_VERSION = 5
 #: oldest client version the server still speaks (v2 HELLOs get a
 #: v2-shaped reply, so pre-negotiation clients run unchanged)
 MIN_PROTOCOL_VERSION = 2
@@ -268,6 +280,12 @@ _HELLO_S3 = struct.Struct("<8sIIII16s")
 #: like v3, the shape is told apart by payload length alone
 _HELLO_C4 = struct.Struct("<8sII16sI")
 _HELLO_S4 = struct.Struct("<8sIIII16sI")
+#: the v5 *server* shape appends a u32 worker count after the feature
+#: flags (the gateway tier's engine-worker fan-out; 1 on a single-node
+#: server).  The v5 client HELLO reuses the v4 shape byte for byte --
+#: only the version field says 5 -- so a v5 request decodes everywhere
+#: a v4 one does and the reply shape is, as always, the server's call.
+_HELLO_S5 = struct.Struct("<8sIIII16sII")
 #: endian flag, n_events, table_len, seq -- the sequence number is
 #: appended (v2) so the v1 field offsets are unchanged
 _BATCH_HEADER = struct.Struct("<B7xQQQ")
@@ -434,10 +452,24 @@ def encode_hello_reply(
     version: int = PROTOCOL_VERSION,
     backend: Optional[str] = None,
     features: int = 0,
+    workers: int = 1,
 ) -> bytes:
     """The server HELLO reply, mirroring the *client's* ``version``
     and payload shape; ``backend`` names the backend the session got
-    (v3+) and ``features`` the granted v4 flag word."""
+    (v3+), ``features`` the granted v4 flag word, and ``workers`` the
+    engine-worker fan-out behind this listener (v5; a single-node
+    server says 1, the gateway tier its worker count)."""
+    if workers < 1:
+        raise ProtocolError(f"worker count must be positive, got {workers}")
+    if version >= 5:
+        return _HELLO_S5.pack(
+            PROTOCOL_MAGIC, version, credit, max_frame, 0,
+            _pack_backend(backend), features, workers,
+        )
+    if workers != 1:
+        raise ProtocolError(
+            f"protocol v{version} HELLO reply cannot carry a worker count"
+        )
     if version >= 4:
         return _HELLO_S4.pack(
             PROTOCOL_MAGIC, version, credit, max_frame, 0,
@@ -457,15 +489,17 @@ def encode_hello_reply(
 
 def decode_hello_reply(
     payload: bytes,
-) -> Tuple[int, int, int, Optional[str], int]:
+) -> Tuple[int, int, int, Optional[str], int, int]:
     """Returns ``(version, initial_credit, max_frame, backend,
-    features)``.
+    features, workers)``.
 
-    The v2, v3, and v4 reply shapes are all accepted; a v2-sized reply
-    (from a pre-negotiation server) decodes with ``backend = None``,
-    and a pre-v4 reply with ``features = 0``.
+    The v2, v3, v4, and v5 reply shapes are all accepted; a v2-sized
+    reply (from a pre-negotiation server) decodes with ``backend =
+    None``, a pre-v4 reply with ``features = 0``, and a pre-v5 reply
+    with ``workers = 1`` (one engine behind the listener).
     """
     features = 0
+    workers = 1
     if len(payload) == _HELLO_S.size:
         magic, version, credit, max_frame, _flags = _HELLO_S.unpack(
             payload
@@ -481,6 +515,14 @@ def decode_hello_reply(
             _HELLO_S4.unpack(payload)
         )
         backend = _unpack_backend(raw)
+    elif len(payload) == _HELLO_S5.size:
+        magic, version, credit, max_frame, _flags, raw, features, \
+            workers = _HELLO_S5.unpack(payload)
+        backend = _unpack_backend(raw)
+        if workers < 1:
+            raise ProtocolError(
+                f"HELLO reply claims {workers} engine workers"
+            )
     else:
         raise ProtocolError(
             f"bad HELLO reply payload length {len(payload)}"
@@ -493,7 +535,7 @@ def decode_hello_reply(
             f"client speaks {MIN_PROTOCOL_VERSION}"
             f"..{PROTOCOL_VERSION}"
         )
-    return version, credit, max_frame, backend, features
+    return version, credit, max_frame, backend, features, workers
 
 
 # -- BATCH --------------------------------------------------------------------

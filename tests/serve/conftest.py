@@ -65,6 +65,7 @@ class RawConn:
         self.max_frame = wire.DEFAULT_MAX_FRAME
         self.backend = None
         self.features = 0
+        self.workers = 1
         if hello:
             self.send(
                 wire.encode_frame(
@@ -77,9 +78,8 @@ class RawConn:
             )
             ftype, payload = self.recv_frame()
             assert ftype == wire.FRAME_HELLO, wire.FRAME_NAMES[ftype]
-            _, self.credit, self.max_frame, self.backend, self.features = (
-                wire.decode_hello_reply(payload)
-            )
+            (_, self.credit, self.max_frame, self.backend, self.features,
+             self.workers) = wire.decode_hello_reply(payload)
 
     def send(self, data: bytes) -> None:
         self.sock.sendall(data)

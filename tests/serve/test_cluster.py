@@ -1,0 +1,182 @@
+"""Unit tests for the multi-node gateway (:mod:`repro.serve.cluster`).
+
+Negotiation first (the v5 worker-count field, the typed refusals),
+then routing exactness (gateway-sharded detection equals a serial
+local replay, for raw, depa, and compressed sessions), then migration
+under kill (SIGKILL a worker mid-stream; the respawn/RESUME/replay
+machinery must deliver the identical race multiset, while a
+non-checkpointable depa session must fail typed instead).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.serve import (
+    ClusterConfig,
+    ClusterThread,
+    RaceClient,
+    RemoteError,
+)
+from repro.serve import protocol as wire
+
+from .conftest import RawConn, local_race_multiset, race_multiset
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def cluster2():
+    """One 2-worker gateway for the whole module (sessions are
+    isolated; the kill tests build their own clusters)."""
+    with ClusterThread(
+        ClusterConfig(workers=2, checkpoint_interval=2),
+        registry=MetricsRegistry(),
+    ) as cluster:
+        yield cluster
+
+
+class TestNegotiation:
+    def test_v5_reply_carries_worker_count(self, cluster2):
+        with RawConn(cluster2.port) as conn:
+            assert conn.workers == 2
+            conn.send_frame(wire.FRAME_BYE)
+
+    def test_v4_client_gets_v4_shape(self, cluster2):
+        # The reply mirrors the client's version: no worker count on
+        # the wire, the default of one is all a v4 client can know.
+        with RawConn(cluster2.port, version=4) as conn:
+            assert conn.workers == 1
+            conn.send_frame(wire.FRAME_BYE)
+
+    def test_v2_exchange_still_works(self, cluster2):
+        with RawConn(cluster2.port, version=2) as conn:
+            assert conn.workers == 1
+            assert conn.backend is None
+            conn.send_frame(wire.FRAME_BYE)
+
+    def test_client_resume_refused_typed(self, cluster2):
+        with RawConn(cluster2.port) as conn:
+            conn.send_frame(
+                wire.FRAME_RESUME, wire.encode_resume("through-gateway")
+            )
+            message = conn.expect_error(wire.ERR_CHECKPOINT)
+            assert "gateway" in message
+
+    def test_unknown_backend_refused(self, cluster2):
+        with RawConn(cluster2.port, hello=False) as conn:
+            conn.send_frame(
+                wire.FRAME_HELLO, wire.encode_hello(backend="warp9")
+            )
+            conn.expect_error(wire.ERR_BACKEND)
+
+    def test_client_exposes_worker_count(self, cluster2):
+        client = RaceClient("127.0.0.1", cluster2.port).connect()
+        try:
+            assert client.negotiated_workers == 2
+        finally:
+            client.close()
+
+
+class TestRouting:
+    def test_matches_local_replay(self, cluster2, small_workload):
+        batch, _interner = small_workload
+        local = local_race_multiset(batch)
+        with RaceClient("127.0.0.1", cluster2.port) as client:
+            client.send_batches(batch, batch_size=1024)
+            summary = client.finish()
+        assert summary.events == len(batch)
+        assert race_multiset(summary.reports) == local
+
+    def test_depa_sessions_agree(self, cluster2, small_workload):
+        batch, _interner = small_workload
+        local = local_race_multiset(batch)
+        with RaceClient(
+            "127.0.0.1", cluster2.port, backend="depa"
+        ) as client:
+            client.send_batches(batch, batch_size=1024)
+            summary = client.finish()
+        assert client.negotiated_backend == "depa"
+        assert race_multiset(summary.reports) == local
+
+    def test_compressed_sessions_agree(self, cluster2, small_workload):
+        batch, _interner = small_workload
+        local = local_race_multiset(batch)
+        with RaceClient(
+            "127.0.0.1", cluster2.port, compress=True
+        ) as client:
+            client.send_batches_compressed(batch, batch_size=2048)
+            summary = client.finish()
+        assert summary.events == len(batch)
+        assert race_multiset(summary.reports) == local
+
+    def test_routing_counters_partition_events(self, small_workload):
+        batch, _interner = small_workload
+        registry = MetricsRegistry()
+        with ClusterThread(
+            ClusterConfig(workers=2), registry=registry
+        ) as cluster:
+            with RaceClient("127.0.0.1", cluster.port) as client:
+                client.send_batches(batch, batch_size=1024)
+                client.finish()
+            metrics = cluster.cluster._m
+            routed = sum(c.value for c in metrics.routed)
+            lifecycle = metrics.lifecycle.value
+            assert metrics.events.value == len(batch)
+            # every event counts exactly once: an access against its
+            # owner worker, a replicated lifecycle event once
+            assert routed + lifecycle == len(batch)
+            assert all(c.value > 0 for c in metrics.routed)
+
+
+class TestMigration:
+    def test_kill_worker_mid_stream_is_exact(self, small_workload):
+        batch, _interner = small_workload
+        local = local_race_multiset(batch)
+        registry = MetricsRegistry()
+        with ClusterThread(
+            ClusterConfig(workers=2, checkpoint_interval=2),
+            registry=registry,
+        ) as cluster:
+            pieces = list(batch.slices(256))
+            client = RaceClient(
+                "127.0.0.1", cluster.port, timeout=30.0
+            ).connect()
+            try:
+                for k, piece in enumerate(pieces):
+                    if k == len(pieces) // 2:
+                        cluster.kill_worker(1)
+                    client.send_batch(piece)
+                summary = client.finish()
+            finally:
+                client.close()
+            respawns = sum(
+                c.value for c in cluster.cluster._m.respawns
+            )
+        assert race_multiset(summary.reports) == local
+        assert summary.events == len(batch)
+        assert respawns >= 1
+
+    def test_kill_under_depa_session_fails_typed(self, small_workload):
+        # depa links are not durable: a worker kill must surface as a
+        # typed ERR_DETECTOR, never hang and never silently downgrade.
+        batch, _interner = small_workload
+        with ClusterThread(
+            ClusterConfig(workers=2, link_retries=1, link_backoff=0.05),
+            registry=MetricsRegistry(),
+        ) as cluster:
+            pieces = list(batch.slices(256))
+            client = RaceClient(
+                "127.0.0.1", cluster.port, backend="depa", timeout=30.0
+            ).connect()
+            try:
+                with pytest.raises(RemoteError) as excinfo:
+                    for k, piece in enumerate(pieces):
+                        if k == len(pieces) // 2:
+                            cluster.kill_worker(0)
+                        client.send_batch(piece)
+                    client.finish()
+                assert excinfo.value.code == wire.ERR_DETECTOR
+            finally:
+                client.close()

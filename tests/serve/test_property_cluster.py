@@ -1,0 +1,139 @@
+"""Property sweep: random spawn-sync programs through the gateway.
+
+The per-location argument says hash-sharding accesses across
+independent detectors is *exact* -- so for every random
+series-parallel program, the race multiset streamed back by a 1-, 2-,
+or 4-worker gateway must equal a serial :class:`BatchEngine` replay.
+A second sweep SIGKILLs a random worker at a random batch boundary
+mid-stream and demands the same equality -- migration under kill
+moves work, never verdicts.
+
+One cluster per worker count serves its whole sweep (worker processes
+are expensive to spawn; sessions are isolated, so examples cannot
+contaminate each other and shrinking stays sound).  The kill sweep
+shares the 2-worker cluster: its supervisor respawns the victim, so
+the cluster is whole again for the next example.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine.batch import BatchBuilder
+from repro.forkjoin.interpreter import run
+from repro.obs.registry import MetricsRegistry
+from repro.serve import ClusterConfig, ClusterThread, RaceClient
+
+from tests.engine.test_property_differential import (
+    _cilk_program,
+    spawn_sync_cases,
+)
+
+from .conftest import local_race_multiset, race_multiset
+
+pytestmark = pytest.mark.serve
+
+
+def _capture(case):
+    tree, plan = case
+    builder = BatchBuilder()
+    run(_cilk_program(tree, plan), observers=[builder])
+    return builder.batch
+
+
+@pytest.fixture(scope="module")
+def cluster1():
+    with ClusterThread(
+        ClusterConfig(workers=1, checkpoint_interval=2),
+        registry=MetricsRegistry(),
+    ) as cluster:
+        yield cluster
+
+
+@pytest.fixture(scope="module")
+def cluster2():
+    with ClusterThread(
+        ClusterConfig(workers=2, checkpoint_interval=2),
+        registry=MetricsRegistry(),
+    ) as cluster:
+        yield cluster
+
+
+@pytest.fixture(scope="module")
+def cluster4():
+    with ClusterThread(
+        ClusterConfig(workers=4, checkpoint_interval=2),
+        registry=MetricsRegistry(),
+    ) as cluster:
+        yield cluster
+
+
+def _assert_gateway_exact(cluster, batch):
+    local = local_race_multiset(batch)
+    with RaceClient("127.0.0.1", cluster.port) as client:
+        # tiny frames force mid-program routing state at the gateway
+        client.send_batches(batch, batch_size=32)
+        summary = client.finish()
+    assert summary.events == len(batch)
+    assert race_multiset(summary.reports) == local
+
+
+class TestGatewayMatchesLocalReplay:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(case=spawn_sync_cases())
+    def test_one_worker(self, cluster1, case):
+        _assert_gateway_exact(cluster1, _capture(case))
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(case=spawn_sync_cases())
+    def test_two_workers(self, cluster2, case):
+        _assert_gateway_exact(cluster2, _capture(case))
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(case=spawn_sync_cases())
+    def test_four_workers(self, cluster4, case):
+        _assert_gateway_exact(cluster4, _capture(case))
+
+
+class TestGatewayMigratesUnderKill:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        case=spawn_sync_cases(),
+        kill_token=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_kill_at_random_boundary(self, cluster2, case, kill_token):
+        batch = _capture(case)
+        local = local_race_multiset(batch)
+        pieces = list(batch.slices(32))
+        kill_at = kill_token % len(pieces)
+        victim = kill_token % 2
+        client = RaceClient(
+            "127.0.0.1", cluster2.port, timeout=30.0
+        ).connect()
+        try:
+            for k, piece in enumerate(pieces):
+                if k == kill_at:
+                    cluster2.kill_worker(victim)
+                client.send_batch(piece)
+            summary = client.finish()
+        finally:
+            client.close()
+        assert summary.events == len(batch)
+        assert race_multiset(summary.reports) == local

@@ -148,11 +148,11 @@ class TestHello:
             wire.encode_hello(4096, backend="dépa")
 
     def test_server_reply_round_trip(self):
-        version, credit, max_frame, backend, features = (
+        version, credit, max_frame, backend, features, workers = (
             wire.decode_hello_reply(
                 wire.encode_hello_reply(
                     8, 65536, backend="lattice2d",
-                    features=wire.FLAG_CBATCH,
+                    features=wire.FLAG_CBATCH, workers=4,
                 )
             )
         )
@@ -160,28 +160,70 @@ class TestHello:
         assert (credit, max_frame) == (8, 65536)
         assert backend == "lattice2d"
         assert features & wire.FLAG_CBATCH
+        assert workers == 4
 
     def test_v2_server_reply_still_decodes(self):
         payload = wire.encode_hello_reply(8, 65536, version=2)
         assert len(payload) == 24  # the frozen v2 wire shape
-        version, credit, max_frame, backend, features = (
+        version, credit, max_frame, backend, features, workers = (
             wire.decode_hello_reply(payload)
         )
         assert (version, credit, max_frame, backend, features) == (
             2, 8, 65536, None, 0
         )
+        assert workers == 1  # pre-v5 servers never say; one is implied
 
     def test_v3_server_reply_still_decodes(self):
         payload = wire.encode_hello_reply(
             8, 65536, backend="depa", version=3
         )
         assert len(payload) == 40  # the frozen v3 wire shape
-        version, credit, max_frame, backend, features = (
+        version, credit, max_frame, backend, features, workers = (
             wire.decode_hello_reply(payload)
         )
-        assert (version, credit, max_frame, backend, features) == (
-            3, 8, 65536, "depa", 0
+        assert (version, credit, max_frame, backend, features, workers) == (
+            3, 8, 65536, "depa", 0, 1
         )
+
+    def test_v4_server_reply_still_decodes(self):
+        payload = wire.encode_hello_reply(
+            8, 65536, backend="depa", features=wire.FLAG_CBATCH, version=4
+        )
+        assert len(payload) == 44  # the frozen v4 wire shape
+        version, credit, max_frame, backend, features, workers = (
+            wire.decode_hello_reply(payload)
+        )
+        assert (version, credit, max_frame, backend, features, workers) == (
+            4, 8, 65536, "depa", wire.FLAG_CBATCH, 1
+        )
+
+    def test_v5_server_reply_carries_worker_count(self):
+        payload = wire.encode_hello_reply(
+            8, 65536, backend="lattice2d", version=5, workers=2
+        )
+        assert len(payload) == 48  # the frozen v5 wire shape
+        version, credit, max_frame, backend, features, workers = (
+            wire.decode_hello_reply(payload)
+        )
+        assert (version, credit, max_frame, backend, features, workers) == (
+            5, 8, 65536, "lattice2d", 0, 2
+        )
+
+    def test_worker_count_bounds(self):
+        with pytest.raises(ProtocolError, match="worker"):
+            wire.encode_hello_reply(8, 65536, workers=0)
+        payload = bytearray(
+            wire.encode_hello_reply(8, 65536, version=5, workers=1)
+        )
+        struct.pack_into("<I", payload, len(payload) - 4, 0)
+        with pytest.raises(ProtocolError, match="worker"):
+            wire.decode_hello_reply(bytes(payload))
+
+    def test_pre_v5_reply_cannot_carry_workers(self):
+        # a multi-worker gateway must not silently drop the count for
+        # an old client asking v4: encode refuses, the server decides
+        with pytest.raises(ProtocolError, match="worker"):
+            wire.encode_hello_reply(8, 65536, version=4, workers=2)
 
     def test_bad_magic_rejected(self):
         payload = struct.pack("<8sII", b"NOTMAGIC", 1, 4096)

@@ -19,6 +19,7 @@ DOC_FILES = [
     ROOT / "docs" / "OBSERVABILITY.md",
     ROOT / "docs" / "PERFORMANCE.md",
     ROOT / "docs" / "SERVING.md",
+    ROOT / "docs" / "SCALE_OUT.md",
     ROOT / "docs" / "FAULT_TOLERANCE.md",
     ROOT / "docs" / "PREDICTION.md",
     ROOT / "docs" / "COMPRESSION.md",
